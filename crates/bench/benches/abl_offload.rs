@@ -1,0 +1,55 @@
+//! Ablation: in-network collective offload (§IV-C "In-network Collective").
+//!
+//! Offloading reduces a dimension's All-Reduce traffic from
+//! `2m(e−1)/(e·shrink)` to `m/shrink` — nearly 2× less for large extents.
+//! LIBRA's model incorporates the offload, and the optimizer re-balances
+//! the allocation accordingly.
+
+use libra_bench::banner;
+use libra_core::comm::CommModel;
+use libra_core::cost::CostModel;
+use libra_core::opt::{self, Constraint, DesignRequest, Objective};
+use libra_core::presets;
+use libra_core::time::estimate;
+use libra_core::workload::TrainingLoop;
+use libra_workloads::zoo::{workload_for, PaperModel};
+
+fn main() {
+    banner("Ablation", "in-network collective offload (MSFT-1T, 4D-4K @ 300 GB/s)");
+    let shape = presets::topo_4d_4k();
+    let total = 300.0;
+    let cm = CostModel::default();
+    let w = workload_for(PaperModel::Msft1T, &shape).expect("builds");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "offload", "EqualBW t(s)", "PerfOpt t(s)", "speedup"
+    );
+    let mut times = Vec::new();
+    for (name, comm) in [("off", CommModel::default()), ("on", CommModel::with_offload())] {
+        let expr = estimate(&w, TrainingLoop::NoOverlap, &comm);
+        let eq_t = expr.eval(&opt::equal_bw(shape.ndims(), total));
+        let d = opt::optimize(&DesignRequest {
+            shape: &shape,
+            targets: vec![(1.0, expr)],
+            objective: Objective::Perf,
+            constraints: vec![Constraint::TotalBw(total)],
+            cost_model: &cm,
+        })
+        .expect("solves");
+        println!(
+            "{:<12} {:>14.3} {:>14.3} {:>9.2}x   bw = [{}]",
+            name,
+            eq_t,
+            d.weighted_time,
+            eq_t / d.weighted_time,
+            d.bw.iter().map(|b| format!("{b:.0}")).collect::<Vec<_>>().join(", ")
+        );
+        times.push(d.weighted_time);
+    }
+    println!();
+    assert!(times[1] < times[0], "offload must reduce optimized training time");
+    println!(
+        "offload reduces the optimized iteration by {:.1}%",
+        (1.0 - times[1] / times[0]) * 100.0
+    );
+}

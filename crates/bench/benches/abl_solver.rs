@@ -1,0 +1,92 @@
+//! Ablation: interior-point vs projected subgradient vs grid search on the
+//! PerfOptBW problem (the DESIGN.md solver-substitution justification).
+//!
+//! All three must agree on the optimum of this convex problem; the
+//! interior point should be both the most accurate and the fastest.
+
+use std::time::Instant;
+
+use libra_bench::{banner, time_expr_for};
+use libra_core::cost::CostModel;
+use libra_core::opt::{self, Constraint, DesignRequest, Objective};
+use libra_core::presets;
+use libra_solver::subgrad::{minimize_projected, project_capped_box};
+use libra_workloads::zoo::PaperModel;
+
+fn main() {
+    banner("Ablation", "solver comparison on the GPT-3 + 4D-4K PerfOptBW problem");
+    let shape = presets::topo_4d_4k();
+    let total = 300.0;
+    let expr = time_expr_for(PaperModel::Gpt3, &shape).expect("model builds");
+    let cm = CostModel::default();
+    let n = shape.ndims();
+
+    // Interior point (the production path).
+    let t0 = Instant::now();
+    let ip = opt::optimize(&DesignRequest {
+        shape: &shape,
+        targets: vec![(1.0, expr.clone())],
+        objective: Objective::Perf,
+        constraints: vec![Constraint::TotalBw(total)],
+        cost_model: &cm,
+    })
+    .expect("interior point solves");
+    let ip_time = t0.elapsed();
+
+    // Projected subgradient on the same objective.
+    let lower = vec![1e-3; n];
+    let upper = vec![total; n];
+    let f = |x: &[f64]| {
+        let v = expr.eval(x);
+        // Numerical subgradient (forward differences).
+        let mut g = vec![0.0; n];
+        for (i, gi) in g.iter_mut().enumerate() {
+            let mut xp = x.to_vec();
+            let h = (x[i] * 1e-6).max(1e-9);
+            xp[i] += h;
+            *gi = (expr.eval(&xp) - v) / h;
+        }
+        (v, g)
+    };
+    let t0 = Instant::now();
+    let sg = minimize_projected(
+        f,
+        |x| project_capped_box(x, total, &lower, &upper),
+        opt::equal_bw(n, total),
+        total / 4.0,
+        20_000,
+    );
+    let sg_time = t0.elapsed();
+
+    // Dense grid over the simplex (coarse: 3 free dims × 40 steps).
+    let t0 = Instant::now();
+    let mut grid_best = f64::INFINITY;
+    let steps = 40usize;
+    for i in 1..steps {
+        for j in 1..steps {
+            for k in 1..steps {
+                let b0 = total * i as f64 / steps as f64;
+                let b1 = total * j as f64 / steps as f64;
+                let b2 = total * k as f64 / steps as f64;
+                let b3 = total - b0 - b1 - b2;
+                if b3 <= 0.0 {
+                    continue;
+                }
+                grid_best = grid_best.min(expr.eval(&[b0, b1, b2, b3]));
+            }
+        }
+    }
+    let grid_time = t0.elapsed();
+
+    println!("{:<18} {:>14} {:>12}", "method", "objective (s)", "runtime");
+    println!("{:<18} {:>14.6} {:>11.1?}", "interior point", ip.weighted_time, ip_time);
+    println!("{:<18} {:>14.6} {:>11.1?}", "subgradient", sg.value, sg_time);
+    println!("{:<18} {:>14.6} {:>11.1?}", "grid search", grid_best, grid_time);
+    println!();
+    let tol = 5e-3 * (1.0 + ip.weighted_time);
+    assert!(
+        ip.weighted_time <= sg.value + tol && ip.weighted_time <= grid_best + tol,
+        "interior point must match or beat both baselines"
+    );
+    println!("agreement: interior point ≤ both baselines (convex problem, same optimum).");
+}

@@ -1,0 +1,33 @@
+//! Fig. 1: per-iteration communication sizes across 1,024 NPUs.
+//!
+//! The paper plots total communication per training iteration (FP16) for
+//! models spanning 2015–2021; we regenerate the Table II subset. DP models
+//! are dominated by ZeRO-2 gradient/parameter traffic (≈ 2× parameter
+//! bytes), TP models add per-layer activation All-Reduces.
+
+use libra_bench::banner;
+use libra_core::presets;
+use libra_workloads::zoo::{workload_for, PaperModel};
+
+fn main() {
+    banner("Fig. 1", "communication size per iteration @ 1,024 NPUs");
+    // The 1,024-NPU machine: Table III's 3D-1K.
+    let shape = presets::topo_3d_1k();
+    assert_eq!(shape.npus(), 1024);
+    println!("{:<12} {:>14} {:>18}", "Workload", "Comm (MB)", "paper ballpark");
+    let reference = [
+        (PaperModel::ResNet50, "~10^2 MB"),
+        (PaperModel::TuringNlg, "~10^4-10^5 MB"),
+        (PaperModel::Gpt3, "~10^5 MB"),
+        (PaperModel::Msft1T, "~10^6 MB"),
+        (PaperModel::Dlrm, "~10^3 MB"),
+    ];
+    for (model, ballpark) in reference {
+        let w = workload_for(model, &shape).expect("all Table II models fit 1,024 NPUs");
+        let mb = w.total_comm_bytes() / 1e6;
+        println!("{:<12} {:>14.0} {:>18}", model.name(), mb, ballpark);
+    }
+    println!();
+    println!("Expected shape: ResNet-50 < DLRM < Turing-NLG < GPT-3 < MSFT-1T,");
+    println!("spanning roughly four orders of magnitude (paper: 'GBs to TBs').");
+}

@@ -1,0 +1,68 @@
+//! Fig. 10: MSFT-1T end-to-end time vs average network BW utilization on
+//! 2D/3D/4D topologies at 300 GB/s per NPU.
+//!
+//! The paper reports EqualBW utilizations of 57.53% (2D), 39.02% (3D) and
+//! 66.74% (4D), and ideal speedups of 1.39×, 1.83× and 1.29× if 100%
+//! utilization were reached. We regenerate the same quantities from the
+//! simulator: EqualBW utilization + runtime, LIBRA-optimized utilization +
+//! runtime, and the pure-compute floor.
+
+use libra_bench::banner;
+use libra_core::network::NetworkShape;
+use libra_core::opt::{self, Constraint, DesignRequest, Objective};
+use libra_core::{cost::CostModel, presets};
+use libra_sim::training::{simulate_training, TrainingSimConfig};
+use libra_workloads::zoo::{workload_for, PaperModel};
+
+fn main() {
+    banner("Fig. 10", "MSFT-1T runtime vs network utilization @ 300 GB/s per NPU");
+    // The 2D machine merges the 4D-4K's inner three dims into one 128-NPU
+    // scale-up dimension; 3D and 4D come from Table III.
+    let two_d: NetworkShape = "RI(128)_SW(32)".parse().unwrap();
+    let shapes = [("2D", two_d), ("3D", presets::topo_3d_4k()), ("4D", presets::topo_4d_4k())];
+    let total = 300.0;
+    let cm = CostModel::default();
+    println!(
+        "{:<4} {:>12} {:>12} {:>12} {:>12} {:>10} {:>14}",
+        "Topo", "Equal t(s)", "Equal util", "Opt t(s)", "Opt util", "Speedup", "paper speedup"
+    );
+    let paper = [("2D", 1.39, 57.53), ("3D", 1.83, 39.02), ("4D", 1.29, 66.74)];
+    for ((name, shape), (pname, pspeed, putil)) in shapes.iter().zip(paper) {
+        assert_eq!(*name, pname);
+        let w = workload_for(PaperModel::Msft1T, shape).expect("MSFT-1T fits 4,096 NPUs");
+        let n = shape.ndims();
+        let cfg = TrainingSimConfig::default();
+        let equal = simulate_training(&w, n, &opt::equal_bw(n, total), &cfg);
+        // LIBRA-optimized network for the same budget.
+        let expr = libra_bench::time_expr_for(PaperModel::Msft1T, shape).unwrap();
+        let design = opt::optimize(&DesignRequest {
+            shape,
+            targets: vec![(1.0, expr)],
+            objective: Objective::Perf,
+            constraints: vec![Constraint::TotalBw(total)],
+            cost_model: &cm,
+        })
+        .expect("PerfOptBW solves");
+        let opt_sim = simulate_training(&w, n, &design.bw, &cfg);
+        println!(
+            "{:<4} {:>12.3} {:>11.1}% {:>12.3} {:>11.1}% {:>9.2}x {:>9.2}x/{:>4.1}%",
+            name,
+            equal.makespan,
+            equal.average_utilization() * 100.0,
+            opt_sim.makespan,
+            opt_sim.average_utilization() * 100.0,
+            equal.makespan / opt_sim.makespan,
+            pspeed,
+            putil,
+        );
+    }
+    println!();
+    println!("Pure-compute floor (no exposed communication): {:.3} s", {
+        let shape = presets::topo_4d_4k();
+        let w = workload_for(PaperModel::Msft1T, &shape).unwrap();
+        w.total_compute()
+    });
+    println!("Expected shape: EqualBW leaves 35–60% of bandwidth idle; the");
+    println!("optimized allocation raises utilization and shortens training,");
+    println!("with the mid-dimensional (3D) EqualBW network wasting the most.");
+}

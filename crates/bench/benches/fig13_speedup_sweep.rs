@@ -1,0 +1,41 @@
+//! Fig. 13: end-to-end training speedup over EqualBW for Turing-NLG, GPT-3
+//! and MSFT-1T on the 3D-4K and 4D-4K topologies, sweeping 100–1,000 GB/s
+//! per NPU, under both PerfOptBW and PerfPerCostOptBW.
+//!
+//! Paper reference: PerfOptBW averages 1.23× (max 2.00×); larger models see
+//! larger speedups; PerfPerCostOptBW may dip below 1× (it trades speed for
+//! cost); GPT-3 on 4D-4K shows little speedup because its TP-16 group
+//! cannot exploit all of Dim 2.
+
+use libra_bench::{banner, max, mean, print_series, print_sweep_header, sweep};
+use libra_core::opt::Objective;
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+fn main() {
+    banner("Fig. 13", "training speedup over EqualBW (PerfOpt / PerfPerCost)");
+    let shapes = [("3D", presets::topo_3d_4k()), ("4D", presets::topo_4d_4k())];
+    let mut perf_speedups: Vec<f64> = Vec::new();
+    print_sweep_header("series");
+    for model in PaperModel::llms() {
+        for (sname, shape) in &shapes {
+            for (oname, objective) in
+                [("PerfOpt", Objective::Perf), ("PerfPerCost", Objective::PerfPerCost)]
+            {
+                let pts = sweep(model, shape, objective)
+                    .unwrap_or_else(|e| panic!("{} {sname}: {e}", model.name()));
+                let speedups: Vec<f64> = pts.iter().map(|p| p.speedup()).collect();
+                print_series(&format!("{}+{sname} {oname}", model.name()), &speedups);
+                if objective == Objective::Perf {
+                    perf_speedups.extend(&speedups);
+                }
+            }
+        }
+    }
+    println!();
+    println!(
+        "PerfOptBW speedup over EqualBW: avg {:.2}x, max {:.2}x   (paper: avg 1.23x, max 2.00x)",
+        mean(&perf_speedups),
+        max(&perf_speedups)
+    );
+}

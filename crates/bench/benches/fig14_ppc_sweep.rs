@@ -1,0 +1,58 @@
+//! Fig. 14: perf-per-cost benefit over EqualBW for the Fig. 13 design
+//! points.
+//!
+//! Paper reference: PerfOptBW averages 5.40× (max 12.24×) better
+//! perf-per-cost than EqualBW; PerfPerCostOptBW averages 9.16× (max
+//! 13.02×) and is the best at every point.
+
+use libra_bench::{banner, max, mean, print_series, print_sweep_header, sweep};
+use libra_core::opt::Objective;
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+fn main() {
+    banner("Fig. 14", "perf-per-cost gain over EqualBW (PerfOpt / PerfPerCost)");
+    let shapes = [("3D", presets::topo_3d_4k()), ("4D", presets::topo_4d_4k())];
+    let mut perf_gains: Vec<f64> = Vec::new();
+    let mut ppc_gains: Vec<f64> = Vec::new();
+    print_sweep_header("series");
+    for model in PaperModel::llms() {
+        for (sname, shape) in &shapes {
+            let mut by_objective: Vec<(&str, Vec<f64>)> = Vec::new();
+            for (oname, objective) in
+                [("PerfOpt", Objective::Perf), ("PerfPerCost", Objective::PerfPerCost)]
+            {
+                let pts = sweep(model, shape, objective)
+                    .unwrap_or_else(|e| panic!("{} {sname}: {e}", model.name()));
+                let gains: Vec<f64> = pts.iter().map(|p| p.ppc_gain()).collect();
+                print_series(&format!("{}+{sname} {oname}", model.name()), &gains);
+                by_objective.push((oname, gains));
+            }
+            perf_gains.extend(&by_objective[0].1);
+            ppc_gains.extend(&by_objective[1].1);
+            // PerfPerCostOptBW must dominate PerfOptBW on this metric.
+            let wins = by_objective[1]
+                .1
+                .iter()
+                .zip(&by_objective[0].1)
+                .filter(|(p, q)| *p >= &(*q * 0.999))
+                .count();
+            assert!(
+                wins >= by_objective[1].1.len() - 1,
+                "{} {sname}: PerfPerCost should dominate PerfOpt on perf-per-cost",
+                model.name()
+            );
+        }
+    }
+    println!();
+    println!(
+        "PerfOptBW ppc gain:       avg {:.2}x, max {:.2}x   (paper: avg 5.40x, max 12.24x)",
+        mean(&perf_gains),
+        max(&perf_gains)
+    );
+    println!(
+        "PerfPerCostOptBW ppc gain: avg {:.2}x, max {:.2}x   (paper: avg 9.16x, max 13.02x)",
+        mean(&ppc_gains),
+        max(&ppc_gains)
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 15: speedup and perf-per-cost for the non-transformer workloads
+//! (ResNet-50 and DLRM) on the 4D-4K topology.
+//!
+//! Paper reference: LIBRA needs no modification for non-transformer
+//! models. ResNet-50 is small, so its perf-per-cost is cost-dominated and
+//! PerfPerCostOptBW ends up close to PerfOptBW in that metric (while
+//! producing ~15% cheaper networks); DLRM's all-NPU All-to-All still gains
+//! from optimization.
+
+use libra_bench::{banner, mean, print_series, print_sweep_header, sweep};
+use libra_core::opt::Objective;
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+fn main() {
+    banner("Fig. 15", "ResNet-50 and DLRM on 4D-4K: speedup + perf-per-cost");
+    let shape = presets::topo_4d_4k();
+    for model in [PaperModel::ResNet50, PaperModel::Dlrm] {
+        print_sweep_header(&format!("{} series", model.name()));
+        let mut costs: Vec<(f64, f64)> = Vec::new();
+        for (oname, objective) in
+            [("PerfOpt", Objective::Perf), ("PerfPerCost", Objective::PerfPerCost)]
+        {
+            let pts = sweep(model, &shape, objective).expect("sweep solves");
+            let speedups: Vec<f64> = pts.iter().map(|p| p.speedup()).collect();
+            let gains: Vec<f64> = pts.iter().map(|p| p.ppc_gain()).collect();
+            print_series(&format!("  {oname} speedup"), &speedups);
+            print_series(&format!("  {oname} ppc gain"), &gains);
+            for p in &pts {
+                costs.push((p.total_bw, p.design.cost));
+            }
+        }
+        // Cost comparison: PerfPerCost designs should be cheaper on average.
+        let n = costs.len() / 2;
+        let perf_cost = mean(&costs[..n].iter().map(|c| c.1).collect::<Vec<_>>());
+        let ppc_cost = mean(&costs[n..].iter().map(|c| c.1).collect::<Vec<_>>());
+        println!(
+            "  avg network cost: PerfOpt ${:.2}M vs PerfPerCost ${:.2}M ({:.1}% cheaper; paper: 15.41% for ResNet-50)",
+            perf_cost / 1e6,
+            ppc_cost / 1e6,
+            (1.0 - ppc_cost / perf_cost) * 100.0
+        );
+        println!();
+    }
+}

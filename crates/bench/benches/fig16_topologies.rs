@@ -1,0 +1,32 @@
+//! Fig. 16: MSFT-1T over the 3D-512, 3D-1K and 4D-2K topologies — LIBRA
+//! works across shapes, sizes and dimensionalities.
+
+use libra_bench::{banner, print_series, print_sweep_header, sweep};
+use libra_core::opt::Objective;
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+fn main() {
+    banner("Fig. 16", "MSFT-1T across 3D-512 / 3D-1K / 4D-2K");
+    let shapes = [
+        ("3D-512", presets::topo_3d_512()),
+        ("3D-1K", presets::topo_3d_1k()),
+        ("4D-2K", presets::topo_4d_2k()),
+    ];
+    print_sweep_header("series");
+    for (name, shape) in shapes {
+        for (oname, objective) in
+            [("PerfOpt", Objective::Perf), ("PerfPerCost", Objective::PerfPerCost)]
+        {
+            let pts = sweep(PaperModel::Msft1T, &shape, objective)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let speedups: Vec<f64> = pts.iter().map(|p| p.speedup()).collect();
+            let gains: Vec<f64> = pts.iter().map(|p| p.ppc_gain()).collect();
+            print_series(&format!("{name} {oname} speedup"), &speedups);
+            print_series(&format!("{name} {oname} ppc"), &gains);
+        }
+    }
+    println!();
+    println!("Expected shape: PerfOpt speedup > 1 on every topology; ppc gains");
+    println!("largest where expensive scale-out dims can shed bandwidth.");
+}

@@ -1,0 +1,109 @@
+//! Fig. 17: designing one network for a *group* of workloads.
+//!
+//! For the 4D-4K network at 1,000 GB/s per NPU: (a) the three LLMs,
+//! (b) a mixture of language/recommendation/vision. Each workload is run
+//! on every single-target-optimized network and on the group-optimized
+//! network; we report speedup over EqualBW (the paper's bars) and slowdown
+//! versus each workload's own optimal network (the paper's dots).
+//!
+//! Paper reference: single-target networks slow other workloads by up to
+//! 1.77×; the group-optimized network averages only 1.01× slowdown.
+
+use libra_bench::{banner, time_expr_for};
+use libra_core::cost::CostModel;
+use libra_core::expr::BwExpr;
+use libra_core::opt::{self, Constraint, DesignRequest, Objective};
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+fn study(title: &str, models: &[PaperModel]) {
+    let shape = presets::topo_4d_4k();
+    let total = 1000.0;
+    let cm = CostModel::default();
+    let exprs: Vec<BwExpr> =
+        models.iter().map(|&m| time_expr_for(m, &shape).expect("model builds")).collect();
+    let equal = opt::equal_bw(shape.ndims(), total);
+    let equal_times: Vec<f64> = exprs.iter().map(|e| e.eval(&equal)).collect();
+
+    // Single-target optimal networks.
+    let single: Vec<Vec<f64>> = exprs
+        .iter()
+        .map(|e| {
+            opt::optimize(&DesignRequest {
+                shape: &shape,
+                targets: vec![(1.0, e.clone())],
+                objective: Objective::Perf,
+                constraints: vec![Constraint::TotalBw(total)],
+                cost_model: &cm,
+            })
+            .expect("single-target solves")
+            .bw
+        })
+        .collect();
+    // Group optimization: weight each workload by 1/EqualBW-time so every
+    // model contributes its *relative* slowdown to the objective.
+    let targets: Vec<(f64, BwExpr)> = exprs
+        .iter()
+        .zip(&equal_times)
+        .map(|(e, t)| (1.0 / t, e.clone()))
+        .collect();
+    let group = opt::optimize(&DesignRequest {
+        shape: &shape,
+        targets,
+        objective: Objective::Perf,
+        constraints: vec![Constraint::TotalBw(total)],
+        cost_model: &cm,
+    })
+    .expect("group-opt solves")
+    .bw;
+
+    println!("{title}");
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "workload", "speedup over EqualBW", "slowdown over own-opt"
+    );
+    let mut worst_single: f64 = 1.0;
+    let mut group_slowdowns: Vec<f64> = Vec::new();
+    for (wi, (e, &eq_t)) in exprs.iter().zip(&equal_times).enumerate() {
+        let own = e.eval(&single[wi]);
+        // Evaluate this workload on every network (single-target + group).
+        for (ni, bw) in single.iter().enumerate() {
+            let t = e.eval(bw);
+            let tag = format!("on {}", models[ni].name());
+            if ni != wi {
+                worst_single = worst_single.max(t / own);
+            }
+            println!(
+                "{:<12} {:>20.2}x {:>20.2}x   ({tag})",
+                models[wi].name(),
+                eq_t / t,
+                t / own
+            );
+        }
+        let tg = e.eval(&group);
+        group_slowdowns.push(tg / own);
+        println!(
+            "{:<12} {:>20.2}x {:>20.2}x   (on Group-Opt)",
+            models[wi].name(),
+            eq_t / tg,
+            tg / own
+        );
+    }
+    let avg_group =
+        group_slowdowns.iter().sum::<f64>() / group_slowdowns.len() as f64;
+    println!(
+        "worst cross-workload slowdown on single-target networks: {worst_single:.2}x (paper: up to 1.77x)"
+    );
+    println!(
+        "group-optimized average slowdown: {avg_group:.2}x (paper: 1.01x)\n"
+    );
+}
+
+fn main() {
+    banner("Fig. 17", "group optimization on 4D-4K @ 1,000 GB/s per NPU");
+    study("(a) group-optimizing LLMs", &PaperModel::llms());
+    study(
+        "(b) group-optimizing a mixture of DNNs",
+        &[PaperModel::Msft1T, PaperModel::Dlrm, PaperModel::ResNet50],
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 18: cost-model sensitivity — sweeping the inter-Package link cost
+//! from $1/GBps to $5/GBps on the 4D-4K network at 1,000 GB/s per NPU,
+//! with PerfPerCostOptBW.
+//!
+//! Paper reference: perf-per-cost benefit over EqualBW averages 4.06×
+//! (max 5.59×) across the sweep.
+
+use libra_bench::{banner, max, mean, time_expr_for};
+use libra_core::cost::CostModel;
+use libra_core::opt::{self, Constraint, DesignRequest, Objective};
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+fn main() {
+    banner("Fig. 18", "inter-Package link cost sweep ($1-5/GBps), PerfPerCostOptBW");
+    let shape = presets::topo_4d_4k();
+    let total = 1000.0;
+    // The paper uses GPT-3-class design points for the sensitivity study;
+    // use MSFT-1T (the representative large workload).
+    let expr = time_expr_for(PaperModel::Msft1T, &shape).expect("model builds");
+    println!("{:>18} {:>16}", "pkg link $/GBps", "ppc vs EqualBW");
+    let mut gains = Vec::new();
+    for cents in [1.0f64, 2.0, 3.0, 4.0, 5.0] {
+        let cm = CostModel::default().with_package_link_cost(cents);
+        let targets = vec![(1.0, expr.clone())];
+        let d = opt::optimize(&DesignRequest {
+            shape: &shape,
+            targets: targets.clone(),
+            objective: Objective::PerfPerCost,
+            constraints: vec![Constraint::TotalBw(total)],
+            cost_model: &cm,
+        })
+        .expect("PerfPerCost solves");
+        let base =
+            opt::evaluate(&shape, &targets, &opt::equal_bw(shape.ndims(), total), &cm);
+        let gain = d.ppc_gain_over(&base);
+        println!("{cents:>18.1} {gain:>15.2}x");
+        gains.push(gain);
+    }
+    println!();
+    println!(
+        "average {:.2}x, max {:.2}x   (paper: avg 4.06x, max 5.59x)",
+        mean(&gains),
+        max(&gains)
+    );
+    println!("Expected shape: the benefit stays large across the whole cost");
+    println!("range — LIBRA adapts the allocation as the package fabric's");
+    println!("price changes, so the cost model is a true input, not a constant.");
+}

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the optimization substrate: interior-point
+//! solve latency for LIBRA-shaped problems of growing size, and the
+//! end-to-end optimizer (the quantity that bounds a full Fig. 13 sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use libra_core::cost::CostModel;
+use libra_core::opt::{self, Constraint, DesignRequest, Objective};
+use libra_core::presets;
+use libra_solver::convex::{ConvexProblem, RatioTerm};
+use libra_workloads::zoo::PaperModel;
+
+/// A bottleneck problem with `k` max-terms over `n` dims.
+fn bottleneck_problem(n: usize, k: usize) -> ConvexProblem {
+    let t0 = n; // epigraph vars t0..t0+k-1
+    let mut p = ConvexProblem::new(n + k + 1);
+    let obj: Vec<(usize, f64)> = (0..k).map(|j| (t0 + j, 1.0)).collect();
+    p.minimize(&obj);
+    for j in 0..k {
+        for i in 0..n {
+            let c = 1.0 + ((i + 3 * j) % 7) as f64;
+            p.add_ratio_le(RatioTerm::new(vec![(i, c)]).minus_var(t0 + j));
+        }
+    }
+    for i in 0..n {
+        p.set_lower(i, 1e-3);
+    }
+    let cap: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+    p.add_lin_le(&cap, 100.0);
+    p
+}
+
+fn bench_interior_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interior_point");
+    for (n, k) in [(2usize, 2usize), (4, 4), (4, 16), (8, 32)] {
+        let p = bottleneck_problem(n, k);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}dims_{k}terms")),
+            &p,
+            |b, p| b.iter(|| p.solve().expect("solves")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let shape = presets::topo_4d_4k();
+    let cm = CostModel::default();
+    let expr = {
+        let w = libra_workloads::zoo::workload_for(PaperModel::Gpt3, &shape).unwrap();
+        libra_core::time::estimate(
+            &w,
+            libra_core::workload::TrainingLoop::NoOverlap,
+            &libra_core::comm::CommModel::default(),
+        )
+    };
+    c.bench_function("perf_opt_gpt3_4d4k", |b| {
+        b.iter(|| {
+            opt::optimize(&DesignRequest {
+                shape: &shape,
+                targets: vec![(1.0, expr.clone())],
+                objective: Objective::Perf,
+                constraints: vec![Constraint::TotalBw(300.0)],
+                cost_model: &cm,
+            })
+            .expect("solves")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_interior_point, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table I + Fig. 12: the default network cost model and its worked
+//! example (three NPUs behind an inter-Pod switch at 10 GB/s → $1,722).
+
+use libra_bench::banner;
+use libra_core::cost::CostModel;
+use libra_core::network::{DimScope, NetworkShape, UnitTopology};
+
+fn main() {
+    banner("Table I / Fig. 12", "network cost model ($/GBps) and example");
+    let m = CostModel::default();
+    println!("{:<14} {:>8} {:>8} {:>8}", "Scope", "Link", "Switch", "NIC");
+    for (name, row) in [
+        ("Inter-Chiplet", m.chiplet),
+        ("Inter-Package", m.package),
+        ("Inter-Node", m.node),
+        ("Inter-Pod", m.pod),
+    ] {
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
+        println!(
+            "{:<14} {:>8.1} {:>8} {:>8}",
+            name,
+            row.link,
+            fmt(row.switch),
+            fmt(row.nic)
+        );
+    }
+    println!();
+    // Fig. 12: 3-NPU inter-Pod switch network at 10 GB/s per NPU.
+    let shape: NetworkShape = "SW(3)".parse().unwrap();
+    let cost = m.network_cost(&shape, &[10.0]);
+    let link = m.pod.link * 10.0 * 3.0;
+    let switch = m.pod.switch.unwrap() * 3.0 * 10.0;
+    let nic = m.pod.nic.unwrap() * 10.0 * 3.0;
+    println!("Fig. 12 example (3 NPUs, inter-Pod switch, 10 GB/s per NPU):");
+    println!("  links  = ${link:7.0}   (paper: $234)");
+    println!("  switch = ${switch:7.0}   (paper: $540)");
+    println!("  NICs   = ${nic:7.0}   (paper: $948)");
+    println!("  total  = ${cost:7.0}   (paper: $1,722)");
+    assert!((cost - 1722.0).abs() < 1e-9);
+    // Per-scope $/GBps per NPU for the representative 4D-4K topology.
+    println!();
+    println!("Per-NPU $/GBps by dimension of 4D-4K (RI(4)_FC(8)_RI(4)_SW(32)):");
+    let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+    for (i, d) in shape.dims().iter().enumerate() {
+        let c = m.per_npu_dollar_per_gbps(d.topology, d.scope);
+        println!("  Dim {i} ({:?} {:?}): ${c:.1}/GBps", d.topology, d.scope);
+    }
+    let _ = (UnitTopology::Ring, DimScope::Pod); // types referenced for docs
+}

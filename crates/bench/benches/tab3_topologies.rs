@@ -1,0 +1,18 @@
+//! Table III + Fig. 11: the evaluated topologies and the real ML systems
+//! expressible in the `RI/FC/SW` notation.
+
+use libra_bench::banner;
+use libra_core::presets;
+
+fn main() {
+    banner("Table III", "multi-dimensional topologies used for analysis");
+    println!("{:<10} {:<28} {:>7}", "Name", "Shape", "NPUs");
+    for (name, shape) in presets::table_iii() {
+        println!("{:<10} {:<28} {:>7}", name, shape.to_string(), shape.npus());
+    }
+    println!();
+    banner("Fig. 11", "real systems captured by the notation");
+    for (shape, systems) in presets::fig11_real_systems() {
+        println!("{:<20} {}", shape.to_string(), systems.join(", "));
+    }
+}

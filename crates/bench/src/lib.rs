@@ -1,0 +1,173 @@
+//! Shared harness code for the per-figure benchmark binaries.
+//!
+//! Every `benches/figNN_*.rs` target regenerates one table or figure of the
+//! paper: it builds the Table II workloads, runs LIBRA's optimizer and/or
+//! the simulator, and prints the same rows/series the paper reports,
+//! alongside the paper's reference numbers where EXPERIMENTS.md records
+//! them.
+
+use libra_core::comm::CommModel;
+use libra_core::cost::CostModel;
+use libra_core::expr::BwExpr;
+use libra_core::network::NetworkShape;
+use libra_core::opt::{self, Constraint, Design, DesignRequest, Objective};
+use libra_core::time::estimate;
+use libra_core::workload::{TrainingLoop, Workload};
+use libra_core::LibraError;
+use libra_workloads::zoo::{workload_for, PaperModel};
+
+/// The BW-per-NPU sweep used by Figs. 13–16 (100–1,000 GB/s).
+pub const BW_SWEEP: [f64; 10] =
+    [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0];
+
+/// A fully evaluated design point: EqualBW baseline vs a LIBRA design.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Total per-NPU bandwidth budget (GB/s).
+    pub total_bw: f64,
+    /// The LIBRA design.
+    pub design: Design,
+    /// The EqualBW baseline at the same budget.
+    pub baseline: Design,
+}
+
+impl Point {
+    /// Speedup over EqualBW.
+    pub fn speedup(&self) -> f64 {
+        self.design.speedup_over(&self.baseline)
+    }
+
+    /// Perf-per-cost gain over EqualBW.
+    pub fn ppc_gain(&self) -> f64 {
+        self.design.ppc_gain_over(&self.baseline)
+    }
+}
+
+/// Builds the per-iteration time expression of a model on a network
+/// (no-overlap training loop, no in-network offload — the paper's default).
+///
+/// # Errors
+/// Propagates workload-construction failures (unmappable TP).
+pub fn time_expr_for(model: PaperModel, shape: &NetworkShape) -> Result<BwExpr, LibraError> {
+    let w = workload_for(model, shape)?;
+    Ok(estimate(&w, TrainingLoop::NoOverlap, &CommModel::default()))
+}
+
+/// Builds the workload itself (for simulator-based experiments).
+///
+/// # Errors
+/// Propagates workload-construction failures (unmappable TP).
+pub fn workload(model: PaperModel, shape: &NetworkShape) -> Result<Workload, LibraError> {
+    workload_for(model, shape)
+}
+
+/// Optimizes one model on one network at a total-BW budget and evaluates
+/// the EqualBW baseline.
+///
+/// # Errors
+/// Propagates optimizer failures.
+pub fn design_point(
+    model: PaperModel,
+    shape: &NetworkShape,
+    total_bw: f64,
+    objective: Objective,
+) -> Result<Point, LibraError> {
+    let expr = time_expr_for(model, shape)?;
+    let cost_model = CostModel::default();
+    let targets = vec![(1.0, expr)];
+    let design = opt::optimize(&DesignRequest {
+        shape,
+        targets: targets.clone(),
+        objective,
+        constraints: vec![Constraint::TotalBw(total_bw)],
+        cost_model: &cost_model,
+    })?;
+    let baseline = opt::evaluate(
+        shape,
+        &targets,
+        &opt::equal_bw(shape.ndims(), total_bw),
+        &cost_model,
+    );
+    Ok(Point { total_bw, design, baseline })
+}
+
+/// Runs the Fig. 13/14-style sweep for a model/topology pair.
+///
+/// # Errors
+/// Propagates optimizer failures at any budget.
+pub fn sweep(
+    model: PaperModel,
+    shape: &NetworkShape,
+    objective: Objective,
+) -> Result<Vec<Point>, LibraError> {
+    BW_SWEEP.iter().map(|&b| design_point(model, shape, b, objective)).collect()
+}
+
+/// Prints a labelled series as an aligned table row.
+pub fn print_series(label: &str, values: &[f64]) {
+    print!("{label:<28}");
+    for v in values {
+        print!(" {v:>7.2}");
+    }
+    println!();
+}
+
+/// Prints the sweep header (BW budgets).
+pub fn print_sweep_header(metric: &str) {
+    print!("{metric:<28}");
+    for b in BW_SWEEP {
+        print!(" {b:>7.0}");
+    }
+    println!(" (GB/s per NPU)");
+}
+
+/// Geometric helpers for summary lines.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum of a slice (0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Standard banner so every bench output names its figure.
+pub fn banner(figure: &str, what: &str) {
+    println!("==========================================================");
+    println!("{figure}: {what}");
+    println!("==========================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_core::presets;
+
+    #[test]
+    fn design_point_runs_for_gpt3_on_4d_4k() {
+        let shape = presets::topo_4d_4k();
+        let p = design_point(PaperModel::Gpt3, &shape, 300.0, Objective::Perf).unwrap();
+        assert!(p.speedup() >= 1.0 - 1e-6, "PerfOpt never loses to EqualBW");
+        assert!(p.design.cost > 0.0);
+    }
+
+    #[test]
+    fn sweep_covers_all_budgets() {
+        let shape = presets::topo_3d_4k();
+        let pts = sweep(PaperModel::TuringNlg, &shape, Objective::Perf).unwrap();
+        assert_eq!(pts.len(), BW_SWEEP.len());
+        for (p, b) in pts.iter().zip(BW_SWEEP) {
+            assert_eq!(p.total_bw, b);
+        }
+    }
+
+    #[test]
+    fn mean_and_max_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

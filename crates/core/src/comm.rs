@@ -1,0 +1,291 @@
+//! Collective-communication time modeling (paper §II-C and §IV-C).
+//!
+//! LIBRA runs collectives with the *multi-rail* algorithm: an All-Reduce on
+//! an N-dimensional network is N Reduce-Scatter stages (dims ascending)
+//! followed by N All-Gather stages (dims descending). Because each
+//! Reduce-Scatter stage shrinks the payload by the dimension size, the
+//! per-dim traffic for an `m`-byte collective over extents `e₁ × e₂ × …` is
+//!
+//! * All-Reduce: `2·m·(e_i − 1) / Π_{j≤i} e_j`
+//! * Reduce-Scatter / All-Gather: `m·(e_i − 1) / Π_{j≤i} e_j`
+//! * All-to-All: `m·(e_i − 1) / e_i` (no reduction between stages)
+//! * In-network offload (§IV-C): `m / Π_{j<i} e_j`
+//!
+//! and the collective completes when its slowest dimension does:
+//! `T = max_i traffic_i / B_i`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::BwExpr;
+use crate::network::NetworkShape;
+
+/// A collective communication pattern (paper Fig. 6), plus the direct
+/// NPU-to-NPU transfer used by pipeline parallelism (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// Reduce then broadcast: the workhorse of data parallelism.
+    AllReduce,
+    /// Reduce with scattered results (first half of All-Reduce).
+    ReduceScatter,
+    /// Gather all shards everywhere (second half of All-Reduce).
+    AllGather,
+    /// Personalized exchange (DLRM embedding lookups).
+    AllToAll,
+    /// Direct point-to-point transfer (pipeline-parallel activations):
+    /// the full payload crosses each spanned dimension, `m / B_i`.
+    PointToPoint,
+}
+
+impl Collective {
+    /// Short uppercase name used in workload files.
+    pub fn code(self) -> &'static str {
+        match self {
+            Collective::AllReduce => "ALLREDUCE",
+            Collective::ReduceScatter => "REDUCESCATTER",
+            Collective::AllGather => "ALLGATHER",
+            Collective::AllToAll => "ALLTOALL",
+            Collective::PointToPoint => "P2P",
+        }
+    }
+
+    /// Parses the workload-file name (case-insensitive).
+    pub fn from_code(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "ALLREDUCE" | "ALL_REDUCE" => Some(Collective::AllReduce),
+            "REDUCESCATTER" | "REDUCE_SCATTER" => Some(Collective::ReduceScatter),
+            "ALLGATHER" | "ALL_GATHER" => Some(Collective::AllGather),
+            "ALLTOALL" | "ALL_TO_ALL" => Some(Collective::AllToAll),
+            "P2P" | "POINTTOPOINT" | "POINT_TO_POINT" => Some(Collective::PointToPoint),
+            _ => None,
+        }
+    }
+}
+
+/// The set of NPUs a collective runs over, expressed as per-dimension
+/// extents.
+///
+/// A span lists `(dimension index, extent)` pairs in ascending dimension
+/// order; the group size is the product of extents. An extent may be a
+/// proper divisor of the dimension size — this is how a TP-16 group maps
+/// onto a `RI(4)_FC(8)_…` network as `[(0,4), (1,4)]`, leaving the remaining
+/// ×2 of dimension 1 to the orthogonal DP group (the paper's "mismatching
+/// TP size" scenario for GPT-3 on 4D-4K).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupSpan {
+    extents: Vec<(usize, u64)>,
+}
+
+impl GroupSpan {
+    /// Builds a span from `(dim, extent)` pairs. Pairs with extent 1 are
+    /// dropped; remaining pairs must be sorted by dimension and unique.
+    ///
+    /// # Panics
+    /// Panics if dimensions are unsorted/duplicated or an extent is 0.
+    pub fn new(extents: Vec<(usize, u64)>) -> Self {
+        let extents: Vec<(usize, u64)> = extents.into_iter().filter(|&(_, e)| e != 1).collect();
+        for pair in extents.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "span dims must be strictly ascending");
+        }
+        assert!(extents.iter().all(|&(_, e)| e >= 2), "extent must be ≥ 2 after filtering");
+        GroupSpan { extents }
+    }
+
+    /// A span covering the entire network (one extent per dimension).
+    pub fn full(shape: &NetworkShape) -> Self {
+        GroupSpan::new(shape.dims().iter().enumerate().map(|(i, d)| (i, d.size)).collect())
+    }
+
+    /// The `(dim, extent)` stages, ascending.
+    pub fn extents(&self) -> &[(usize, u64)] {
+        &self.extents
+    }
+
+    /// Total NPUs in the group.
+    pub fn size(&self) -> u64 {
+        self.extents.iter().map(|&(_, e)| e).product()
+    }
+
+    /// True when the group is a single NPU (no communication needed).
+    pub fn is_trivial(&self) -> bool {
+        self.extents.is_empty()
+    }
+}
+
+/// Per-dimension traffic of a collective (bytes moved through each spanned
+/// dimension by every NPU).
+pub fn traffic_per_dim(
+    collective: Collective,
+    bytes: f64,
+    span: &GroupSpan,
+) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(span.extents().len());
+    let mut shrink = 1.0; // Π of extents of earlier stages
+    for &(dim, e) in span.extents() {
+        let e = e as f64;
+        let traffic = match collective {
+            Collective::AllReduce => 2.0 * bytes * (e - 1.0) / (shrink * e),
+            Collective::ReduceScatter | Collective::AllGather => {
+                bytes * (e - 1.0) / (shrink * e)
+            }
+            Collective::AllToAll => bytes * (e - 1.0) / e,
+            Collective::PointToPoint => bytes,
+        };
+        out.push((dim, traffic));
+        shrink *= e;
+    }
+    out
+}
+
+/// Per-dimension traffic with in-network (switch) collective offload: each
+/// NPU only injects its current shard, `m / Π_{j<i} e_j` (§IV-C).
+pub fn traffic_per_dim_offloaded(bytes: f64, span: &GroupSpan) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(span.extents().len());
+    let mut shrink = 1.0;
+    for &(dim, e) in span.extents() {
+        out.push((dim, bytes / shrink));
+        shrink *= e as f64;
+    }
+    out
+}
+
+/// The communication-time model: turns (collective, size, span) into a
+/// [`BwExpr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Model in-network collective offload on switch dimensions (reduces
+    /// All-Reduce-family traffic to `m / Π_{j<i} e_j`).
+    pub in_network_offload: bool,
+}
+
+impl CommModel {
+    /// A model with in-network collective offload enabled.
+    pub fn with_offload() -> Self {
+        CommModel { in_network_offload: true }
+    }
+
+    /// Communication time of a collective as a function of bandwidth:
+    /// `max_i traffic_i / B_i` (zero for trivial groups).
+    pub fn time_expr(&self, collective: Collective, bytes: f64, span: &GroupSpan) -> BwExpr {
+        if span.is_trivial() || bytes <= 0.0 {
+            return BwExpr::zero();
+        }
+        let offloadable = !matches!(
+            collective,
+            Collective::AllToAll | Collective::PointToPoint
+        );
+        let traffic = if self.in_network_offload && offloadable {
+            traffic_per_dim_offloaded(bytes, span)
+        } else {
+            traffic_per_dim(collective, bytes, span)
+        };
+        BwExpr::max_of(
+            traffic
+                .into_iter()
+                .map(|(dim, t)| BwExpr::Ratio { coeff: t / 1e9, dim })
+                .collect(),
+        )
+    }
+
+    /// Direct point-to-point transfer time `m / B_dim` (used by pipeline
+    /// parallel sends, §IV-C "Parallelization Strategy").
+    pub fn p2p_expr(&self, bytes: f64, dim: usize) -> BwExpr {
+        BwExpr::Ratio { coeff: bytes / 1e9, dim }
+    }
+
+    /// Total bytes a single NPU moves for this collective (sum over dims) —
+    /// the quantity plotted in Fig. 1.
+    pub fn total_traffic(&self, collective: Collective, bytes: f64, span: &GroupSpan) -> f64 {
+        traffic_per_dim(collective, bytes, span).into_iter().map(|(_, t)| t).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §IV-C: All-Reduce on a 2D (n1 × n2) network moves
+    /// `2m(n1−1)/n1` and `2m(n2−1)/(n1·n2)`.
+    #[test]
+    fn allreduce_traffic_matches_paper_formula() {
+        let span = GroupSpan::new(vec![(0, 3), (1, 2)]);
+        let m = 600.0;
+        let t = traffic_per_dim(Collective::AllReduce, m, &span);
+        assert_eq!(t.len(), 2);
+        assert!((t[0].1 - 2.0 * m * 2.0 / 3.0).abs() < 1e-9); // 2m(3−1)/3
+        assert!((t[1].1 - 2.0 * m * 1.0 / 6.0).abs() < 1e-9); // 2m(2−1)/(3·2)
+    }
+
+    #[test]
+    fn reduce_scatter_is_half_of_allreduce() {
+        let span = GroupSpan::new(vec![(0, 4), (1, 8)]);
+        let ar = traffic_per_dim(Collective::AllReduce, 1000.0, &span);
+        let rs = traffic_per_dim(Collective::ReduceScatter, 1000.0, &span);
+        for (a, r) in ar.iter().zip(&rs) {
+            assert!((a.1 - 2.0 * r.1).abs() < 1e-9);
+        }
+    }
+
+    /// All-to-All has no reduction: `m(n_i−1)/n_i` on every dim.
+    #[test]
+    fn alltoall_traffic_has_no_shrink()  {
+        let span = GroupSpan::new(vec![(0, 4), (1, 8)]);
+        let t = traffic_per_dim(Collective::AllToAll, 800.0, &span);
+        assert!((t[0].1 - 800.0 * 3.0 / 4.0).abs() < 1e-9);
+        assert!((t[1].1 - 800.0 * 7.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offload_traffic_shrinks_by_prefix_product() {
+        let span = GroupSpan::new(vec![(0, 4), (1, 8), (2, 2)]);
+        let t = traffic_per_dim_offloaded(1000.0, &span);
+        assert!((t[0].1 - 1000.0).abs() < 1e-9);
+        assert!((t[1].1 - 250.0).abs() < 1e-9);
+        assert!((t[2].1 - 1000.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_expr_is_bottleneck_max() {
+        let span = GroupSpan::new(vec![(0, 4), (1, 8)]);
+        let m = 4e9; // 4 GB
+        let e = CommModel::default().time_expr(Collective::AllReduce, m, &span);
+        // traffic: dim0 = 2·4·(3/4) = 6 GB; dim1 = 2·4·(7/8)/4 = 1.75 GB.
+        let t = e.eval(&[100.0, 10.0]);
+        assert!((t - (1.75f64 / 10.0).max(6.0 / 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_span_is_free() {
+        let span = GroupSpan::new(vec![]);
+        assert!(span.is_trivial());
+        let e = CommModel::default().time_expr(Collective::AllReduce, 1e9, &span);
+        assert_eq!(e.eval(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn span_drops_unit_extents() {
+        let span = GroupSpan::new(vec![(0, 1), (1, 4), (2, 1)]);
+        assert_eq!(span.extents(), &[(1, 4)]);
+        assert_eq!(span.size(), 4);
+    }
+
+    /// The Fig. 8 example: All-Reduce on a 3×2 network — dim 1 carries 4
+    /// chunks' worth, dim 2 carries 1 chunk's worth per direction.
+    #[test]
+    fn fig8_chunk_counts() {
+        // Payload of 6 chunks (one per NPU); m = 6 units.
+        let span = GroupSpan::new(vec![(0, 3), (1, 2)]);
+        let t = traffic_per_dim(Collective::AllReduce, 6.0, &span);
+        // Dim 1: 2·6·(2/3) = 8 units = 4 chunks received + 4 sent per NPU.
+        assert!((t[0].1 - 8.0).abs() < 1e-9);
+        // Dim 2: 2·6·(1/2)/3 = 2 units = 1 chunk received + 1 sent.
+        assert!((t[1].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offload_keeps_alltoall_unchanged() {
+        let span = GroupSpan::new(vec![(0, 4)]);
+        let plain = CommModel::default().time_expr(Collective::AllToAll, 1e9, &span);
+        let off = CommModel::with_offload().time_expr(Collective::AllToAll, 1e9, &span);
+        assert_eq!(plain, off);
+    }
+}

@@ -1,0 +1,416 @@
+//! Textual designer-constraint parser.
+//!
+//! The paper's Fig. 3 shows LIBRA taking constraints as expressions —
+//! `Total BW = 100`, `B1+B2 = 50`, `B2+B3 = B4`, `B1 >= B2 >= B3`,
+//! `25 <= B3 <= 150`. This module parses that surface syntax into
+//! [`Constraint`]s:
+//!
+//! ```
+//! use libra_core::constraints::parse_constraint;
+//! use libra_core::opt::Constraint;
+//!
+//! let cs = parse_constraint("B1 + B2 = 500", 4)?;
+//! assert_eq!(cs, vec![Constraint::LinearEq(vec![(0, 1.0), (1, 1.0)], 500.0)]);
+//!
+//! // Chains expand to pairwise constraints; `total` covers every dim.
+//! assert_eq!(parse_constraint("B1 >= B2 >= B3", 4)?.len(), 2);
+//! assert_eq!(parse_constraint("total = 300", 4)?.len(), 1);
+//! # Ok::<(), libra_core::LibraError>(())
+//! ```
+//!
+//! Dimensions are 1-based in the syntax (`B1` is dim 0), matching the
+//! paper's figures.
+
+use crate::error::LibraError;
+use crate::opt::Constraint;
+
+/// A parsed linear expression `Σ coef·B_dim + constant`.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct LinExpr {
+    terms: Vec<(usize, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    fn sub(&self, other: &LinExpr) -> LinExpr {
+        let mut terms = self.terms.clone();
+        for &(d, c) in &other.terms {
+            terms.push((d, -c));
+        }
+        let mut out = LinExpr { terms, constant: self.constant - other.constant };
+        out.compact();
+        out
+    }
+
+    fn compact(&mut self) {
+        self.terms.sort_unstable_by_key(|&(d, _)| d);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(self.terms.len());
+        for &(d, c) in &self.terms {
+            match merged.last_mut() {
+                Some((pd, pc)) if *pd == d => *pc += c,
+                _ => merged.push((d, c)),
+            }
+        }
+        merged.retain(|&(_, c)| c != 0.0);
+        self.terms = merged;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rel {
+    Le,
+    Ge,
+    Eq,
+}
+
+fn err(input: &str, reason: impl Into<String>) -> LibraError {
+    LibraError::BadRequest(format!("cannot parse constraint {input:?}: {}", reason.into()))
+}
+
+/// Parses one constraint statement (possibly a chained comparison) into the
+/// equivalent [`Constraint`] list.
+///
+/// Syntax: linear expressions over `B1…Bn` and numbers, joined by `<=`,
+/// `>=`, `=`/`==`. `total` (case-insensitive, also `total bw`) abbreviates
+/// `B1 + B2 + … + Bn`.
+///
+/// # Errors
+/// Returns [`LibraError::BadRequest`] with a description for malformed
+/// input, out-of-range dimensions, or missing comparison operators.
+pub fn parse_constraint(input: &str, n_dims: usize) -> Result<Vec<Constraint>, LibraError> {
+    // Normalize: strip the optional "BW"/"GB/s" noise words.
+    let cleaned = input
+        .replace("GB/s", " ")
+        .replace("GBps", " ")
+        .to_ascii_lowercase()
+        .replace("total bw", "total")
+        .replace("bw", " ");
+    // Split into expression / relation alternating sequence.
+    let mut exprs: Vec<LinExpr> = Vec::new();
+    let mut rels: Vec<Rel> = Vec::new();
+    let mut rest = cleaned.as_str();
+    loop {
+        let (next_rel, pos) = match find_rel(rest) {
+            Some((r, p, _)) => (Some(r), p),
+            None => (None, rest.len()),
+        };
+        let chunk = &rest[..pos];
+        exprs.push(parse_expr(chunk, input, n_dims)?);
+        match next_rel {
+            None => break,
+            Some(r) => {
+                rels.push(r);
+                let (_, p, len) = find_rel(rest).expect("just matched");
+                rest = &rest[p + len..];
+            }
+        }
+    }
+    if rels.is_empty() {
+        return Err(err(input, "no comparison operator (<=, >=, =)"));
+    }
+    let mut out = Vec::with_capacity(rels.len());
+    for (i, rel) in rels.iter().enumerate() {
+        let (lhs, rhs) = (&exprs[i], &exprs[i + 1]);
+        // Move everything left: diff = lhs − rhs {≤,=,≥} 0.
+        let diff = lhs.sub(rhs);
+        let rhs_const = -diff.constant;
+        let terms = diff.terms.clone();
+        if terms.is_empty() {
+            return Err(err(input, "constraint contains no bandwidth variables"));
+        }
+        // Canonicalize the machine-wide budget (`total = X`) so the
+        // optimizer recognizes it as the bounding constraint.
+        let is_total = *rel == Rel::Eq
+            && terms.len() == n_dims
+            && terms.iter().enumerate().all(|(i, &(d, c))| d == i && (c - 1.0).abs() < 1e-12);
+        out.push(if is_total {
+            Constraint::TotalBw(rhs_const)
+        } else {
+            match rel {
+                Rel::Le => Constraint::LinearLe(terms, rhs_const),
+                Rel::Eq => Constraint::LinearEq(terms, rhs_const),
+                Rel::Ge => {
+                    // lhs ≥ rhs  ⇔  −lhs ≤ −rhs.
+                    let neg: Vec<(usize, f64)> = terms.iter().map(|&(d, c)| (d, -c)).collect();
+                    Constraint::LinearLe(neg, -rhs_const)
+                }
+            }
+        });
+    }
+    Ok(out)
+}
+
+/// Parses several newline- or comma-separated statements.
+///
+/// # Errors
+/// Fails on the first malformed statement (empty statements are skipped).
+pub fn parse_constraints(input: &str, n_dims: usize) -> Result<Vec<Constraint>, LibraError> {
+    let mut out = Vec::new();
+    for stmt in input.split(['\n', ',', ';']) {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt.starts_with('#') {
+            continue;
+        }
+        out.extend(parse_constraint(stmt, n_dims)?);
+    }
+    Ok(out)
+}
+
+/// Finds the first relation operator: returns (relation, byte offset, len).
+fn find_rel(s: &str) -> Option<(Rel, usize, usize)> {
+    let mut best: Option<(Rel, usize, usize)> = None;
+    for (pat, rel, len) in [
+        ("<=", Rel::Le, 2),
+        (">=", Rel::Ge, 2),
+        ("==", Rel::Eq, 2),
+        ("=", Rel::Eq, 1),
+    ] {
+        if let Some(p) = s.find(pat) {
+            // Skip "=" that is part of "<=", ">=", "==" already matched.
+            if pat == "=" {
+                let prev = s[..p].chars().last();
+                if matches!(prev, Some('<') | Some('>') | Some('=')) {
+                    continue;
+                }
+            }
+            if best.map_or(true, |(_, bp, _)| p < bp) {
+                best = Some((rel, p, len));
+            }
+        }
+    }
+    best
+}
+
+/// Parses a linear expression chunk like `2*b1 + b2 - 5`.
+fn parse_expr(chunk: &str, input: &str, n_dims: usize) -> Result<LinExpr, LibraError> {
+    let mut expr = LinExpr::default();
+    let mut sign = 1.0f64;
+    let mut pending_coef: Option<f64> = None;
+    let tokens = tokenize(chunk, input)?;
+    if tokens.is_empty() {
+        return Err(err(input, "empty expression side"));
+    }
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            Tok::Plus => sign = 1.0,
+            Tok::Minus => sign = -sign,
+            Tok::Num(v) => {
+                // Either a constant or a coefficient (if `*` or a var follows).
+                let coef_like = matches!(tokens.get(i + 1), Some(Tok::Star) | Some(Tok::Var(_)));
+                if coef_like {
+                    pending_coef = Some(sign * v);
+                    sign = 1.0;
+                } else {
+                    expr.constant += sign * v;
+                    sign = 1.0;
+                }
+            }
+            Tok::Star => {
+                if pending_coef.is_none() {
+                    return Err(err(input, "'*' without a leading coefficient"));
+                }
+            }
+            Tok::Var(d) => {
+                if *d == usize::MAX {
+                    // `total`: expand to all dims.
+                    let c = pending_coef.take().unwrap_or(1.0) * sign;
+                    for dim in 0..n_dims {
+                        expr.terms.push((dim, c));
+                    }
+                } else {
+                    if *d == 0 || *d > n_dims {
+                        return Err(err(
+                            input,
+                            format!("B{d} out of range for a {n_dims}-dimensional network"),
+                        ));
+                    }
+                    let c = pending_coef.take().unwrap_or(1.0) * sign;
+                    expr.terms.push((d - 1, c));
+                }
+                sign = 1.0;
+            }
+        }
+        i += 1;
+    }
+    expr.compact();
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Var(usize), // 1-based; usize::MAX encodes `total`
+    Plus,
+    Minus,
+    Star,
+}
+
+fn tokenize(chunk: &str, input: &str) -> Result<Vec<Tok>, LibraError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = chunk.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                let s: String = bytes[start..i].iter().collect();
+                let v: f64 = s.parse().map_err(|_| err(input, format!("bad number {s:?}")))?;
+                out.push(Tok::Num(v));
+            }
+            'b' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err(input, "expected a dimension index after 'B'"));
+                }
+                let s: String = bytes[start..j].iter().collect();
+                let d: usize =
+                    s.parse().map_err(|_| err(input, format!("bad dimension index {s:?}")))?;
+                out.push(Tok::Var(d));
+                i = j;
+            }
+            't' => {
+                let word: String = bytes[i..].iter().take(5).collect();
+                if word == "total" {
+                    out.push(Tok::Var(usize::MAX));
+                    i += 5;
+                } else {
+                    return Err(err(input, format!("unexpected token near {word:?}")));
+                }
+            }
+            other => return Err(err(input, format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_fig3_examples() {
+        // "Total BW = 100" canonicalizes to the budget constraint.
+        assert_eq!(
+            parse_constraint("Total BW = 100", 4).unwrap(),
+            vec![Constraint::TotalBw(100.0)]
+        );
+        // Writing the sum out by hand canonicalizes identically.
+        assert_eq!(
+            parse_constraint("B1+B2+B3+B4 = 100", 4).unwrap(),
+            vec![Constraint::TotalBw(100.0)]
+        );
+        // "B1 + B2 = 50"
+        assert_eq!(
+            parse_constraint("B1+B2 = 50", 4).unwrap(),
+            vec![Constraint::LinearEq(vec![(0, 1.0), (1, 1.0)], 50.0)]
+        );
+        // "B2 + B3 = B4"
+        assert_eq!(
+            parse_constraint("B2+B3=B4", 4).unwrap(),
+            vec![Constraint::LinearEq(vec![(1, 1.0), (2, 1.0), (3, -1.0)], 0.0)]
+        );
+    }
+
+    #[test]
+    fn parses_section_ivf_examples() {
+        // "B4 ≤ 50 GB/s"
+        assert_eq!(
+            parse_constraint("B4 <= 50 GB/s", 4).unwrap(),
+            vec![Constraint::LinearLe(vec![(3, 1.0)], 50.0)]
+        );
+        // "B1 ≥ B2 ≥ B3" expands to two inequalities.
+        let cs = parse_constraint("B1 >= B2 >= B3", 4).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], Constraint::LinearLe(vec![(0, -1.0), (1, 1.0)], 0.0));
+        assert_eq!(cs[1], Constraint::LinearLe(vec![(1, -1.0), (2, 1.0)], 0.0));
+        // "25 ≤ B3 ≤ 150"
+        let cs = parse_constraint("25 <= B3 <= 150", 4).unwrap();
+        assert_eq!(cs[0], Constraint::LinearLe(vec![(2, -1.0)], -25.0));
+        assert_eq!(cs[1], Constraint::LinearLe(vec![(2, 1.0)], 150.0));
+    }
+
+    #[test]
+    fn coefficients_and_constants_mix() {
+        let cs = parse_constraint("2*B1 - B2 + 10 <= 60", 2).unwrap();
+        assert_eq!(cs, vec![Constraint::LinearLe(vec![(0, 2.0), (1, -1.0)], 50.0)]);
+        // Implicit multiplication without '*'.
+        let cs = parse_constraint("3B1 <= 30", 2).unwrap();
+        assert_eq!(cs, vec![Constraint::LinearLe(vec![(0, 3.0)], 30.0)]);
+    }
+
+    #[test]
+    fn multi_statement_parsing() {
+        let cs = parse_constraints("total = 300\nB4 <= 50, B1 >= B2\n# comment", 4).unwrap();
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "B1 + B2",        // no relation
+            "B9 <= 10",       // out of range (4 dims)
+            "B0 <= 10",       // 1-based indexing
+            "10 <= 20",       // no variables
+            "B1 <= frobnitz", // junk
+            "",               // empty
+        ] {
+            assert!(parse_constraint(bad, 4).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ge_flips_correctly() {
+        let cs = parse_constraint("B1 >= 100", 2).unwrap();
+        assert_eq!(cs, vec![Constraint::LinearLe(vec![(0, -1.0)], -100.0)]);
+    }
+
+    #[test]
+    fn parsed_constraints_solve() {
+        use crate::comm::{Collective, CommModel, GroupSpan};
+        use crate::cost::CostModel;
+        use crate::network::NetworkShape;
+        use crate::opt::{self, DesignRequest, Objective};
+
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        let expr = CommModel::default().time_expr(
+            Collective::AllReduce,
+            10e9,
+            &GroupSpan::full(&shape),
+        );
+        let mut constraints = parse_constraints("total = 200\nB4 <= 10\nB1 >= B2", 4).unwrap();
+        let cm = CostModel::default();
+        let d = opt::optimize(&DesignRequest {
+            shape: &shape,
+            targets: vec![(1.0, expr)],
+            objective: Objective::Perf,
+            constraints: std::mem::take(&mut constraints),
+            cost_model: &cm,
+        })
+        .unwrap();
+        assert!((d.bw.iter().sum::<f64>() - 200.0).abs() < 1e-3);
+        assert!(d.bw[3] <= 10.0 + 1e-6);
+        assert!(d.bw[0] >= d.bw[1] - 1e-6);
+    }
+}

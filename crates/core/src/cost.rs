@@ -1,0 +1,186 @@
+//! Network dollar-cost model (paper §IV-D, Table I, Fig. 12).
+//!
+//! The cost of a network is linear in the per-NPU bandwidth of each
+//! dimension: every GB/s of a dimension pays for link capacity, a share of
+//! switch capacity (for `SW` dimensions), and NIC capacity (for scale-out
+//! `Pod` dimensions). The worked example of Fig. 12 — three NPUs behind an
+//! inter-Pod switch at 10 GB/s costing $1,722 — is reproduced in the tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{DimScope, NetworkShape, UnitTopology};
+
+/// $/GBps prices for one packaging scope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScopeCost {
+    /// Link cost in $/GBps.
+    pub link: f64,
+    /// Switch cost in $/GBps (per unit of radix bandwidth); `None` when the
+    /// scope never uses switches (inter-Chiplet is always peer-to-peer).
+    pub switch: Option<f64>,
+    /// NIC cost in $/GBps; `None` when the scope does not use NICs.
+    pub nic: Option<f64>,
+}
+
+/// A full network cost model: one [`ScopeCost`] per packaging scope.
+///
+/// The default is Table I of the paper using the lowest value of each range,
+/// as the paper's evaluation does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Inter-Chiplet (on-package) pricing.
+    pub chiplet: ScopeCost,
+    /// Inter-Package pricing.
+    pub package: ScopeCost,
+    /// Inter-Node pricing.
+    pub node: ScopeCost,
+    /// Inter-Pod (scale-out) pricing.
+    pub pod: ScopeCost,
+}
+
+impl Default for CostModel {
+    /// Table I, lowest value of each entry.
+    fn default() -> Self {
+        CostModel {
+            chiplet: ScopeCost { link: 2.0, switch: None, nic: None },
+            package: ScopeCost { link: 4.0, switch: Some(13.0), nic: None },
+            node: ScopeCost { link: 4.0, switch: Some(13.0), nic: None },
+            pod: ScopeCost { link: 7.8, switch: Some(18.0), nic: Some(31.6) },
+        }
+    }
+}
+
+impl CostModel {
+    /// The pricing row for a scope.
+    pub fn scope(&self, scope: DimScope) -> ScopeCost {
+        match scope {
+            DimScope::Chiplet => self.chiplet,
+            DimScope::Package => self.package,
+            DimScope::Node => self.node,
+            DimScope::Pod => self.pod,
+        }
+    }
+
+    /// Returns a copy with the inter-Package link cost replaced (used by the
+    /// Fig. 18 sensitivity study).
+    pub fn with_package_link_cost(mut self, dollars_per_gbps: f64) -> Self {
+        self.package.link = dollars_per_gbps;
+        self
+    }
+
+    /// $ per GB/s of per-NPU bandwidth for **one NPU** on one dimension.
+    ///
+    /// Composition per Fig. 12:
+    /// * every NPU pays `link` for its injection bandwidth;
+    /// * `SW` dimensions pay `switch` per NPU (the switch's radix×BW cost
+    ///   divided evenly across its `radix = size` NPUs);
+    /// * `Pod`-scope dimensions additionally pay `nic` per NPU.
+    pub fn per_npu_dollar_per_gbps(&self, topology: UnitTopology, scope: DimScope) -> f64 {
+        let row = self.scope(scope);
+        let mut c = row.link;
+        if topology == UnitTopology::Switch {
+            // Inter-chiplet networks are peer-to-peer by assumption; a
+            // missing switch price means the topology is priced as links.
+            if let Some(sw) = row.switch {
+                c += sw;
+            }
+        }
+        if scope == DimScope::Pod {
+            if let Some(nic) = row.nic {
+                c += nic;
+            }
+        }
+        c
+    }
+
+    /// $ per GB/s per dimension for the **whole network** (all NPUs), so
+    /// that `network_cost = coefficients · bw`.
+    pub fn cost_coefficients(&self, shape: &NetworkShape) -> Vec<f64> {
+        let npus = shape.npus() as f64;
+        shape
+            .dims()
+            .iter()
+            .map(|d| npus * self.per_npu_dollar_per_gbps(d.topology, d.scope))
+            .collect()
+    }
+
+    /// Total network dollar cost for a bandwidth configuration `bw`
+    /// (GB/s per NPU per dimension).
+    ///
+    /// # Panics
+    /// Panics if `bw.len() != shape.ndims()`.
+    pub fn network_cost(&self, shape: &NetworkShape, bw: &[f64]) -> f64 {
+        assert_eq!(bw.len(), shape.ndims(), "bandwidth vector must match dimensionality");
+        self.cost_coefficients(shape).iter().zip(bw).map(|(c, b)| c * b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkShape;
+
+    /// The worked example of Fig. 12: 3 NPUs behind an inter-Pod switch at
+    /// 10 GB/s → links $234 + switch $540 + NICs $948 = $1,722.
+    #[test]
+    fn fig12_cost_example() {
+        let model = CostModel::default();
+        // A single-dimension switch network of 3 NPUs; scope defaults to Pod
+        // (outermost dimension).
+        let shape: NetworkShape = "SW(3)".parse().unwrap();
+        let cost = model.network_cost(&shape, &[10.0]);
+        assert!((cost - 1722.0).abs() < 1e-9, "got {cost}");
+    }
+
+    #[test]
+    fn chiplet_switch_is_priced_as_links() {
+        let model = CostModel::default();
+        // 4D network: innermost dim is Chiplet scope.
+        let shape: NetworkShape = "SW(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        let c = model.per_npu_dollar_per_gbps(
+            shape.dims()[0].topology,
+            shape.dims()[0].scope,
+        );
+        // No switch surcharge at chiplet scope.
+        assert!((c - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pod_dimension_includes_nic() {
+        let model = CostModel::default();
+        // Ring at Pod scope: link + NIC, no switch.
+        let c = model.per_npu_dollar_per_gbps(UnitTopology::Ring, DimScope::Pod);
+        assert!((c - (7.8 + 31.6)).abs() < 1e-12);
+        // Switch at Pod scope: link + switch + NIC.
+        let c = model.per_npu_dollar_per_gbps(UnitTopology::Switch, DimScope::Pod);
+        assert!((c - (7.8 + 18.0 + 31.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_linear_in_bandwidth() {
+        let model = CostModel::default();
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        let c1 = model.network_cost(&shape, &[10.0, 10.0, 10.0, 10.0]);
+        let c2 = model.network_cost(&shape, &[20.0, 20.0, 20.0, 20.0]);
+        assert!((c2 - 2.0 * c1).abs() < 1e-6);
+        let coefs = model.cost_coefficients(&shape);
+        let manual: f64 = coefs.iter().map(|c| c * 10.0).sum();
+        assert!((manual - c1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inner_dimensions_are_cheaper() {
+        let model = CostModel::default();
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        let coefs = model.cost_coefficients(&shape);
+        assert!(coefs[0] < coefs[1], "chiplet cheaper than package");
+        assert!(coefs[2] < coefs[3], "node cheaper than pod");
+    }
+
+    #[test]
+    fn package_link_override_for_sensitivity() {
+        let model = CostModel::default().with_package_link_cost(5.0);
+        assert_eq!(model.package.link, 5.0);
+        assert_eq!(model.node.link, 4.0, "other scopes untouched");
+    }
+}

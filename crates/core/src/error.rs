@@ -1,0 +1,73 @@
+//! Error type shared across the LIBRA framework.
+
+use std::error::Error;
+use std::fmt;
+
+use libra_solver::SolverError;
+
+/// Errors produced by the LIBRA framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibraError {
+    /// A network-shape string could not be parsed.
+    ParseNetwork {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A workload file could not be parsed.
+    ParseWorkload {
+        /// 1-based line number, 0 for file-level errors.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A parallel group (e.g. TP-6 on a `RI(4)` dimension) cannot be mapped
+    /// onto the network dimensions.
+    GroupMapping {
+        /// Requested group size.
+        group: u64,
+        /// The network's NPU layout.
+        dims: Vec<u64>,
+        /// Reason the decomposition failed.
+        reason: String,
+    },
+    /// The optimizer was configured inconsistently (e.g. a constraint
+    /// references a dimension the network does not have).
+    BadRequest(String),
+    /// The underlying convex solver failed.
+    Solver(SolverError),
+}
+
+impl fmt::Display for LibraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraError::ParseNetwork { input, reason } => {
+                write!(f, "invalid network shape {input:?}: {reason}")
+            }
+            LibraError::ParseWorkload { line, reason } => {
+                write!(f, "invalid workload file (line {line}): {reason}")
+            }
+            LibraError::GroupMapping { group, dims, reason } => {
+                write!(f, "cannot map a {group}-NPU group onto dims {dims:?}: {reason}")
+            }
+            LibraError::BadRequest(what) => write!(f, "invalid design request: {what}"),
+            LibraError::Solver(e) => write!(f, "solver: {e}"),
+        }
+    }
+}
+
+impl Error for LibraError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LibraError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverError> for LibraError {
+    fn from(e: SolverError) -> Self {
+        LibraError::Solver(e)
+    }
+}

@@ -1,0 +1,287 @@
+//! Multi-dimensional network representation.
+//!
+//! LIBRA describes fabrics by stacking *unit topologies* — Ring (`RI`),
+//! FullyConnected (`FC`), Switch (`SW`) — one per dimension, written
+//! `RI(4)_FC(8)_RI(4)_SW(32)` (paper §IV-A, Fig. 7/11). Dimensions are
+//! ordered from the innermost (cheapest, closest to the NPU) to the
+//! outermost (scale-out).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LibraError;
+
+/// The unit topology of one network dimension (paper Fig. 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnitTopology {
+    /// Bidirectional ring; runs the Ring collective algorithm.
+    Ring,
+    /// All-to-all point-to-point links; runs the Direct algorithm.
+    FullyConnected,
+    /// A crossbar switch; runs recursive Halving-Doubling.
+    Switch,
+}
+
+impl UnitTopology {
+    /// The two-letter code used in the shape notation.
+    pub fn code(self) -> &'static str {
+        match self {
+            UnitTopology::Ring => "RI",
+            UnitTopology::FullyConnected => "FC",
+            UnitTopology::Switch => "SW",
+        }
+    }
+}
+
+impl fmt::Display for UnitTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The physical packaging level a dimension lives at (paper Fig. 2b).
+///
+/// Determines which cost-model row applies: inter-Chiplet links need no
+/// switches, and only inter-Pod dimensions use NICs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DimScope {
+    /// On-package chiplet-to-chiplet (MCM) connectivity.
+    Chiplet,
+    /// Package-to-package links on a board.
+    Package,
+    /// Board-to-board links within a server node (scale-up).
+    Node,
+    /// NIC-based scale-out fabric between server pods.
+    Pod,
+}
+
+impl fmt::Display for DimScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DimScope::Chiplet => "Chiplet",
+            DimScope::Package => "Package",
+            DimScope::Node => "Node",
+            DimScope::Pod => "Pod",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One network dimension: a unit topology of a given size at a packaging
+/// scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimSpec {
+    /// The unit topology of this dimension.
+    pub topology: UnitTopology,
+    /// Number of NPUs connected along this dimension (≥ 2).
+    pub size: u64,
+    /// Physical packaging level (drives the cost model).
+    pub scope: DimScope,
+}
+
+/// A multi-dimensional network shape: an ordered stack of [`DimSpec`]s.
+///
+/// # Example
+/// ```
+/// use libra_core::network::NetworkShape;
+/// let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse()?;
+/// assert_eq!(shape.npus(), 4096);
+/// assert_eq!(shape.to_string(), "RI(4)_FC(8)_RI(4)_SW(32)");
+/// # Ok::<(), libra_core::LibraError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetworkShape {
+    dims: Vec<DimSpec>,
+}
+
+impl NetworkShape {
+    /// Builds a shape from `(topology, size)` pairs, assigning default
+    /// physical scopes per the paper's Fig. 2(b): the outermost dimension is
+    /// `Pod`, the one before it `Node`, then `Package`, then `Chiplet`.
+    ///
+    /// # Errors
+    /// Rejects empty shapes, more than four dimensions (no default scope
+    /// assignment exists), and dimension sizes below 2.
+    pub fn new(dims: &[(UnitTopology, u64)]) -> Result<Self, LibraError> {
+        let n = dims.len();
+        if n == 0 {
+            return Err(LibraError::ParseNetwork {
+                input: String::new(),
+                reason: "network needs at least one dimension".into(),
+            });
+        }
+        if n > 4 {
+            return Err(LibraError::ParseNetwork {
+                input: format!("{n} dims"),
+                reason: "default scope assignment covers at most 4 dimensions; use with_scopes"
+                    .into(),
+            });
+        }
+        let ladder = [DimScope::Pod, DimScope::Node, DimScope::Package, DimScope::Chiplet];
+        let specs = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(topology, size))| DimSpec {
+                topology,
+                size,
+                scope: ladder[n - 1 - i],
+            })
+            .collect();
+        Self::with_dims(specs)
+    }
+
+    /// Builds a shape from fully specified dimensions.
+    ///
+    /// # Errors
+    /// Rejects empty shapes and dimension sizes below 2.
+    pub fn with_dims(dims: Vec<DimSpec>) -> Result<Self, LibraError> {
+        if dims.is_empty() {
+            return Err(LibraError::ParseNetwork {
+                input: String::new(),
+                reason: "network needs at least one dimension".into(),
+            });
+        }
+        for (i, d) in dims.iter().enumerate() {
+            if d.size < 2 {
+                return Err(LibraError::ParseNetwork {
+                    input: format!("dim {i}"),
+                    reason: format!("dimension size must be at least 2, got {}", d.size),
+                });
+            }
+        }
+        Ok(NetworkShape { dims })
+    }
+
+    /// The dimensions, innermost first.
+    pub fn dims(&self) -> &[DimSpec] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total NPU count (product of all dimension sizes).
+    pub fn npus(&self) -> u64 {
+        self.dims.iter().map(|d| d.size).product()
+    }
+
+    /// Dimension sizes, innermost first.
+    pub fn sizes(&self) -> Vec<u64> {
+        self.dims.iter().map(|d| d.size).collect()
+    }
+}
+
+impl fmt::Display for NetworkShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                f.write_str("_")?;
+            }
+            write!(f, "{}({})", d.topology, d.size)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for NetworkShape {
+    type Err = LibraError;
+
+    /// Parses the `RI(4)_FC(8)_SW(32)` notation (case-insensitive codes).
+    fn from_str(s: &str) -> Result<Self, LibraError> {
+        let err = |reason: &str| LibraError::ParseNetwork {
+            input: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut dims = Vec::new();
+        for part in s.split('_') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(err("empty dimension segment"));
+            }
+            let open = part.find('(').ok_or_else(|| err("missing '(' in segment"))?;
+            if !part.ends_with(')') {
+                return Err(err("missing ')' in segment"));
+            }
+            let code = part[..open].to_ascii_uppercase();
+            let topology = match code.as_str() {
+                "RI" => UnitTopology::Ring,
+                "FC" => UnitTopology::FullyConnected,
+                "SW" => UnitTopology::Switch,
+                other => {
+                    return Err(err(&format!(
+                        "unknown topology code {other:?} (expected RI, FC, or SW)"
+                    )))
+                }
+            };
+            let size: u64 = part[open + 1..part.len() - 1]
+                .trim()
+                .parse()
+                .map_err(|_| err("dimension size is not a positive integer"))?;
+            dims.push((topology, size));
+        }
+        NetworkShape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_prints_round_trip() {
+        for s in ["RI(4)_FC(8)_RI(4)_SW(32)", "SW(16)_SW(8)_SW(4)", "RI(4)_RI(4)_RI(4)", "FC(8)"] {
+            let shape: NetworkShape = s.parse().unwrap();
+            assert_eq!(shape.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn npu_count_is_product() {
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        assert_eq!(shape.npus(), 4096);
+        assert_eq!(shape.ndims(), 4);
+    }
+
+    #[test]
+    fn default_scopes_follow_fig2b() {
+        let d2: NetworkShape = "RI(4)_SW(2)".parse().unwrap();
+        assert_eq!(d2.dims()[0].scope, DimScope::Node);
+        assert_eq!(d2.dims()[1].scope, DimScope::Pod);
+
+        let d3: NetworkShape = "FC(8)_RI(16)_SW(8)".parse().unwrap();
+        assert_eq!(d3.dims()[0].scope, DimScope::Package);
+        assert_eq!(d3.dims()[1].scope, DimScope::Node);
+        assert_eq!(d3.dims()[2].scope, DimScope::Pod);
+
+        let d4: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        assert_eq!(d4.dims()[0].scope, DimScope::Chiplet);
+        assert_eq!(d4.dims()[3].scope, DimScope::Pod);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        let shape: NetworkShape = "ri(4)_sw( 8 )".parse().unwrap();
+        assert_eq!(shape.to_string(), "RI(4)_SW(8)");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "RI", "RI(", "RI(4", "XX(4)", "RI(0)", "RI(1)", "RI(-3)", "RI(4)__SW(2)"] {
+            assert!(bad.parse::<NetworkShape>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn five_dims_need_explicit_scopes() {
+        assert!("RI(2)_RI(2)_RI(2)_RI(2)_RI(2)".parse::<NetworkShape>().is_err());
+        let dims = vec![
+            DimSpec { topology: UnitTopology::Ring, size: 2, scope: DimScope::Chiplet };
+            5
+        ];
+        assert!(NetworkShape::with_dims(dims).is_ok());
+    }
+}

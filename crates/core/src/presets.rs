@@ -1,0 +1,102 @@
+//! Named network topologies from the paper (Table III and Fig. 11).
+
+use crate::network::NetworkShape;
+
+/// Parses a known-good literal shape.
+fn parse(s: &str) -> NetworkShape {
+    s.parse().expect("preset shapes are valid by construction")
+}
+
+/// Table III: `4D-4K = RI(4)_FC(8)_RI(4)_SW(32)` — 4,096 NPUs, the paper's
+/// representative configuration.
+pub fn topo_4d_4k() -> NetworkShape {
+    parse("RI(4)_FC(8)_RI(4)_SW(32)")
+}
+
+/// Table III: `3D-4K = RI(16)_FC(8)_SW(32)` — the 4D-4K network with its
+/// two Ring dimensions combined.
+pub fn topo_3d_4k() -> NetworkShape {
+    parse("RI(16)_FC(8)_SW(32)")
+}
+
+/// Table III: `3D-512 = SW(16)_SW(8)_SW(4)`.
+pub fn topo_3d_512() -> NetworkShape {
+    parse("SW(16)_SW(8)_SW(4)")
+}
+
+/// Table III: `3D-1K = FC(8)_RI(16)_SW(8)`.
+pub fn topo_3d_1k() -> NetworkShape {
+    parse("FC(8)_RI(16)_SW(8)")
+}
+
+/// Table III: `4D-2K = RI(4)_SW(4)_SW(8)_SW(16)`.
+pub fn topo_4d_2k() -> NetworkShape {
+    parse("RI(4)_SW(4)_SW(8)_SW(16)")
+}
+
+/// Table III: `3D-Torus = RI(4)_RI(4)_RI(4)` (the LIBRA+TACOS study fabric).
+pub fn topo_3d_torus() -> NetworkShape {
+    parse("RI(4)_RI(4)_RI(4)")
+}
+
+/// All Table III topologies as `(name, shape)` pairs.
+pub fn table_iii() -> Vec<(&'static str, NetworkShape)> {
+    vec![
+        ("4D-4K", topo_4d_4k()),
+        ("3D-4K", topo_3d_4k()),
+        ("3D-512", topo_3d_512()),
+        ("3D-1K", topo_3d_1k()),
+        ("4D-2K", topo_4d_2k()),
+        ("3D-Torus", topo_3d_torus()),
+    ]
+}
+
+/// Fig. 11: real ML HPC clusters expressible in the shape notation, as
+/// `(shape, systems using it)` pairs.
+pub fn fig11_real_systems() -> Vec<(NetworkShape, Vec<&'static str>)> {
+    vec![
+        (parse("RI(4)_RI(2)_RI(2)"), vec!["Google TPUv4"]),
+        (parse("RI(4)_RI(2)"), vec!["Google TPUv2", "Google TPUv3"]),
+        (parse("SW(3)_SW(2)"), vec!["NVIDIA DGX-2", "NVIDIA DGX-A100"]),
+        (parse("FC(4)_SW(2)"), vec!["Intel Habana HLS-1", "NVIDIA HGX-H100"]),
+        (parse("RI(4)_SW(2)"), vec!["Meta Zion", "NVIDIA DGX-1"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_npu_counts_match_names() {
+        let expect = [
+            ("4D-4K", 4096),
+            ("3D-4K", 4096),
+            ("3D-512", 512),
+            ("3D-1K", 1024),
+            ("4D-2K", 2048),
+            ("3D-Torus", 64),
+        ];
+        for ((name, shape), (ename, enpus)) in table_iii().iter().zip(expect) {
+            assert_eq!(*name, ename);
+            assert_eq!(shape.npus(), enpus, "{name}");
+        }
+    }
+
+    #[test]
+    fn three_d_4k_merges_the_ring_dims_of_4d_4k() {
+        let d4 = topo_4d_4k();
+        let d3 = topo_3d_4k();
+        assert_eq!(d4.dims()[0].size * d4.dims()[2].size, d3.dims()[0].size);
+        assert_eq!(d4.npus(), d3.npus());
+    }
+
+    #[test]
+    fn fig11_round_trips() {
+        for (shape, _) in fig11_real_systems() {
+            let s = shape.to_string();
+            let back: NetworkShape = s.parse().unwrap();
+            assert_eq!(back, shape);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end training-time estimation (paper §IV-C).
+//!
+//! Converts a [`Workload`] plus a [`TrainingLoop`] into a [`BwExpr`] giving
+//! the per-iteration time as a function of the bandwidth vector:
+//!
+//! * **NoOverlap** (Fig. 5b):
+//!   `Σ_l (Fwd_Comp + Fwd_Comm) + Σ_l (TP_Comp + TP_Comm + DP_Comp + DP_Comm)`
+//! * **TpDpOverlap** (Fig. 5c): backward per layer becomes
+//!   `TP_Comp + max(TP_Comm, DP_Comp + DP_Comm)`.
+
+use crate::comm::CommModel;
+use crate::expr::BwExpr;
+use crate::workload::{CommOp, TrainingLoop, Workload};
+
+/// Lowers one optional communication op to an expression.
+fn comm_expr(model: &CommModel, op: &Option<CommOp>) -> BwExpr {
+    match op {
+        Some(c) => model.time_expr(c.collective, c.bytes, &c.span),
+        None => BwExpr::zero(),
+    }
+}
+
+/// Estimates one training iteration's time as a bandwidth expression.
+///
+/// Runs of *identical* consecutive layers (common in transformer stacks) are
+/// collapsed into a single scaled expression, keeping the compiled convex
+/// problem small for 100+-layer models.
+pub fn estimate(workload: &Workload, training_loop: TrainingLoop, model: &CommModel) -> BwExpr {
+    let mut parts: Vec<BwExpr> = Vec::new();
+    let mut i = 0usize;
+    while i < workload.layers.len() {
+        let layer = &workload.layers[i];
+        let mut run = 1usize;
+        while i + run < workload.layers.len() && workload.layers[i + run] == *layer {
+            run += 1;
+        }
+        // Forward pass: compute then (exposed) forward communication.
+        let mut layer_parts = vec![BwExpr::Const(layer.fwd_compute), comm_expr(model, &layer.fwd_comm)];
+        // Backward pass.
+        match training_loop {
+            TrainingLoop::NoOverlap => {
+                layer_parts.push(BwExpr::Const(layer.igrad_compute));
+                layer_parts.push(comm_expr(model, &layer.tp_comm));
+                layer_parts.push(BwExpr::Const(layer.wgrad_compute));
+                layer_parts.push(comm_expr(model, &layer.dp_comm));
+            }
+            TrainingLoop::TpDpOverlap => {
+                layer_parts.push(BwExpr::Const(layer.igrad_compute));
+                let tp = comm_expr(model, &layer.tp_comm);
+                let dp_branch = BwExpr::sum(vec![
+                    BwExpr::Const(layer.wgrad_compute),
+                    comm_expr(model, &layer.dp_comm),
+                ]);
+                layer_parts.push(BwExpr::max_of(vec![tp, dp_branch]));
+            }
+        }
+        parts.push(BwExpr::sum(layer_parts).scaled(run as f64));
+        i += run;
+    }
+    BwExpr::sum(parts)
+}
+
+/// The bandwidth-independent floor of an iteration: pure compute time under
+/// `NoOverlap` (the "Pure Compute (No Exposed Communication)" line of
+/// Fig. 10).
+pub fn compute_floor(workload: &Workload) -> f64 {
+    workload.total_compute()
+}
+
+/// Average network-bandwidth utilization of a design, following Fig. 10's
+/// definition: for each communication phase, each spanned dimension is busy
+/// for `traffic_i / B_i` out of the phase's bottleneck duration; utilization
+/// averages busy fractions across *all* network dimensions, weighted by
+/// phase duration.
+pub fn average_utilization(
+    workload: &Workload,
+    model: &CommModel,
+    bw: &[f64],
+    n_dims: usize,
+) -> f64 {
+    let mut weighted = 0.0f64;
+    let mut total_comm_time = 0.0f64;
+    let mut visit = |op: &Option<CommOp>| {
+        let Some(c) = op else { return };
+        if c.span.is_trivial() || c.bytes <= 0.0 {
+            return;
+        }
+        let offloadable = !matches!(
+            c.collective,
+            crate::comm::Collective::AllToAll | crate::comm::Collective::PointToPoint
+        );
+        let traffic = if model.in_network_offload && offloadable {
+            crate::comm::traffic_per_dim_offloaded(c.bytes, &c.span)
+        } else {
+            crate::comm::traffic_per_dim(c.collective, c.bytes, &c.span)
+        };
+        let times: Vec<(usize, f64)> =
+            traffic.iter().map(|&(d, t)| (d, t / 1e9 / bw[d])).collect();
+        let phase = times.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
+        if phase <= 0.0 {
+            return;
+        }
+        let busy: f64 = times.iter().map(|&(_, t)| t).sum();
+        // Busy fraction averaged over every dimension of the machine.
+        weighted += phase * (busy / phase / n_dims as f64);
+        total_comm_time += phase;
+    };
+    for layer in &workload.layers {
+        visit(&layer.fwd_comm);
+        visit(&layer.tp_comm);
+        visit(&layer.dp_comm);
+    }
+    if total_comm_time == 0.0 {
+        0.0
+    } else {
+        weighted / total_comm_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Collective, GroupSpan};
+    use crate::workload::Layer;
+
+    fn toy_workload() -> Workload {
+        let span01 = GroupSpan::new(vec![(0, 4), (1, 2)]);
+        let layer = Layer {
+            name: "l".into(),
+            fwd_compute: 0.1,
+            fwd_comm: Some(CommOp::new(Collective::AllReduce, 1e9, span01.clone())),
+            igrad_compute: 0.2,
+            tp_comm: Some(CommOp::new(Collective::AllReduce, 2e9, span01.clone())),
+            wgrad_compute: 0.3,
+            dp_comm: Some(CommOp::new(Collective::ReduceScatter, 4e9, span01)),
+            ..Default::default()
+        };
+        Workload::new("toy", vec![layer])
+    }
+
+    #[test]
+    fn no_overlap_sums_everything() {
+        let w = toy_workload();
+        let e = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+        let bw = [10.0, 10.0];
+        // fwd comm: max(2·1·(3/4)/10, 2·1·(1/8)/10) = 0.15
+        // tp comm: 0.3; dp comm (RS): max(1·4·(3/4)/10, 4·(1/8)/10) = 0.3
+        // fwd_comp 0.1 + fwd_comm 0.15 + igrad 0.2 + tp 0.3 + wgrad 0.3 + dp 0.3
+        let expect = 0.1 + 0.15 + 0.2 + 0.3 + 0.3 + 0.3;
+        assert!((e.eval(&bw) - expect).abs() < 1e-9, "got {}", e.eval(&bw));
+    }
+
+    #[test]
+    fn overlap_hides_the_smaller_branch() {
+        let w = toy_workload();
+        let no = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+        let ov = estimate(&w, TrainingLoop::TpDpOverlap, &CommModel::default());
+        let bw = [10.0, 10.0];
+        // Overlap replaces tp_comm + (wgrad + dp_comm) = 0.3 + 0.6 with
+        // max(0.3, 0.6) = 0.6.
+        assert!((no.eval(&bw) - ov.eval(&bw) - 0.3).abs() < 1e-9);
+        assert!(ov.eval(&bw) < no.eval(&bw));
+    }
+
+    #[test]
+    fn compute_floor_matches_total_compute() {
+        let w = toy_workload();
+        assert!((compute_floor(&w) - 0.6).abs() < 1e-12);
+        let e = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+        // As bandwidth grows the estimate approaches the compute floor.
+        let t = e.eval(&[1e9, 1e9]);
+        assert!((t - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_is_one_when_balanced() {
+        // Single collective over one dim: that dim is 100% busy during the
+        // phase, but the machine-wide average counts idle dims too.
+        let span = GroupSpan::new(vec![(0, 4)]);
+        let layer = Layer {
+            name: "l".into(),
+            fwd_comm: Some(CommOp::new(Collective::AllReduce, 1e9, span)),
+            ..Default::default()
+        };
+        let w = Workload::new("t", vec![layer]);
+        let u = average_utilization(&w, &CommModel::default(), &[10.0, 10.0], 2);
+        assert!((u - 0.5).abs() < 1e-9, "one of two dims busy → 0.5, got {u}");
+    }
+
+    #[test]
+    fn utilization_detects_bottleneck_imbalance() {
+        let span = GroupSpan::new(vec![(0, 4), (1, 2)]);
+        let layer = Layer {
+            name: "l".into(),
+            fwd_comm: Some(CommOp::new(Collective::AllReduce, 1e9, span)),
+            ..Default::default()
+        };
+        let w = Workload::new("t", vec![layer]);
+        // traffic: dim0 = 1.5 GB, dim1 = 0.25 GB. Bandwidth (15, 2.5) makes
+        // both dims take 0.1 s → fully utilized.
+        let u_bal = average_utilization(&w, &CommModel::default(), &[15.0, 2.5], 2);
+        assert!((u_bal - 1.0).abs() < 1e-9);
+        // EqualBW (8.75, 8.75): dim0 busy 0.171s, dim1 busy 0.029s → 58.3%.
+        let u_eq = average_utilization(&w, &CommModel::default(), &[8.75, 8.75], 2);
+        assert!(u_eq < 0.6);
+    }
+}

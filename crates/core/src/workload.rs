@@ -1,0 +1,159 @@
+//! Workload intermediate representation (the output of the paper's
+//! "Workload Parser" box in Fig. 3).
+//!
+//! A [`Workload`] is a list of [`Layer`]s. Each layer carries
+//! bandwidth-independent compute delays (seconds) and up to three
+//! communication operations: a forward-pass collective, a backward
+//! input-gradient (TP) collective, and a backward weight-gradient (DP)
+//! collective — the decomposition the paper uses for its training-loop
+//! formulas (§IV-C).
+//!
+//! Generators for the paper's Table II models live in the
+//! `libra-workloads` crate; this module only defines the shared IR so the
+//! simulator and optimizer can consume workloads without depending on the
+//! generators.
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::{Collective, GroupSpan};
+
+/// One collective communication operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommOp {
+    /// Collective pattern.
+    pub collective: Collective,
+    /// Payload bytes per NPU.
+    pub bytes: f64,
+    /// The NPU group the collective runs over.
+    pub span: GroupSpan,
+}
+
+impl CommOp {
+    /// Creates a communication operation.
+    pub fn new(collective: Collective, bytes: f64, span: GroupSpan) -> Self {
+        CommOp { collective, bytes, span }
+    }
+}
+
+/// One model layer with its compute and communication demands.
+///
+/// Compute fields are in seconds; they are bandwidth-independent constants
+/// produced from FLOP counts by a compute model (e.g. 234 TFLOPS for the
+/// paper's 75 %-efficient A100).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Layer {
+    /// Layer name (diagnostics and workload files).
+    pub name: String,
+    /// Forward-pass compute time.
+    pub fwd_compute: f64,
+    /// Forward-pass communication (e.g. Megatron TP activation All-Reduce).
+    pub fwd_comm: Option<CommOp>,
+    /// Backward input-gradient compute time ("TP compute").
+    pub igrad_compute: f64,
+    /// Backward input-gradient communication ("TP comm").
+    pub tp_comm: Option<CommOp>,
+    /// Backward weight-gradient compute time ("DP compute").
+    pub wgrad_compute: f64,
+    /// Weight-gradient synchronization ("DP comm", e.g. ZeRO-2
+    /// Reduce-Scatter + All-Gather).
+    pub dp_comm: Option<CommOp>,
+}
+
+impl Layer {
+    /// A compute-only layer.
+    pub fn compute_only(name: impl Into<String>, fwd: f64, igrad: f64, wgrad: f64) -> Self {
+        Layer {
+            name: name.into(),
+            fwd_compute: fwd,
+            igrad_compute: igrad,
+            wgrad_compute: wgrad,
+            ..Default::default()
+        }
+    }
+
+    /// Total compute seconds across all phases.
+    pub fn total_compute(&self) -> f64 {
+        self.fwd_compute + self.igrad_compute + self.wgrad_compute
+    }
+
+    /// Total communication bytes across all phases.
+    pub fn total_comm_bytes(&self) -> f64 {
+        [&self.fwd_comm, &self.tp_comm, &self.dp_comm]
+            .into_iter()
+            .flatten()
+            .map(|c| c.bytes)
+            .sum()
+    }
+}
+
+/// The training-loop schedule (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TrainingLoop {
+    /// Every compute and communication stage runs exclusively (Fig. 5b).
+    #[default]
+    NoOverlap,
+    /// TP communication overlaps DP compute + DP communication during the
+    /// backward pass (Fig. 5c): per layer,
+    /// `igrad_compute + max(tp_comm, wgrad_compute + dp_comm)`.
+    TpDpOverlap,
+}
+
+/// A named workload: an ordered list of layers making up one training
+/// iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Model name (e.g. "GPT-3").
+    pub name: String,
+    /// Layers executed per iteration.
+    pub layers: Vec<Layer>,
+}
+
+impl Workload {
+    /// Creates a named workload.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        Workload { name: name.into(), layers }
+    }
+
+    /// Total compute seconds per iteration.
+    pub fn total_compute(&self) -> f64 {
+        self.layers.iter().map(Layer::total_compute).sum()
+    }
+
+    /// Total communication bytes per iteration per NPU (the quantity in
+    /// Fig. 1 when summed over collectives' payloads).
+    pub fn total_comm_bytes(&self) -> f64 {
+        self.layers.iter().map(Layer::total_comm_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> GroupSpan {
+        GroupSpan::new(vec![(0, 4)])
+    }
+
+    #[test]
+    fn layer_totals() {
+        let mut l = Layer::compute_only("l0", 1.0, 2.0, 3.0);
+        assert_eq!(l.total_compute(), 6.0);
+        assert_eq!(l.total_comm_bytes(), 0.0);
+        l.tp_comm = Some(CommOp::new(Collective::AllReduce, 100.0, span()));
+        l.dp_comm = Some(CommOp::new(Collective::ReduceScatter, 50.0, span()));
+        assert_eq!(l.total_comm_bytes(), 150.0);
+    }
+
+    #[test]
+    fn workload_totals_sum_layers() {
+        let l = Layer {
+            name: "l".into(),
+            fwd_compute: 0.5,
+            fwd_comm: Some(CommOp::new(Collective::AllReduce, 10.0, span())),
+            ..Default::default()
+        };
+        let w = Workload::new("toy", vec![l.clone(), l]);
+        assert_eq!(w.total_compute(), 1.0);
+        assert_eq!(w.total_comm_bytes(), 20.0);
+    }
+}

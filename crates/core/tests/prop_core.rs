@@ -1,0 +1,125 @@
+//! Property-based tests of libra-core's modeling invariants.
+
+use libra_core::comm::{traffic_per_dim, Collective, CommModel, GroupSpan};
+use libra_core::cost::CostModel;
+use libra_core::expr::BwExpr;
+use libra_core::network::NetworkShape;
+use proptest::prelude::*;
+
+fn arb_span() -> impl Strategy<Value = GroupSpan> {
+    prop::collection::vec(2u64..=16, 1..=4)
+        .prop_map(|ext| GroupSpan::new(ext.into_iter().enumerate().collect()))
+}
+
+fn arb_collective() -> impl Strategy<Value = Collective> {
+    prop_oneof![
+        Just(Collective::AllReduce),
+        Just(Collective::ReduceScatter),
+        Just(Collective::AllGather),
+        Just(Collective::AllToAll),
+        Just(Collective::PointToPoint),
+    ]
+}
+
+proptest! {
+    /// Communication time is homothetic: scaling every bandwidth by k
+    /// divides every comm delay by k.
+    #[test]
+    fn comm_time_scale_invariance(
+        span in arb_span(),
+        coll in arb_collective(),
+        bytes in 1e6f64..1e10,
+        k in 1.1f64..8.0,
+    ) {
+        let expr = CommModel::default().time_expr(coll, bytes, &span);
+        let n = span.extents().last().map(|&(d, _)| d + 1).unwrap_or(1);
+        let bw: Vec<f64> = (0..n).map(|i| 10.0 + 7.0 * i as f64).collect();
+        let scaled: Vec<f64> = bw.iter().map(|b| b * k).collect();
+        let t1 = expr.eval(&bw);
+        let t2 = expr.eval(&scaled);
+        prop_assert!((t1 / k - t2).abs() <= 1e-9 * (1.0 + t1));
+    }
+
+    /// All-Reduce traffic = Reduce-Scatter + All-Gather traffic, per dim.
+    #[test]
+    fn allreduce_decomposes(span in arb_span(), bytes in 1e3f64..1e9) {
+        let ar = traffic_per_dim(Collective::AllReduce, bytes, &span);
+        let rs = traffic_per_dim(Collective::ReduceScatter, bytes, &span);
+        let ag = traffic_per_dim(Collective::AllGather, bytes, &span);
+        for ((a, r), g) in ar.iter().zip(&rs).zip(&ag) {
+            prop_assert!((a.1 - (r.1 + g.1)).abs() <= 1e-6 * (1.0 + a.1));
+        }
+    }
+
+    /// Collective traffic never exceeds 2× the payload on any dimension,
+    /// and strictly decreases across dimensions for the shrinking family.
+    #[test]
+    fn traffic_bounds_and_monotonicity(span in arb_span(), bytes in 1e3f64..1e9) {
+        let ar = traffic_per_dim(Collective::AllReduce, bytes, &span);
+        for &(_, t) in &ar {
+            prop_assert!(t <= 2.0 * bytes + 1e-6);
+            prop_assert!(t >= 0.0);
+        }
+        for pair in ar.windows(2) {
+            prop_assert!(pair[1].1 <= pair[0].1 + 1e-9, "traffic grows outward: {ar:?}");
+        }
+    }
+
+    /// Network cost is linear: cost(a·B + b·B') = a·cost(B) + b·cost(B').
+    #[test]
+    fn cost_linearity(
+        b1 in prop::collection::vec(1.0f64..500.0, 4),
+        b2 in prop::collection::vec(1.0f64..500.0, 4),
+        a in 0.1f64..5.0,
+    ) {
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        let cm = CostModel::default();
+        let combo: Vec<f64> = b1.iter().zip(&b2).map(|(x, y)| a * x + y).collect();
+        let lhs = cm.network_cost(&shape, &combo);
+        let rhs = a * cm.network_cost(&shape, &b1) + cm.network_cost(&shape, &b2);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    /// Shape notation round-trips for arbitrary valid shapes.
+    #[test]
+    fn shape_round_trip(
+        dims in prop::collection::vec((0u8..3, 2u64..64), 1..=4),
+    ) {
+        use libra_core::network::UnitTopology;
+        let dims: Vec<(UnitTopology, u64)> = dims
+            .into_iter()
+            .map(|(t, s)| {
+                let topo = match t {
+                    0 => UnitTopology::Ring,
+                    1 => UnitTopology::FullyConnected,
+                    _ => UnitTopology::Switch,
+                };
+                (topo, s)
+            })
+            .collect();
+        let shape = NetworkShape::new(&dims).unwrap();
+        let back: NetworkShape = shape.to_string().parse().unwrap();
+        prop_assert_eq!(shape, back);
+    }
+
+    /// BwExpr::sum/max_of never change the evaluated value relative to the
+    /// naive fold (normalization is semantics-preserving).
+    #[test]
+    fn expr_normalization_preserves_value(
+        coeffs in prop::collection::vec(0.1f64..100.0, 1..6),
+        consts in prop::collection::vec(0.0f64..2.0, 1..4),
+        b in 1.0f64..200.0,
+    ) {
+        let parts: Vec<BwExpr> = coeffs
+            .iter()
+            .map(|&c| BwExpr::Ratio { coeff: c, dim: 0 })
+            .chain(consts.iter().map(|&c| BwExpr::Const(c)))
+            .collect();
+        let bw = [b];
+        let naive_sum: f64 = parts.iter().map(|p| p.eval(&bw)).sum();
+        let naive_max: f64 =
+            parts.iter().map(|p| p.eval(&bw)).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((BwExpr::sum(parts.clone()).eval(&bw) - naive_sum).abs() < 1e-9 * (1.0 + naive_sum));
+        prop_assert!((BwExpr::max_of(parts).eval(&bw) - naive_max).abs() < 1e-9 * (1.0 + naive_max.abs()));
+    }
+}

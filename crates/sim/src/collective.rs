@@ -1,0 +1,564 @@
+//! Chunked multi-rail collective execution over per-dimension bandwidth
+//! servers.
+//!
+//! Each network dimension is a FIFO server whose rate is that dimension's
+//! per-NPU bandwidth. A collective is split into `chunks` equal chunks; an
+//! All-Reduce chunk performs its Reduce-Scatter stages (one per spanned
+//! dimension, payload shrinking by the extent after each), then All-Gather
+//! stages in the exact reverse of its own RS order. Chunks pipeline: while
+//! chunk 1 reduces on dim 2, chunk 2 can reduce on dim 1 — reproducing the
+//! Fig. 9 timelines, including scheduling bubbles.
+//!
+//! The dimension-visit order is pluggable through [`ChunkScheduler`]:
+//! [`FixedOrder`] implements the paper's canonical ascending multi-rail
+//! order; the `libra-themis` crate provides the greedy bandwidth-aware
+//! policy of the Fig. 19 study.
+
+use std::collections::VecDeque;
+
+use libra_core::comm::{Collective, GroupSpan};
+
+use crate::event::{transfer_ps, EventQueue, Time};
+
+/// One stage option presented to a [`ChunkScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageOption {
+    /// Physical dimension index.
+    pub dim: usize,
+    /// Group extent along that dimension.
+    pub extent: u64,
+    /// Bytes this chunk would move through the dimension at this point.
+    pub bytes: f64,
+    /// When the dimension's server frees of all currently queued work.
+    pub server_free_at: Time,
+    /// The dimension's bandwidth (GB/s).
+    pub bw_gbps: f64,
+    /// Whether visiting a dimension shrinks the payload carried into later
+    /// dimensions (true for the Reduce-Scatter family, false for
+    /// All-to-All). Schedulers use this to weigh visit orders.
+    pub shrinks: bool,
+}
+
+/// Decides which dimension a chunk visits next during its Reduce-Scatter
+/// (or flat) phase. All-Gather always replays the chunk's RS order in
+/// reverse — that is a correctness requirement of the algorithm, not a
+/// policy choice.
+pub trait ChunkScheduler {
+    /// Returns an index into `options` (clamped by the engine).
+    fn choose(&mut self, chunk: usize, now: Time, options: &[StageOption]) -> usize;
+}
+
+/// The canonical multi-rail order: dimensions ascending (paper §II-C).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedOrder;
+
+impl ChunkScheduler for FixedOrder {
+    fn choose(&mut self, _chunk: usize, _now: Time, _options: &[StageOption]) -> usize {
+        0 // `remaining` is kept in ascending dimension order
+    }
+}
+
+/// One collective to execute.
+#[derive(Debug, Clone)]
+pub struct CollectiveJob {
+    /// The collective pattern.
+    pub collective: Collective,
+    /// Total payload bytes per NPU.
+    pub bytes: f64,
+    /// The group span.
+    pub span: GroupSpan,
+    /// Number of pipelined chunks (the paper uses 64).
+    pub chunks: usize,
+    /// Simulation time at which the collective is released.
+    pub release: Time,
+}
+
+/// A start/end record of one chunk-stage on one dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageRecord {
+    /// Job index within the batch.
+    pub job: usize,
+    /// Chunk index within the job.
+    pub chunk: usize,
+    /// Physical dimension served.
+    pub dim: usize,
+    /// `true` for All-Gather stages, `false` for Reduce-Scatter/flat stages.
+    pub gather: bool,
+    /// Service start (ps).
+    pub start: Time,
+    /// Service end (ps).
+    pub end: Time,
+}
+
+/// The result of executing a batch of collectives on shared servers.
+#[derive(Debug, Clone)]
+pub struct CollectiveResult {
+    /// Finish time of each job in the batch.
+    pub finish: Vec<Time>,
+    /// Busy intervals per physical dimension (sorted by start).
+    pub per_dim_busy: Vec<Vec<(Time, Time)>>,
+    /// Every chunk-stage service interval (Gantt source).
+    pub records: Vec<StageRecord>,
+}
+
+impl CollectiveResult {
+    /// The latest finish across jobs (batch makespan).
+    pub fn makespan(&self) -> Time {
+        self.finish.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedStage {
+    chunk_key: usize,
+    bytes: f64,
+    gather: bool,
+}
+
+#[derive(Debug)]
+struct Server {
+    bw_gbps: f64,
+    free_at: Time,
+    backlog_until: Time,
+    queue: VecDeque<QueuedStage>,
+    running: Option<usize>, // chunk key
+    busy: Vec<(Time, Time)>,
+}
+
+#[derive(Debug)]
+struct ChunkState {
+    job: usize,
+    chunk: usize,
+    /// Remaining scatter-phase (dim, extent) stages, ascending dim order.
+    remaining: Vec<(usize, u64)>,
+    /// Scatter visit history `(dim, bytes)` in visit order; the gather half
+    /// consumes it LIFO (reverse order).
+    visited: Vec<(usize, f64)>,
+    /// Whether the gather half has begun.
+    gathering: bool,
+    /// Product of extents already reduced over.
+    shrink: f64,
+    /// Chunk payload bytes.
+    m_chunk: f64,
+    /// Whether this collective has an All-Gather half (All-Reduce).
+    has_gather: bool,
+    /// Flat traffic rule (All-to-All): `m(e−1)/e`, no shrink accumulation.
+    flat: bool,
+    /// Full-payload rule (point-to-point): `m` on every spanned dim.
+    full: bool,
+    done: bool,
+}
+
+impl ChunkState {
+    fn stage_bytes(&self, extent: u64) -> f64 {
+        let e = extent as f64;
+        if self.full {
+            self.m_chunk
+        } else if self.flat {
+            self.m_chunk * (e - 1.0) / e
+        } else {
+            self.m_chunk * (e - 1.0) / (e * self.shrink)
+        }
+    }
+}
+
+enum Ev {
+    Ready(usize), // chunk key
+    Done(usize),  // dim
+}
+
+/// Executes a batch of collectives on shared per-dimension servers.
+///
+/// Jobs in the batch contend for bandwidth (used to model overlapped TP and
+/// DP collectives); submit sequential phases as separate batches.
+///
+/// # Panics
+/// Panics if `bw.len() < n_dims`, a spanned dimension has non-positive
+/// bandwidth, or a non-trivial job has `chunks == 0`.
+pub fn run_batch(
+    n_dims: usize,
+    bw: &[f64],
+    jobs: &[CollectiveJob],
+    scheduler: &mut dyn ChunkScheduler,
+) -> CollectiveResult {
+    assert!(bw.len() >= n_dims, "bandwidth vector shorter than dimensionality");
+    let mut servers: Vec<Server> = (0..n_dims)
+        .map(|d| Server {
+            bw_gbps: bw[d],
+            free_at: 0,
+            backlog_until: 0,
+            queue: VecDeque::new(),
+            running: None,
+            busy: Vec::new(),
+        })
+        .collect();
+
+    let mut chunks: Vec<ChunkState> = Vec::new();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut finish: Vec<Time> = jobs.iter().map(|j| j.release).collect();
+    let mut outstanding: Vec<usize> = vec![0; jobs.len()];
+
+    for (ji, job) in jobs.iter().enumerate() {
+        if job.span.is_trivial() || job.bytes <= 0.0 {
+            continue;
+        }
+        assert!(job.chunks > 0, "collective must have at least one chunk");
+        for &(d, _) in job.span.extents() {
+            assert!(bw[d] > 0.0, "dimension {d} has non-positive bandwidth");
+        }
+        let m_chunk = job.bytes / job.chunks as f64;
+        for c in 0..job.chunks {
+            let key = chunks.len();
+            let mut st = ChunkState {
+                job: ji,
+                chunk: c,
+                remaining: job.span.extents().to_vec(),
+                visited: Vec::new(),
+                gathering: false,
+                shrink: 1.0,
+                m_chunk,
+                has_gather: job.collective == Collective::AllReduce,
+                flat: job.collective == Collective::AllToAll,
+                full: job.collective == Collective::PointToPoint,
+                done: false,
+            };
+            if job.collective == Collective::AllGather {
+                // All-Gather-only: precompute the Reduce-Scatter-shaped
+                // sizes in ascending order; LIFO consumption yields the
+                // canonical descending execution.
+                let mut shrink = 1.0f64;
+                for &(d, e) in &st.remaining {
+                    let e_f = e as f64;
+                    st.visited.push((d, m_chunk * (e_f - 1.0) / (e_f * shrink)));
+                    shrink *= e_f;
+                }
+                st.remaining.clear();
+                st.gathering = true;
+            }
+            chunks.push(st);
+            outstanding[ji] += 1;
+            queue.push(job.release, Ev::Ready(key));
+        }
+    }
+
+    let mut records: Vec<StageRecord> = Vec::new();
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Ready(key) => {
+                match next_stage(&mut chunks[key], &servers, scheduler, now, key) {
+                    Some((dim, bytes, gather)) => {
+                        let dur = transfer_ps(bytes, servers[dim].bw_gbps);
+                        let s = &mut servers[dim];
+                        s.backlog_until = s.backlog_until.max(now) + dur;
+                        s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
+                        try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
+                    }
+                    None => {
+                        let st = &mut chunks[key];
+                        if !st.done {
+                            st.done = true;
+                            outstanding[st.job] -= 1;
+                            if outstanding[st.job] == 0 {
+                                finish[st.job] = now;
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::Done(dim) => {
+                if let Some(key) = servers[dim].running.take() {
+                    queue.push(now, Ev::Ready(key));
+                }
+                try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
+            }
+        }
+    }
+
+    let per_dim_busy: Vec<Vec<(Time, Time)>> =
+        servers.into_iter().map(|s| s.busy).collect();
+    CollectiveResult { finish, per_dim_busy, records }
+}
+
+/// Picks the chunk's next stage: `(dim, bytes, is_gather)`, or `None` when
+/// finished.
+fn next_stage(
+    st: &mut ChunkState,
+    servers: &[Server],
+    scheduler: &mut dyn ChunkScheduler,
+    now: Time,
+    key: usize,
+) -> Option<(usize, f64, bool)> {
+    if !st.gathering {
+        if let Some(pick) = pick_scatter(st, servers, scheduler, now, key) {
+            return Some(pick);
+        }
+        // Scatter phase exhausted.
+        if st.has_gather && !st.visited.is_empty() {
+            st.gathering = true;
+        } else if !st.gathering {
+            return None;
+        }
+    }
+    // Gather: consume the visit history LIFO (reverse order).
+    st.visited.pop().map(|(d, b)| (d, b, true))
+}
+
+fn pick_scatter(
+    st: &mut ChunkState,
+    servers: &[Server],
+    scheduler: &mut dyn ChunkScheduler,
+    now: Time,
+    key: usize,
+) -> Option<(usize, f64, bool)> {
+    if st.remaining.is_empty() {
+        return None;
+    }
+    let options: Vec<StageOption> = st
+        .remaining
+        .iter()
+        .map(|&(d, e)| StageOption {
+            dim: d,
+            extent: e,
+            bytes: st.stage_bytes(e),
+            server_free_at: servers[d].backlog_until,
+            bw_gbps: servers[d].bw_gbps,
+            shrinks: !st.flat && !st.full,
+        })
+        .collect();
+    // The scheduler receives the batch-unique chunk key so stateful
+    // policies can track per-chunk plans across jobs.
+    let pick = scheduler.choose(key, now, &options).min(options.len() - 1);
+    let (d, e) = st.remaining.remove(pick);
+    let bytes = st.stage_bytes(e);
+    // All-Reduce remembers its visit order for the gather half; flat
+    // collectives don't gather, but recording costs nothing.
+    if st.has_gather {
+        st.visited.push((d, bytes));
+    }
+    if !st.flat && !st.full {
+        st.shrink *= e as f64;
+    }
+    Some((d, bytes, false))
+}
+
+/// Starts the server's next queued stage if it is idle.
+fn try_start(
+    dim: usize,
+    s: &mut Server,
+    now: Time,
+    queue: &mut EventQueue<Ev>,
+    chunks: &[ChunkState],
+    records: &mut Vec<StageRecord>,
+) {
+    if s.running.is_some() {
+        return;
+    }
+    let Some(job) = s.queue.pop_front() else { return };
+    let start = now.max(s.free_at);
+    let end = start + transfer_ps(job.bytes, s.bw_gbps);
+    s.free_at = end;
+    s.running = Some(job.chunk_key);
+    s.busy.push((start, end));
+    let st = &chunks[job.chunk_key];
+    records.push(StageRecord {
+        job: st.job,
+        chunk: st.chunk,
+        dim,
+        gather: job.gather,
+        start,
+        end,
+    });
+    queue.push(end, Ev::Done(dim));
+}
+
+/// Convenience wrapper: runs a single collective from time 0 with the given
+/// scheduler.
+pub fn run_collective(
+    n_dims: usize,
+    bw: &[f64],
+    collective: Collective,
+    bytes: f64,
+    span: &GroupSpan,
+    chunks: usize,
+    scheduler: &mut dyn ChunkScheduler,
+) -> CollectiveResult {
+    run_batch(
+        n_dims,
+        bw,
+        &[CollectiveJob { collective, bytes, span: span.clone(), chunks, release: 0 }],
+        scheduler,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ps_to_secs;
+    use libra_core::comm::traffic_per_dim;
+
+    fn span2() -> GroupSpan {
+        GroupSpan::new(vec![(0, 4), (1, 8)])
+    }
+
+    /// With many chunks the simulated makespan converges to the analytical
+    /// bottleneck `max_i traffic_i / B_i` (plus the pipeline-fill bubble).
+    #[test]
+    fn converges_to_analytical_bottleneck() {
+        let bw = [60.0, 20.0];
+        let bytes = 8e9;
+        let span = span2();
+        let res =
+            run_collective(2, &bw, Collective::AllReduce, bytes, &span, 64, &mut FixedOrder);
+        let analytic: f64 = traffic_per_dim(Collective::AllReduce, bytes, &span)
+            .iter()
+            .map(|&(d, t)| t / 1e9 / bw[d])
+            .fold(0.0, f64::max);
+        let sim = ps_to_secs(res.makespan());
+        assert!(sim >= analytic * 0.999, "sim {sim} < analytic {analytic}");
+        assert!(
+            sim <= analytic * 1.15,
+            "sim {sim} should be within pipeline-bubble distance of {analytic}"
+        );
+    }
+
+    /// One chunk, 2D All-Reduce: the chunk serializes through 4 stages
+    /// (RS d0, RS d1, AG d1, AG d0) with exact durations.
+    #[test]
+    fn single_chunk_exact_schedule() {
+        let bw = [10.0, 10.0];
+        let bytes = 4e9;
+        let span = GroupSpan::new(vec![(0, 4), (1, 2)]);
+        let res =
+            run_collective(2, &bw, Collective::AllReduce, bytes, &span, 1, &mut FixedOrder);
+        // RS d0: 4·(3/4) = 3 GB → 0.3 s; RS d1: 4·(1/2)/4 = 0.5 GB → 0.05 s;
+        // AG mirrors: 0.05 + 0.3. Total 0.7 s.
+        assert!((ps_to_secs(res.makespan()) - 0.7).abs() < 1e-9);
+        // Both dims saw exactly two service intervals.
+        assert_eq!(res.per_dim_busy[0].len(), 2);
+        assert_eq!(res.per_dim_busy[1].len(), 2);
+        // Stage order: RS d0, RS d1, AG d1, AG d0.
+        let seq: Vec<(usize, bool)> = res.records.iter().map(|r| (r.dim, r.gather)).collect();
+        assert_eq!(seq, vec![(0, false), (1, false), (1, true), (0, true)]);
+    }
+
+    /// Reduce-Scatter is exactly half an All-Reduce for one chunk.
+    #[test]
+    fn reduce_scatter_is_half_allreduce() {
+        let bw = [10.0, 10.0];
+        let span = span2();
+        let ar = run_collective(2, &bw, Collective::AllReduce, 2e9, &span, 1, &mut FixedOrder);
+        let rs =
+            run_collective(2, &bw, Collective::ReduceScatter, 2e9, &span, 1, &mut FixedOrder);
+        assert_eq!(ar.makespan(), 2 * rs.makespan());
+    }
+
+    /// All-Gather equals Reduce-Scatter in duration (mirror image) and runs
+    /// dims in descending order.
+    #[test]
+    fn allgather_mirrors_reduce_scatter() {
+        let bw = [25.0, 5.0];
+        let span = span2();
+        let rs =
+            run_collective(2, &bw, Collective::ReduceScatter, 2e9, &span, 8, &mut FixedOrder);
+        let ag = run_collective(2, &bw, Collective::AllGather, 2e9, &span, 8, &mut FixedOrder);
+        assert_eq!(rs.makespan(), ag.makespan());
+        // First AG record of chunk 0 is the outermost dim.
+        let first = ag.records.iter().find(|r| r.chunk == 0).unwrap();
+        assert_eq!(first.dim, 1);
+        assert!(first.gather);
+    }
+
+    /// All-to-All carries `m(e−1)/e` per dim with no shrink.
+    #[test]
+    fn alltoall_single_chunk() {
+        let bw = [10.0, 10.0];
+        let span = span2();
+        let res = run_collective(2, &bw, Collective::AllToAll, 4e9, &span, 1, &mut FixedOrder);
+        // d0: 4·(3/4)=3 GB → 0.3 s; d1: 4·(7/8)=3.5 GB → 0.35 s; serial 0.65.
+        assert!((ps_to_secs(res.makespan()) - 0.65).abs() < 1e-9);
+    }
+
+    /// Trivial jobs finish instantly at their release time.
+    #[test]
+    fn trivial_span_finishes_at_release() {
+        let res = run_batch(
+            2,
+            &[10.0, 10.0],
+            &[CollectiveJob {
+                collective: Collective::AllReduce,
+                bytes: 1e9,
+                span: GroupSpan::new(vec![]),
+                chunks: 4,
+                release: 123,
+            }],
+            &mut FixedOrder,
+        );
+        assert_eq!(res.finish, vec![123]);
+    }
+
+    /// Determinism: identical inputs give identical traces.
+    #[test]
+    fn deterministic_replay() {
+        let bw = [33.0, 11.0];
+        let span = span2();
+        let a = run_collective(2, &bw, Collective::AllReduce, 3e9, &span, 16, &mut FixedOrder);
+        let b = run_collective(2, &bw, Collective::AllReduce, 3e9, &span, 16, &mut FixedOrder);
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.per_dim_busy, b.per_dim_busy);
+        assert_eq!(a.records, b.records);
+    }
+
+    /// Two overlapped jobs on the same dimension contend for bandwidth.
+    #[test]
+    fn overlapping_jobs_contend() {
+        let span = GroupSpan::new(vec![(0, 4)]);
+        let job = |release| CollectiveJob {
+            collective: Collective::AllReduce,
+            bytes: 1e9,
+            span: span.clone(),
+            chunks: 4,
+            release,
+        };
+        let one = run_batch(1, &[10.0], &[job(0)], &mut FixedOrder);
+        let two = run_batch(1, &[10.0], &[job(0), job(0)], &mut FixedOrder);
+        assert!(two.makespan() > one.makespan());
+        assert!((two.makespan() as f64 / one.makespan() as f64 - 2.0).abs() < 0.1);
+    }
+
+    /// Pipelining overlaps dim-0 and dim-1 work: many chunks finish faster
+    /// than one serial chunk.
+    #[test]
+    fn chunks_pipeline_across_dims() {
+        let bw = [10.0, 10.0];
+        let span = span2();
+        let serial =
+            run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 1, &mut FixedOrder);
+        let piped =
+            run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 64, &mut FixedOrder);
+        assert!(piped.makespan() < serial.makespan());
+    }
+
+    /// A release offset delays the whole collective.
+    #[test]
+    fn release_time_shifts_schedule() {
+        let span = GroupSpan::new(vec![(0, 4)]);
+        let mk = |release| {
+            run_batch(
+                1,
+                &[10.0],
+                &[CollectiveJob {
+                    collective: Collective::ReduceScatter,
+                    bytes: 1e9,
+                    span: span.clone(),
+                    chunks: 2,
+                    release,
+                }],
+                &mut FixedOrder,
+            )
+        };
+        let a = mk(0);
+        let b = mk(1_000_000);
+        assert_eq!(b.makespan(), a.makespan() + 1_000_000);
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic discrete-event machinery.
+//!
+//! Simulation time is an integer count of **picoseconds** (`u64`), which
+//! keeps event ordering exact (no floating-point ties) while covering
+//! ~213 days of simulated time — far beyond any training iteration.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in picoseconds.
+pub type Time = u64;
+
+/// Converts seconds to picoseconds, rounding to the nearest tick.
+pub fn secs_to_ps(secs: f64) -> Time {
+    debug_assert!(secs >= 0.0 && secs.is_finite());
+    (secs * 1e12).round() as Time
+}
+
+/// Converts picoseconds back to seconds.
+pub fn ps_to_secs(ps: Time) -> f64 {
+    ps as f64 / 1e12
+}
+
+/// Transfer duration of `bytes` at `gbps` GB/s, in picoseconds.
+///
+/// # Panics
+/// Panics (debug) on non-positive bandwidth.
+pub fn transfer_ps(bytes: f64, gbps: f64) -> Time {
+    debug_assert!(gbps > 0.0, "bandwidth must be positive");
+    // bytes / (gbps · 1e9) seconds = bytes · 1e3 / gbps picoseconds.
+    (bytes * 1e3 / gbps).round().max(0.0) as Time
+}
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at `time`. Events at equal times pop in insertion
+    /// order.
+    pub fn push(&mut self, time: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(secs_to_ps(1.5), 1_500_000_000_000);
+        assert!((ps_to_secs(secs_to_ps(0.123456)) - 0.123456).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_duration_math() {
+        // 1 GB at 100 GB/s = 10 ms = 1e10 ps.
+        assert_eq!(transfer_ps(1e9, 100.0), 10_000_000_000);
+        // Zero bytes take zero time.
+        assert_eq!(transfer_ps(0.0, 50.0), 0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

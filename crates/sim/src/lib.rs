@@ -1,0 +1,34 @@
+//! # libra-sim
+//!
+//! A deterministic, event-driven simulator for multi-dimensional training
+//! fabrics — the repo's substitute for ASTRA-sim, which the paper uses to
+//! measure the training performance of LIBRA-designed networks (§V-A).
+//!
+//! What it models, and why that is sufficient for the paper's experiments:
+//!
+//! * **Chunked multi-rail collectives** ([`collective`]): every collective
+//!   is split into chunks (64 per collective in the paper's setup) that
+//!   pipeline through the 2N multi-rail stages; each network dimension is a
+//!   FIFO bandwidth server. This reproduces the Fig. 8/9 behaviour —
+//!   per-dimension busy timelines, scheduling bubbles, and bottleneck dims.
+//! * **Training loops** ([`training`]): compute phases and collectives are
+//!   sequenced per layer with or without TP/DP overlap (Fig. 5),
+//!   yielding end-to-end iteration makespans.
+//! * **Utilization statistics** ([`stats`]): per-dimension busy fractions
+//!   and ASCII Gantt charts (Fig. 9/10).
+//! * **Link-level execution** ([`linksim`]): runs synthesized (TACOS-style)
+//!   schedules on arbitrary topology graphs for the Fig. 20 study.
+//!
+//! Determinism: time is integer picoseconds, every queue breaks ties by
+//! insertion sequence, and no randomness exists anywhere in the crate —
+//! identical inputs produce identical traces.
+
+pub mod collective;
+pub mod event;
+pub mod linksim;
+pub mod stats;
+pub mod training;
+
+pub use collective::{run_collective, ChunkScheduler, CollectiveResult, FixedOrder};
+pub use event::{ps_to_secs, secs_to_ps, Time};
+pub use training::{simulate_training, TrainingResult, TrainingSimConfig};

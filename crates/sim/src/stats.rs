@@ -1,0 +1,124 @@
+//! Utilization statistics and Gantt rendering (Fig. 8/9/10 support).
+
+use crate::collective::StageRecord;
+use crate::event::Time;
+
+/// Total busy time of one dimension (intervals may be unsorted; overlapping
+/// intervals are merged first).
+pub fn busy_length(intervals: &[(Time, Time)]) -> Time {
+    merged(intervals).iter().map(|(s, e)| e - s).sum()
+}
+
+/// Wall-clock length during which *any* of the dimensions is busy.
+pub fn union_length(per_dim: &[Vec<(Time, Time)>]) -> Time {
+    let all: Vec<(Time, Time)> = per_dim.iter().flatten().copied().collect();
+    busy_length(&all)
+}
+
+/// Average bandwidth utilization: mean over dimensions of
+/// `busy_i / window`, where `window` is the union communication window.
+pub fn average_utilization(per_dim: &[Vec<(Time, Time)>]) -> f64 {
+    let window = union_length(per_dim);
+    if window == 0 || per_dim.is_empty() {
+        return 0.0;
+    }
+    let n = per_dim.len() as f64;
+    per_dim
+        .iter()
+        .map(|iv| busy_length(iv) as f64 / window as f64)
+        .sum::<f64>()
+        / n
+}
+
+fn merged(intervals: &[(Time, Time)]) -> Vec<(Time, Time)> {
+    let mut v: Vec<(Time, Time)> = intervals.to_vec();
+    v.sort_unstable();
+    let mut out: Vec<(Time, Time)> = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        match out.last_mut() {
+            Some((_, pe)) if s <= *pe => *pe = (*pe).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Renders an ASCII Gantt chart of chunk-stage records — one row per
+/// dimension, `width` character columns spanning `[0, makespan]`.
+/// Reduce-Scatter stages print the chunk digit, All-Gather stages print a
+/// letter (`a` = chunk 0), idle time prints `·` (the Fig. 9 bubbles).
+pub fn render_gantt(records: &[StageRecord], n_dims: usize, width: usize) -> String {
+    let makespan = records.iter().map(|r| r.end).max().unwrap_or(0);
+    if makespan == 0 || width == 0 {
+        return String::new();
+    }
+    let mut rows = vec![vec!['·'; width]; n_dims];
+    for r in records {
+        let c0 = (r.start as u128 * width as u128 / makespan as u128) as usize;
+        let c1 = ((r.end as u128 * width as u128).div_ceil(makespan as u128) as usize).min(width);
+        let glyph = if r.gather {
+            (b'a' + (r.chunk % 26) as u8) as char
+        } else {
+            char::from_digit((r.chunk % 10) as u32, 10).unwrap_or('#')
+        };
+        for cell in rows[r.dim].iter_mut().take(c1).skip(c0) {
+            *cell = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (d, row) in rows.iter().enumerate() {
+        out.push_str(&format!("Dim{d} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_length_merges_overlaps() {
+        assert_eq!(busy_length(&[(0, 10), (5, 15), (20, 25)]), 20);
+        assert_eq!(busy_length(&[]), 0);
+    }
+
+    #[test]
+    fn union_spans_all_dims() {
+        let per_dim = vec![vec![(0u64, 10u64)], vec![(5, 20)], vec![]];
+        assert_eq!(union_length(&per_dim), 20);
+    }
+
+    #[test]
+    fn utilization_of_fully_busy_dims_is_one() {
+        let per_dim = vec![vec![(0u64, 10u64)], vec![(0, 10)]];
+        assert!((average_utilization(&per_dim) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_counts_idle_dims() {
+        let per_dim = vec![vec![(0u64, 10u64)], vec![]];
+        assert!((average_utilization(&per_dim) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        assert_eq!(average_utilization(&[]), 0.0);
+        let nothing: Vec<Vec<(Time, Time)>> = vec![vec![], vec![]];
+        assert_eq!(average_utilization(&nothing), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_dim() {
+        let records = vec![
+            StageRecord { job: 0, chunk: 0, dim: 0, gather: false, start: 0, end: 50 },
+            StageRecord { job: 0, chunk: 0, dim: 1, gather: true, start: 50, end: 100 },
+        ];
+        let g = render_gantt(&records, 2, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("Dim0 |00000"));
+        assert!(lines[1].contains('a'));
+    }
+}

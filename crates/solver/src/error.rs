@@ -1,0 +1,52 @@
+//! Error types for the solver crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving an optimization problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A variable index referenced a variable that does not exist.
+    BadVariable {
+        /// The offending index.
+        index: usize,
+        /// Number of variables in the problem.
+        n_vars: usize,
+    },
+    /// A ratio coefficient was negative or non-finite (the model would no
+    /// longer be convex).
+    BadCoefficient(f64),
+    /// Phase-I could not find a strictly feasible point: the constraint set
+    /// is (numerically) empty.
+    Infeasible,
+    /// The objective appears unbounded below on the feasible set.
+    Unbounded,
+    /// The Newton iteration failed to make progress (typically an extremely
+    /// ill-conditioned problem).
+    NumericalFailure(&'static str),
+    /// The problem references a ratio term `c / x_i` but `x_i` has no
+    /// positive lower bound, so the domain `x_i > 0` cannot be enforced.
+    MissingPositiveLowerBound(usize),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::BadVariable { index, n_vars } => {
+                write!(f, "variable index {index} out of range for {n_vars} variables")
+            }
+            SolverError::BadCoefficient(c) => {
+                write!(f, "ratio coefficient {c} must be finite and non-negative")
+            }
+            SolverError::Infeasible => write!(f, "constraint set has no strictly feasible point"),
+            SolverError::Unbounded => write!(f, "objective is unbounded below"),
+            SolverError::NumericalFailure(what) => write!(f, "numerical failure: {what}"),
+            SolverError::MissingPositiveLowerBound(i) => write!(
+                f,
+                "variable {i} appears in a ratio term but has no positive lower bound"
+            ),
+        }
+    }
+}
+
+impl Error for SolverError {}

@@ -1,0 +1,111 @@
+//! One-dimensional minimizers.
+//!
+//! LIBRA's perf-per-cost objective `time(B) × cost(B)` is handled
+//! parametrically: for each candidate cost budget the inner convex problem is
+//! solved, and the outer 1-D budget search uses the routines here.
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// Returns `(x_min, f(x_min))`. If `f` is not unimodal the result is a local
+/// minimum of the bracket; pair with [`grid_then_golden`] for robustness.
+///
+/// # Panics
+/// Panics if `a > b` or `tol <= 0`.
+pub fn golden_section<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> (f64, f64) {
+    assert!(a <= b, "invalid bracket");
+    assert!(tol > 0.0, "tolerance must be positive");
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut lo, mut hi) = (a, b);
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    while hi - lo > tol {
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let xm = 0.5 * (lo + hi);
+    (xm, f(xm))
+}
+
+/// Robust 1-D minimization: coarse grid scan (`n_grid` points, inclusive of
+/// both endpoints) followed by golden-section refinement around the best
+/// grid cell. Handles multi-modal objectives that defeat pure golden
+/// section.
+///
+/// # Panics
+/// Panics if `n_grid < 2`, `a > b`, or `tol <= 0`.
+pub fn grid_then_golden<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    n_grid: usize,
+    tol: f64,
+) -> (f64, f64) {
+    assert!(n_grid >= 2, "need at least two grid points");
+    assert!(a <= b, "invalid bracket");
+    let step = (b - a) / (n_grid - 1) as f64;
+    let mut best_i = 0usize;
+    let mut best_v = f64::INFINITY;
+    for i in 0..n_grid {
+        let x = a + step * i as f64;
+        let v = f(x);
+        if v < best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    let lo = a + step * best_i.saturating_sub(1) as f64;
+    let hi = (a + step * (best_i + 1) as f64).min(b);
+    let (x, v) = golden_section(&mut f, lo, hi, tol);
+    if v <= best_v {
+        (x, v)
+    } else {
+        (a + step * best_i as f64, best_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let (x, v) = golden_section(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.0, 10.0, 1e-8);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_handles_boundary_minimum() {
+        let (x, _) = golden_section(|x| x, 2.0, 5.0, 1e-8);
+        assert!((x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_recovers_from_multimodality() {
+        // Two valleys; the deeper one is near x = 8.
+        let f = |x: f64| (x - 2.0).powi(2).min((x - 8.0).powi(2) - 1.0);
+        let (x, v) = grid_then_golden(f, 0.0, 10.0, 41, 1e-8);
+        assert!((x - 8.0).abs() < 1e-4, "x={x}");
+        assert!((v + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_bracket_is_ok() {
+        let (x, v) = golden_section(|x| x * x, 4.0, 4.0, 1e-8);
+        assert_eq!(x, 4.0);
+        assert_eq!(v, 16.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Projected-subgradient minimization.
+//!
+//! Used as an independent cross-check of the interior-point solver (the two
+//! must agree on convex problems) and in the `abl_solver` ablation bench. It
+//! handles the canonical LIBRA feasible set — a total-bandwidth cap plus box
+//! bounds — through an exact Euclidean projection.
+
+/// Projects `x` onto `{ x : Σ x_i ≤ total, lower_i ≤ x_i ≤ upper_i }`.
+///
+/// Uses bisection on the simplex Lagrange multiplier when the cap is active.
+/// `lower`/`upper` must satisfy `lower_i ≤ upper_i` and `Σ lower_i ≤ total`
+/// for the set to be non-empty.
+///
+/// # Panics
+/// Panics if slice lengths differ.
+pub fn project_capped_box(x: &mut [f64], total: f64, lower: &[f64], upper: &[f64]) {
+    assert_eq!(x.len(), lower.len());
+    assert_eq!(x.len(), upper.len());
+    // Clamp to the box first.
+    for ((xi, &l), &u) in x.iter_mut().zip(lower).zip(upper) {
+        *xi = xi.clamp(l, u);
+    }
+    let sum: f64 = x.iter().sum();
+    if sum <= total {
+        return;
+    }
+    // Bisection on λ ≥ 0 where x_i(λ) = clamp(x_i − λ, l_i, u_i).
+    let mut lo = 0.0f64;
+    let mut hi = x
+        .iter()
+        .zip(lower)
+        .map(|(xi, l)| xi - l)
+        .fold(0.0f64, f64::max);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let s: f64 = x
+            .iter()
+            .zip(lower.iter().zip(upper))
+            .map(|(xi, (&l, &u))| (xi - mid).clamp(l, u))
+            .sum();
+        if s > total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = hi;
+    for ((xi, &l), &u) in x.iter_mut().zip(lower).zip(upper) {
+        *xi = (*xi - lambda).clamp(l, u);
+    }
+}
+
+/// Result of a subgradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubgradResult {
+    /// Best iterate found.
+    pub x: Vec<f64>,
+    /// Objective at the best iterate.
+    pub value: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Minimizes `f` (value + subgradient callback) with projected subgradient
+/// descent using a diminishing `step0 / √k` step size rule, keeping the best
+/// iterate seen.
+///
+/// `project` must map any point onto the feasible set (e.g.
+/// [`project_capped_box`]).
+pub fn minimize_projected<F, P>(
+    f: F,
+    project: P,
+    x0: Vec<f64>,
+    step0: f64,
+    iterations: usize,
+) -> SubgradResult
+where
+    F: Fn(&[f64]) -> (f64, Vec<f64>),
+    P: Fn(&mut [f64]),
+{
+    let mut x = x0;
+    project(&mut x);
+    let (mut best_v, _) = f(&x);
+    let mut best_x = x.clone();
+    for k in 1..=iterations {
+        let (v, g) = f(&x);
+        if v < best_v {
+            best_v = v;
+            best_x = x.clone();
+        }
+        let gnorm: f64 = g.iter().map(|gi| gi * gi).sum::<f64>().sqrt();
+        if gnorm < 1e-300 {
+            break;
+        }
+        let step = step0 / (k as f64).sqrt() / gnorm;
+        for (xi, gi) in x.iter_mut().zip(&g) {
+            *xi -= step * gi;
+        }
+        project(&mut x);
+    }
+    let (v, _) = f(&x);
+    if v < best_v {
+        best_v = v;
+        best_x = x;
+    }
+    SubgradResult { x: best_x, value: best_v, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_respects_box_when_cap_inactive() {
+        let mut x = vec![5.0, -3.0];
+        project_capped_box(&mut x, 100.0, &[0.0, 0.0], &[4.0, 4.0]);
+        assert_eq!(x, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_hits_cap_uniformly() {
+        let mut x = vec![10.0, 10.0];
+        project_capped_box(&mut x, 10.0, &[0.0, 0.0], &[100.0, 100.0]);
+        assert!((x[0] - 5.0).abs() < 1e-9);
+        assert!((x[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_preserves_feasible_point() {
+        let mut x = vec![2.0, 3.0];
+        let before = x.clone();
+        project_capped_box(&mut x, 10.0, &[0.0, 0.0], &[5.0, 5.0]);
+        assert_eq!(x, before);
+    }
+
+    #[test]
+    fn subgradient_matches_sqrt_rule() {
+        // min 4/x0 + 1/x1 st x0 + x1 ≤ 10 → (20/3, 10/3).
+        let f = |x: &[f64]| {
+            let v = 4.0 / x[0] + 1.0 / x[1];
+            let g = vec![-4.0 / (x[0] * x[0]), -1.0 / (x[1] * x[1])];
+            (v, g)
+        };
+        let proj = |x: &mut [f64]| project_capped_box(x, 10.0, &[1e-3, 1e-3], &[10.0, 10.0]);
+        let r = minimize_projected(f, proj, vec![5.0, 5.0], 2.0, 20_000);
+        assert!((r.x[0] - 20.0 / 3.0).abs() < 5e-2, "x={:?}", r.x);
+        assert!((r.value - 0.9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn subgradient_handles_max_objective() {
+        // min max(8/x0, 2/x1) st x0 + x1 ≤ 10 → x = (8, 2), value 1.
+        let f = |x: &[f64]| {
+            let a = 8.0 / x[0];
+            let b = 2.0 / x[1];
+            if a >= b {
+                (a, vec![-8.0 / (x[0] * x[0]), 0.0])
+            } else {
+                (b, vec![0.0, -2.0 / (x[1] * x[1])])
+            }
+        };
+        let proj = |x: &mut [f64]| project_capped_box(x, 10.0, &[1e-3, 1e-3], &[10.0, 10.0]);
+        let r = minimize_projected(f, proj, vec![5.0, 5.0], 2.0, 40_000);
+        assert!((r.value - 1.0).abs() < 5e-3, "value={}", r.value);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests: the interior-point optimum must never lose to any
+//! feasible point, and must agree with an independent projected-subgradient
+//! run on canonical LIBRA-shaped problems.
+
+use libra_solver::convex::{ConvexProblem, RatioTerm};
+use libra_solver::subgrad::{minimize_projected, project_capped_box};
+use proptest::prelude::*;
+
+/// Builds the canonical LIBRA problem: minimize the bottleneck
+/// `max_i c_i / B_i` subject to `Σ B_i ≤ total` for `c_i > 0`.
+fn bottleneck_problem(coeffs: &[f64], total: f64) -> ConvexProblem {
+    let n = coeffs.len();
+    let t = n; // epigraph variable index
+    let mut p = ConvexProblem::new(n + 1);
+    p.minimize(&[(t, 1.0)]);
+    for (i, &c) in coeffs.iter().enumerate() {
+        p.add_ratio_le(RatioTerm::new(vec![(i, c)]).minus_var(t));
+        p.set_lower(i, 1e-4);
+    }
+    let cap: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+    p.add_lin_le(&cap, total);
+    p
+}
+
+/// Analytic optimum of the bottleneck problem: all terms equalized, so
+/// `B_i ∝ c_i` and the value is `Σc / total`.
+fn bottleneck_optimum(coeffs: &[f64], total: f64) -> f64 {
+    coeffs.iter().sum::<f64>() / total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver matches the closed-form optimum of the pure bottleneck
+    /// allocation problem for 2–5 dimensions.
+    #[test]
+    fn matches_analytic_bottleneck(
+        coeffs in prop::collection::vec(0.1f64..50.0, 2..=5),
+        total in 1.0f64..500.0,
+    ) {
+        let p = bottleneck_problem(&coeffs, total);
+        let sol = p.solve().expect("bottleneck problem is always feasible");
+        let expect = bottleneck_optimum(&coeffs, total);
+        prop_assert!(
+            (sol.objective - expect).abs() <= 1e-4 * (1.0 + expect.abs()),
+            "got {} expected {expect}", sol.objective
+        );
+        // The optimizer allocation is proportional to the coefficients.
+        for (i, &c) in coeffs.iter().enumerate() {
+            let expect_b = total * c / coeffs.iter().sum::<f64>();
+            prop_assert!(
+                (sol.x[i] - expect_b).abs() <= 1e-2 * (1.0 + expect_b),
+                "B[{i}]={} expected {expect_b}", sol.x[i]
+            );
+        }
+    }
+
+    /// The optimum never loses to random feasible points (global optimality
+    /// on a convex problem).
+    #[test]
+    fn never_beaten_by_random_feasible_points(
+        coeffs in prop::collection::vec(0.1f64..50.0, 2..=4),
+        total in 1.0f64..200.0,
+        fractions in prop::collection::vec(0.05f64..1.0, 2..=4),
+    ) {
+        let n = coeffs.len().min(fractions.len());
+        let coeffs = &coeffs[..n];
+        let fractions = &fractions[..n];
+        let p = bottleneck_problem(coeffs, total);
+        let sol = p.solve().unwrap();
+        // Random feasible candidate: normalize fractions to the cap.
+        let fsum: f64 = fractions.iter().sum();
+        let cand: Vec<f64> = fractions.iter().map(|f| f / fsum * total).collect();
+        let cand_obj = coeffs
+            .iter()
+            .zip(&cand)
+            .map(|(c, b)| c / b)
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            sol.objective <= cand_obj * (1.0 + 1e-6) + 1e-9,
+            "solver {} beaten by candidate {cand_obj}", sol.objective
+        );
+    }
+
+    /// Capped-box projection always returns a feasible point that is no
+    /// farther from the input than any other feasible point we try.
+    #[test]
+    fn projection_is_feasible_and_idempotent(
+        x in prop::collection::vec(-10.0f64..30.0, 1..=6),
+        total in 1.0f64..40.0,
+    ) {
+        let n = x.len();
+        let lower = vec![0.0; n];
+        let upper = vec![20.0; n];
+        let mut p1 = x.clone();
+        project_capped_box(&mut p1, total, &lower, &upper);
+        let sum: f64 = p1.iter().sum();
+        prop_assert!(sum <= total + 1e-6);
+        for &v in &p1 {
+            prop_assert!((-1e-9..=20.0 + 1e-9).contains(&v));
+        }
+        let mut p2 = p1.clone();
+        project_capped_box(&mut p2, total, &lower, &upper);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-6, "projection not idempotent");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Interior point and projected subgradient agree on sum-of-ratios
+    /// objectives (two independent algorithms, same convex problem).
+    #[test]
+    fn agrees_with_subgradient(
+        coeffs in prop::collection::vec(0.5f64..20.0, 2..=3),
+        total in 5.0f64..100.0,
+    ) {
+        let n = coeffs.len();
+        // Interior point: minimize Σ c_i / B_i via one epigraph var per term.
+        let mut p = ConvexProblem::new(n + 1);
+        p.minimize(&[(n, 1.0)]);
+        let all: Vec<(usize, f64)> =
+            coeffs.iter().enumerate().map(|(i, &c)| (i, c)).collect();
+        p.add_ratio_le(RatioTerm::new(all).minus_var(n));
+        for i in 0..n {
+            p.set_lower(i, 1e-4);
+        }
+        let cap: Vec<(usize, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+        p.add_lin_le(&cap, total);
+        let ip = p.solve().unwrap();
+
+        let lower = vec![1e-4; n];
+        let upper = vec![total; n];
+        let f = |x: &[f64]| {
+            let v: f64 = coeffs.iter().zip(x).map(|(c, b)| c / b).sum();
+            let g: Vec<f64> =
+                coeffs.iter().zip(x).map(|(c, b)| -c / (b * b)).collect();
+            (v, g)
+        };
+        let proj = |x: &mut [f64]| project_capped_box(x, total, &lower, &upper);
+        let sg = minimize_projected(f, proj, vec![total / n as f64; n], total / 4.0, 10_000);
+        prop_assert!(
+            (ip.objective - sg.value).abs() <= 1e-2 * (1.0 + sg.value.abs()),
+            "interior point {} vs subgradient {}", ip.objective, sg.value
+        );
+    }
+}

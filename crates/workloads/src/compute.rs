@@ -1,0 +1,53 @@
+//! NPU compute-time model.
+//!
+//! The paper's evaluation measures A100 GPUs at 75 % average efficacy —
+//! 234 TFLOPS — and uses that single number to convert layer FLOP counts to
+//! seconds (§V-B "Compute Model"). Communication is modeled separately; the
+//! compute model deliberately ignores memory bandwidth and reduction costs
+//! (§IV-C "LIBRA Modeling").
+
+use serde::{Deserialize, Serialize};
+
+/// Converts FLOPs to seconds at a fixed effective throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// Sustained FLOP/s per NPU.
+    pub effective_flops: f64,
+}
+
+impl Default for ComputeModel {
+    /// 234 TFLOPS: A100 peak (312 TFLOPS BF16) at the 75 % measured
+    /// efficacy used in the paper.
+    fn default() -> Self {
+        ComputeModel { effective_flops: 234e12 }
+    }
+}
+
+impl ComputeModel {
+    /// A model with the given sustained throughput in TFLOPS.
+    pub fn from_tflops(tflops: f64) -> Self {
+        ComputeModel { effective_flops: tflops * 1e12 }
+    }
+
+    /// Seconds to execute `flops` floating-point operations.
+    pub fn seconds(&self, flops: f64) -> f64 {
+        flops / self.effective_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_234_tflops() {
+        let m = ComputeModel::default();
+        assert!((m.seconds(234e12) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tflops_scales() {
+        let m = ComputeModel::from_tflops(100.0);
+        assert!((m.seconds(1e12) - 0.01).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,156 @@
+//! DLRM workload generator (recommendation, Table II).
+//!
+//! DLRM shards its embedding tables across **all** NPUs (the Table II entry
+//! "TP Size: across all NPUs"), so every iteration performs a forward and a
+//! backward All-to-All over the whole machine to exchange embedding lookups
+//! (paper §II-C notes All-to-All is required for embedding-table TP). The
+//! dense MLPs are replicated and trained data-parallel with an All-Reduce.
+//!
+//! MLP sizes are synthetic, chosen so the dense-parameter count matches the
+//! paper's 57M ("MLP layers only"); embedding-table parameters are excluded
+//! from the count just as the paper excludes them.
+
+use libra_core::comm::{Collective, GroupSpan};
+use libra_core::error::LibraError;
+use libra_core::network::NetworkShape;
+use libra_core::workload::{CommOp, Layer, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::compute::ComputeModel;
+use crate::transformer::BYTES_PER_ELEMENT;
+
+/// DLRM training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    /// Bottom-MLP layer widths (dense features → embedding dimension).
+    pub bottom_mlp: Vec<u64>,
+    /// Top-MLP layer widths (feature interactions → CTR logit).
+    pub top_mlp: Vec<u64>,
+    /// Embedding dimension.
+    pub emb_dim: u64,
+    /// Number of sparse features (embedding tables).
+    pub tables: u64,
+    /// Per-NPU minibatch.
+    pub batch_per_npu: u64,
+}
+
+impl Default for DlrmConfig {
+    /// Synthetic production-scale MLPs totalling ≈57M dense parameters.
+    fn default() -> Self {
+        DlrmConfig {
+            bottom_mlp: vec![2048, 4096, 2048, 128],
+            top_mlp: vec![4096, 4096, 4096, 1024, 1],
+            emb_dim: 128,
+            tables: 512,
+            batch_per_npu: 1024,
+        }
+    }
+}
+
+fn mlp_params(widths: &[u64]) -> f64 {
+    widths.windows(2).map(|w| (w[0] * w[1]) as f64).sum()
+}
+
+impl DlrmConfig {
+    /// Dense (MLP-only) parameter count, the Table II "57M" figure.
+    pub fn mlp_params(&self) -> f64 {
+        mlp_params(&self.bottom_mlp) + mlp_params(&self.top_mlp)
+    }
+
+    /// Bytes each NPU contributes to one embedding All-to-All.
+    pub fn alltoall_bytes(&self) -> f64 {
+        (self.batch_per_npu * self.tables * self.emb_dim) as f64 * BYTES_PER_ELEMENT
+    }
+
+    /// Builds the workload: an embedding-exchange layer (All-to-All forward
+    /// and backward) followed by one layer per MLP with DP All-Reduce.
+    ///
+    /// # Errors
+    /// Currently infallible for valid shapes; fallible for interface
+    /// symmetry.
+    pub fn build(
+        &self,
+        shape: &NetworkShape,
+        compute: &ComputeModel,
+    ) -> Result<Workload, LibraError> {
+        let all = GroupSpan::full(shape);
+        let b = self.batch_per_npu as f64;
+        let mut layers = Vec::new();
+
+        // Embedding exchange: All-to-All forward (lookups out) and backward
+        // (gradients back). Lookup compute is negligible next to the MLPs.
+        layers.push(Layer {
+            name: "embedding-exchange".into(),
+            fwd_compute: 0.0,
+            fwd_comm: Some(CommOp::new(Collective::AllToAll, self.alltoall_bytes(), all.clone())),
+            igrad_compute: 0.0,
+            tp_comm: Some(CommOp::new(Collective::AllToAll, self.alltoall_bytes(), all.clone())),
+            wgrad_compute: 0.0,
+            dp_comm: None,
+        });
+
+        for (name, widths) in [("bottom-mlp", &self.bottom_mlp), ("top-mlp", &self.top_mlp)] {
+            let params = mlp_params(widths);
+            let fwd = compute.seconds(2.0 * params * b);
+            layers.push(Layer {
+                name: name.into(),
+                fwd_compute: fwd,
+                fwd_comm: None,
+                igrad_compute: fwd,
+                tp_comm: None,
+                wgrad_compute: fwd,
+                dp_comm: Some(CommOp::new(
+                    Collective::AllReduce,
+                    params * BYTES_PER_ELEMENT,
+                    all.clone(),
+                )),
+            });
+        }
+        Ok(Workload::new("DLRM", layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_params_near_57m() {
+        let p = DlrmConfig::default().mlp_params();
+        assert!((p / 57e6 - 1.0).abs() < 0.10, "DLRM MLP params {p} should be ≈57M");
+    }
+
+    #[test]
+    fn alltoall_spans_all_npus() {
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        let w = DlrmConfig::default().build(&shape, &ComputeModel::default()).unwrap();
+        let emb = &w.layers[0];
+        let a2a = emb.fwd_comm.as_ref().unwrap();
+        assert_eq!(a2a.collective, Collective::AllToAll);
+        assert_eq!(a2a.span.size(), 4096);
+        assert!(emb.tp_comm.is_some(), "backward All-to-All present");
+    }
+
+    #[test]
+    fn mlps_use_dp_allreduce() {
+        let shape: NetworkShape = "RI(4)_SW(8)".parse().unwrap();
+        let cfg = DlrmConfig::default();
+        let w = cfg.build(&shape, &ComputeModel::default()).unwrap();
+        let dp_bytes: f64 = w
+            .layers
+            .iter()
+            .filter_map(|l| l.dp_comm.as_ref())
+            .map(|c| c.bytes)
+            .sum();
+        assert!((dp_bytes - cfg.mlp_params() * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn alltoall_bytes_formula() {
+        let cfg = DlrmConfig::default();
+        assert!(
+            (cfg.alltoall_bytes() - (1024.0 * 512.0 * 128.0 * 2.0)).abs() < 1.0,
+            "batch × tables × dim × 2B"
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The `.wl` workload text format.
+//!
+//! A line-oriented serialization of [`Workload`]s in the spirit of
+//! ASTRA-sim's workload files, so workloads can be generated once, inspected
+//! by hand, and replayed:
+//!
+//! ```text
+//! # optional comments
+//! WORKLOAD GPT-3
+//! LAYER transformer
+//!   FWD_COMPUTE 0.015873
+//!   FWD_COMM ALLREDUCE 805306368 SPAN 0:4,1:4
+//!   IGRAD_COMPUTE 0.015873
+//!   TP_COMM ALLREDUCE 805306368 SPAN 0:4,1:4
+//!   WGRAD_COMPUTE 0.015873
+//!   DP_COMM ALLREDUCE 226492416 SPAN 1:2,2:4,3:32
+//! ```
+//!
+//! Bytes are written with full precision; compute times in seconds. A layer
+//! omits the `*_COMM` lines it does not perform.
+
+use libra_core::comm::{Collective, GroupSpan};
+use libra_core::error::LibraError;
+use libra_core::workload::{CommOp, Layer, Workload};
+use std::fmt::Write as _;
+
+/// Serializes a workload to the `.wl` text format.
+pub fn to_wl(workload: &Workload) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "WORKLOAD {}", workload.name);
+    for layer in &workload.layers {
+        let _ = writeln!(out, "LAYER {}", layer.name);
+        let _ = writeln!(out, "  FWD_COMPUTE {}", layer.fwd_compute);
+        write_comm(&mut out, "FWD_COMM", &layer.fwd_comm);
+        let _ = writeln!(out, "  IGRAD_COMPUTE {}", layer.igrad_compute);
+        write_comm(&mut out, "TP_COMM", &layer.tp_comm);
+        let _ = writeln!(out, "  WGRAD_COMPUTE {}", layer.wgrad_compute);
+        write_comm(&mut out, "DP_COMM", &layer.dp_comm);
+    }
+    out
+}
+
+fn write_comm(out: &mut String, key: &str, op: &Option<CommOp>) {
+    if let Some(c) = op {
+        let span = c
+            .span
+            .extents()
+            .iter()
+            .map(|(d, e)| format!("{d}:{e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(out, "  {key} {} {} SPAN {span}", c.collective.code(), c.bytes);
+    }
+}
+
+/// Parses a workload from the `.wl` text format.
+///
+/// # Errors
+/// Returns [`LibraError::ParseWorkload`] with a 1-based line number for any
+/// malformed line, unknown keyword, or misplaced directive.
+pub fn from_wl(text: &str) -> Result<Workload, LibraError> {
+    let err = |line: usize, reason: &str| LibraError::ParseWorkload {
+        line,
+        reason: reason.to_string(),
+    };
+    let mut name: Option<String> = None;
+    let mut layers: Vec<Layer> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let key = tokens.next().expect("non-empty line has a first token");
+        match key {
+            "WORKLOAD" => {
+                let rest: Vec<&str> = tokens.collect();
+                if rest.is_empty() {
+                    return Err(err(lineno, "WORKLOAD needs a name"));
+                }
+                if name.is_some() {
+                    return Err(err(lineno, "duplicate WORKLOAD directive"));
+                }
+                name = Some(rest.join(" "));
+            }
+            "LAYER" => {
+                let rest: Vec<&str> = tokens.collect();
+                if rest.is_empty() {
+                    return Err(err(lineno, "LAYER needs a name"));
+                }
+                layers.push(Layer { name: rest.join(" "), ..Default::default() });
+            }
+            "FWD_COMPUTE" | "IGRAD_COMPUTE" | "WGRAD_COMPUTE" => {
+                let layer = layers
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "compute line before any LAYER"))?;
+                let v: f64 = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing compute value"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "compute value is not a number"))?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(err(lineno, "compute value must be non-negative"));
+                }
+                match key {
+                    "FWD_COMPUTE" => layer.fwd_compute = v,
+                    "IGRAD_COMPUTE" => layer.igrad_compute = v,
+                    _ => layer.wgrad_compute = v,
+                }
+            }
+            "FWD_COMM" | "TP_COMM" | "DP_COMM" => {
+                let op = parse_comm(&mut tokens, lineno)?;
+                let layer = layers
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "comm line before any LAYER"))?;
+                match key {
+                    "FWD_COMM" => layer.fwd_comm = Some(op),
+                    "TP_COMM" => layer.tp_comm = Some(op),
+                    _ => layer.dp_comm = Some(op),
+                }
+            }
+            other => return Err(err(lineno, &format!("unknown keyword {other:?}"))),
+        }
+    }
+    let name = name.ok_or_else(|| err(0, "missing WORKLOAD directive"))?;
+    Ok(Workload::new(name, layers))
+}
+
+fn parse_comm<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<CommOp, LibraError> {
+    let err = |reason: &str| LibraError::ParseWorkload {
+        line: lineno,
+        reason: reason.to_string(),
+    };
+    let coll = tokens.next().ok_or_else(|| err("missing collective name"))?;
+    let collective =
+        Collective::from_code(coll).ok_or_else(|| err(&format!("unknown collective {coll:?}")))?;
+    let bytes: f64 = tokens
+        .next()
+        .ok_or_else(|| err("missing byte count"))?
+        .parse()
+        .map_err(|_| err("byte count is not a number"))?;
+    if !(bytes.is_finite() && bytes >= 0.0) {
+        return Err(err("byte count must be non-negative"));
+    }
+    match tokens.next() {
+        Some("SPAN") => {}
+        _ => return Err(err("expected SPAN keyword")),
+    }
+    let span_str = tokens.next().ok_or_else(|| err("missing span list"))?;
+    let mut extents = Vec::new();
+    for part in span_str.split(',') {
+        let (d, e) = part
+            .split_once(':')
+            .ok_or_else(|| err("span entries must look like dim:extent"))?;
+        let d: usize = d.parse().map_err(|_| err("span dim is not an integer"))?;
+        let e: u64 = e.parse().map_err(|_| err("span extent is not an integer"))?;
+        if e < 2 {
+            return Err(err("span extent must be at least 2"));
+        }
+        if let Some(&(last, _)) = extents.last() {
+            if d <= last {
+                return Err(err("span dims must be strictly ascending"));
+            }
+        }
+        extents.push((d, e));
+    }
+    Ok(CommOp::new(collective, bytes, GroupSpan::new(extents)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::ComputeModel;
+    use crate::transformer::TransformerConfig;
+    use libra_core::network::NetworkShape;
+
+    fn sample() -> Workload {
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        TransformerConfig::gpt3().build(&shape, &ComputeModel::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_workload() {
+        let w = sample();
+        let text = to_wl(&w);
+        let back = from_wl(&text).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nWORKLOAD toy\n# mid\nLAYER l0\n  FWD_COMPUTE 0.5\n";
+        let w = from_wl(text).unwrap();
+        assert_eq!(w.name, "toy");
+        assert_eq!(w.layers.len(), 1);
+        assert_eq!(w.layers[0].fwd_compute, 0.5);
+    }
+
+    #[test]
+    fn missing_workload_directive_is_an_error() {
+        let e = from_wl("LAYER l0\n").unwrap_err();
+        assert!(matches!(e, LibraError::ParseWorkload { .. }));
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "WORKLOAD t\nLAYER l\n  FWD_COMPUTE banana\n";
+        match from_wl(text).unwrap_err() {
+            LibraError::ParseWorkload { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_comm_before_layer() {
+        let text = "WORKLOAD t\n  DP_COMM ALLREDUCE 10 SPAN 0:4\n";
+        assert!(from_wl(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_collective_and_bad_span() {
+        assert!(from_wl("WORKLOAD t\nLAYER l\n  DP_COMM FROBNICATE 1 SPAN 0:4\n").is_err());
+        assert!(from_wl("WORKLOAD t\nLAYER l\n  DP_COMM ALLREDUCE 1 SPAN 4\n").is_err());
+        assert!(from_wl("WORKLOAD t\nLAYER l\n  DP_COMM ALLREDUCE 1 SPAN 2:4,1:2\n").is_err());
+        assert!(from_wl("WORKLOAD t\nLAYER l\n  DP_COMM ALLREDUCE 1 SPAN 0:1\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_workload_rejected() {
+        assert!(from_wl("WORKLOAD a\nWORKLOAD b\n").is_err());
+    }
+}

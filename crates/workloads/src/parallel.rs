@@ -1,0 +1,293 @@
+//! Hybrid-parallelism mapping: placing HP-(m, n) groups onto the physical
+//! dimensions of a network (paper §II-B).
+//!
+//! LIBRA places tensor-parallel (TP) groups on the *innermost* dimensions —
+//! TP communicates activations every layer, so it should ride the
+//! cheapest/fastest fabric — and data-parallel (DP) groups on whatever is
+//! left. A TP group may occupy a *fraction* of a dimension: TP-16 on
+//! `RI(4)_FC(8)_…` becomes extents `[(0,4), (1,4)]`, leaving the remaining
+//! ×2 of dimension 1 (plus all outer dimensions) to DP. This sub-extent
+//! mapping is what reproduces the paper's "mismatching TP size" note for
+//! GPT-3 on the 4D-4K topology.
+
+use libra_core::comm::GroupSpan;
+use libra_core::error::LibraError;
+use libra_core::network::NetworkShape;
+
+/// The TP and DP spans of an HP-(tp, dp) placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMap {
+    /// Tensor-parallel group span (innermost dimensions).
+    pub tp: GroupSpan,
+    /// Data-parallel group span (everything left over).
+    pub dp: GroupSpan,
+}
+
+/// The TP, PP and DP spans of an HP-(tp, pp, dp) placement
+/// (tensor-parallel innermost, pipeline stages next, data-parallel last).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMap3 {
+    /// Tensor-parallel group span.
+    pub tp: GroupSpan,
+    /// Pipeline-parallel span (stage-to-stage transfers cross these dims).
+    pub pp: GroupSpan,
+    /// Data-parallel group span.
+    pub dp: GroupSpan,
+}
+
+impl GroupMap3 {
+    /// The dimension crossed when moving from pipeline stage `s` to `s+1`:
+    /// the lowest pipeline dimension whose mixed-radix digit changes.
+    ///
+    /// # Panics
+    /// Panics if `s + 1` is not a valid stage index or the map has no
+    /// pipeline span.
+    pub fn pp_boundary_dim(&self, s: u64) -> usize {
+        assert!(!self.pp.is_trivial(), "no pipeline span");
+        let mut rem = s;
+        for &(dim, e) in self.pp.extents() {
+            let digit = rem % e;
+            if digit != e - 1 {
+                return dim;
+            }
+            rem /= e;
+        }
+        // s was the last stage; there is no boundary s → s+1.
+        panic!("stage {s} has no successor");
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Maps HP-(tp, npus/tp) onto a network: TP fills dimensions from the
+/// innermost outward (taking the largest factor of the dimension size that
+/// divides the remaining TP degree); DP receives each dimension's leftover.
+///
+/// # Errors
+/// Returns [`LibraError::GroupMapping`] when `tp` does not divide the NPU
+/// count or cannot be factored into the dimension sizes (e.g. TP-6 on a
+/// power-of-two machine).
+pub fn map_hybrid(shape: &NetworkShape, tp: u64) -> Result<GroupMap, LibraError> {
+    let npus = shape.npus();
+    let err = |reason: String| LibraError::GroupMapping {
+        group: tp,
+        dims: shape.sizes(),
+        reason,
+    };
+    if tp == 0 {
+        return Err(err("TP degree must be at least 1".into()));
+    }
+    if npus % tp != 0 {
+        return Err(err(format!("TP degree must divide the NPU count {npus}")));
+    }
+    let mut remaining = tp;
+    let mut tp_extents: Vec<(usize, u64)> = Vec::new();
+    let mut dp_extents: Vec<(usize, u64)> = Vec::new();
+    for (i, d) in shape.dims().iter().enumerate() {
+        let e = gcd(remaining, d.size);
+        // Take the largest factor of this dim that divides what's left of
+        // the TP degree. (gcd is exactly that for the common power-of-two
+        // shapes; for mixed radices it is the canonical greedy choice.)
+        if e > 1 {
+            tp_extents.push((i, e));
+            remaining /= e;
+        }
+        let leftover = d.size / e;
+        if leftover > 1 {
+            dp_extents.push((i, leftover));
+        }
+    }
+    if remaining != 1 {
+        return Err(err(format!(
+            "TP degree has a residual factor {remaining} not present in the dims"
+        )));
+    }
+    Ok(GroupMap { tp: GroupSpan::new(tp_extents), dp: GroupSpan::new(dp_extents) })
+}
+
+/// Maps HP-(tp, pp, npus/(tp·pp)) onto a network: TP fills the innermost
+/// dimensions, pipeline stages take the next factors, and DP receives the
+/// rest.
+///
+/// # Errors
+/// Returns [`LibraError::GroupMapping`] when `tp·pp` does not divide the
+/// NPU count or cannot be factored into the dimension sizes.
+pub fn map_hybrid3(shape: &NetworkShape, tp: u64, pp: u64) -> Result<GroupMap3, LibraError> {
+    let npus = shape.npus();
+    let err = |group: u64, reason: String| LibraError::GroupMapping {
+        group,
+        dims: shape.sizes(),
+        reason,
+    };
+    if tp == 0 || pp == 0 {
+        return Err(err(tp.max(pp), "degrees must be at least 1".into()));
+    }
+    if npus % (tp * pp) != 0 {
+        return Err(err(tp * pp, format!("TP·PP must divide the NPU count {npus}")));
+    }
+    let mut rem_tp = tp;
+    let mut rem_pp = pp;
+    let mut tp_extents: Vec<(usize, u64)> = Vec::new();
+    let mut pp_extents: Vec<(usize, u64)> = Vec::new();
+    let mut dp_extents: Vec<(usize, u64)> = Vec::new();
+    for (i, d) in shape.dims().iter().enumerate() {
+        let mut leftover = d.size;
+        let e_tp = gcd(rem_tp, leftover);
+        if e_tp > 1 {
+            tp_extents.push((i, e_tp));
+            rem_tp /= e_tp;
+            leftover /= e_tp;
+        }
+        // PP only starts claiming factors once TP is fully placed, keeping
+        // the stages contiguous just outside the TP group.
+        if rem_tp == 1 {
+            let e_pp = gcd(rem_pp, leftover);
+            if e_pp > 1 {
+                pp_extents.push((i, e_pp));
+                rem_pp /= e_pp;
+                leftover /= e_pp;
+            }
+        }
+        if leftover > 1 {
+            dp_extents.push((i, leftover));
+        }
+    }
+    if rem_tp != 1 || rem_pp != 1 {
+        return Err(err(
+            tp * pp,
+            format!("residual factors tp={rem_tp}, pp={rem_pp} not present in the dims"),
+        ));
+    }
+    Ok(GroupMap3 {
+        tp: GroupSpan::new(tp_extents),
+        pp: GroupSpan::new(pp_extents),
+        dp: GroupSpan::new(dp_extents),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(s: &str) -> NetworkShape {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn tp1_leaves_everything_to_dp() {
+        let s = shape("RI(4)_FC(8)_RI(4)_SW(32)");
+        let m = map_hybrid(&s, 1).unwrap();
+        assert!(m.tp.is_trivial());
+        assert_eq!(m.dp.size(), 4096);
+    }
+
+    /// GPT-3's TP-16 on 4D-4K: TP spans dim 0 fully and *half* of dim 1;
+    /// DP gets the remaining ×2 of dim 1 plus dims 2–3 (the paper's
+    /// "mismatching TP size" case).
+    #[test]
+    fn tp16_on_4d_4k_splits_dim1() {
+        let s = shape("RI(4)_FC(8)_RI(4)_SW(32)");
+        let m = map_hybrid(&s, 16).unwrap();
+        assert_eq!(m.tp.extents(), &[(0, 4), (1, 4)]);
+        assert_eq!(m.dp.extents(), &[(1, 2), (2, 4), (3, 32)]);
+        assert_eq!(m.tp.size() * m.dp.size(), 4096);
+    }
+
+    /// MSFT-1T's TP-128 on 4D-4K consumes dims 0–2 exactly.
+    #[test]
+    fn tp128_on_4d_4k_consumes_three_dims() {
+        let s = shape("RI(4)_FC(8)_RI(4)_SW(32)");
+        let m = map_hybrid(&s, 128).unwrap();
+        assert_eq!(m.tp.extents(), &[(0, 4), (1, 8), (2, 4)]);
+        assert_eq!(m.dp.extents(), &[(3, 32)]);
+    }
+
+    #[test]
+    fn tp128_on_3d_4k() {
+        let s = shape("RI(16)_FC(8)_SW(32)");
+        let m = map_hybrid(&s, 128).unwrap();
+        assert_eq!(m.tp.extents(), &[(0, 16), (1, 8)]);
+        assert_eq!(m.dp.extents(), &[(2, 32)]);
+    }
+
+    #[test]
+    fn full_machine_tp_has_no_dp() {
+        let s = shape("RI(4)_RI(4)_RI(4)");
+        let m = map_hybrid(&s, 64).unwrap();
+        assert_eq!(m.tp.size(), 64);
+        assert!(m.dp.is_trivial());
+    }
+
+    #[test]
+    fn rejects_non_dividing_tp() {
+        let s = shape("RI(4)_FC(8)");
+        assert!(matches!(map_hybrid(&s, 3), Err(LibraError::GroupMapping { .. })));
+        assert!(matches!(map_hybrid(&s, 0), Err(LibraError::GroupMapping { .. })));
+    }
+
+    #[test]
+    fn rejects_unfactorable_tp() {
+        // 6 divides 24 but its factor 3 never fits the power-of-two dims.
+        let s = shape("RI(4)_FC(8)_SW(6)");
+        // npus = 192, tp = 6: gcd(6,4)=2, rem 3; gcd(3,8)=1; gcd(3,6)=3 → ok!
+        let m = map_hybrid(&s, 6).unwrap();
+        assert_eq!(m.tp.extents(), &[(0, 2), (2, 3)]);
+        // But TP-9 cannot be factored (only one factor of 3 available).
+        assert!(map_hybrid(&s, 9).is_err());
+    }
+
+    #[test]
+    fn spans_are_orthogonal_partitions() {
+        for tp in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let s = shape("RI(4)_FC(8)_RI(4)_SW(32)");
+            let m = map_hybrid(&s, tp).unwrap();
+            assert_eq!(m.tp.size() * m.dp.size(), s.npus(), "tp={tp}");
+        }
+    }
+
+    #[test]
+    fn hybrid3_partitions_three_ways() {
+        let s = shape("RI(4)_FC(8)_RI(4)_SW(32)");
+        let m = map_hybrid3(&s, 16, 8).unwrap();
+        assert_eq!(m.tp.extents(), &[(0, 4), (1, 4)]);
+        assert_eq!(m.pp.extents(), &[(1, 2), (2, 4)]);
+        assert_eq!(m.dp.extents(), &[(3, 32)]);
+        assert_eq!(m.tp.size() * m.pp.size() * m.dp.size(), s.npus());
+    }
+
+    #[test]
+    fn hybrid3_degenerates_to_hybrid_when_pp_is_1() {
+        let s = shape("RI(4)_FC(8)_RI(4)_SW(32)");
+        let two = map_hybrid(&s, 16).unwrap();
+        let three = map_hybrid3(&s, 16, 1).unwrap();
+        assert_eq!(two.tp, three.tp);
+        assert_eq!(two.dp, three.dp);
+        assert!(three.pp.is_trivial());
+    }
+
+    #[test]
+    fn pp_boundary_dims_follow_mixed_radix() {
+        let s = shape("RI(4)_FC(8)_RI(4)_SW(32)");
+        let m = map_hybrid3(&s, 16, 8).unwrap();
+        // PP extents: [(1,2), (2,4)] → stage digits (d1, d2) in radix (2,4).
+        // Boundary 0→1 flips the dim-1 digit; 1→2 wraps it, crossing dim 2.
+        assert_eq!(m.pp_boundary_dim(0), 1);
+        assert_eq!(m.pp_boundary_dim(1), 2);
+        assert_eq!(m.pp_boundary_dim(2), 1);
+        assert_eq!(m.pp_boundary_dim(3), 2);
+    }
+
+    #[test]
+    fn hybrid3_rejects_oversized_groups() {
+        let s = shape("RI(4)_FC(8)");
+        assert!(map_hybrid3(&s, 16, 4).is_err(), "tp·pp = 64 > 32 NPUs");
+        assert!(map_hybrid3(&s, 0, 2).is_err());
+    }
+}

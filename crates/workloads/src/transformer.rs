@@ -1,0 +1,347 @@
+//! Megatron-style transformer workload generator (Turing-NLG, GPT-3,
+//! MSFT-1T) with ZeRO-2 data parallelism.
+//!
+//! Per transformer layer with hidden size `h`, sequence `s`, per-replica
+//! microbatch `b`, TP degree `t`:
+//!
+//! * parameters: `12 h²` (4h² attention + 8h² MLP; embeddings excluded, as
+//!   they are a ≤2 % correction for these models);
+//! * forward FLOPs: `24 b s h² + 4 b s² h`, sharded `÷ t` per NPU;
+//! * backward ≈ 2× forward, split evenly between input-gradient ("TP
+//!   compute") and weight-gradient ("DP compute") GEMMs;
+//! * TP communication (Megatron): two activation All-Reduces of `b·s·h`
+//!   elements per pass — modeled as one All-Reduce of `2·b·s·h` elements in
+//!   forward and one in backward;
+//! * DP communication (ZeRO-2): gradient Reduce-Scatter + parameter
+//!   All-Gather of the local shard (`12h²/t` elements each). Their combined
+//!   traffic equals a single All-Reduce of the shard, which is how it is
+//!   emitted.
+//!
+//! All tensors are FP16 (2 bytes), matching Fig. 1.
+
+use libra_core::comm::{Collective, GroupSpan};
+use libra_core::error::LibraError;
+use libra_core::network::NetworkShape;
+use libra_core::workload::{CommOp, Layer, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::compute::ComputeModel;
+use crate::parallel::map_hybrid3;
+
+/// Bytes per FP16 element.
+pub const BYTES_PER_ELEMENT: f64 = 2.0;
+
+/// A transformer model + training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Model name.
+    pub name: String,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Per-DP-replica microbatch size.
+    pub batch_per_replica: u64,
+    /// Tensor-parallel degree (Table II "TP Size").
+    pub tp: u64,
+    /// Pipeline-parallel degree (1 = no pipelining; §IV-C extension).
+    pub pp: u64,
+}
+
+impl TransformerConfig {
+    /// Turing-NLG: 17B parameters, TP-1 (pure data parallel).
+    ///
+    /// The paper trains DP workloads with a *global* minibatch of 32
+    /// (Fig. 1), which is far below the thousands of DP replicas in the
+    /// evaluated systems — so each replica processes a single microbatch.
+    pub fn turing_nlg() -> Self {
+        TransformerConfig {
+            name: "Turing-NLG".into(),
+            layers: 78,
+            hidden: 4256,
+            seq: 1024,
+            batch_per_replica: 1,
+            tp: 1,
+            pp: 1,
+        }
+    }
+
+    /// GPT-3: 175B parameters, TP-16.
+    pub fn gpt3() -> Self {
+        TransformerConfig {
+            name: "GPT-3".into(),
+            layers: 96,
+            hidden: 12288,
+            seq: 2048,
+            batch_per_replica: 8,
+            tp: 16,
+            pp: 1,
+        }
+    }
+
+    /// MSFT-1T: 1T parameters, TP-128.
+    pub fn msft_1t() -> Self {
+        TransformerConfig {
+            name: "MSFT-1T".into(),
+            layers: 128,
+            hidden: 25600,
+            seq: 2048,
+            batch_per_replica: 16,
+            tp: 128,
+            pp: 1,
+        }
+    }
+
+    /// Returns a copy with a different TP degree (used by the Fig. 21
+    /// parallelization co-search).
+    pub fn with_tp(mut self, tp: u64) -> Self {
+        self.tp = tp;
+        self
+    }
+
+    /// Returns a copy with a different per-replica microbatch. When
+    /// comparing parallelization strategies at a fixed *global* batch, set
+    /// this to `global_batch / dp` (Fig. 21).
+    pub fn with_batch(mut self, batch_per_replica: u64) -> Self {
+        self.batch_per_replica = batch_per_replica;
+        self
+    }
+
+    /// Returns a copy with a pipeline-parallel degree. Layers are divided
+    /// into `pp` stages; each stage boundary adds a point-to-point
+    /// activation transfer (forward) and gradient transfer (backward) of
+    /// `b·s·h` elements across the dimension separating the stages.
+    pub fn with_pp(mut self, pp: u64) -> Self {
+        self.pp = pp;
+        self
+    }
+
+    /// Parameters per transformer layer (`12 h²`).
+    pub fn params_per_layer(&self) -> f64 {
+        12.0 * (self.hidden as f64) * (self.hidden as f64)
+    }
+
+    /// Total parameters across all layers.
+    pub fn total_params(&self) -> f64 {
+        self.params_per_layer() * self.layers as f64
+    }
+
+    /// Forward FLOPs per layer per TP shard.
+    fn fwd_flops_per_shard(&self) -> f64 {
+        let (b, s, h) = (
+            self.batch_per_replica as f64,
+            self.seq as f64,
+            self.hidden as f64,
+        );
+        (24.0 * b * s * h * h + 4.0 * b * s * s * h) / self.tp as f64
+    }
+
+    /// Activation All-Reduce payload per pass (two Megatron All-Reduces of
+    /// `b·s·h` FP16 elements, merged).
+    fn tp_comm_bytes(&self) -> f64 {
+        let (b, s, h) = (
+            self.batch_per_replica as f64,
+            self.seq as f64,
+            self.hidden as f64,
+        );
+        2.0 * b * s * h * BYTES_PER_ELEMENT
+    }
+
+    /// ZeRO-2 gradient/parameter shard bytes per layer per NPU.
+    fn dp_comm_bytes(&self) -> f64 {
+        self.params_per_layer() / self.tp as f64 * BYTES_PER_ELEMENT
+    }
+
+    /// Activation bytes crossing one pipeline-stage boundary per microbatch.
+    fn pp_comm_bytes(&self) -> f64 {
+        let (b, s, h) = (
+            self.batch_per_replica as f64,
+            self.seq as f64,
+            self.hidden as f64,
+        );
+        b * s * h * BYTES_PER_ELEMENT
+    }
+
+    /// Builds the per-iteration [`Workload`] for this model on a network.
+    ///
+    /// With `pp > 1`, each NPU hosts `layers / pp` of the stack, and each
+    /// stage boundary contributes a zero-compute boundary "layer" carrying
+    /// the forward activation send and the backward gradient send across
+    /// the dimension that separates the stages.
+    ///
+    /// # Errors
+    /// Fails when the TP (or TP·PP) degree cannot be mapped onto the
+    /// network's dimensions (see [`map_hybrid3`]), or `pp` exceeds the
+    /// layer count.
+    pub fn build(
+        &self,
+        shape: &NetworkShape,
+        compute: &ComputeModel,
+    ) -> Result<Workload, LibraError> {
+        let map = map_hybrid3(shape, self.tp, self.pp)?;
+        if self.pp as usize > self.layers {
+            return Err(LibraError::GroupMapping {
+                group: self.pp,
+                dims: shape.sizes(),
+                reason: format!("PP degree exceeds the {}-layer stack", self.layers),
+            });
+        }
+        let fwd = compute.seconds(self.fwd_flops_per_shard());
+        let comm = |collective: Collective, bytes: f64, span: &GroupSpan| {
+            if span.is_trivial() || bytes <= 0.0 {
+                None
+            } else {
+                Some(CommOp::new(collective, bytes, span.clone()))
+            }
+        };
+        let layer = Layer {
+            name: "transformer".into(),
+            fwd_compute: fwd,
+            fwd_comm: comm(Collective::AllReduce, self.tp_comm_bytes(), &map.tp),
+            igrad_compute: fwd,
+            tp_comm: comm(Collective::AllReduce, self.tp_comm_bytes(), &map.tp),
+            wgrad_compute: fwd,
+            // ZeRO-2 Reduce-Scatter + All-Gather ≡ one All-Reduce in traffic.
+            dp_comm: comm(Collective::AllReduce, self.dp_comm_bytes(), &map.dp),
+        };
+        // Each NPU holds layers/pp of the stack (pipeline model
+        // parallelism); boundary layers carry the stage-to-stage
+        // activations forward and gradients backward.
+        let per_stage = self.layers / self.pp as usize;
+        let mut layers: Vec<Layer> = Vec::with_capacity(per_stage + self.pp as usize);
+        layers.extend(std::iter::repeat_n(layer, per_stage.max(1)));
+        for s in 0..self.pp.saturating_sub(1) {
+            let dim = map.pp_boundary_dim(s);
+            let span = GroupSpan::new(vec![(dim, 2)]);
+            layers.push(Layer {
+                name: format!("pp-boundary-{s}"),
+                fwd_comm: comm(Collective::PointToPoint, self.pp_comm_bytes(), &span),
+                tp_comm: comm(Collective::PointToPoint, self.pp_comm_bytes(), &span),
+                ..Default::default()
+            });
+        }
+        Ok(Workload::new(self.name.clone(), layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_core::network::NetworkShape;
+
+    fn shape_4d4k() -> NetworkShape {
+        "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap()
+    }
+
+    #[test]
+    fn table_ii_parameter_counts() {
+        // 17B / 175B / 1T within 5 %.
+        let t = TransformerConfig::turing_nlg();
+        assert!((t.total_params() / 17e9 - 1.0).abs() < 0.05, "{}", t.total_params());
+        let g = TransformerConfig::gpt3();
+        assert!((g.total_params() / 175e9 - 1.0).abs() < 0.05, "{}", g.total_params());
+        let m = TransformerConfig::msft_1t();
+        assert!((m.total_params() / 1e12 - 1.0).abs() < 0.05, "{}", m.total_params());
+    }
+
+    #[test]
+    fn table_ii_tp_sizes() {
+        assert_eq!(TransformerConfig::turing_nlg().tp, 1);
+        assert_eq!(TransformerConfig::gpt3().tp, 16);
+        assert_eq!(TransformerConfig::msft_1t().tp, 128);
+    }
+
+    #[test]
+    fn turing_nlg_is_pure_dp() {
+        let w = TransformerConfig::turing_nlg()
+            .build(&shape_4d4k(), &ComputeModel::default())
+            .unwrap();
+        let l = &w.layers[0];
+        assert!(l.fwd_comm.is_none(), "TP-1 has no TP communication");
+        assert!(l.tp_comm.is_none());
+        let dp = l.dp_comm.as_ref().unwrap();
+        assert_eq!(dp.span.size(), 4096);
+        // Shard = whole layer (TP-1): 12·4256²·2 bytes.
+        assert!((dp.bytes - 12.0 * 4256.0 * 4256.0 * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gpt3_has_both_tp_and_dp_comm() {
+        let w = TransformerConfig::gpt3()
+            .build(&shape_4d4k(), &ComputeModel::default())
+            .unwrap();
+        let l = &w.layers[0];
+        assert_eq!(l.tp_comm.as_ref().unwrap().span.size(), 16);
+        assert_eq!(l.dp_comm.as_ref().unwrap().span.size(), 256);
+        assert_eq!(w.layers.len(), 96);
+    }
+
+    #[test]
+    fn compute_time_scales_inverse_with_tp() {
+        let shape = shape_4d4k();
+        let cm = ComputeModel::default();
+        let base = TransformerConfig::gpt3().with_tp(16).build(&shape, &cm).unwrap();
+        let wide = TransformerConfig::gpt3().with_tp(32).build(&shape, &cm).unwrap();
+        let r = base.layers[0].fwd_compute / wide.layers[0].fwd_compute;
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_models_communicate_more() {
+        let shape = shape_4d4k();
+        let cm = ComputeModel::default();
+        let t = TransformerConfig::turing_nlg().build(&shape, &cm).unwrap();
+        let m = TransformerConfig::msft_1t().build(&shape, &cm).unwrap();
+        assert!(m.total_comm_bytes() > t.total_comm_bytes());
+    }
+
+    #[test]
+    fn unmappable_tp_is_an_error() {
+        let shape: NetworkShape = "RI(4)_SW(4)".parse().unwrap();
+        // TP-128 does not fit a 16-NPU machine.
+        assert!(TransformerConfig::msft_1t().build(&shape, &ComputeModel::default()).is_err());
+    }
+
+    #[test]
+    fn pipeline_parallel_adds_boundary_layers() {
+        let shape = shape_4d4k();
+        let w = TransformerConfig::gpt3()
+            .with_pp(8)
+            .build(&shape, &ComputeModel::default())
+            .unwrap();
+        // 96 layers / 8 stages per NPU + 7 boundary transfers.
+        assert_eq!(w.layers.len(), 96 / 8 + 7);
+        let boundary = w.layers.iter().find(|l| l.name.starts_with("pp-boundary")).unwrap();
+        let fwd = boundary.fwd_comm.as_ref().unwrap();
+        assert_eq!(fwd.collective, Collective::PointToPoint);
+        // b·s·h·2 bytes = 8·2048·12288·2.
+        assert!((fwd.bytes - 8.0 * 2048.0 * 12288.0 * 2.0).abs() < 1.0);
+        assert_eq!(boundary.fwd_compute, 0.0);
+    }
+
+    #[test]
+    fn pipeline_reduces_per_npu_compute() {
+        let shape = shape_4d4k();
+        let cm = ComputeModel::default();
+        let plain = TransformerConfig::gpt3().build(&shape, &cm).unwrap();
+        let piped = TransformerConfig::gpt3().with_pp(8).build(&shape, &cm).unwrap();
+        assert!((plain.total_compute() / piped.total_compute() - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pp_cannot_exceed_layer_count() {
+        let shape = shape_4d4k();
+        let cfg = TransformerConfig {
+            name: "tiny".into(),
+            layers: 2,
+            hidden: 1024,
+            seq: 128,
+            batch_per_replica: 1,
+            tp: 1,
+            pp: 4,
+        };
+        assert!(cfg.build(&shape, &ComputeModel::default()).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! ResNet-50 workload generator (data-parallel vision training, Table II).
+//!
+//! The generator encodes the standard ResNet-50 architecture at stage
+//! granularity: the 7×7 stem, four bottleneck stages (3/4/6/3 blocks at
+//! 56²/28²/14²/7² spatial resolution), and the final classifier. Parameter
+//! counts per stage follow the published architecture and sum to ≈25.6M.
+//! Training is pure data parallelism with ZeRO-2-style gradient
+//! synchronization (Reduce-Scatter + All-Gather ≡ All-Reduce traffic).
+
+use libra_core::comm::{Collective, GroupSpan};
+use libra_core::error::LibraError;
+use libra_core::network::NetworkShape;
+use libra_core::workload::{CommOp, Layer, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::compute::ComputeModel;
+use crate::transformer::BYTES_PER_ELEMENT;
+
+/// One ResNet stage: `blocks` bottleneck blocks at a given spatial size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Stage {
+    name: &'static str,
+    /// Number of bottleneck blocks.
+    blocks: u64,
+    /// Input spatial resolution (H = W).
+    spatial: u64,
+    /// Bottleneck width (the 3×3 conv channel count).
+    width: u64,
+}
+
+/// ResNet-50 stage table (post-stem).
+const STAGES: [Stage; 4] = [
+    Stage { name: "conv2_x", blocks: 3, spatial: 56, width: 64 },
+    Stage { name: "conv3_x", blocks: 4, spatial: 28, width: 128 },
+    Stage { name: "conv4_x", blocks: 6, spatial: 14, width: 256 },
+    Stage { name: "conv5_x", blocks: 3, spatial: 7, width: 512 },
+];
+
+/// ResNet-50 training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResNet50Config {
+    /// Per-NPU minibatch (the paper's DP workloads use 32).
+    pub batch_per_npu: u64,
+    /// Classifier classes (ImageNet-1k).
+    pub classes: u64,
+}
+
+impl Default for ResNet50Config {
+    fn default() -> Self {
+        ResNet50Config { batch_per_npu: 32, classes: 1000 }
+    }
+}
+
+/// Parameters of one bottleneck block of width `w` (1×1 w, 3×3 w, 1×1 4w
+/// convs; `shortcut` adds the 1×1 projection used by each stage's first
+/// block).
+fn block_params(width: u64, in_channels: u64, shortcut: bool) -> f64 {
+    let w = width as f64;
+    let cin = in_channels as f64;
+    // 1×1: cin→w; 3×3: w→w (×9); 1×1: w→4w.
+    let mut p = cin * w + 9.0 * w * w + w * 4.0 * w;
+    if shortcut {
+        p += cin * 4.0 * w; // 1×1 projection cin → 4w
+    }
+    p
+}
+
+/// FLOPs of one bottleneck block per image (2 × MACs).
+fn block_flops(width: u64, in_channels: u64, spatial: u64, shortcut: bool) -> f64 {
+    let hw = (spatial * spatial) as f64;
+    2.0 * hw * block_params(width, in_channels, shortcut)
+}
+
+impl ResNet50Config {
+    /// Total parameter count of the generated model.
+    pub fn total_params(&self) -> f64 {
+        let mut p = 7.0 * 7.0 * 3.0 * 64.0; // stem
+        let mut cin = 64u64;
+        for s in STAGES {
+            p += block_params(s.width, cin, true);
+            cin = 4 * s.width;
+            p += (s.blocks - 1) as f64 * block_params(s.width, cin, false);
+        }
+        p += (2048 * self.classes) as f64; // classifier
+        p
+    }
+
+    /// Builds the data-parallel workload: one layer per stage, each with a
+    /// gradient All-Reduce over the whole machine.
+    ///
+    /// # Errors
+    /// Currently infallible for any valid shape, but kept fallible for
+    /// interface symmetry with the other generators.
+    pub fn build(
+        &self,
+        shape: &NetworkShape,
+        compute: &ComputeModel,
+    ) -> Result<Workload, LibraError> {
+        let dp = GroupSpan::full(shape);
+        let b = self.batch_per_npu as f64;
+        let mut layers = Vec::new();
+        let mut push = |name: &str, params: f64, flops_per_image: f64| {
+            let fwd = compute.seconds(flops_per_image * b);
+            layers.push(Layer {
+                name: name.to_string(),
+                fwd_compute: fwd,
+                fwd_comm: None,
+                igrad_compute: fwd,
+                tp_comm: None,
+                wgrad_compute: fwd,
+                dp_comm: Some(CommOp::new(
+                    Collective::AllReduce,
+                    params * BYTES_PER_ELEMENT,
+                    dp.clone(),
+                )),
+            });
+        };
+        // Stem: 7×7/2 conv at 112² output.
+        let stem_params = 7.0 * 7.0 * 3.0 * 64.0;
+        push("stem", stem_params, 2.0 * 112.0 * 112.0 * stem_params);
+        let mut cin = 64u64;
+        for s in STAGES {
+            let mut params = block_params(s.width, cin, true);
+            let mut flops = block_flops(s.width, cin, s.spatial, true);
+            cin = 4 * s.width;
+            params += (s.blocks - 1) as f64 * block_params(s.width, cin, false);
+            flops += (s.blocks - 1) as f64 * block_flops(s.width, cin, s.spatial, false);
+            push(s.name, params, flops);
+        }
+        let fc_params = (2048 * self.classes) as f64;
+        push("fc", fc_params, 2.0 * fc_params);
+        Ok(Workload::new("ResNet-50", layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_near_25_6m() {
+        let p = ResNet50Config::default().total_params();
+        assert!(
+            (p / 25.6e6 - 1.0).abs() < 0.08,
+            "ResNet-50 params {p} should be within 8% of 25.6M"
+        );
+    }
+
+    #[test]
+    fn workload_is_pure_dp() {
+        let shape: NetworkShape = "RI(4)_SW(8)".parse().unwrap();
+        let w = ResNet50Config::default().build(&shape, &ComputeModel::default()).unwrap();
+        for l in &w.layers {
+            assert!(l.tp_comm.is_none());
+            assert!(l.fwd_comm.is_none());
+            assert_eq!(l.dp_comm.as_ref().unwrap().span.size(), 32);
+        }
+    }
+
+    #[test]
+    fn comm_bytes_are_twice_params() {
+        let shape: NetworkShape = "RI(4)_SW(8)".parse().unwrap();
+        let cfg = ResNet50Config::default();
+        let w = cfg.build(&shape, &ComputeModel::default()).unwrap();
+        assert!((w.total_comm_bytes() - cfg.total_params() * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn compute_dominates_communication_at_modest_bw() {
+        // ResNet-50 is the paper's "small, less communication-critical"
+        // model: even at 10 GB/s total, comm time is modest relative to the
+        // large LLMs. Just sanity-check compute is non-trivial.
+        let shape: NetworkShape = "RI(4)_SW(8)".parse().unwrap();
+        let w = ResNet50Config::default().build(&shape, &ComputeModel::default()).unwrap();
+        assert!(w.total_compute() > 0.0);
+        assert!(w.total_comm_bytes() > 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The Table II model zoo: one constructor per paper workload, sized for a
+//! given network.
+
+use libra_core::error::LibraError;
+use libra_core::network::NetworkShape;
+use libra_core::workload::Workload;
+
+use crate::compute::ComputeModel;
+use crate::dlrm::DlrmConfig;
+use crate::transformer::TransformerConfig;
+use crate::vision::ResNet50Config;
+
+/// The five evaluation workloads of the paper (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperModel {
+    /// Turing-NLG, 17B parameters, TP-1.
+    TuringNlg,
+    /// GPT-3, 175B parameters, TP-16.
+    Gpt3,
+    /// MSFT-1T, 1T parameters, TP-128.
+    Msft1T,
+    /// DLRM, 57M MLP parameters, embedding TP across all NPUs.
+    Dlrm,
+    /// ResNet-50, 25.6M parameters, TP-1.
+    ResNet50,
+}
+
+impl PaperModel {
+    /// All five models, in Table II order.
+    pub fn all() -> [PaperModel; 5] {
+        [
+            PaperModel::TuringNlg,
+            PaperModel::Gpt3,
+            PaperModel::Msft1T,
+            PaperModel::Dlrm,
+            PaperModel::ResNet50,
+        ]
+    }
+
+    /// The three transformer LLMs (used in Figs. 13/14/17a).
+    pub fn llms() -> [PaperModel; 3] {
+        [PaperModel::TuringNlg, PaperModel::Gpt3, PaperModel::Msft1T]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperModel::TuringNlg => "Turing-NLG",
+            PaperModel::Gpt3 => "GPT-3",
+            PaperModel::Msft1T => "MSFT-1T",
+            PaperModel::Dlrm => "DLRM",
+            PaperModel::ResNet50 => "ResNet-50",
+        }
+    }
+}
+
+/// Builds the workload for a paper model on the given network using the
+/// default (234 TFLOPS) compute model.
+///
+/// # Errors
+/// Fails when the model's TP degree cannot be mapped onto the network (e.g.
+/// MSFT-1T's TP-128 on a 64-NPU torus).
+pub fn workload_for(model: PaperModel, shape: &NetworkShape) -> Result<Workload, LibraError> {
+    workload_with_compute(model, shape, &ComputeModel::default())
+}
+
+/// [`workload_for`] with an explicit compute model.
+///
+/// # Errors
+/// See [`workload_for`].
+pub fn workload_with_compute(
+    model: PaperModel,
+    shape: &NetworkShape,
+    compute: &ComputeModel,
+) -> Result<Workload, LibraError> {
+    match model {
+        PaperModel::TuringNlg => TransformerConfig::turing_nlg().build(shape, compute),
+        PaperModel::Gpt3 => TransformerConfig::gpt3().build(shape, compute),
+        PaperModel::Msft1T => TransformerConfig::msft_1t().build(shape, compute),
+        PaperModel::Dlrm => DlrmConfig::default().build(shape, compute),
+        PaperModel::ResNet50 => ResNet50Config::default().build(shape, compute),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_on_4d_4k() {
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        for m in PaperModel::all() {
+            let w = workload_for(m, &shape).unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            assert_eq!(w.name, m.name());
+            assert!(w.total_comm_bytes() > 0.0, "{} must communicate", m.name());
+        }
+    }
+
+    /// Fig. 1's ordering: per-iteration communication grows with model size
+    /// across the LLM family.
+    #[test]
+    fn comm_size_ordering_matches_fig1() {
+        let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+        let t = workload_for(PaperModel::TuringNlg, &shape).unwrap().total_comm_bytes();
+        let g = workload_for(PaperModel::Gpt3, &shape).unwrap().total_comm_bytes();
+        let m = workload_for(PaperModel::Msft1T, &shape).unwrap().total_comm_bytes();
+        let r = workload_for(PaperModel::ResNet50, &shape).unwrap().total_comm_bytes();
+        assert!(r < t && t < g && g < m, "resnet {r} < t-nlg {t} < gpt3 {g} < msft-1t {m}");
+    }
+
+    #[test]
+    fn msft_1t_needs_128_npus() {
+        let small: NetworkShape = "RI(4)_RI(4)_RI(4)".parse().unwrap();
+        assert!(workload_for(PaperModel::Msft1T, &small).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Design-space exploration: sweep the per-NPU bandwidth budget and both
+//! optimization objectives for one model/topology pair (a single panel of
+//! the paper's Fig. 13/14).
+//!
+//! ```bash
+//! cargo run --release --example design_space_sweep
+//! ```
+
+use libra::core::cost::CostModel;
+use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::presets;
+use libra::core::time::estimate;
+use libra::core::workload::TrainingLoop;
+use libra::workloads::zoo::{workload_for, PaperModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shape = presets::topo_4d_4k();
+    let model = PaperModel::Msft1T;
+    let w = workload_for(model, &shape)?;
+    let expr = estimate(&w, TrainingLoop::NoOverlap, &libra::core::comm::CommModel::default());
+    let cm = CostModel::default();
+
+    println!("{} on {shape}", model.name());
+    println!(
+        "{:>8} {:>12} {:>10} {:>12} {:>10} {:>12}",
+        "GB/s", "equal t(s)", "perf t(s)", "perf spdup", "ppc t(s)", "ppc gain"
+    );
+    for budget in (100..=1000).step_by(100) {
+        let budget = budget as f64;
+        let targets = vec![(1.0, expr.clone())];
+        let equal = opt::evaluate(&shape, &targets, &opt::equal_bw(4, budget), &cm);
+        let perf = opt::optimize(&DesignRequest {
+            shape: &shape,
+            targets: targets.clone(),
+            objective: Objective::Perf,
+            constraints: vec![Constraint::TotalBw(budget)],
+            cost_model: &cm,
+        })?;
+        let ppc = opt::optimize(&DesignRequest {
+            shape: &shape,
+            targets,
+            objective: Objective::PerfPerCost,
+            constraints: vec![Constraint::TotalBw(budget)],
+            cost_model: &cm,
+        })?;
+        println!(
+            "{budget:>8.0} {:>12.3} {:>10.3} {:>11.2}x {:>12.3} {:>11.2}x",
+            equal.weighted_time,
+            perf.weighted_time,
+            perf.speedup_over(&equal),
+            ppc.weighted_time,
+            ppc.ppc_gain_over(&equal)
+        );
+    }
+    Ok(())
+}

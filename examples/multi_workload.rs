@@ -1,0 +1,57 @@
+//! Multi-workload (group) network design — the paper's §VI-B scenario:
+//! one cluster that must train several different models well.
+//!
+//! ```bash
+//! cargo run --release --example multi_workload
+//! ```
+
+use libra::core::cost::CostModel;
+use libra::core::expr::BwExpr;
+use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::presets;
+use libra::core::time::estimate;
+use libra::core::workload::TrainingLoop;
+use libra::workloads::zoo::{workload_for, PaperModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shape = presets::topo_4d_4k();
+    let total = 1000.0;
+    let cm = CostModel::default();
+    let comm = libra::core::comm::CommModel::default();
+    let models = [PaperModel::TuringNlg, PaperModel::Gpt3, PaperModel::Msft1T];
+
+    // Build each model's time expression and its EqualBW reference time.
+    let mut exprs: Vec<BwExpr> = Vec::new();
+    let mut eq_times: Vec<f64> = Vec::new();
+    let equal = opt::equal_bw(shape.ndims(), total);
+    for m in models {
+        let w = workload_for(m, &shape)?;
+        let e = estimate(&w, TrainingLoop::NoOverlap, &comm);
+        eq_times.push(e.eval(&equal));
+        exprs.push(e);
+    }
+
+    // Importance weights: normalize by the EqualBW time, so each workload
+    // contributes its relative slowdown rather than raw seconds.
+    let targets: Vec<(f64, BwExpr)> =
+        exprs.iter().zip(&eq_times).map(|(e, t)| (1.0 / t, e.clone())).collect();
+    let group = opt::optimize(&DesignRequest {
+        shape: &shape,
+        targets,
+        objective: Objective::Perf,
+        constraints: vec![Constraint::TotalBw(total)],
+        cost_model: &cm,
+    })?;
+
+    println!("group-optimized 4D-4K @ {total:.0} GB/s per NPU");
+    println!(
+        "bw = {:?} GB/s\n",
+        group.bw.iter().map(|b| b.round()).collect::<Vec<_>>()
+    );
+    println!("{:<12} {:>12} {:>12} {:>10}", "workload", "EqualBW (s)", "group (s)", "speedup");
+    for ((m, e), eq_t) in models.iter().zip(&exprs).zip(&eq_times) {
+        let t = e.eval(&group.bw);
+        println!("{:<12} {:>12.3} {:>12.3} {:>9.2}x", m.name(), eq_t, t, eq_t / t);
+    }
+    Ok(())
+}

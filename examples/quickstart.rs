@@ -1,0 +1,73 @@
+//! Quickstart: size a multi-dimensional training fabric for GPT-3.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the full LIBRA pipeline: describe a network, generate a workload,
+//! estimate training time as a function of bandwidth, optimize the
+//! bandwidth split, and compare against the EqualBW baseline — both
+//! analytically and on the event-driven simulator.
+
+use libra::core::comm::CommModel;
+use libra::core::cost::CostModel;
+use libra::core::network::NetworkShape;
+use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::time::estimate;
+use libra::core::workload::TrainingLoop;
+use libra::sim::training::{simulate_training, TrainingSimConfig};
+use libra::workloads::zoo::{workload_for, PaperModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The fabric: the paper's representative 4D-4K topology —
+    //    4-chiplet packages, 8-package fully-connected boards, 4-board
+    //    nodes, and a 32-way scale-out switch (4,096 NPUs).
+    let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse()?;
+    println!("network : {shape} ({} NPUs)", shape.npus());
+
+    // 2. The workload: GPT-3 with Megatron TP-16 + ZeRO-2 data parallelism.
+    let workload = workload_for(PaperModel::Gpt3, &shape)?;
+    println!(
+        "workload: {} ({} layers, {:.1} GB communicated per iteration)",
+        workload.name,
+        workload.layers.len(),
+        workload.total_comm_bytes() / 1e9
+    );
+
+    // 3. Training time as a function of the per-dimension bandwidths.
+    let expr = estimate(&workload, TrainingLoop::NoOverlap, &CommModel::default());
+
+    // 4. Optimize a 300 GB/s-per-NPU bandwidth budget.
+    let cost_model = CostModel::default();
+    let design = opt::optimize(&DesignRequest {
+        shape: &shape,
+        targets: vec![(1.0, expr.clone())],
+        objective: Objective::Perf,
+        constraints: vec![Constraint::TotalBw(300.0)],
+        cost_model: &cost_model,
+    })?;
+    let baseline = opt::evaluate(
+        &shape,
+        &[(1.0, expr)],
+        &opt::equal_bw(shape.ndims(), 300.0),
+        &cost_model,
+    );
+
+    println!();
+    println!("EqualBW  : bw = {:?} GB/s", baseline.bw.iter().map(|b| b.round()).collect::<Vec<_>>());
+    println!("           {:.3} s/iter, ${:.2}M", baseline.weighted_time, baseline.cost / 1e6);
+    println!("PerfOptBW: bw = {:?} GB/s", design.bw.iter().map(|b| b.round()).collect::<Vec<_>>());
+    println!("           {:.3} s/iter, ${:.2}M", design.weighted_time, design.cost / 1e6);
+    println!("           speedup {:.2}x over EqualBW", design.speedup_over(&baseline));
+
+    // 5. Validate the analytical estimate on the chunk-level simulator.
+    let sim = simulate_training(&workload, shape.ndims(), &design.bw, &TrainingSimConfig::default());
+    println!();
+    println!(
+        "simulator check: {:.3} s/iter ({:+.1}% vs analytical), network utilization {:.0}%",
+        sim.makespan,
+        (sim.makespan / design.weighted_time - 1.0) * 100.0,
+        sim.average_utilization() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! # LIBRA — workload-aware multi-dimensional network topology optimization
+//!
+//! Facade crate re-exporting the LIBRA workspace:
+//!
+//! * [`core`] — the LIBRA framework itself (networks, cost, comm model,
+//!   training time estimation, bandwidth optimization).
+//! * [`solver`] — convex/QP optimization substrate (Gurobi substitute).
+//! * [`workloads`] — DNN workload generators & parsers (Table II models).
+//! * [`sim`] — deterministic event-driven simulator (ASTRA-sim substitute).
+//! * [`themis`] — bandwidth-aware runtime chunk scheduler.
+//! * [`tacos`] — topology-aware collective algorithm synthesizer.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use libra_core as core;
+pub use libra_sim as sim;
+pub use libra_solver as solver;
+pub use libra_tacos as tacos;
+pub use libra_themis as themis;
+pub use libra_workloads as workloads;

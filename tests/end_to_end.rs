@@ -1,0 +1,242 @@
+//! End-to-end integration tests spanning every crate: workload generation →
+//! time modeling → optimization → simulation → file round-trips.
+
+use libra::core::comm::CommModel;
+use libra::core::cost::CostModel;
+use libra::core::network::NetworkShape;
+use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::presets;
+use libra::core::time::estimate;
+use libra::core::workload::TrainingLoop;
+use libra::sim::training::{simulate_training, TrainingSimConfig};
+use libra::workloads::format::{from_wl, to_wl};
+use libra::workloads::zoo::{workload_for, PaperModel};
+
+fn optimize_model(
+    model: PaperModel,
+    shape: &NetworkShape,
+    total: f64,
+    objective: Objective,
+) -> (opt::Design, opt::Design) {
+    let w = workload_for(model, shape).expect("workload builds");
+    let expr = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+    let cm = CostModel::default();
+    let targets = vec![(1.0, expr)];
+    let design = opt::optimize(&DesignRequest {
+        shape,
+        targets: targets.clone(),
+        objective,
+        constraints: vec![Constraint::TotalBw(total)],
+        cost_model: &cm,
+    })
+    .expect("optimizer solves");
+    let equal = opt::evaluate(shape, &targets, &opt::equal_bw(shape.ndims(), total), &cm);
+    (design, equal)
+}
+
+/// PerfOptBW never loses to EqualBW, for every Table II model on the
+/// representative topology.
+#[test]
+fn perf_opt_never_loses_on_4d_4k() {
+    let shape = presets::topo_4d_4k();
+    for model in PaperModel::all() {
+        let (design, equal) = optimize_model(model, &shape, 300.0, Objective::Perf);
+        assert!(
+            design.weighted_time <= equal.weighted_time * (1.0 + 1e-6),
+            "{}: opt {} vs equal {}",
+            model.name(),
+            design.weighted_time,
+            equal.weighted_time
+        );
+        let total: f64 = design.bw.iter().sum();
+        assert!((total - 300.0).abs() < 1e-3, "budget is an equality: {total}");
+    }
+}
+
+/// PerfPerCostOptBW dominates both baselines on the product metric.
+#[test]
+fn ppc_opt_dominates_on_product_metric() {
+    let shape = presets::topo_3d_4k();
+    for model in [PaperModel::Gpt3, PaperModel::Msft1T] {
+        let (perf, equal) = optimize_model(model, &shape, 500.0, Objective::Perf);
+        let (ppc, _) = optimize_model(model, &shape, 500.0, Objective::PerfPerCost);
+        let product = |d: &opt::Design| d.weighted_time * d.cost;
+        assert!(
+            product(&ppc) <= product(&perf) * (1.0 + 1e-4),
+            "{}: ppc {} vs perf {}",
+            model.name(),
+            product(&ppc),
+            product(&perf)
+        );
+        assert!(product(&ppc) <= product(&equal) * (1.0 + 1e-4));
+    }
+}
+
+/// The chunk-level simulator agrees with the analytical model within the
+/// pipelining bubble for optimized and baseline networks alike.
+#[test]
+fn simulator_validates_analytical_model() {
+    let shape = presets::topo_4d_4k();
+    let w = workload_for(PaperModel::Gpt3, &shape).unwrap();
+    let expr = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+    let cfg = TrainingSimConfig { chunks_per_collective: 32, ..Default::default() };
+    for bw in [opt::equal_bw(4, 300.0), vec![200.0, 50.0, 38.0, 12.0]] {
+        let analytic = expr.eval(&bw);
+        let sim = simulate_training(&w, 4, &bw, &cfg);
+        assert!(
+            sim.makespan >= analytic * 0.999,
+            "simulation cannot beat the contention-free analytical bound"
+        );
+        assert!(
+            sim.makespan <= analytic * 1.10,
+            "bw {bw:?}: sim {} too far above analytic {analytic}",
+            sim.makespan
+        );
+    }
+}
+
+/// Workloads survive a `.wl` file round-trip and produce identical designs.
+#[test]
+fn wl_round_trip_preserves_designs() {
+    let shape = presets::topo_4d_4k();
+    let w = workload_for(PaperModel::Msft1T, &shape).unwrap();
+    let text = to_wl(&w);
+    let back = from_wl(&text).expect("parses");
+    assert_eq!(w, back);
+    let cm = CostModel::default();
+    let design = |wl: &libra::core::workload::Workload| {
+        let expr = estimate(wl, TrainingLoop::NoOverlap, &CommModel::default());
+        opt::optimize(&DesignRequest {
+            shape: &shape,
+            targets: vec![(1.0, expr)],
+            objective: Objective::Perf,
+            constraints: vec![Constraint::TotalBw(400.0)],
+            cost_model: &cm,
+        })
+        .unwrap()
+    };
+    assert_eq!(design(&w), design(&back));
+}
+
+/// Group optimization interpolates: the group design is never worse than
+/// the worst single-target design for any member workload.
+#[test]
+fn group_design_bounded_by_extremes() {
+    let shape = presets::topo_4d_4k();
+    let cm = CostModel::default();
+    let comm = CommModel::default();
+    let total = 600.0;
+    let models = [PaperModel::Gpt3, PaperModel::TuringNlg];
+    let exprs: Vec<_> = models
+        .iter()
+        .map(|&m| {
+            let w = workload_for(m, &shape).unwrap();
+            estimate(&w, TrainingLoop::NoOverlap, &comm)
+        })
+        .collect();
+    let single: Vec<_> = exprs
+        .iter()
+        .map(|e| {
+            opt::optimize(&DesignRequest {
+                shape: &shape,
+                targets: vec![(1.0, e.clone())],
+                objective: Objective::Perf,
+                constraints: vec![Constraint::TotalBw(total)],
+                cost_model: &cm,
+            })
+            .unwrap()
+        })
+        .collect();
+    let group = opt::optimize(&DesignRequest {
+        shape: &shape,
+        targets: exprs.iter().map(|e| (1.0, e.clone())).collect(),
+        objective: Objective::Perf,
+        constraints: vec![Constraint::TotalBw(total)],
+        cost_model: &cm,
+    })
+    .unwrap();
+    for (i, e) in exprs.iter().enumerate() {
+        let own = e.eval(&single[i].bw);
+        let cross: f64 = e.eval(&single[1 - i].bw);
+        let on_group = e.eval(&group.bw);
+        assert!(
+            on_group <= cross * (1.0 + 1e-6),
+            "{}: group {} worse than cross {}",
+            models[i].name(),
+            on_group,
+            cross
+        );
+        assert!(on_group >= own * (1.0 - 1e-6), "group cannot beat the dedicated design");
+    }
+}
+
+/// Designer constraints compose: caps, floors, ordering and equalities are
+/// all honored simultaneously.
+#[test]
+fn stacked_constraints_are_honored() {
+    let shape = presets::topo_4d_4k();
+    let w = workload_for(PaperModel::Gpt3, &shape).unwrap();
+    let expr = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+    let cm = CostModel::default();
+    let d = opt::optimize(&DesignRequest {
+        shape: &shape,
+        targets: vec![(1.0, expr)],
+        objective: Objective::Perf,
+        constraints: vec![
+            Constraint::TotalBw(500.0),
+            Constraint::DimBwMax(3, 50.0),
+            Constraint::DimBwMin(2, 20.0),
+            Constraint::Ordered,
+        ],
+        cost_model: &cm,
+    })
+    .unwrap();
+    assert!((d.bw.iter().sum::<f64>() - 500.0).abs() < 1e-3);
+    assert!(d.bw[3] <= 50.0 + 1e-6);
+    assert!(d.bw[2] >= 20.0 - 1e-6);
+    for pair in d.bw.windows(2) {
+        assert!(pair[0] >= pair[1] - 1e-6, "ordering violated: {:?}", d.bw);
+    }
+}
+
+/// The full pipeline works over a parsed (not generated) workload file.
+#[test]
+fn pipeline_from_text_workload() {
+    let text = "\
+# tiny 2-layer model on a 2D machine
+WORKLOAD tiny
+LAYER l0
+  FWD_COMPUTE 0.001
+  FWD_COMM ALLREDUCE 1000000000 SPAN 0:4
+  IGRAD_COMPUTE 0.001
+  TP_COMM ALLREDUCE 1000000000 SPAN 0:4
+  WGRAD_COMPUTE 0.001
+  DP_COMM ALLREDUCE 500000000 SPAN 1:8
+LAYER l1
+  FWD_COMPUTE 0.002
+  DP_COMM ALLREDUCE 250000000 SPAN 1:8
+";
+    let w = from_wl(text).unwrap();
+    let shape: NetworkShape = "RI(4)_SW(8)".parse().unwrap();
+    let expr = estimate(&w, TrainingLoop::TpDpOverlap, &CommModel::default());
+    let cm = CostModel::default();
+    let d = opt::optimize(&DesignRequest {
+        shape: &shape,
+        targets: vec![(1.0, expr)],
+        objective: Objective::Perf,
+        constraints: vec![Constraint::TotalBw(100.0)],
+        cost_model: &cm,
+    })
+    .unwrap();
+    assert!(d.weighted_time > 0.005, "compute floor is included");
+    let sim = simulate_training(
+        &w,
+        2,
+        &d.bw,
+        &TrainingSimConfig {
+            chunks_per_collective: 16,
+            training_loop: TrainingLoop::TpDpOverlap,
+        },
+    );
+    assert!(sim.makespan >= d.weighted_time * 0.98);
+}

@@ -1,0 +1,106 @@
+//! Property-based cross-crate tests: for randomized workloads and networks,
+//! the optimizer/simulator/estimator must satisfy their contracts.
+
+use libra::core::comm::{Collective, CommModel, GroupSpan};
+use libra::core::cost::CostModel;
+use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::time::estimate;
+use libra::core::workload::{CommOp, Layer, TrainingLoop, Workload};
+use libra::sim::training::{simulate_training, TrainingSimConfig};
+use libra::workloads::format::{from_wl, to_wl};
+use proptest::prelude::*;
+
+/// A random workload over a 3D network with dims (4, 8, 4).
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let layer = (
+        0.0f64..0.02,
+        0.1f64..4.0,  // fwd comm GB
+        0.1f64..4.0,  // dp comm GB
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(compute, fwd_gb, dp_gb, tp_inner, dp_full)| {
+            let tp_span = if tp_inner {
+                GroupSpan::new(vec![(0, 4)])
+            } else {
+                GroupSpan::new(vec![(0, 4), (1, 8)])
+            };
+            let dp_span = if dp_full {
+                GroupSpan::new(vec![(1, 8), (2, 4)])
+            } else {
+                GroupSpan::new(vec![(2, 4)])
+            };
+            Layer {
+                name: "l".into(),
+                fwd_compute: compute,
+                fwd_comm: Some(CommOp::new(Collective::AllReduce, fwd_gb * 1e9, tp_span)),
+                igrad_compute: compute,
+                tp_comm: None,
+                wgrad_compute: compute,
+                dp_comm: Some(CommOp::new(Collective::ReduceScatter, dp_gb * 1e9, dp_span)),
+            }
+        });
+    prop::collection::vec(layer, 1..5).prop_map(|layers| Workload::new("prop", layers))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer's design never loses to EqualBW, and the reported time
+    /// matches direct evaluation of the expression at the designed point.
+    #[test]
+    fn optimizer_beats_equal_and_is_consistent(w in arb_workload(), total in 50.0f64..500.0) {
+        let shape: libra::core::network::NetworkShape = "RI(4)_FC(8)_SW(4)".parse().unwrap();
+        let expr = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+        let cm = CostModel::default();
+        let targets = vec![(1.0, expr.clone())];
+        let d = opt::optimize(&DesignRequest {
+            shape: &shape,
+            targets: targets.clone(),
+            objective: Objective::Perf,
+            constraints: vec![Constraint::TotalBw(total)],
+            cost_model: &cm,
+        }).expect("solves");
+        let eq = opt::evaluate(&shape, &targets, &opt::equal_bw(3, total), &cm);
+        prop_assert!(d.weighted_time <= eq.weighted_time * (1.0 + 1e-6));
+        let direct = expr.eval(&d.bw);
+        prop_assert!((d.weighted_time - direct).abs() <= 1e-6 * (1.0 + direct));
+        prop_assert!((d.bw.iter().sum::<f64>() - total).abs() < 1e-3);
+    }
+
+    /// Simulated makespan brackets the analytical estimate: never below the
+    /// contention-free bound, never above it by more than the pipeline
+    /// bubble allowance.
+    #[test]
+    fn simulator_brackets_estimator(w in arb_workload(), b0 in 10.0f64..200.0, b1 in 10.0f64..200.0, b2 in 10.0f64..200.0) {
+        let bw = [b0, b1, b2];
+        let expr = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+        let analytic = expr.eval(&bw);
+        let sim = simulate_training(
+            &w,
+            3,
+            &bw,
+            &TrainingSimConfig { chunks_per_collective: 32, ..Default::default() },
+        );
+        prop_assert!(sim.makespan >= analytic * 0.999, "sim {} < analytic {analytic}", sim.makespan);
+        prop_assert!(sim.makespan <= analytic * 1.15, "sim {} >> analytic {analytic}", sim.makespan);
+    }
+
+    /// `.wl` serialization round-trips every randomized workload.
+    #[test]
+    fn wl_round_trip(w in arb_workload()) {
+        let text = to_wl(&w);
+        let back = from_wl(&text).expect("round-trip parse");
+        prop_assert_eq!(w, back);
+    }
+
+    /// Training-loop overlap never makes an iteration slower.
+    #[test]
+    fn overlap_is_never_slower(w in arb_workload(), b in 20.0f64..300.0) {
+        let bw = [b, b, b];
+        let comm = CommModel::default();
+        let no = estimate(&w, TrainingLoop::NoOverlap, &comm).eval(&bw);
+        let ov = estimate(&w, TrainingLoop::TpDpOverlap, &comm).eval(&bw);
+        prop_assert!(ov <= no * (1.0 + 1e-9));
+    }
+}
