@@ -19,14 +19,12 @@ fn main() {
     let traffic = traffic_per_dim(Collective::AllReduce, bytes, &span);
     let tsum: f64 = traffic.iter().map(|&(_, t)| t).sum();
     let bw: Vec<f64> = traffic.iter().map(|&(_, t)| 300.0 * t / tsum).collect();
-    let analytic: f64 = traffic
-        .iter()
-        .map(|&(d, t)| t / 1e9 / bw[d])
-        .fold(0.0, f64::max);
+    let analytic: f64 = traffic.iter().map(|&(d, t)| t / 1e9 / bw[d]).fold(0.0, f64::max);
     println!("analytical bottleneck: {:.4} s", analytic);
     println!("{:>8} {:>12} {:>18}", "chunks", "time (s)", "vs analytical");
     for chunks in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-        let res = run_collective(3, &bw, Collective::AllReduce, bytes, &span, chunks, &mut FixedOrder);
+        let res =
+            run_collective(3, &bw, Collective::AllReduce, bytes, &span, chunks, &mut FixedOrder);
         let t = res.makespan() as f64 / 1e12;
         println!("{chunks:>8} {t:>12.4} {:>17.2}x", t / analytic);
     }

@@ -20,10 +20,7 @@ fn main() {
     let total = 300.0;
     let cm = CostModel::default();
     let w = workload_for(PaperModel::Msft1T, &shape).expect("builds");
-    println!(
-        "{:<12} {:>14} {:>14} {:>10}",
-        "offload", "EqualBW t(s)", "PerfOpt t(s)", "speedup"
-    );
+    println!("{:<12} {:>14} {:>14} {:>10}", "offload", "EqualBW t(s)", "PerfOpt t(s)", "speedup");
     let mut times = Vec::new();
     for (name, comm) in [("off", CommModel::default()), ("on", CommModel::with_offload())] {
         let expr = estimate(&w, TrainingLoop::NoOverlap, &comm);

@@ -21,14 +21,10 @@ fn main() {
     let cm = CostModel::default();
     let comm = CommModel::default();
     let w = workload_for(PaperModel::Gpt3, &shape).expect("GPT-3 builds");
-    println!(
-        "{:<14} {:>14} {:>14} {:>10}",
-        "loop", "EqualBW t(s)", "PerfOpt t(s)", "speedup"
-    );
-    for (name, tl) in [
-        ("NoOverlap", TrainingLoop::NoOverlap),
-        ("TpDpOverlap", TrainingLoop::TpDpOverlap),
-    ] {
+    println!("{:<14} {:>14} {:>14} {:>10}", "loop", "EqualBW t(s)", "PerfOpt t(s)", "speedup");
+    for (name, tl) in
+        [("NoOverlap", TrainingLoop::NoOverlap), ("TpDpOverlap", TrainingLoop::TpDpOverlap)]
+    {
         let expr = estimate(&w, tl, &comm);
         let eq_t = expr.eval(&opt::equal_bw(shape.ndims(), total));
         let d = opt::optimize(&DesignRequest {

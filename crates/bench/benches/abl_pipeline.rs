@@ -57,10 +57,7 @@ fn main() {
         );
         rows.push((name, d.weighted_time));
     }
-    let (best, t) = rows
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("at least one row");
+    let (best, t) = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("at least one row");
     println!();
     println!("best strategy: {best} at {t:.3} s/iter");
     println!("Expected shape: moderate PP degrees trade cheap boundary P2P");

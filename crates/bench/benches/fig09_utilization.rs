@@ -29,8 +29,7 @@ fn main() {
         ("(c) ideally distributed", ideal.clone()),
     ];
     for (name, bw) in cases {
-        let res =
-            run_collective(3, &bw, Collective::AllReduce, m, &span, 4, &mut FixedOrder);
+        let res = run_collective(3, &bw, Collective::AllReduce, m, &span, 4, &mut FixedOrder);
         let util = average_utilization(&res.per_dim_busy);
         println!("{name}: BW = [{:.0}, {:.0}, {:.0}] GB/s", bw[0], bw[1], bw[2]);
         println!(

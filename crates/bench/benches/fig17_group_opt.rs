@@ -42,11 +42,8 @@ fn study(title: &str, models: &[PaperModel]) {
         .collect();
     // Group optimization: weight each workload by 1/EqualBW-time so every
     // model contributes its *relative* slowdown to the objective.
-    let targets: Vec<(f64, BwExpr)> = exprs
-        .iter()
-        .zip(&equal_times)
-        .map(|(e, t)| (1.0 / t, e.clone()))
-        .collect();
+    let targets: Vec<(f64, BwExpr)> =
+        exprs.iter().zip(&equal_times).map(|(e, t)| (1.0 / t, e.clone())).collect();
     let group = opt::optimize(&DesignRequest {
         shape: &shape,
         targets,
@@ -58,10 +55,7 @@ fn study(title: &str, models: &[PaperModel]) {
     .bw;
 
     println!("{title}");
-    println!(
-        "{:<12} {:>22} {:>22}",
-        "workload", "speedup over EqualBW", "slowdown over own-opt"
-    );
+    println!("{:<12} {:>22} {:>22}", "workload", "speedup over EqualBW", "slowdown over own-opt");
     let mut worst_single: f64 = 1.0;
     let mut group_slowdowns: Vec<f64> = Vec::new();
     for (wi, (e, &eq_t)) in exprs.iter().zip(&equal_times).enumerate() {
@@ -73,12 +67,7 @@ fn study(title: &str, models: &[PaperModel]) {
             if ni != wi {
                 worst_single = worst_single.max(t / own);
             }
-            println!(
-                "{:<12} {:>20.2}x {:>20.2}x   ({tag})",
-                models[wi].name(),
-                eq_t / t,
-                t / own
-            );
+            println!("{:<12} {:>20.2}x {:>20.2}x   ({tag})", models[wi].name(), eq_t / t, t / own);
         }
         let tg = e.eval(&group);
         group_slowdowns.push(tg / own);
@@ -89,14 +78,11 @@ fn study(title: &str, models: &[PaperModel]) {
             tg / own
         );
     }
-    let avg_group =
-        group_slowdowns.iter().sum::<f64>() / group_slowdowns.len() as f64;
+    let avg_group = group_slowdowns.iter().sum::<f64>() / group_slowdowns.len() as f64;
     println!(
         "worst cross-workload slowdown on single-target networks: {worst_single:.2}x (paper: up to 1.77x)"
     );
-    println!(
-        "group-optimized average slowdown: {avg_group:.2}x (paper: 1.01x)\n"
-    );
+    println!("group-optimized average slowdown: {avg_group:.2}x (paper: 1.01x)\n");
 }
 
 fn main() {

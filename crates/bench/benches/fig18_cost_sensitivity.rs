@@ -31,8 +31,7 @@ fn main() {
             cost_model: &cm,
         })
         .expect("PerfPerCost solves");
-        let base =
-            opt::evaluate(&shape, &targets, &opt::equal_bw(shape.ndims(), total), &cm);
+        let base = opt::evaluate(&shape, &targets, &opt::equal_bw(shape.ndims(), total), &cm);
         let gain = d.ppc_gain_over(&base);
         println!("{cents:>18.1} {gain:>15.2}x");
         gains.push(gain);

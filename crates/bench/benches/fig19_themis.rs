@@ -20,10 +20,8 @@ use libra_themis::ThemisScheduler;
 use libra_workloads::zoo::PaperModel;
 
 fn simulate(bw: &[f64], shape_dims: usize, w: &libra_core::workload::Workload) -> f64 {
-    let cfg = TrainingSimConfig {
-        chunks_per_collective: 64,
-        training_loop: TrainingLoop::NoOverlap,
-    };
+    let cfg =
+        TrainingSimConfig { chunks_per_collective: 64, training_loop: TrainingLoop::NoOverlap };
     simulate_training_with(w, shape_dims, bw, &cfg, &mut ThemisScheduler::new()).makespan
 }
 

@@ -50,8 +50,8 @@ fn main() {
 
     // Multi-rail (ring) executions on the chunked simulator.
     let ring = |bw: &[f64]| {
-        run_collective(n, bw, Collective::AllReduce, bytes, &span, 8, &mut FixedOrder)
-            .makespan() as f64
+        run_collective(n, bw, Collective::AllReduce, bytes, &span, 8, &mut FixedOrder).makespan()
+            as f64
             / 1e12
     };
     let t_libra_only = ring(&libra.bw);
@@ -73,7 +73,10 @@ fn main() {
     let cost_equal = cm.network_cost(&shape, &equal);
     let cost_libra = libra.cost;
     println!();
-    println!("{:<16} {:>12} {:>12} {:>14}", "configuration", "time (ms)", "cost ($K)", "ppc (norm)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>14}",
+        "configuration", "time (ms)", "cost ($K)", "ppc (norm)"
+    );
     let base_ppc = 1.0 / (t_equal_tacos * cost_equal);
     for (name, t, c) in [
         ("EqualBW+TACOS", t_equal_tacos, cost_equal),

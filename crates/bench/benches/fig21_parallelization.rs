@@ -59,7 +59,7 @@ fn main() {
         .expect("co-search solves");
         let speedup = base_t / d.weighted_time;
         println!("HP-({tp:>3}, {dp:>3}) {:>14.3} {:>21.2}x", d.weighted_time, speedup);
-        if best.map_or(true, |(_, s)| speedup > s) {
+        if best.is_none_or(|(_, s)| speedup > s) {
             best = Some((tp, speedup));
         }
     }

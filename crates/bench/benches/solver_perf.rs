@@ -34,11 +34,9 @@ fn bench_interior_point(c: &mut Criterion) {
     let mut g = c.benchmark_group("interior_point");
     for (n, k) in [(2usize, 2usize), (4, 4), (4, 16), (8, 32)] {
         let p = bottleneck_problem(n, k);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{n}dims_{k}terms")),
-            &p,
-            |b, p| b.iter(|| p.solve().expect("solves")),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{n}dims_{k}terms")), &p, |b, p| {
+            b.iter(|| p.solve().expect("solves"))
+        });
     }
     g.finish();
 }

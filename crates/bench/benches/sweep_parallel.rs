@@ -1,0 +1,65 @@
+//! Criterion benchmark of the design-space sweep engine: the rayon-parallel
+//! run vs the serial reference fold over an identical grid, demonstrating
+//! the fan-out speedup on multi-core hosts (plus a cached re-run, which is
+//! memo-bound rather than solver-bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use libra_bench::sweep::{SweepEngine, SweepGrid};
+use libra_bench::sweep_workloads;
+use libra_core::cost::CostModel;
+use libra_core::opt::Objective;
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+/// A 60-point grid: 3 shapes × 2 workloads × 5 budgets × 2 objectives.
+fn grid() -> SweepGrid {
+    SweepGrid::new()
+        .with_shapes([presets::topo_3d_512(), presets::topo_3d_1k(), presets::topo_3d_4k()])
+        .with_budgets([100.0, 300.0, 500.0, 700.0, 900.0])
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let grid = grid();
+    let workloads = sweep_workloads(&[PaperModel::TuringNlg, PaperModel::ResNet50]);
+    let cm = CostModel::default();
+    let points = grid.len(workloads.len());
+    println!("sweeping {points} design points, rayon threads = {}", rayon::current_num_threads());
+
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    // Fresh engine per iteration: both paths pay full solver cost.
+    g.bench_with_input(BenchmarkId::new("serial", points), &points, |b, _| {
+        b.iter(|| {
+            let report = SweepEngine::new(&cm).run_serial(&grid, &workloads);
+            assert_eq!(report.results.len(), points);
+            report
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("parallel", points), &points, |b, _| {
+        b.iter(|| {
+            let report = SweepEngine::new(&cm).run(&grid, &workloads);
+            assert_eq!(report.results.len(), points);
+            report
+        })
+    });
+    // Shared engine: after the first fill the sweep is pure cache traffic.
+    let warm = SweepEngine::new(&cm);
+    warm.run(&grid, &workloads);
+    g.bench_with_input(BenchmarkId::new("parallel_warm_cache", points), &points, |b, _| {
+        b.iter(|| {
+            let report = warm.run(&grid, &workloads);
+            assert_eq!(report.results.len(), points);
+            report
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep
+}
+criterion_main!(benches);

@@ -16,13 +16,7 @@ fn main() {
         ("Inter-Pod", m.pod),
     ] {
         let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
-        println!(
-            "{:<14} {:>8.1} {:>8} {:>8}",
-            name,
-            row.link,
-            fmt(row.switch),
-            fmt(row.nic)
-        );
+        println!("{:<14} {:>8.1} {:>8} {:>8}", name, row.link, fmt(row.switch), fmt(row.nic));
     }
     println!();
     // Fig. 12: 3-NPU inter-Pod switch network at 10 GB/s per NPU.

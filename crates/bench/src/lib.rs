@@ -16,6 +16,30 @@ use libra_core::workload::{TrainingLoop, Workload};
 use libra_core::LibraError;
 use libra_workloads::zoo::{workload_for, PaperModel};
 
+pub use libra_core::sweep;
+
+/// Wraps a Table II paper model as a [`sweep::SweepWorkload`]
+/// (no-overlap training loop, default comm model — the paper's setup).
+pub fn sweep_workload(model: PaperModel) -> sweep::FnWorkload {
+    sweep::FnWorkload::new(model.name(), move |shape: &NetworkShape| {
+        Ok(vec![(1.0, time_expr_for(model, shape)?)])
+    })
+}
+
+/// Wraps several paper models for a multi-workload sweep.
+pub fn sweep_workloads(models: &[PaperModel]) -> Vec<sweep::FnWorkload> {
+    models.iter().copied().map(sweep_workload).collect()
+}
+
+/// The Fig. 13/14-style grid for a set of shapes: the paper's 100–1,000
+/// GB/s budget sweep under both objectives.
+pub fn paper_grid(shapes: impl IntoIterator<Item = NetworkShape>) -> sweep::SweepGrid {
+    sweep::SweepGrid::new()
+        .with_shapes(shapes)
+        .with_budgets(BW_SWEEP)
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+}
+
 /// The BW-per-NPU sweep used by Figs. 13–16 (100–1,000 GB/s).
 pub const BW_SWEEP: [f64; 10] =
     [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0];
@@ -82,12 +106,8 @@ pub fn design_point(
         constraints: vec![Constraint::TotalBw(total_bw)],
         cost_model: &cost_model,
     })?;
-    let baseline = opt::evaluate(
-        shape,
-        &targets,
-        &opt::equal_bw(shape.ndims(), total_bw),
-        &cost_model,
-    );
+    let baseline =
+        opt::evaluate(shape, &targets, &opt::equal_bw(shape.ndims(), total_bw), &cost_model);
     Ok(Point { total_bw, design, baseline })
 }
 

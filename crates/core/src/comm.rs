@@ -14,14 +14,12 @@
 //! and the collective completes when its slowest dimension does:
 //! `T = max_i traffic_i / B_i`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::expr::BwExpr;
 use crate::network::NetworkShape;
 
 /// A collective communication pattern (paper Fig. 6), plus the direct
 /// NPU-to-NPU transfer used by pipeline parallelism (§IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Collective {
     /// Reduce then broadcast: the workhorse of data parallelism.
     AllReduce,
@@ -70,7 +68,7 @@ impl Collective {
 /// onto a `RI(4)_FC(8)_…` network as `[(0,4), (1,4)]`, leaving the remaining
 /// ×2 of dimension 1 to the orthogonal DP group (the paper's "mismatching
 /// TP size" scenario for GPT-3 on 4D-4K).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GroupSpan {
     extents: Vec<(usize, u64)>,
 }
@@ -113,20 +111,14 @@ impl GroupSpan {
 
 /// Per-dimension traffic of a collective (bytes moved through each spanned
 /// dimension by every NPU).
-pub fn traffic_per_dim(
-    collective: Collective,
-    bytes: f64,
-    span: &GroupSpan,
-) -> Vec<(usize, f64)> {
+pub fn traffic_per_dim(collective: Collective, bytes: f64, span: &GroupSpan) -> Vec<(usize, f64)> {
     let mut out = Vec::with_capacity(span.extents().len());
     let mut shrink = 1.0; // Π of extents of earlier stages
     for &(dim, e) in span.extents() {
         let e = e as f64;
         let traffic = match collective {
             Collective::AllReduce => 2.0 * bytes * (e - 1.0) / (shrink * e),
-            Collective::ReduceScatter | Collective::AllGather => {
-                bytes * (e - 1.0) / (shrink * e)
-            }
+            Collective::ReduceScatter | Collective::AllGather => bytes * (e - 1.0) / (shrink * e),
             Collective::AllToAll => bytes * (e - 1.0) / e,
             Collective::PointToPoint => bytes,
         };
@@ -150,7 +142,7 @@ pub fn traffic_per_dim_offloaded(bytes: f64, span: &GroupSpan) -> Vec<(usize, f6
 
 /// The communication-time model: turns (collective, size, span) into a
 /// [`BwExpr`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommModel {
     /// Model in-network collective offload on switch dimensions (reduces
     /// All-Reduce-family traffic to `m / Π_{j<i} e_j`).
@@ -169,20 +161,14 @@ impl CommModel {
         if span.is_trivial() || bytes <= 0.0 {
             return BwExpr::zero();
         }
-        let offloadable = !matches!(
-            collective,
-            Collective::AllToAll | Collective::PointToPoint
-        );
+        let offloadable = !matches!(collective, Collective::AllToAll | Collective::PointToPoint);
         let traffic = if self.in_network_offload && offloadable {
             traffic_per_dim_offloaded(bytes, span)
         } else {
             traffic_per_dim(collective, bytes, span)
         };
         BwExpr::max_of(
-            traffic
-                .into_iter()
-                .map(|(dim, t)| BwExpr::Ratio { coeff: t / 1e9, dim })
-                .collect(),
+            traffic.into_iter().map(|(dim, t)| BwExpr::Ratio { coeff: t / 1e9, dim }).collect(),
         )
     }
 
@@ -227,7 +213,7 @@ mod tests {
 
     /// All-to-All has no reduction: `m(n_i−1)/n_i` on every dim.
     #[test]
-    fn alltoall_traffic_has_no_shrink()  {
+    fn alltoall_traffic_has_no_shrink() {
         let span = GroupSpan::new(vec![(0, 4), (1, 8)]);
         let t = traffic_per_dim(Collective::AllToAll, 800.0, &span);
         assert!((t[0].1 - 800.0 * 3.0 / 4.0).abs() < 1e-9);

@@ -159,12 +159,9 @@ pub fn parse_constraints(input: &str, n_dims: usize) -> Result<Vec<Constraint>, 
 /// Finds the first relation operator: returns (relation, byte offset, len).
 fn find_rel(s: &str) -> Option<(Rel, usize, usize)> {
     let mut best: Option<(Rel, usize, usize)> = None;
-    for (pat, rel, len) in [
-        ("<=", Rel::Le, 2),
-        (">=", Rel::Ge, 2),
-        ("==", Rel::Eq, 2),
-        ("=", Rel::Eq, 1),
-    ] {
+    for (pat, rel, len) in
+        [("<=", Rel::Le, 2), (">=", Rel::Ge, 2), ("==", Rel::Eq, 2), ("=", Rel::Eq, 1)]
+    {
         if let Some(p) = s.find(pat) {
             // Skip "=" that is part of "<=", ">=", "==" already matched.
             if pat == "=" {
@@ -173,7 +170,7 @@ fn find_rel(s: &str) -> Option<(Rel, usize, usize)> {
                     continue;
                 }
             }
-            if best.map_or(true, |(_, bp, _)| p < bp) {
+            if best.is_none_or(|(_, bp, _)| p < bp) {
                 best = Some((rel, p, len));
             }
         }
@@ -394,11 +391,8 @@ mod tests {
         use crate::opt::{self, DesignRequest, Objective};
 
         let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
-        let expr = CommModel::default().time_expr(
-            Collective::AllReduce,
-            10e9,
-            &GroupSpan::full(&shape),
-        );
+        let expr =
+            CommModel::default().time_expr(Collective::AllReduce, 10e9, &GroupSpan::full(&shape));
         let mut constraints = parse_constraints("total = 200\nB4 <= 10\nB1 >= B2", 4).unwrap();
         let cm = CostModel::default();
         let d = opt::optimize(&DesignRequest {

@@ -6,12 +6,10 @@
 //! `Pod` dimensions). The worked example of Fig. 12 — three NPUs behind an
 //! inter-Pod switch at 10 GB/s costing $1,722 — is reproduced in the tests.
 
-use serde::{Deserialize, Serialize};
-
 use crate::network::{DimScope, NetworkShape, UnitTopology};
 
 /// $/GBps prices for one packaging scope.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScopeCost {
     /// Link cost in $/GBps.
     pub link: f64,
@@ -26,7 +24,7 @@ pub struct ScopeCost {
 ///
 /// The default is Table I of the paper using the lowest value of each range,
 /// as the paper's evaluation does.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Inter-Chiplet (on-package) pricing.
     pub chiplet: ScopeCost,
@@ -137,10 +135,7 @@ mod tests {
         let model = CostModel::default();
         // 4D network: innermost dim is Chiplet scope.
         let shape: NetworkShape = "SW(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
-        let c = model.per_npu_dollar_per_gbps(
-            shape.dims()[0].topology,
-            shape.dims()[0].scope,
-        );
+        let c = model.per_npu_dollar_per_gbps(shape.dims()[0].topology, shape.dims()[0].scope);
         // No switch surcharge at chiplet scope.
         assert!((c - 2.0).abs() < 1e-12);
     }

@@ -287,7 +287,9 @@ mod tests {
         match &e {
             BwExpr::Sum(parts) => {
                 assert_eq!(parts.len(), 2);
-                assert!(parts.iter().any(|p| matches!(p, BwExpr::Const(c) if (*c - 3.0).abs() < 1e-12)));
+                assert!(parts
+                    .iter()
+                    .any(|p| matches!(p, BwExpr::Const(c) if (*c - 3.0).abs() < 1e-12)));
             }
             other => panic!("expected Sum, got {other:?}"),
         }
@@ -297,7 +299,8 @@ mod tests {
     fn max_of_flattens_and_degenerates() {
         assert_eq!(BwExpr::max_of(vec![]), BwExpr::Const(0.0));
         assert_eq!(BwExpr::max_of(vec![ratio(1.0, 0)]), ratio(1.0, 0));
-        let e = BwExpr::max_of(vec![BwExpr::max_of(vec![ratio(1.0, 0), ratio(2.0, 1)]), ratio(3.0, 0)]);
+        let e =
+            BwExpr::max_of(vec![BwExpr::max_of(vec![ratio(1.0, 0), ratio(2.0, 1)]), ratio(3.0, 0)]);
         match e {
             BwExpr::Max(parts) => assert_eq!(parts.len(), 3),
             other => panic!("expected Max, got {other:?}"),

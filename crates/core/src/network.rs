@@ -9,12 +9,10 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::LibraError;
 
 /// The unit topology of one network dimension (paper Fig. 7a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnitTopology {
     /// Bidirectional ring; runs the Ring collective algorithm.
     Ring,
@@ -45,7 +43,7 @@ impl fmt::Display for UnitTopology {
 ///
 /// Determines which cost-model row applies: inter-Chiplet links need no
 /// switches, and only inter-Pod dimensions use NICs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DimScope {
     /// On-package chiplet-to-chiplet (MCM) connectivity.
     Chiplet,
@@ -71,7 +69,7 @@ impl fmt::Display for DimScope {
 
 /// One network dimension: a unit topology of a given size at a packaging
 /// scope.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimSpec {
     /// The unit topology of this dimension.
     pub topology: UnitTopology,
@@ -91,7 +89,7 @@ pub struct DimSpec {
 /// assert_eq!(shape.to_string(), "RI(4)_FC(8)_RI(4)_SW(32)");
 /// # Ok::<(), libra_core::LibraError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NetworkShape {
     dims: Vec<DimSpec>,
 }
@@ -123,11 +121,7 @@ impl NetworkShape {
         let specs = dims
             .iter()
             .enumerate()
-            .map(|(i, &(topology, size))| DimSpec {
-                topology,
-                size,
-                scope: ladder[n - 1 - i],
-            })
+            .map(|(i, &(topology, size))| DimSpec { topology, size, scope: ladder[n - 1 - i] })
             .collect();
         Self::with_dims(specs)
     }
@@ -278,10 +272,8 @@ mod tests {
     #[test]
     fn five_dims_need_explicit_scopes() {
         assert!("RI(2)_RI(2)_RI(2)_RI(2)_RI(2)".parse::<NetworkShape>().is_err());
-        let dims = vec![
-            DimSpec { topology: UnitTopology::Ring, size: 2, scope: DimScope::Chiplet };
-            5
-        ];
+        let dims =
+            vec![DimSpec { topology: UnitTopology::Ring, size: 2, scope: DimScope::Chiplet }; 5];
         assert!(NetworkShape::with_dims(dims).is_ok());
     }
 }

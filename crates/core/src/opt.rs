@@ -145,9 +145,7 @@ fn validate(req: &DesignRequest<'_>) -> Result<(), LibraError> {
     for c in &req.constraints {
         let ok = match c {
             Constraint::TotalBw(t) | Constraint::MaxCost(t) => *t > 0.0,
-            Constraint::DimBwMax(d, v) | Constraint::DimBwMin(d, v) => {
-                dim_ok(*d) && v.is_finite()
-            }
+            Constraint::DimBwMax(d, v) | Constraint::DimBwMin(d, v) => dim_ok(*d) && v.is_finite(),
             Constraint::LinearLe(terms, _) | Constraint::LinearEq(terms, _) => {
                 terms.iter().all(|&(d, _)| dim_ok(d))
             }
@@ -175,11 +173,7 @@ fn validate(req: &DesignRequest<'_>) -> Result<(), LibraError> {
 }
 
 /// Applies constraints + default bandwidth bounds to a compiled problem.
-fn apply_constraints(
-    p: &mut ConvexProblem,
-    req: &DesignRequest<'_>,
-    extra_cost_cap: Option<f64>,
-) {
+fn apply_constraints(p: &mut ConvexProblem, req: &DesignRequest<'_>, extra_cost_cap: Option<f64>) {
     let n = req.shape.ndims();
     for i in 0..n {
         p.set_lower(i, MIN_DIM_BW);
@@ -241,10 +235,7 @@ fn bw_guess(req: &DesignRequest<'_>) -> Vec<f64> {
 }
 
 /// Minimizes weighted time under the constraints (+ optional cost cap).
-fn solve_perf(
-    req: &DesignRequest<'_>,
-    extra_cost_cap: Option<f64>,
-) -> Result<Design, LibraError> {
+fn solve_perf(req: &DesignRequest<'_>, extra_cost_cap: Option<f64>) -> Result<Design, LibraError> {
     let n = req.shape.ndims();
     let (mut p, _) = compile(&req.targets, n, &bw_guess(req));
     apply_constraints(&mut p, req, extra_cost_cap);
@@ -345,11 +336,8 @@ mod tests {
     /// One All-Reduce over the full 2D machine; the optimal split is
     /// traffic-proportional.
     fn allreduce_target(shape: &NetworkShape) -> (f64, BwExpr) {
-        let e = CommModel::default().time_expr(
-            Collective::AllReduce,
-            10e9,
-            &GroupSpan::full(shape),
-        );
+        let e =
+            CommModel::default().time_expr(Collective::AllReduce, 10e9, &GroupSpan::full(shape));
         (1.0, e)
     }
 

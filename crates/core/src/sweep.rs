@@ -1,0 +1,779 @@
+//! Parallel design-space exploration: the paper's core loop as a subsystem.
+//!
+//! LIBRA's headline experiments (Figs. 13–16) sweep candidate
+//! multi-dimensional topologies × workloads × bandwidth budgets ×
+//! objectives and rank the resulting designs. That search is embarrassingly
+//! parallel — every grid point is an independent [`opt::optimize`] call —
+//! so this module fans it out with rayon while keeping results **bit
+//! identical** to a serial fold over the same grid:
+//!
+//! * [`SweepGrid`] enumerates a duplicate-free cartesian grid in a
+//!   deterministic order (shape-major, then workload, budget, objective);
+//! * [`SweepEngine::run`] evaluates the grid in parallel, memoizing
+//!   repeated `(shape, workload)` target-expression builds and repeated
+//!   design solves behind a sharded concurrent cache;
+//! * [`SweepReport`] returns results in grid order, plus ranking helpers
+//!   and the perf-vs-cost [Pareto front](SweepReport::pareto_front).
+//!
+//! ```
+//! use libra_core::comm::{Collective, CommModel, GroupSpan};
+//! use libra_core::cost::CostModel;
+//! use libra_core::opt::Objective;
+//! use libra_core::sweep::{FnWorkload, SweepEngine, SweepGrid};
+//!
+//! // One synthetic workload: a 1-GB All-Reduce over the whole machine.
+//! let wl = FnWorkload::new("allreduce-1g", |shape| {
+//!     let comm = CommModel::default();
+//!     Ok(vec![(1.0, comm.time_expr(Collective::AllReduce, 1e9, &GroupSpan::full(shape)))])
+//! });
+//! let grid = SweepGrid::new()
+//!     .with_shape("RI(8)_SW(4)".parse()?)
+//!     .with_shape("FC(4)_SW(8)".parse()?)
+//!     .with_budgets([100.0, 200.0])
+//!     .with_objectives([Objective::Perf, Objective::PerfPerCost]);
+//! let cm = CostModel::default();
+//! let report = SweepEngine::new(&cm).run(&grid, &[wl]);
+//! assert_eq!(report.results.len(), 8);
+//! assert!(report.errors.is_empty());
+//! let front = report.pareto_front();
+//! assert!(!front.is_empty());
+//! # Ok::<(), libra_core::LibraError>(())
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rayon::prelude::*;
+
+use crate::cost::CostModel;
+use crate::error::LibraError;
+use crate::expr::BwExpr;
+use crate::network::NetworkShape;
+use crate::opt::{self, Constraint, Design, DesignRequest, Objective};
+
+/// A workload that can be swept: given a shape, produce the weighted
+/// per-iteration time expressions [`opt::optimize`] consumes.
+///
+/// Workload **names key the memo cache**, so two distinct workloads in one
+/// sweep must carry distinct names.
+pub trait SweepWorkload: Send + Sync {
+    /// Cache key and display name.
+    fn name(&self) -> &str;
+
+    /// Weighted `(importance, time-expression)` targets on `shape`.
+    ///
+    /// # Errors
+    /// Workload construction may fail for unmappable shapes (e.g. a TP
+    /// degree the dimensions cannot host); such grid points are reported in
+    /// [`SweepReport::errors`] rather than aborting the sweep.
+    fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError>;
+}
+
+impl<W: SweepWorkload + ?Sized> SweepWorkload for &W {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> {
+        (**self).targets(shape)
+    }
+}
+
+impl<W: SweepWorkload + ?Sized> SweepWorkload for Box<W> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> {
+        (**self).targets(shape)
+    }
+}
+
+/// The boxed closure type behind [`FnWorkload`].
+type TargetsFn = Box<dyn Fn(&NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> + Send + Sync>;
+
+/// A [`SweepWorkload`] backed by a closure.
+pub struct FnWorkload {
+    name: String,
+    f: TargetsFn,
+}
+
+impl FnWorkload {
+    /// Wraps `f` as a named sweep workload.
+    pub fn new<F>(name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(&NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> + Send + Sync + 'static,
+    {
+        FnWorkload { name: name.into(), f: Box::new(f) }
+    }
+}
+
+impl SweepWorkload for FnWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> {
+        (self.f)(shape)
+    }
+}
+
+impl std::fmt::Debug for FnWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnWorkload").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// The cartesian design grid: shapes × budgets × objectives (workloads are
+/// supplied at run time). Inputs are deduplicated on insertion, preserving
+/// first-occurrence order, so enumeration is duplicate-free and
+/// deterministic by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepGrid {
+    shapes: Vec<NetworkShape>,
+    budgets: Vec<f64>,
+    objectives: Vec<Objective>,
+}
+
+/// One cell of the sweep grid (indices into the grid's axes and the
+/// run-time workload list).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Index into [`SweepGrid::shapes`].
+    pub shape: usize,
+    /// Index into the workload slice passed to [`SweepEngine::run`].
+    pub workload: usize,
+    /// Total per-NPU bandwidth budget (GB/s).
+    pub budget: f64,
+    /// Optimization objective.
+    pub objective: Objective,
+}
+
+impl SweepGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        SweepGrid::default()
+    }
+
+    /// Adds one candidate shape (ignored if already present).
+    #[must_use]
+    pub fn with_shape(mut self, shape: NetworkShape) -> Self {
+        if !self.shapes.contains(&shape) {
+            self.shapes.push(shape);
+        }
+        self
+    }
+
+    /// Adds candidate shapes (duplicates ignored).
+    #[must_use]
+    pub fn with_shapes(self, shapes: impl IntoIterator<Item = NetworkShape>) -> Self {
+        shapes.into_iter().fold(self, SweepGrid::with_shape)
+    }
+
+    /// Adds total-bandwidth budgets in GB/s (duplicates and non-finite or
+    /// non-positive values ignored).
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: impl IntoIterator<Item = f64>) -> Self {
+        for b in budgets {
+            if b.is_finite() && b > 0.0 && !self.budgets.contains(&b) {
+                self.budgets.push(b);
+            }
+        }
+        self
+    }
+
+    /// Adds objectives (duplicates ignored).
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: impl IntoIterator<Item = Objective>) -> Self {
+        for o in objectives {
+            if !self.objectives.contains(&o) {
+                self.objectives.push(o);
+            }
+        }
+        self
+    }
+
+    /// The deduplicated candidate shapes, in insertion order.
+    pub fn shapes(&self) -> &[NetworkShape] {
+        &self.shapes
+    }
+
+    /// The deduplicated budgets, in insertion order.
+    pub fn budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// The deduplicated objectives, in insertion order.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Number of grid points for `n_workloads` workloads.
+    pub fn len(&self, n_workloads: usize) -> usize {
+        self.shapes.len() * n_workloads * self.budgets.len() * self.objectives.len()
+    }
+
+    /// Whether the grid enumerates nothing for `n_workloads` workloads.
+    pub fn is_empty(&self, n_workloads: usize) -> bool {
+        self.len(n_workloads) == 0
+    }
+
+    /// Enumerates the grid in deterministic shape-major order:
+    /// shape → workload → budget → objective, each axis in insertion order.
+    pub fn points(&self, n_workloads: usize) -> Vec<GridPoint> {
+        let mut pts = Vec::with_capacity(self.len(n_workloads));
+        for shape in 0..self.shapes.len() {
+            for workload in 0..n_workloads {
+                for &budget in &self.budgets {
+                    for &objective in &self.objectives {
+                        pts.push(GridPoint { shape, workload, budget, objective });
+                    }
+                }
+            }
+        }
+        pts
+    }
+}
+
+/// Cache hit/miss counters, snapshotted into [`SweepReport::cache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Target-expression builds served from cache.
+    pub expr_hits: usize,
+    /// Target-expression builds actually performed.
+    pub expr_misses: usize,
+    /// Design solves served from cache.
+    pub design_hits: usize,
+    /// Design solves actually performed.
+    pub design_misses: usize,
+}
+
+type TargetsEntry = Arc<Result<Vec<(f64, BwExpr)>, LibraError>>;
+type ExprKey = (NetworkShape, String);
+type BaselineKey = (NetworkShape, String, u64);
+type DesignKey = (NetworkShape, String, u64, Objective);
+
+const CACHE_SHARDS: usize = 16;
+
+/// Sharded concurrent memo cache for target expressions and design solves.
+///
+/// Keys are `(shape, workload-name)` — plus budget and objective for
+/// designs — so a cache owned by a [`SweepEngine`] keeps paying off across
+/// repeated `run` calls (e.g. iterative grid refinement).
+struct SweepCache {
+    exprs: Vec<Mutex<HashMap<ExprKey, TargetsEntry>>>,
+    designs: Vec<Mutex<HashMap<DesignKey, Result<Design, LibraError>>>>,
+    baselines: Vec<Mutex<HashMap<BaselineKey, Design>>>,
+    expr_hits: AtomicUsize,
+    expr_misses: AtomicUsize,
+    design_hits: AtomicUsize,
+    design_misses: AtomicUsize,
+}
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % CACHE_SHARDS
+}
+
+impl SweepCache {
+    fn new() -> Self {
+        SweepCache {
+            exprs: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            designs: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            baselines: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            expr_hits: AtomicUsize::new(0),
+            expr_misses: AtomicUsize::new(0),
+            design_hits: AtomicUsize::new(0),
+            design_misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Drops every memoized design (used when the engine's constraint set
+    /// changes: cached designs were solved under the old constraints).
+    /// Target expressions and EqualBW baselines are constraint-independent
+    /// and survive.
+    fn clear_designs(&self) {
+        for shard in &self.designs {
+            shard.lock().unwrap().clear();
+        }
+    }
+
+    /// The memoized targets of `workload` on `shape`.
+    fn targets<W: SweepWorkload>(&self, shape: &NetworkShape, workload: &W) -> TargetsEntry {
+        let key: ExprKey = (shape.clone(), workload.name().to_string());
+        let shard = &self.exprs[shard_of(&key)];
+        if let Some(hit) = shard.lock().unwrap().get(&key) {
+            self.expr_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Build outside the lock: concurrent duplicate work is possible but
+        // harmless (the computation is deterministic), and expression
+        // construction can be slow enough that holding the shard would
+        // serialize unrelated lookups.
+        let built = Arc::new(workload.targets(shape));
+        self.expr_misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
+    }
+
+    /// The memoized EqualBW baseline for a `(shape, workload, budget)`
+    /// triple (objective-independent, so two objectives share one entry).
+    fn baseline(&self, key: BaselineKey, evaluate: impl FnOnce() -> Design) -> Design {
+        let shard = &self.baselines[shard_of(&key)];
+        if let Some(hit) = shard.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let computed = evaluate();
+        shard.lock().unwrap().entry(key).or_insert(computed).clone()
+    }
+
+    /// The memoized design for a fully specified grid point.
+    fn design(
+        &self,
+        key: DesignKey,
+        solve: impl FnOnce() -> Result<Design, LibraError>,
+    ) -> Result<Design, LibraError> {
+        let shard = &self.designs[shard_of(&key)];
+        if let Some(hit) = shard.lock().unwrap().get(&key) {
+            self.design_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let solved = solve();
+        self.design_misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().unwrap().entry(key).or_insert(solved).clone()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            expr_hits: self.expr_hits.load(Ordering::Relaxed),
+            expr_misses: self.expr_misses.load(Ordering::Relaxed),
+            design_hits: self.design_hits.load(Ordering::Relaxed),
+            design_misses: self.design_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A successfully evaluated grid point: the LIBRA design plus the EqualBW
+/// baseline at the same budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The grid cell this result came from.
+    pub point: GridPoint,
+    /// The evaluated shape.
+    pub shape: NetworkShape,
+    /// The workload's name.
+    pub workload: String,
+    /// The optimized design.
+    pub design: Design,
+    /// The EqualBW baseline at the same budget.
+    pub baseline: Design,
+}
+
+impl SweepResult {
+    /// Speedup of the design over EqualBW.
+    pub fn speedup(&self) -> f64 {
+        self.design.speedup_over(&self.baseline)
+    }
+
+    /// Perf-per-cost gain of the design over EqualBW.
+    pub fn ppc_gain(&self) -> f64 {
+        self.design.ppc_gain_over(&self.baseline)
+    }
+}
+
+/// A grid point whose evaluation failed (unmappable workload, infeasible
+/// constraint set, solver failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepError {
+    /// The grid cell that failed.
+    pub point: GridPoint,
+    /// The evaluated shape.
+    pub shape: NetworkShape,
+    /// The workload's name.
+    pub workload: String,
+    /// Why it failed.
+    pub error: LibraError,
+}
+
+/// How to rank sweep results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankBy {
+    /// Largest speedup over EqualBW first.
+    Speedup,
+    /// Largest perf-per-cost gain over EqualBW first.
+    PpcGain,
+    /// Fastest (smallest weighted time) first.
+    WeightedTime,
+    /// Cheapest first.
+    Cost,
+}
+
+/// The outcome of a sweep: results and errors in grid order, plus cache
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Successful evaluations, in grid-enumeration order.
+    pub results: Vec<SweepResult>,
+    /// Failed grid points, in grid-enumeration order.
+    pub errors: Vec<SweepError>,
+    /// Cache counters accumulated over the engine's lifetime so far.
+    pub cache: CacheStats,
+}
+
+impl SweepReport {
+    /// Results re-ranked by `metric` (ties keep grid order).
+    pub fn ranked(&self, metric: RankBy) -> Vec<&SweepResult> {
+        let mut out: Vec<&SweepResult> = self.results.iter().collect();
+        match metric {
+            RankBy::Speedup => {
+                out.sort_by(|a, b| b.speedup().total_cmp(&a.speedup()));
+            }
+            RankBy::PpcGain => {
+                out.sort_by(|a, b| b.ppc_gain().total_cmp(&a.ppc_gain()));
+            }
+            RankBy::WeightedTime => {
+                out.sort_by(|a, b| a.design.weighted_time.total_cmp(&b.design.weighted_time));
+            }
+            RankBy::Cost => {
+                out.sort_by(|a, b| a.design.cost.total_cmp(&b.design.cost));
+            }
+        }
+        out
+    }
+
+    /// The perf-vs-cost Pareto front: designs not dominated by any other
+    /// result (another design at most as slow **and** at most as expensive,
+    /// strictly better on one axis). Returned in grid order.
+    pub fn pareto_front(&self) -> Vec<&SweepResult> {
+        self.results
+            .iter()
+            .filter(|r| {
+                !self.results.iter().any(|s| {
+                    s.design.weighted_time <= r.design.weighted_time
+                        && s.design.cost <= r.design.cost
+                        && (s.design.weighted_time < r.design.weighted_time
+                            || s.design.cost < r.design.cost)
+                })
+            })
+            .collect()
+    }
+}
+
+/// The sweep engine: a cost model, optional extra designer constraints, and
+/// a concurrent memo cache that persists across `run` calls.
+pub struct SweepEngine<'a> {
+    cost_model: &'a CostModel,
+    extra_constraints: Vec<Constraint>,
+    cache: SweepCache,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// An engine pricing designs with `cost_model`.
+    pub fn new(cost_model: &'a CostModel) -> Self {
+        SweepEngine { cost_model, extra_constraints: Vec::new(), cache: SweepCache::new() }
+    }
+
+    /// Adds designer constraints applied to **every** grid point on top of
+    /// the per-point [`Constraint::TotalBw`] budget (e.g.
+    /// [`Constraint::Ordered`]).
+    ///
+    /// Memoized designs were solved under the previous constraint set, so
+    /// the design cache is cleared; target expressions and EqualBW
+    /// baselines are constraint-independent and stay cached.
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: impl IntoIterator<Item = Constraint>) -> Self {
+        self.extra_constraints.extend(constraints);
+        self.cache.clear_designs();
+        self
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Evaluates one grid point (memoized).
+    // Both variants are full result records stored unboxed in the report;
+    // boxing the Err would not shrink anything the caller keeps.
+    #[allow(clippy::result_large_err)]
+    fn eval<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        point: GridPoint,
+    ) -> Result<SweepResult, SweepError> {
+        let shape = &grid.shapes()[point.shape];
+        let workload = &workloads[point.workload];
+        let fail = |error: LibraError| SweepError {
+            point,
+            shape: shape.clone(),
+            workload: workload.name().to_string(),
+            error,
+        };
+        let cached = self.cache.targets(shape, workload);
+        let targets = match cached.as_ref() {
+            Ok(t) => t,
+            Err(e) => return Err(fail(e.clone())),
+        };
+        let mut constraints = vec![Constraint::TotalBw(point.budget)];
+        constraints.extend(self.extra_constraints.iter().cloned());
+        let key: DesignKey =
+            (shape.clone(), workload.name().to_string(), point.budget.to_bits(), point.objective);
+        let design = self
+            .cache
+            .design(key, || {
+                // The only deep copy of the target expressions, paid solely
+                // on a design-cache miss (DesignRequest owns its targets).
+                opt::optimize(&DesignRequest {
+                    shape,
+                    targets: targets.clone(),
+                    objective: point.objective,
+                    constraints,
+                    cost_model: self.cost_model,
+                })
+            })
+            .map_err(fail)?;
+        let baseline_key: BaselineKey =
+            (shape.clone(), workload.name().to_string(), point.budget.to_bits());
+        let baseline = self.cache.baseline(baseline_key, || {
+            opt::evaluate(
+                shape,
+                targets,
+                &opt::equal_bw(shape.ndims(), point.budget),
+                self.cost_model,
+            )
+        });
+        Ok(SweepResult {
+            point,
+            shape: shape.clone(),
+            workload: workload.name().to_string(),
+            design,
+            baseline,
+        })
+    }
+
+    fn report(
+        &self,
+        outcomes: impl IntoIterator<Item = Result<SweepResult, SweepError>>,
+    ) -> SweepReport {
+        let mut results = Vec::new();
+        let mut errors = Vec::new();
+        for o in outcomes {
+            match o {
+                Ok(r) => results.push(r),
+                Err(e) => errors.push(e),
+            }
+        }
+        SweepReport { results, errors, cache: self.cache.stats() }
+    }
+
+    /// Evaluates the whole grid **in parallel** (rayon). Results are in
+    /// grid-enumeration order and bit-identical to [`SweepEngine::run_serial`]
+    /// on the same inputs: every point is an independent deterministic
+    /// solve, and the cache only avoids recomputation — it never changes
+    /// values.
+    #[allow(clippy::result_large_err)]
+    pub fn run<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
+        let points = grid.points(workloads.len());
+        let outcomes: Vec<Result<SweepResult, SweepError>> =
+            points.par_iter().map(|&p| self.eval(grid, workloads, p)).collect();
+        self.report(outcomes)
+    }
+
+    /// Evaluates the whole grid serially (the reference fold for the
+    /// determinism contract; also useful under an external thread pool).
+    #[allow(clippy::result_large_err)]
+    pub fn run_serial<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
+        let points = grid.points(workloads.len());
+        let outcomes: Vec<Result<SweepResult, SweepError>> =
+            points.iter().map(|&p| self.eval(grid, workloads, p)).collect();
+        self.report(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Collective, CommModel, GroupSpan};
+
+    fn allreduce_workload(name: &str, gb: f64) -> FnWorkload {
+        FnWorkload::new(name, move |shape: &NetworkShape| {
+            let comm = CommModel::default();
+            Ok(vec![(
+                1.0,
+                comm.time_expr(Collective::AllReduce, gb * 1e9, &GroupSpan::full(shape)),
+            )])
+        })
+    }
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new()
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_shape("FC(8)_SW(4)".parse().unwrap())
+            .with_budgets([100.0, 300.0])
+            .with_objectives([Objective::Perf])
+    }
+
+    #[test]
+    fn grid_dedups_and_counts() {
+        let g = small_grid()
+            .with_shape("RI(4)_SW(8)".parse().unwrap()) // dup shape
+            .with_budgets([100.0, -5.0, f64::NAN]) // dup + invalid budgets
+            .with_objectives([Objective::Perf]); // dup objective
+        assert_eq!(g.shapes().len(), 2);
+        assert_eq!(g.budgets(), &[100.0, 300.0]);
+        assert_eq!(g.objectives(), &[Objective::Perf]);
+        assert_eq!(g.len(3), 2 * 3 * 2);
+        assert!(g.is_empty(0));
+        assert_eq!(g.points(1).len(), g.len(1));
+    }
+
+    #[test]
+    fn sweep_evaluates_every_point_and_memoizes() {
+        let grid = small_grid().with_objectives([Objective::PerfPerCost]);
+        let wls = [allreduce_workload("a", 1.0), allreduce_workload("b", 4.0)];
+        let cm = CostModel::default();
+        let engine = SweepEngine::new(&cm);
+        // Serial first run: exact cache counters (under a parallel cold run
+        // two workers may race past a cold key's first lookup and both
+        // build it — by design, so exact counts only hold serially).
+        let report = engine.run_serial(&grid, &wls);
+        assert_eq!(report.results.len(), 2 * 2 * 2 * 2);
+        assert!(report.errors.is_empty());
+        // Expressions are built once per (shape, workload)...
+        assert_eq!(report.cache.expr_misses, 4);
+        assert_eq!(report.cache.expr_hits, 12);
+        // ...and every distinct design is solved exactly once.
+        assert_eq!(report.cache.design_misses, 16);
+        // A parallel re-run over the same grid is served entirely from cache.
+        let again = engine.run(&grid, &wls);
+        assert_eq!(again.results, report.results);
+        assert_eq!(again.cache.design_misses, 16);
+        assert_eq!(again.cache.design_hits, 16);
+    }
+
+    #[test]
+    fn results_arrive_in_grid_order() {
+        let grid = small_grid();
+        let wls = [allreduce_workload("a", 1.0)];
+        let cm = CostModel::default();
+        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        let points = grid.points(wls.len());
+        assert_eq!(report.results.len(), points.len());
+        for (r, p) in report.results.iter().zip(&points) {
+            assert_eq!(r.point, *p);
+        }
+    }
+
+    #[test]
+    fn designs_beat_equal_bw_and_rankings_agree() {
+        let grid = small_grid();
+        let wls = [allreduce_workload("a", 10.0)];
+        let cm = CostModel::default();
+        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        for r in &report.results {
+            assert!(r.speedup() >= 1.0 - 1e-6, "PerfOpt lost to EqualBW: {r:?}");
+        }
+        let by_speed = report.ranked(RankBy::Speedup);
+        for w in by_speed.windows(2) {
+            assert!(w[0].speedup() >= w[1].speedup());
+        }
+        let by_time = report.ranked(RankBy::WeightedTime);
+        for w in by_time.windows(2) {
+            assert!(w[0].design.weighted_time <= w[1].design.weighted_time);
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_covers_extremes() {
+        let grid = SweepGrid::new()
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0, 200.0, 400.0, 800.0])
+            .with_objectives([Objective::Perf, Objective::PerfPerCost]);
+        let wls = [allreduce_workload("a", 10.0)];
+        let cm = CostModel::default();
+        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        let front = report.pareto_front();
+        assert!(!front.is_empty());
+        for f in &front {
+            for r in &report.results {
+                let dominates = r.design.weighted_time <= f.design.weighted_time
+                    && r.design.cost <= f.design.cost
+                    && (r.design.weighted_time < f.design.weighted_time
+                        || r.design.cost < f.design.cost);
+                assert!(!dominates, "front member dominated by {r:?}");
+            }
+        }
+        // The globally fastest and globally cheapest designs are always on
+        // the front.
+        let fastest = report.ranked(RankBy::WeightedTime)[0];
+        let cheapest = report.ranked(RankBy::Cost)[0];
+        assert!(front.iter().any(|f| f.point == fastest.point));
+        assert!(front.iter().any(|f| f.point == cheapest.point));
+    }
+
+    #[test]
+    fn workload_errors_are_collected_not_fatal() {
+        let bad = FnWorkload::new("bad", |_: &NetworkShape| {
+            Err(LibraError::BadRequest("unmappable".into()))
+        });
+        let grid = small_grid();
+        let wls: Vec<Box<dyn SweepWorkload>> =
+            vec![Box::new(allreduce_workload("good", 1.0)), Box::new(bad)];
+        let cm = CostModel::default();
+        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        assert_eq!(report.results.len(), 4, "good workload still evaluated");
+        assert_eq!(report.errors.len(), 4, "bad workload fails at every point");
+        for e in &report.errors {
+            assert_eq!(e.workload, "bad");
+            assert!(matches!(e.error, LibraError::BadRequest(_)));
+        }
+    }
+
+    #[test]
+    fn extra_constraints_apply_to_every_point() {
+        let grid = SweepGrid::new()
+            .with_shape("SW(4)_SW(4)_SW(4)".parse().unwrap())
+            .with_budgets([90.0])
+            .with_objectives([Objective::Perf]);
+        // All traffic on the outer dim wants an inverted allocation; Ordered
+        // forces the equal split (see opt::tests::ordered_constraint_enforced).
+        let wl = FnWorkload::new("outer", |_: &NetworkShape| {
+            Ok(vec![(1.0, BwExpr::Ratio { coeff: 10.0, dim: 2 })])
+        });
+        let cm = CostModel::default();
+        let engine = SweepEngine::new(&cm).with_constraints([Constraint::Ordered]);
+        let report = engine.run(&grid, &[wl]);
+        assert_eq!(report.results.len(), 1);
+        let bw = &report.results[0].design.bw;
+        assert!(bw[0] >= bw[1] - 1e-6 && bw[1] >= bw[2] - 1e-6, "bw = {bw:?}");
+    }
+
+    #[test]
+    fn with_constraints_invalidates_cached_designs() {
+        let grid = SweepGrid::new()
+            .with_shape("SW(4)_SW(4)_SW(4)".parse().unwrap())
+            .with_budgets([90.0])
+            .with_objectives([Objective::Perf]);
+        let wl = [FnWorkload::new("outer", |_: &NetworkShape| {
+            Ok(vec![(1.0, BwExpr::Ratio { coeff: 10.0, dim: 2 })])
+        })];
+        let cm = CostModel::default();
+        // Warm the engine unconstrained: the optimum pours bandwidth into
+        // the outer dimension.
+        let engine = SweepEngine::new(&cm);
+        let unconstrained = engine.run(&grid, &wl);
+        assert!(unconstrained.results[0].design.bw[2] > 80.0);
+        // Adding Ordered must drop the memoized design, not serve it stale.
+        let engine = engine.with_constraints([Constraint::Ordered]);
+        let constrained = engine.run(&grid, &wl);
+        let bw = &constrained.results[0].design.bw;
+        assert!(
+            bw[0] >= bw[1] - 1e-6 && bw[1] >= bw[2] - 1e-6,
+            "stale unconstrained design served from cache: bw = {bw:?}"
+        );
+    }
+}

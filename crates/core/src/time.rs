@@ -35,7 +35,8 @@ pub fn estimate(workload: &Workload, training_loop: TrainingLoop, model: &CommMo
             run += 1;
         }
         // Forward pass: compute then (exposed) forward communication.
-        let mut layer_parts = vec![BwExpr::Const(layer.fwd_compute), comm_expr(model, &layer.fwd_comm)];
+        let mut layer_parts =
+            vec![BwExpr::Const(layer.fwd_compute), comm_expr(model, &layer.fwd_comm)];
         // Backward pass.
         match training_loop {
             TrainingLoop::NoOverlap => {
@@ -94,8 +95,7 @@ pub fn average_utilization(
         } else {
             crate::comm::traffic_per_dim(c.collective, c.bytes, &c.span)
         };
-        let times: Vec<(usize, f64)> =
-            traffic.iter().map(|&(d, t)| (d, t / 1e9 / bw[d])).collect();
+        let times: Vec<(usize, f64)> = traffic.iter().map(|&(d, t)| (d, t / 1e9 / bw[d])).collect();
         let phase = times.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
         if phase <= 0.0 {
             return;
@@ -133,7 +133,6 @@ mod tests {
             tp_comm: Some(CommOp::new(Collective::AllReduce, 2e9, span01.clone())),
             wgrad_compute: 0.3,
             dp_comm: Some(CommOp::new(Collective::ReduceScatter, 4e9, span01)),
-            ..Default::default()
         };
         Workload::new("toy", vec![layer])
     }

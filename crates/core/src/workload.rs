@@ -13,12 +13,10 @@
 //! simulator and optimizer can consume workloads without depending on the
 //! generators.
 
-use serde::{Deserialize, Serialize};
-
 use crate::comm::{Collective, GroupSpan};
 
 /// One collective communication operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommOp {
     /// Collective pattern.
     pub collective: Collective,
@@ -40,7 +38,7 @@ impl CommOp {
 /// Compute fields are in seconds; they are bandwidth-independent constants
 /// produced from FLOP counts by a compute model (e.g. 234 TFLOPS for the
 /// paper's 75 %-efficient A100).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Layer {
     /// Layer name (diagnostics and workload files).
     pub name: String,
@@ -78,16 +76,12 @@ impl Layer {
 
     /// Total communication bytes across all phases.
     pub fn total_comm_bytes(&self) -> f64 {
-        [&self.fwd_comm, &self.tp_comm, &self.dp_comm]
-            .into_iter()
-            .flatten()
-            .map(|c| c.bytes)
-            .sum()
+        [&self.fwd_comm, &self.tp_comm, &self.dp_comm].into_iter().flatten().map(|c| c.bytes).sum()
     }
 }
 
 /// The training-loop schedule (paper Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TrainingLoop {
     /// Every compute and communication stage runs exclusively (Fig. 5b).
     #[default]
@@ -100,7 +94,7 @@ pub enum TrainingLoop {
 
 /// A named workload: an ordered list of layers making up one training
 /// iteration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Model name (e.g. "GPT-3").
     pub name: String,

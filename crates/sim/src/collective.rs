@@ -245,27 +245,25 @@ pub fn run_batch(
 
     while let Some((now, ev)) = queue.pop() {
         match ev {
-            Ev::Ready(key) => {
-                match next_stage(&mut chunks[key], &servers, scheduler, now, key) {
-                    Some((dim, bytes, gather)) => {
-                        let dur = transfer_ps(bytes, servers[dim].bw_gbps);
-                        let s = &mut servers[dim];
-                        s.backlog_until = s.backlog_until.max(now) + dur;
-                        s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
-                        try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
-                    }
-                    None => {
-                        let st = &mut chunks[key];
-                        if !st.done {
-                            st.done = true;
-                            outstanding[st.job] -= 1;
-                            if outstanding[st.job] == 0 {
-                                finish[st.job] = now;
-                            }
+            Ev::Ready(key) => match next_stage(&mut chunks[key], &servers, scheduler, now, key) {
+                Some((dim, bytes, gather)) => {
+                    let dur = transfer_ps(bytes, servers[dim].bw_gbps);
+                    let s = &mut servers[dim];
+                    s.backlog_until = s.backlog_until.max(now) + dur;
+                    s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
+                    try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
+                }
+                None => {
+                    let st = &mut chunks[key];
+                    if !st.done {
+                        st.done = true;
+                        outstanding[st.job] -= 1;
+                        if outstanding[st.job] == 0 {
+                            finish[st.job] = now;
                         }
                     }
                 }
-            }
+            },
             Ev::Done(dim) => {
                 if let Some(key) = servers[dim].running.take() {
                     queue.push(now, Ev::Ready(key));
@@ -275,8 +273,7 @@ pub fn run_batch(
         }
     }
 
-    let per_dim_busy: Vec<Vec<(Time, Time)>> =
-        servers.into_iter().map(|s| s.busy).collect();
+    let per_dim_busy: Vec<Vec<(Time, Time)>> = servers.into_iter().map(|s| s.busy).collect();
     CollectiveResult { finish, per_dim_busy, records }
 }
 
@@ -361,14 +358,7 @@ fn try_start(
     s.running = Some(job.chunk_key);
     s.busy.push((start, end));
     let st = &chunks[job.chunk_key];
-    records.push(StageRecord {
-        job: st.job,
-        chunk: st.chunk,
-        dim,
-        gather: job.gather,
-        start,
-        end,
-    });
+    records.push(StageRecord { job: st.job, chunk: st.chunk, dim, gather: job.gather, start, end });
     queue.push(end, Ev::Done(dim));
 }
 
@@ -408,8 +398,7 @@ mod tests {
         let bw = [60.0, 20.0];
         let bytes = 8e9;
         let span = span2();
-        let res =
-            run_collective(2, &bw, Collective::AllReduce, bytes, &span, 64, &mut FixedOrder);
+        let res = run_collective(2, &bw, Collective::AllReduce, bytes, &span, 64, &mut FixedOrder);
         let analytic: f64 = traffic_per_dim(Collective::AllReduce, bytes, &span)
             .iter()
             .map(|&(d, t)| t / 1e9 / bw[d])
@@ -429,8 +418,7 @@ mod tests {
         let bw = [10.0, 10.0];
         let bytes = 4e9;
         let span = GroupSpan::new(vec![(0, 4), (1, 2)]);
-        let res =
-            run_collective(2, &bw, Collective::AllReduce, bytes, &span, 1, &mut FixedOrder);
+        let res = run_collective(2, &bw, Collective::AllReduce, bytes, &span, 1, &mut FixedOrder);
         // RS d0: 4·(3/4) = 3 GB → 0.3 s; RS d1: 4·(1/2)/4 = 0.5 GB → 0.05 s;
         // AG mirrors: 0.05 + 0.3. Total 0.7 s.
         assert!((ps_to_secs(res.makespan()) - 0.7).abs() < 1e-9);
@@ -448,8 +436,7 @@ mod tests {
         let bw = [10.0, 10.0];
         let span = span2();
         let ar = run_collective(2, &bw, Collective::AllReduce, 2e9, &span, 1, &mut FixedOrder);
-        let rs =
-            run_collective(2, &bw, Collective::ReduceScatter, 2e9, &span, 1, &mut FixedOrder);
+        let rs = run_collective(2, &bw, Collective::ReduceScatter, 2e9, &span, 1, &mut FixedOrder);
         assert_eq!(ar.makespan(), 2 * rs.makespan());
     }
 
@@ -459,8 +446,7 @@ mod tests {
     fn allgather_mirrors_reduce_scatter() {
         let bw = [25.0, 5.0];
         let span = span2();
-        let rs =
-            run_collective(2, &bw, Collective::ReduceScatter, 2e9, &span, 8, &mut FixedOrder);
+        let rs = run_collective(2, &bw, Collective::ReduceScatter, 2e9, &span, 8, &mut FixedOrder);
         let ag = run_collective(2, &bw, Collective::AllGather, 2e9, &span, 8, &mut FixedOrder);
         assert_eq!(rs.makespan(), ag.makespan());
         // First AG record of chunk 0 is the outermost dim.
@@ -532,10 +518,8 @@ mod tests {
     fn chunks_pipeline_across_dims() {
         let bw = [10.0, 10.0];
         let span = span2();
-        let serial =
-            run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 1, &mut FixedOrder);
-        let piped =
-            run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 64, &mut FixedOrder);
+        let serial = run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 1, &mut FixedOrder);
+        let piped = run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 64, &mut FixedOrder);
         assert!(piped.makespan() < serial.makespan());
     }
 

@@ -90,12 +90,7 @@ impl LinkGraph {
 
     /// Indices of links leaving `node`.
     pub fn out_links(&self, node: usize) -> Vec<usize> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.src == node)
-            .map(|(i, _)| i)
-            .collect()
+        self.links.iter().enumerate().filter(|(_, l)| l.src == node).map(|(i, _)| i).collect()
     }
 }
 
@@ -125,11 +120,18 @@ pub struct ScheduleDeadlock {
 
 impl fmt::Display for ScheduleDeadlock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "link schedule deadlocked; {} links have unrunnable sends", self.stuck_links.len())
+        write!(
+            f,
+            "link schedule deadlocked; {} links have unrunnable sends",
+            self.stuck_links.len()
+        )
     }
 }
 
 impl Error for ScheduleDeadlock {}
+
+/// Per-node, per-chunk arrival times (`None` = never arrived).
+pub type ArrivalTimes = Vec<Vec<Option<Time>>>;
 
 /// Executes a schedule: chunk `c` initially resides at `initial_owner(c)`;
 /// each link performs its sends in order, a send starting only once its
@@ -143,12 +145,11 @@ pub fn execute(
     schedule: &LinkSchedule,
     n_chunks: usize,
     initial_owner: impl Fn(usize) -> usize,
-) -> Result<(Time, Vec<Vec<Option<Time>>>), ScheduleDeadlock> {
+) -> Result<(Time, ArrivalTimes), ScheduleDeadlock> {
     let nl = graph.links.len();
     assert_eq!(schedule.per_link.len(), nl, "schedule must cover every link");
-    let mut arrival: Vec<Vec<Option<Time>>> = vec![vec![None; n_chunks]; graph.n_nodes];
-    for c in 0..n_chunks {
-        let o = initial_owner(c);
+    let mut arrival: ArrivalTimes = vec![vec![None; n_chunks]; graph.n_nodes];
+    for (c, o) in (0..n_chunks).map(|c| (c, initial_owner(c))) {
         arrival[o][c] = Some(0);
     }
     let mut next_idx = vec![0usize; nl];
@@ -168,15 +169,14 @@ pub fn execute(
             let src = graph.links[li].src;
             if let Some(avail) = arrival[src][send.chunk] {
                 let start = avail.max(free_at[li]);
-                if best.map_or(true, |(bs, _)| start < bs) {
+                if best.is_none_or(|(bs, _)| start < bs) {
                     best = Some((start, li));
                 }
             }
         }
         let Some((start, li)) = best else {
-            let stuck: Vec<usize> = (0..nl)
-                .filter(|&l| next_idx[l] < schedule.per_link[l].len())
-                .collect();
+            let stuck: Vec<usize> =
+                (0..nl).filter(|&l| next_idx[l] < schedule.per_link[l].len()).collect();
             return Err(ScheduleDeadlock { stuck_links: stuck });
         };
         let send = schedule.per_link[li][next_idx[li]];

@@ -23,11 +23,7 @@ pub fn average_utilization(per_dim: &[Vec<(Time, Time)>]) -> f64 {
         return 0.0;
     }
     let n = per_dim.len() as f64;
-    per_dim
-        .iter()
-        .map(|iv| busy_length(iv) as f64 / window as f64)
-        .sum::<f64>()
-        / n
+    per_dim.iter().map(|iv| busy_length(iv) as f64 / window as f64).sum::<f64>() / n
 }
 
 fn merged(intervals: &[(Time, Time)]) -> Vec<(Time, Time)> {

@@ -17,10 +17,7 @@ pub struct TrainingSimConfig {
 
 impl Default for TrainingSimConfig {
     fn default() -> Self {
-        TrainingSimConfig {
-            chunks_per_collective: 64,
-            training_loop: TrainingLoop::NoOverlap,
-        }
+        TrainingSimConfig { chunks_per_collective: 64, training_loop: TrainingLoop::NoOverlap }
     }
 }
 
@@ -137,10 +134,8 @@ pub fn simulate_training_with(
         }
     }
 
-    let per_dim_busy_secs: Vec<f64> = busy
-        .iter()
-        .map(|iv| ps_to_secs(iv.iter().map(|(s, e)| e - s).sum::<Time>()))
-        .collect();
+    let per_dim_busy_secs: Vec<f64> =
+        busy.iter().map(|iv| ps_to_secs(iv.iter().map(|(s, e)| e - s).sum::<Time>())).collect();
     let comm_window_secs = ps_to_secs(crate::stats::union_length(&busy));
     TrainingResult {
         makespan: ps_to_secs(t),
@@ -168,7 +163,6 @@ mod tests {
             tp_comm: Some(CommOp::new(Collective::AllReduce, 1e9, span.clone())),
             wgrad_compute: 0.02,
             dp_comm: Some(CommOp::new(Collective::ReduceScatter, 2e9, span)),
-            ..Default::default()
         };
         Workload::new("toy", vec![layer; n_layers])
     }
@@ -202,10 +196,7 @@ mod tests {
             &w,
             2,
             &bw,
-            &TrainingSimConfig {
-                training_loop: TrainingLoop::TpDpOverlap,
-                ..Default::default()
-            },
+            &TrainingSimConfig { training_loop: TrainingLoop::TpDpOverlap, ..Default::default() },
         );
         assert!(ov.makespan < no.makespan);
         let expr = estimate(&w, TrainingLoop::TpDpOverlap, &CommModel::default());
@@ -216,10 +207,7 @@ mod tests {
     /// A compute-only workload's makespan is exactly its compute time.
     #[test]
     fn compute_only_workload() {
-        let w = Workload::new(
-            "c",
-            vec![Layer::compute_only("l", 0.25, 0.25, 0.5)],
-        );
+        let w = Workload::new("c", vec![Layer::compute_only("l", 0.25, 0.25, 0.5)]);
         let sim = simulate_training(&w, 2, &[10.0, 10.0], &TrainingSimConfig::default());
         assert!((sim.makespan - 1.0).abs() < 1e-9);
         assert_eq!(sim.average_utilization(), 0.0);

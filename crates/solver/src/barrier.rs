@@ -14,6 +14,9 @@ use crate::convex::{ConvexProblem, Solution};
 use crate::error::SolverError;
 use crate::linalg::{dot, norm2, Matrix};
 
+/// Optional per-iterate early-exit predicate threaded through the solver.
+type EarlyStop<'a> = Option<&'a dyn Fn(&[f64]) -> bool>;
+
 /// Hard iteration caps; generous for the tiny problems LIBRA produces.
 const MAX_NEWTON_PER_STAGE: usize = 200;
 const MAX_BARRIER_STAGES: usize = 64;
@@ -203,12 +206,13 @@ fn eliminate_equalities(
         for v in a[rank].iter_mut() {
             *v /= piv;
         }
-        for r in 0..m {
-            if r != rank && a[r][col].abs() > 0.0 {
-                let f = a[r][col];
-                for j in 0..=n {
-                    let upd = a[rank][j] * f;
-                    a[r][j] -= upd;
+        let (before, rest) = a.split_at_mut(rank);
+        let (pivot_row, after) = rest.split_first_mut().expect("rank < m");
+        for row in before.iter_mut().chain(after.iter_mut().take(m - rank - 1)) {
+            let f = row[col];
+            if f.abs() > 0.0 {
+                for (v, p) in row.iter_mut().zip(pivot_row.iter()) {
+                    *v -= p * f;
                 }
             }
         }
@@ -255,10 +259,8 @@ fn lower(p: &ConvexProblem) -> Result<(Nlp, Substitution), SolverError> {
 
     let mut cons: Vec<GenCon> = Vec::new();
     for rc in ratio_cons {
-        let mut gc = GenCon {
-            ratios: Vec::new(),
-            affine: sub.map_linear(rc.linear(), rc.constant()),
-        };
+        let mut gc =
+            GenCon { ratios: Vec::new(), affine: sub.map_linear(rc.linear(), rc.constant()) };
         for &(i, c) in rc.ratios() {
             if c == 0.0 {
                 continue;
@@ -268,10 +270,7 @@ fn lower(p: &ConvexProblem) -> Result<(Nlp, Substitution), SolverError> {
         cons.push(gc);
     }
     for lc in lin_ineq {
-        cons.push(GenCon {
-            ratios: Vec::new(),
-            affine: sub.map_linear(&lc.terms, -lc.rhs),
-        });
+        cons.push(GenCon { ratios: Vec::new(), affine: sub.map_linear(&lc.terms, -lc.rhs) });
     }
     for i in 0..n {
         if let Some(l) = lower_b[i] {
@@ -304,17 +303,19 @@ fn lower(p: &ConvexProblem) -> Result<(Nlp, Substitution), SolverError> {
     }
 
     // Objective in z.
-    let obj_sparse: Vec<(usize, f64)> =
-        p.objective().iter().enumerate().filter(|&(_, &c)| c != 0.0).map(|(i, &c)| (i, c)).collect();
+    let obj_sparse: Vec<(usize, f64)> = p
+        .objective()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c != 0.0)
+        .map(|(i, &c)| (i, c))
+        .collect();
     let obj_aff = sub.map_linear(&obj_sparse, 0.0);
     let mut objective = vec![0.0; sub.n_reduced];
     for &(i, c) in &obj_aff.terms {
         objective[i] += c;
     }
-    Ok((
-        Nlp { n: sub.n_reduced, objective, cons: kept },
-        sub,
-    ))
+    Ok((Nlp { n: sub.n_reduced, objective, cons: kept }, sub))
 }
 
 /// Barrier potential `t·f₀(z) − Σ log(−gᵢ(z))`; `+inf` when infeasible.
@@ -337,7 +338,7 @@ fn center(
     nlp: &Nlp,
     t: f64,
     z: &mut Vec<f64>,
-    early_stop: Option<&dyn Fn(&[f64]) -> bool>,
+    early_stop: EarlyStop<'_>,
 ) -> Result<usize, SolverError> {
     let n = nlp.n;
     let mut scratch = Vec::with_capacity(n);
@@ -369,7 +370,8 @@ fn center(
             Err(_) => h.solve(&neg_grad)?,
         };
         let decrement = -dot(&grad, &dz); // λ² = ∇fᵀ H⁻¹ ∇f
-        if decrement <= 0.0 || decrement / 2.0 < 1e-12 * (1.0 + potential(nlp, t, z).abs().min(1e12))
+        if decrement <= 0.0
+            || decrement / 2.0 < 1e-12 * (1.0 + potential(nlp, t, z).abs().min(1e12))
         {
             return Ok(iter);
         }
@@ -406,7 +408,7 @@ fn center(
 fn barrier_loop(
     nlp: &Nlp,
     mut z: Vec<f64>,
-    early_stop: Option<&dyn Fn(&[f64]) -> bool>,
+    early_stop: EarlyStop<'_>,
 ) -> Result<(Vec<f64>, usize), SolverError> {
     let m = nlp.cons.len().max(1) as f64;
     let mut t = 1.0f64;
@@ -530,8 +532,7 @@ pub(crate) fn solve(p: &ConvexProblem) -> Result<Solution, SolverError> {
     let x0 = initial_guess(p);
     let mut z0 = reduce_start(&sub, &x0, nlp.n)?;
     enter_domain(&nlp, &mut z0)?;
-    let strictly_feasible =
-        nlp.cons.iter().all(|gc| gc.eval(&z0) < -1e-9);
+    let strictly_feasible = nlp.cons.iter().all(|gc| gc.eval(&z0) < -1e-9);
     let z_start = if strictly_feasible { z0 } else { phase_one(&nlp, &z0)? };
     let (z, iters) = barrier_loop(&nlp, z_start, None)?;
     let x = sub.recover(&z);
@@ -541,11 +542,7 @@ pub(crate) fn solve(p: &ConvexProblem) -> Result<Solution, SolverError> {
 /// Least-squares mapping of a full-space guess into reduced coordinates.
 fn reduce_start(sub: &Substitution, x0: &[f64], nz: usize) -> Result<Vec<f64>, SolverError> {
     if sub.exprs.len() == nz
-        && sub
-            .exprs
-            .iter()
-            .enumerate()
-            .all(|(i, e)| e.constant == 0.0 && e.terms == [(i, 1.0)])
+        && sub.exprs.iter().enumerate().all(|(i, e)| e.constant == 0.0 && e.terms == [(i, 1.0)])
     {
         return Ok(x0.to_vec());
     }

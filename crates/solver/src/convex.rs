@@ -159,6 +159,12 @@ pub struct ConvexProblem {
     initial_guess: Option<Vec<f64>>,
 }
 
+/// The borrowed pieces of a problem handed to the barrier solver:
+/// (ratio constraints, linear inequalities, linear equalities, lower
+/// bounds, upper bounds).
+pub(crate) type Parts<'a> =
+    (&'a [RatioTerm], &'a [LinearCon], &'a [LinearCon], &'a [Option<f64>], &'a [Option<f64>]);
+
 impl ConvexProblem {
     /// Creates a problem with `n` variables, no constraints, and a zero
     /// objective.
@@ -233,9 +239,7 @@ impl ConvexProblem {
     }
 
     /// Accessors used by the barrier solver.
-    pub(crate) fn parts(
-        &self,
-    ) -> (&[RatioTerm], &[LinearCon], &[LinearCon], &[Option<f64>], &[Option<f64>]) {
+    pub(crate) fn parts(&self) -> Parts<'_> {
         (&self.ratio_cons, &self.lin_ineq, &self.lin_eq, &self.lower, &self.upper)
     }
 
@@ -252,7 +256,7 @@ impl ConvexProblem {
         for rc in &self.ratio_cons {
             rc.validate(self.n)?;
             for &(i, c) in rc.ratios() {
-                if c > 0.0 && self.lower[i].map_or(true, |l| l <= 0.0) {
+                if c > 0.0 && self.lower[i].is_none_or(|l| l <= 0.0) {
                     return Err(SolverError::MissingPositiveLowerBound(i));
                 }
             }
@@ -300,12 +304,12 @@ impl ConvexProblem {
         for lc in &self.lin_eq {
             v = v.max(lc.eval(x).abs());
         }
-        for i in 0..self.n {
-            if let Some(l) = self.lower[i] {
-                v = v.max(l - x[i]);
+        for ((l, u), xi) in self.lower.iter().zip(&self.upper).zip(x) {
+            if let Some(l) = l {
+                v = v.max(l - xi);
             }
-            if let Some(u) = self.upper[i] {
-                v = v.max(x[i] - u);
+            if let Some(u) = u {
+                v = v.max(xi - u);
             }
         }
         v

@@ -41,10 +41,9 @@ impl fmt::Display for SolverError {
             SolverError::Infeasible => write!(f, "constraint set has no strictly feasible point"),
             SolverError::Unbounded => write!(f, "objective is unbounded below"),
             SolverError::NumericalFailure(what) => write!(f, "numerical failure: {what}"),
-            SolverError::MissingPositiveLowerBound(i) => write!(
-                f,
-                "variable {i} appears in a ratio term but has no positive lower bound"
-            ),
+            SolverError::MissingPositiveLowerBound(i) => {
+                write!(f, "variable {i} appears in a ratio term but has no positive lower bound")
+            }
         }
     }
 }

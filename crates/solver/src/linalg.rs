@@ -61,9 +61,8 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = dot(row, x);
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = dot(row, x);
         }
         out
     }
@@ -72,10 +71,9 @@ impl Matrix {
     pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+        for (xi, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
             for (o, r) in out.iter_mut().zip(row) {
-                *o += x[i] * r;
+                *o += xi * r;
             }
         }
         out

@@ -26,11 +26,7 @@ pub fn project_capped_box(x: &mut [f64], total: f64, lower: &[f64], upper: &[f64
     }
     // Bisection on λ ≥ 0 where x_i(λ) = clamp(x_i − λ, l_i, u_i).
     let mut lo = 0.0f64;
-    let mut hi = x
-        .iter()
-        .zip(lower)
-        .map(|(xi, l)| xi - l)
-        .fold(0.0f64, f64::max);
+    let mut hi = x.iter().zip(lower).map(|(xi, l)| xi - l).fold(0.0f64, f64::max);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
         let s: f64 = x

@@ -110,13 +110,7 @@ pub fn synthesize_allgather(
     let out_links: Vec<Vec<usize>> = (0..n).map(|v| graph.out_links(v)).collect();
     let in_links: Vec<Vec<usize>> = (0..n)
         .map(|v| {
-            graph
-                .links()
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| l.dst == v)
-                .map(|(i, _)| i)
-                .collect()
+            graph.links().iter().enumerate().filter(|(_, l)| l.dst == v).map(|(i, _)| i).collect()
         })
         .collect();
     let mut free_at = vec![0 as Time; graph.links().len()];
@@ -137,16 +131,16 @@ pub fn synthesize_allgather(
     // from turning their full-size transfers into end-of-collective
     // stragglers.
     let try_schedule = |li: usize,
-                            now: Time,
-                            arrival: &mut Vec<Vec<Option<Time>>>,
-                            promised: &mut Vec<Vec<bool>>,
-                            copies: &mut Vec<usize>,
-                            free_at: &mut Vec<Time>,
-                            per_link: &mut Vec<Vec<ChunkSend>>,
-                            queue: &mut EventQueue<Ev>,
-                            makespan: &mut Time,
-                            remaining: &mut usize,
-                            rng: &mut StdRng| {
+                        now: Time,
+                        arrival: &mut Vec<Vec<Option<Time>>>,
+                        promised: &mut Vec<Vec<bool>>,
+                        copies: &mut Vec<usize>,
+                        free_at: &mut Vec<Time>,
+                        per_link: &mut Vec<Vec<ChunkSend>>,
+                        queue: &mut EventQueue<Ev>,
+                        makespan: &mut Time,
+                        remaining: &mut usize,
+                        rng: &mut StdRng| {
         if free_at[li] > now {
             return;
         }
@@ -154,10 +148,7 @@ pub fn synthesize_allgather(
         let my_dur = transfer_ps(chunk_bytes, link.gbps);
         // Candidate chunks: at src now, not yet promised to dst.
         let mut cands: Vec<usize> = (0..n_chunks)
-            .filter(|&c| {
-                !promised[link.dst][c]
-                    && arrival[link.src][c].map_or(false, |t| t <= now)
-            })
+            .filter(|&c| !promised[link.dst][c] && arrival[link.src][c].is_some_and(|t| t <= now))
             .collect();
         if cands.is_empty() {
             return;
@@ -209,15 +200,33 @@ pub fn synthesize_allgather(
         match ev {
             Ev::LinkFree(li) => {
                 try_schedule(
-                    li, now, &mut arrival, &mut promised, &mut copies, &mut free_at,
-                    &mut per_link, &mut queue, &mut makespan, &mut remaining, &mut rng,
+                    li,
+                    now,
+                    &mut arrival,
+                    &mut promised,
+                    &mut copies,
+                    &mut free_at,
+                    &mut per_link,
+                    &mut queue,
+                    &mut makespan,
+                    &mut remaining,
+                    &mut rng,
                 );
             }
             Ev::Arrival { node } => {
                 for &li in &out_links[node] {
                     try_schedule(
-                        li, now, &mut arrival, &mut promised, &mut copies, &mut free_at,
-                        &mut per_link, &mut queue, &mut makespan, &mut remaining, &mut rng,
+                        li,
+                        now,
+                        &mut arrival,
+                        &mut promised,
+                        &mut copies,
+                        &mut free_at,
+                        &mut per_link,
+                        &mut queue,
+                        &mut makespan,
+                        &mut remaining,
+                        &mut rng,
                     );
                 }
             }

@@ -152,8 +152,7 @@ impl ChunkScheduler for ThemisScheduler {
             *e = (*e).max(end);
         }
         if best_perm.len() > 1 {
-            let rest: VecDeque<usize> =
-                best_perm[1..].iter().map(|&i| options[i].dim).collect();
+            let rest: VecDeque<usize> = best_perm[1..].iter().map(|&i| options[i].dim).collect();
             self.plans.insert(chunk, rest);
         }
         best_perm[0]
@@ -176,15 +175,8 @@ mod tests {
     fn beats_fixed_order_on_equal_bw() {
         let bw = [100.0, 100.0, 100.0]; // EqualBW: dim 0 is the bottleneck
         let bytes = 8e9;
-        let fixed = run_collective(
-            3,
-            &bw,
-            Collective::AllReduce,
-            bytes,
-            &span3(),
-            64,
-            &mut FixedOrder,
-        );
+        let fixed =
+            run_collective(3, &bw, Collective::AllReduce, bytes, &span3(), 64, &mut FixedOrder);
         let themis = run_collective(
             3,
             &bw,
@@ -209,15 +201,8 @@ mod tests {
         // Traffic ratios for 4×4×4 All-Reduce: 1.5m : 0.375m : 0.094m.
         let bw = [228.0, 57.0, 15.0];
         let bytes = 8e9;
-        let fixed = run_collective(
-            3,
-            &bw,
-            Collective::AllReduce,
-            bytes,
-            &span3(),
-            64,
-            &mut FixedOrder,
-        );
+        let fixed =
+            run_collective(3, &bw, Collective::AllReduce, bytes, &span3(), 64, &mut FixedOrder);
         let themis = run_collective(
             3,
             &bw,

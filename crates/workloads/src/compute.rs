@@ -6,10 +6,8 @@
 //! compute model deliberately ignores memory bandwidth and reduction costs
 //! (§IV-C "LIBRA Modeling").
 
-use serde::{Deserialize, Serialize};
-
 /// Converts FLOPs to seconds at a fixed effective throughput.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputeModel {
     /// Sustained FLOP/s per NPU.
     pub effective_flops: f64,

@@ -10,17 +10,15 @@
 //! paper's 57M ("MLP layers only"); embedding-table parameters are excluded
 //! from the count just as the paper excludes them.
 
+use crate::compute::ComputeModel;
+use crate::transformer::BYTES_PER_ELEMENT;
 use libra_core::comm::{Collective, GroupSpan};
 use libra_core::error::LibraError;
 use libra_core::network::NetworkShape;
 use libra_core::workload::{CommOp, Layer, Workload};
-use serde::{Deserialize, Serialize};
-
-use crate::compute::ComputeModel;
-use crate::transformer::BYTES_PER_ELEMENT;
 
 /// DLRM training configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DlrmConfig {
     /// Bottom-MLP layer widths (dense features → embedding dimension).
     pub bottom_mlp: Vec<u64>,
@@ -136,12 +134,8 @@ mod tests {
         let shape: NetworkShape = "RI(4)_SW(8)".parse().unwrap();
         let cfg = DlrmConfig::default();
         let w = cfg.build(&shape, &ComputeModel::default()).unwrap();
-        let dp_bytes: f64 = w
-            .layers
-            .iter()
-            .filter_map(|l| l.dp_comm.as_ref())
-            .map(|c| c.bytes)
-            .sum();
+        let dp_bytes: f64 =
+            w.layers.iter().filter_map(|l| l.dp_comm.as_ref()).map(|c| c.bytes).sum();
         assert!((dp_bytes - cfg.mlp_params() * 2.0).abs() < 1.0);
     }
 

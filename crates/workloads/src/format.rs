@@ -42,13 +42,8 @@ pub fn to_wl(workload: &Workload) -> String {
 
 fn write_comm(out: &mut String, key: &str, op: &Option<CommOp>) {
     if let Some(c) = op {
-        let span = c
-            .span
-            .extents()
-            .iter()
-            .map(|(d, e)| format!("{d}:{e}"))
-            .collect::<Vec<_>>()
-            .join(",");
+        let span =
+            c.span.extents().iter().map(|(d, e)| format!("{d}:{e}")).collect::<Vec<_>>().join(",");
         let _ = writeln!(out, "  {key} {} {} SPAN {span}", c.collective.code(), c.bytes);
     }
 }
@@ -59,10 +54,8 @@ fn write_comm(out: &mut String, key: &str, op: &Option<CommOp>) {
 /// Returns [`LibraError::ParseWorkload`] with a 1-based line number for any
 /// malformed line, unknown keyword, or misplaced directive.
 pub fn from_wl(text: &str) -> Result<Workload, LibraError> {
-    let err = |line: usize, reason: &str| LibraError::ParseWorkload {
-        line,
-        reason: reason.to_string(),
-    };
+    let err =
+        |line: usize, reason: &str| LibraError::ParseWorkload { line, reason: reason.to_string() };
     let mut name: Option<String> = None;
     let mut layers: Vec<Layer> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -111,9 +104,8 @@ pub fn from_wl(text: &str) -> Result<Workload, LibraError> {
             }
             "FWD_COMM" | "TP_COMM" | "DP_COMM" => {
                 let op = parse_comm(&mut tokens, lineno)?;
-                let layer = layers
-                    .last_mut()
-                    .ok_or_else(|| err(lineno, "comm line before any LAYER"))?;
+                let layer =
+                    layers.last_mut().ok_or_else(|| err(lineno, "comm line before any LAYER"))?;
                 match key {
                     "FWD_COMM" => layer.fwd_comm = Some(op),
                     "TP_COMM" => layer.tp_comm = Some(op),
@@ -131,10 +123,7 @@ fn parse_comm<'a>(
     tokens: &mut impl Iterator<Item = &'a str>,
     lineno: usize,
 ) -> Result<CommOp, LibraError> {
-    let err = |reason: &str| LibraError::ParseWorkload {
-        line: lineno,
-        reason: reason.to_string(),
-    };
+    let err = |reason: &str| LibraError::ParseWorkload { line: lineno, reason: reason.to_string() };
     let coll = tokens.next().ok_or_else(|| err("missing collective name"))?;
     let collective =
         Collective::from_code(coll).ok_or_else(|| err(&format!("unknown collective {coll:?}")))?;
@@ -153,9 +142,8 @@ fn parse_comm<'a>(
     let span_str = tokens.next().ok_or_else(|| err("missing span list"))?;
     let mut extents = Vec::new();
     for part in span_str.split(',') {
-        let (d, e) = part
-            .split_once(':')
-            .ok_or_else(|| err("span entries must look like dim:extent"))?;
+        let (d, e) =
+            part.split_once(':').ok_or_else(|| err("span entries must look like dim:extent"))?;
         let d: usize = d.parse().map_err(|_| err("span dim is not an integer"))?;
         let e: u64 = e.parse().map_err(|_| err("span extent is not an integer"))?;
         if e < 2 {

@@ -76,15 +76,11 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 /// power-of-two machine).
 pub fn map_hybrid(shape: &NetworkShape, tp: u64) -> Result<GroupMap, LibraError> {
     let npus = shape.npus();
-    let err = |reason: String| LibraError::GroupMapping {
-        group: tp,
-        dims: shape.sizes(),
-        reason,
-    };
+    let err = |reason: String| LibraError::GroupMapping { group: tp, dims: shape.sizes(), reason };
     if tp == 0 {
         return Err(err("TP degree must be at least 1".into()));
     }
-    if npus % tp != 0 {
+    if !npus.is_multiple_of(tp) {
         return Err(err(format!("TP degree must divide the NPU count {npus}")));
     }
     let mut remaining = tp;
@@ -129,7 +125,7 @@ pub fn map_hybrid3(shape: &NetworkShape, tp: u64, pp: u64) -> Result<GroupMap3, 
     if tp == 0 || pp == 0 {
         return Err(err(tp.max(pp), "degrees must be at least 1".into()));
     }
-    if npus % (tp * pp) != 0 {
+    if !npus.is_multiple_of(tp * pp) {
         return Err(err(tp * pp, format!("TP·PP must divide the NPU count {npus}")));
     }
     let mut rem_tp = tp;

@@ -19,20 +19,18 @@
 //!
 //! All tensors are FP16 (2 bytes), matching Fig. 1.
 
+use crate::compute::ComputeModel;
+use crate::parallel::map_hybrid3;
 use libra_core::comm::{Collective, GroupSpan};
 use libra_core::error::LibraError;
 use libra_core::network::NetworkShape;
 use libra_core::workload::{CommOp, Layer, Workload};
-use serde::{Deserialize, Serialize};
-
-use crate::compute::ComputeModel;
-use crate::parallel::map_hybrid3;
 
 /// Bytes per FP16 element.
 pub const BYTES_PER_ELEMENT: f64 = 2.0;
 
 /// A transformer model + training configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformerConfig {
     /// Model name.
     pub name: String,
@@ -130,22 +128,14 @@ impl TransformerConfig {
 
     /// Forward FLOPs per layer per TP shard.
     fn fwd_flops_per_shard(&self) -> f64 {
-        let (b, s, h) = (
-            self.batch_per_replica as f64,
-            self.seq as f64,
-            self.hidden as f64,
-        );
+        let (b, s, h) = (self.batch_per_replica as f64, self.seq as f64, self.hidden as f64);
         (24.0 * b * s * h * h + 4.0 * b * s * s * h) / self.tp as f64
     }
 
     /// Activation All-Reduce payload per pass (two Megatron All-Reduces of
     /// `b·s·h` FP16 elements, merged).
     fn tp_comm_bytes(&self) -> f64 {
-        let (b, s, h) = (
-            self.batch_per_replica as f64,
-            self.seq as f64,
-            self.hidden as f64,
-        );
+        let (b, s, h) = (self.batch_per_replica as f64, self.seq as f64, self.hidden as f64);
         2.0 * b * s * h * BYTES_PER_ELEMENT
     }
 
@@ -156,11 +146,7 @@ impl TransformerConfig {
 
     /// Activation bytes crossing one pipeline-stage boundary per microbatch.
     fn pp_comm_bytes(&self) -> f64 {
-        let (b, s, h) = (
-            self.batch_per_replica as f64,
-            self.seq as f64,
-            self.hidden as f64,
-        );
+        let (b, s, h) = (self.batch_per_replica as f64, self.seq as f64, self.hidden as f64);
         b * s * h * BYTES_PER_ELEMENT
     }
 
@@ -255,9 +241,8 @@ mod tests {
 
     #[test]
     fn turing_nlg_is_pure_dp() {
-        let w = TransformerConfig::turing_nlg()
-            .build(&shape_4d4k(), &ComputeModel::default())
-            .unwrap();
+        let w =
+            TransformerConfig::turing_nlg().build(&shape_4d4k(), &ComputeModel::default()).unwrap();
         let l = &w.layers[0];
         assert!(l.fwd_comm.is_none(), "TP-1 has no TP communication");
         assert!(l.tp_comm.is_none());
@@ -269,9 +254,7 @@ mod tests {
 
     #[test]
     fn gpt3_has_both_tp_and_dp_comm() {
-        let w = TransformerConfig::gpt3()
-            .build(&shape_4d4k(), &ComputeModel::default())
-            .unwrap();
+        let w = TransformerConfig::gpt3().build(&shape_4d4k(), &ComputeModel::default()).unwrap();
         let l = &w.layers[0];
         assert_eq!(l.tp_comm.as_ref().unwrap().span.size(), 16);
         assert_eq!(l.dp_comm.as_ref().unwrap().span.size(), 256);
@@ -307,10 +290,8 @@ mod tests {
     #[test]
     fn pipeline_parallel_adds_boundary_layers() {
         let shape = shape_4d4k();
-        let w = TransformerConfig::gpt3()
-            .with_pp(8)
-            .build(&shape, &ComputeModel::default())
-            .unwrap();
+        let w =
+            TransformerConfig::gpt3().with_pp(8).build(&shape, &ComputeModel::default()).unwrap();
         // 96 layers / 8 stages per NPU + 7 boundary transfers.
         assert_eq!(w.layers.len(), 96 / 8 + 7);
         let boundary = w.layers.iter().find(|l| l.name.starts_with("pp-boundary")).unwrap();

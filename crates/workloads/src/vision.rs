@@ -7,17 +7,15 @@
 //! Training is pure data parallelism with ZeRO-2-style gradient
 //! synchronization (Reduce-Scatter + All-Gather ≡ All-Reduce traffic).
 
+use crate::compute::ComputeModel;
+use crate::transformer::BYTES_PER_ELEMENT;
 use libra_core::comm::{Collective, GroupSpan};
 use libra_core::error::LibraError;
 use libra_core::network::NetworkShape;
 use libra_core::workload::{CommOp, Layer, Workload};
-use serde::{Deserialize, Serialize};
-
-use crate::compute::ComputeModel;
-use crate::transformer::BYTES_PER_ELEMENT;
 
 /// One ResNet stage: `blocks` bottleneck blocks at a given spatial size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Stage {
     name: &'static str,
     /// Number of bottleneck blocks.
@@ -37,7 +35,7 @@ const STAGES: [Stage; 4] = [
 ];
 
 /// ResNet-50 training configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResNet50Config {
     /// Per-NPU minibatch (the paper's DP workloads use 32).
     pub batch_per_npu: u64,

@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pod: ScopeCost { link: 2.6, switch: Some(6.0), nic: Some(10.5) },
     };
 
-    for (name, cm) in [("Table I (default)", CostModel::default()), ("photonic future", photonic_future)]
+    for (name, cm) in
+        [("Table I (default)", CostModel::default()), ("photonic future", photonic_future)]
     {
         let targets = vec![(1.0, expr.clone())];
         let d = opt::optimize(&DesignRequest {

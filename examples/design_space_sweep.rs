@@ -1,55 +1,86 @@
-//! Design-space exploration: sweep the per-NPU bandwidth budget and both
-//! optimization objectives for one model/topology pair (a single panel of
-//! the paper's Fig. 13/14).
+//! Design-space exploration with the parallel sweep engine: candidate
+//! topologies × workloads × bandwidth budgets × objectives evaluated
+//! concurrently, then ranked (the paper's Fig. 13/14 loop as a subsystem).
 //!
 //! ```bash
 //! cargo run --release --example design_space_sweep
 //! ```
 
+use std::time::Instant;
+
 use libra::core::cost::CostModel;
-use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::opt::Objective;
 use libra::core::presets;
-use libra::core::time::estimate;
-use libra::core::workload::TrainingLoop;
-use libra::workloads::zoo::{workload_for, PaperModel};
+use libra_bench::sweep::{RankBy, SweepEngine, SweepGrid};
+use libra_bench::{sweep_workloads, BW_SWEEP};
+use libra_workloads::zoo::PaperModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let shape = presets::topo_4d_4k();
-    let model = PaperModel::Msft1T;
-    let w = workload_for(model, &shape)?;
-    let expr = estimate(&w, TrainingLoop::NoOverlap, &libra::core::comm::CommModel::default());
-    let cm = CostModel::default();
+    let grid = SweepGrid::new()
+        .with_shapes([presets::topo_4d_4k(), presets::topo_3d_4k()])
+        .with_budgets(BW_SWEEP)
+        .with_objectives([Objective::Perf, Objective::PerfPerCost]);
+    let workloads = sweep_workloads(&[PaperModel::Msft1T, PaperModel::Gpt3]);
+    let n_points = grid.len(workloads.len());
 
-    println!("{} on {shape}", model.name());
+    let cm = CostModel::default();
+    let engine = SweepEngine::new(&cm);
+    let t0 = Instant::now();
+    let report = engine.run(&grid, &workloads);
+    let elapsed = t0.elapsed();
+
     println!(
-        "{:>8} {:>12} {:>10} {:>12} {:>10} {:>12}",
-        "GB/s", "equal t(s)", "perf t(s)", "perf spdup", "ppc t(s)", "ppc gain"
+        "swept {n_points} design points ({} shapes x {} workloads x {} budgets x {} objectives) \
+         in {:.2?} on {} threads",
+        grid.shapes().len(),
+        workloads.len(),
+        grid.budgets().len(),
+        grid.objectives().len(),
+        elapsed,
+        rayon::current_num_threads(),
     );
-    for budget in (100..=1000).step_by(100) {
-        let budget = budget as f64;
-        let targets = vec![(1.0, expr.clone())];
-        let equal = opt::evaluate(&shape, &targets, &opt::equal_bw(4, budget), &cm);
-        let perf = opt::optimize(&DesignRequest {
-            shape: &shape,
-            targets: targets.clone(),
-            objective: Objective::Perf,
-            constraints: vec![Constraint::TotalBw(budget)],
-            cost_model: &cm,
-        })?;
-        let ppc = opt::optimize(&DesignRequest {
-            shape: &shape,
-            targets,
-            objective: Objective::PerfPerCost,
-            constraints: vec![Constraint::TotalBw(budget)],
-            cost_model: &cm,
-        })?;
+    let c = report.cache;
+    println!(
+        "cache: {} expr builds ({} hits), {} solves ({} hits), {} errors\n",
+        c.expr_misses,
+        c.expr_hits,
+        c.design_misses,
+        c.design_hits,
+        report.errors.len()
+    );
+
+    println!("top designs by speedup over EqualBW:");
+    println!(
+        "{:>28} {:<10} {:>6} {:<11} {:>9} {:>9} {:>9}",
+        "shape", "workload", "GB/s", "objective", "t(s)", "speedup", "ppc gain"
+    );
+    for r in report.ranked(RankBy::Speedup).iter().take(8) {
         println!(
-            "{budget:>8.0} {:>12.3} {:>10.3} {:>11.2}x {:>12.3} {:>11.2}x",
-            equal.weighted_time,
-            perf.weighted_time,
-            perf.speedup_over(&equal),
-            ppc.weighted_time,
-            ppc.ppc_gain_over(&equal)
+            "{:>28} {:<10} {:>6.0} {:<11} {:>9.3} {:>8.2}x {:>8.2}x",
+            r.shape.to_string(),
+            r.workload,
+            r.point.budget,
+            format!("{:?}", r.point.objective),
+            r.design.weighted_time,
+            r.speedup(),
+            r.ppc_gain()
+        );
+    }
+
+    println!("\nperf-vs-cost Pareto front ({} designs):", report.pareto_front().len());
+    println!(
+        "{:>28} {:<10} {:>6} {:<11} {:>9} {:>12}",
+        "shape", "workload", "GB/s", "objective", "t(s)", "cost ($M)"
+    );
+    for r in report.pareto_front() {
+        println!(
+            "{:>28} {:<10} {:>6.0} {:<11} {:>9.3} {:>12.2}",
+            r.shape.to_string(),
+            r.workload,
+            r.point.budget,
+            format!("{:?}", r.point.objective),
+            r.design.weighted_time,
+            r.design.cost / 1e6
         );
     }
     Ok(())

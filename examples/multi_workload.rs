@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
 
     println!("group-optimized 4D-4K @ {total:.0} GB/s per NPU");
-    println!(
-        "bw = {:?} GB/s\n",
-        group.bw.iter().map(|b| b.round()).collect::<Vec<_>>()
-    );
+    println!("bw = {:?} GB/s\n", group.bw.iter().map(|b| b.round()).collect::<Vec<_>>());
     println!("{:<12} {:>12} {:>12} {:>10}", "workload", "EqualBW (s)", "group (s)", "speedup");
     for ((m, e), eq_t) in models.iter().zip(&exprs).zip(&eq_times) {
         let t = e.eval(&group.bw);

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.weighted_time,
             format!("{:?}", d.bw.iter().map(|b| b.round()).collect::<Vec<_>>())
         );
-        if best.map_or(true, |(_, t)| d.weighted_time < t) {
+        if best.is_none_or(|(_, t)| d.weighted_time < t) {
             best = Some((tp, d.weighted_time));
         }
     }

@@ -46,22 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         constraints: vec![Constraint::TotalBw(300.0)],
         cost_model: &cost_model,
     })?;
-    let baseline = opt::evaluate(
-        &shape,
-        &[(1.0, expr)],
-        &opt::equal_bw(shape.ndims(), 300.0),
-        &cost_model,
-    );
+    let baseline =
+        opt::evaluate(&shape, &[(1.0, expr)], &opt::equal_bw(shape.ndims(), 300.0), &cost_model);
 
     println!();
-    println!("EqualBW  : bw = {:?} GB/s", baseline.bw.iter().map(|b| b.round()).collect::<Vec<_>>());
+    println!(
+        "EqualBW  : bw = {:?} GB/s",
+        baseline.bw.iter().map(|b| b.round()).collect::<Vec<_>>()
+    );
     println!("           {:.3} s/iter, ${:.2}M", baseline.weighted_time, baseline.cost / 1e6);
     println!("PerfOptBW: bw = {:?} GB/s", design.bw.iter().map(|b| b.round()).collect::<Vec<_>>());
     println!("           {:.3} s/iter, ${:.2}M", design.weighted_time, design.cost / 1e6);
     println!("           speedup {:.2}x over EqualBW", design.speedup_over(&baseline));
 
     // 5. Validate the analytical estimate on the chunk-level simulator.
-    let sim = simulate_training(&workload, shape.ndims(), &design.bw, &TrainingSimConfig::default());
+    let sim =
+        simulate_training(&workload, shape.ndims(), &design.bw, &TrainingSimConfig::default());
     println!();
     println!(
         "simulator check: {:.3} s/iter ({:+.1}% vs analytical), network utilization {:.0}%",

@@ -29,7 +29,8 @@ fn main() {
     let equal = vec![total / 3.0; 3];
 
     for (name, bw) in [("EqualBW", equal.clone()), ("traffic-proportional", proportional)] {
-        let res = run_collective(3, &bw, Collective::AllReduce, bytes, &span, chunks, &mut FixedOrder);
+        let res =
+            run_collective(3, &bw, Collective::AllReduce, bytes, &span, chunks, &mut FixedOrder);
         println!(
             "{name}: bw = [{:.0}, {:.0}, {:.0}] → {:.4} s, utilization {:.0}%",
             bw[0],

@@ -1,0 +1,148 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so this shim
+//! provides the small `rand` surface LIBRA actually uses — a seedable
+//! deterministic generator ([`rngs::StdRng`]) and Fisher–Yates shuffling
+//! ([`seq::SliceRandom`]) — with the same paths and signatures. The
+//! generator is SplitMix64-seeded xoshiro256**, which is more than adequate
+//! for tie-breaking and test-case generation (it is *not* the cryptographic
+//! ChaCha generator the real `StdRng` wraps).
+
+/// Seedable generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+        pub fn gen_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, len)`.
+        ///
+        /// # Panics
+        /// Panics if `len == 0`.
+        pub fn gen_index(&mut self, len: usize) -> usize {
+            assert!(len > 0, "gen_index on empty range");
+            // Multiply-shift bounded sampling (Lemire); the slight modulo
+            // bias of the naive approach is irrelevant here, but this is
+            // just as cheap and exact for power-of-two lengths.
+            (((self.next_u64() as u128) * (len as u128)) >> 64) as usize
+        }
+
+        /// Uniform `u64` in `[lo, hi)`.
+        ///
+        /// # Panics
+        /// Panics if `lo >= hi`.
+        pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "empty range {lo}..{hi}");
+            let span = hi - lo;
+            lo + (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[lo, hi)`.
+        pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            lo + (hi - lo) * self.gen_f64()
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, per the
+            // xoshiro authors' recommendation.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+}
+
+/// Construction of generators from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::rngs::StdRng;
+
+    /// Shuffling for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_index(i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            let u = r.gen_range_u64(3, 9);
+            assert!((3..9).contains(&u));
+            let i = r.gen_index(5);
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

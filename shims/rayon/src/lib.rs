@@ -1,0 +1,220 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! The build container cannot reach crates.io, so this shim provides the
+//! data-parallel subset LIBRA uses — `par_iter()` / `into_par_iter()`
+//! followed by `map(..).collect()` or `for_each(..)` — on top of
+//! `std::thread::scope`. Work is distributed dynamically through an atomic
+//! cursor (good load balance when per-item cost varies, as it does for
+//! interior-point solves), and results are returned **in input order**
+//! regardless of completion order, matching rayon's `collect` semantics.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (same env var as rayon) or
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `items` on a scoped thread pool, returning results in
+/// input order.
+fn run_pool<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot is claimed by exactly one worker via the atomic cursor; the
+    // per-slot mutex only exists to hand the item across threads safely.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let r = f(item);
+                out.lock().unwrap().push((i, r));
+            });
+        }
+    });
+    let mut pairs = out.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; evaluation is deferred until `collect`/`for_each`.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_pool(self.items, f);
+    }
+
+    /// Collects the items (identity map), preserving order.
+    pub fn collect<C: FromParIter<T>>(self) -> C {
+        C::from_par(run_pool(self.items, |t| t))
+    }
+}
+
+/// A parallel map pipeline stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<C: FromParIter<R>>(self) -> C {
+        C::from_par(run_pool(self.items, self.f))
+    }
+
+    /// Executes the map in parallel, discarding results.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        run_pool(self.items, |t| g((self.f)(t)));
+    }
+}
+
+/// Collection targets for [`ParIter::collect`] / [`ParMap::collect`].
+pub trait FromParIter<T> {
+    /// Builds the collection from in-order results.
+    fn from_par(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_par(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParIter<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// By-value conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// By-reference conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a reference).
+    type Item: Send;
+
+    /// Borrows into a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let input: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[9], 1);
+        assert_eq!(out[10], 2);
+    }
+
+    #[test]
+    fn collects_results_short_circuit_style() {
+        let ok: Result<Vec<u32>, String> =
+            vec![1u32, 2, 3].into_par_iter().map(Ok::<u32, String>).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<u32>, String> = vec![1u32, 2, 3]
+            .into_par_iter()
+            .map(|x| if x == 2 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // single-core CI runner: nothing to assert
+        }
+        let ids: Vec<std::thread::ThreadId> = (0..128)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            })
+            .collect();
+        let uniq: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(uniq.len() > 1, "expected work on >1 thread");
+    }
+}

@@ -233,10 +233,7 @@ LAYER l1
         &w,
         2,
         &d.bw,
-        &TrainingSimConfig {
-            chunks_per_collective: 16,
-            training_loop: TrainingLoop::TpDpOverlap,
-        },
+        &TrainingSimConfig { chunks_per_collective: 16, training_loop: TrainingLoop::TpDpOverlap },
     );
     assert!(sim.makespan >= d.weighted_time * 0.98);
 }

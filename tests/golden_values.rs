@@ -1,0 +1,103 @@
+//! Golden-value regression tests: pinned Table I cost-model outputs and the
+//! facade-crate doctest's optimizer allocation. These exact numbers guard
+//! future solver/cost refactors — if one of them moves, the change is a
+//! behavioral regression (or a deliberate recalibration that must update
+//! this file).
+
+use libra::core::comm::{Collective, CommModel, GroupSpan};
+use libra::core::cost::CostModel;
+use libra::core::network::{DimScope, NetworkShape, UnitTopology};
+use libra::core::opt::{self, Constraint, Objective};
+
+fn close(got: f64, want: f64, tol: f64) -> bool {
+    (got - want).abs() <= tol * (1.0 + want.abs())
+}
+
+/// Table I (lowest value of each range): the per-NPU $/GBps price of every
+/// (unit topology, packaging scope) combination the model distinguishes.
+#[test]
+fn table1_per_npu_prices_are_pinned() {
+    let cm = CostModel::default();
+    let golden: &[(UnitTopology, DimScope, f64)] = &[
+        // Chiplet scope: links only, switches priced as links, no NICs.
+        (UnitTopology::Ring, DimScope::Chiplet, 2.0),
+        (UnitTopology::FullyConnected, DimScope::Chiplet, 2.0),
+        (UnitTopology::Switch, DimScope::Chiplet, 2.0),
+        // Package scope: $4 links, switch adds $13.
+        (UnitTopology::Ring, DimScope::Package, 4.0),
+        (UnitTopology::FullyConnected, DimScope::Package, 4.0),
+        (UnitTopology::Switch, DimScope::Package, 17.0),
+        // Node scope: same rows as Package in Table I.
+        (UnitTopology::Ring, DimScope::Node, 4.0),
+        (UnitTopology::FullyConnected, DimScope::Node, 4.0),
+        (UnitTopology::Switch, DimScope::Node, 17.0),
+        // Pod scope: $7.8 links + $31.6 NIC, switch adds $18.
+        (UnitTopology::Ring, DimScope::Pod, 39.4),
+        (UnitTopology::FullyConnected, DimScope::Pod, 39.4),
+        (UnitTopology::Switch, DimScope::Pod, 57.4),
+    ];
+    for &(topo, scope, want) in golden {
+        let got = cm.per_npu_dollar_per_gbps(topo, scope);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "per-NPU price of {topo:?}@{scope:?} drifted: got {got}, pinned {want}"
+        );
+    }
+}
+
+/// Whole-network cost coefficients of the paper's 4D 4,096-NPU topology.
+#[test]
+fn table1_cost_coefficients_are_pinned() {
+    let cm = CostModel::default();
+    let shape: NetworkShape = "RI(4)_FC(8)_RI(4)_SW(32)".parse().unwrap();
+    let coefs = cm.cost_coefficients(&shape);
+    let golden = [
+        4096.0 * 2.0,  // chiplet ring
+        4096.0 * 4.0,  // package fully-connected
+        4096.0 * 4.0,  // node ring
+        4096.0 * 57.4, // pod switch (+NIC)
+    ];
+    assert_eq!(coefs.len(), golden.len());
+    for (i, (&got, &want)) in coefs.iter().zip(&golden).enumerate() {
+        assert!((got - want).abs() < 1e-6, "coefficient {i} drifted: got {got}, pinned {want}");
+    }
+    // The worked Fig. 12 example: 3 NPUs behind an inter-Pod switch at
+    // 10 GB/s costs exactly $1,722.
+    let fig12: NetworkShape = "SW(3)".parse().unwrap();
+    assert!((cm.network_cost(&fig12, &[10.0]) - 1722.0).abs() < 1e-9);
+}
+
+/// The facade-crate doctest scenario, with its allocation pinned: one 1-GB
+/// All-Reduce on `RI(8)_SW(4)` under a 100-GB/s budget splits bandwidth
+/// traffic-proportionally — dim0 carries 2·(7/8) = 1.75 GB, dim1 carries
+/// 2·(3/4)/8 = 0.1875 GB, so B ≈ (90.32, 9.68) and the iteration takes
+/// 1.9375 GB / 100 GB/s = 19.375 ms.
+#[test]
+fn facade_doctest_allocation_is_pinned() {
+    let shape: NetworkShape = "RI(8)_SW(4)".parse().unwrap();
+    let comm = CommModel::default();
+    let expr = comm.time_expr(Collective::AllReduce, 1e9, &GroupSpan::full(&shape));
+    let cm = CostModel::default();
+    let design = opt::optimize(&opt::DesignRequest {
+        shape: &shape,
+        targets: vec![(1.0, expr)],
+        objective: Objective::Perf,
+        constraints: vec![Constraint::TotalBw(100.0)],
+        cost_model: &cm,
+    })
+    .expect("doctest request solves");
+
+    let b0 = 100.0 * 1.75 / 1.9375;
+    assert!(close(design.bw[0], b0, 5e-3), "bw[0] drifted: {:?}", design.bw);
+    assert!(close(design.bw[1], 100.0 - b0, 5e-2), "bw[1] drifted: {:?}", design.bw);
+    assert!((design.bw.iter().sum::<f64>() - 100.0).abs() < 1e-3, "budget not exhausted");
+    assert!(
+        close(design.weighted_time, 1.9375e9 / (100.0 * 1e9), 1e-4),
+        "weighted_time drifted: {}",
+        design.weighted_time
+    );
+    // Cost follows from the pinned allocation and Table I:
+    // 32 NPUs · ($4 node ring · B0 + $57.4 pod switch · B1).
+    let want_cost = 32.0 * (4.0 * design.bw[0] + 57.4 * design.bw[1]);
+    assert!(close(design.cost, want_cost, 1e-9), "cost drifted: {}", design.cost);
+}

@@ -14,8 +14,8 @@ use proptest::prelude::*;
 fn arb_workload() -> impl Strategy<Value = Workload> {
     let layer = (
         0.0f64..0.02,
-        0.1f64..4.0,  // fwd comm GB
-        0.1f64..4.0,  // dp comm GB
+        0.1f64..4.0, // fwd comm GB
+        0.1f64..4.0, // dp comm GB
         prop::bool::ANY,
         prop::bool::ANY,
     )
