@@ -1,0 +1,66 @@
+//! Criterion benchmark of cross-validated sweeps: the analytical-only
+//! design-space sweep vs the same grid with every point additionally
+//! priced by both the analytical and event-driven backends
+//! (`SweepEngine::run_cross_validated`), quantifying what continuous
+//! model validation costs on top of the search itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use libra_bench::sweep::{SweepEngine, SweepGrid};
+use libra_bench::{sweep_workloads, CrossValidation, EventSimBackend};
+use libra_core::cost::CostModel;
+use libra_core::eval::Analytical;
+use libra_core::opt::Objective;
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+/// A 40-point grid: 2 shapes × 2 workloads × 5 budgets × 2 objectives.
+fn grid() -> SweepGrid {
+    SweepGrid::new()
+        .with_shapes([presets::topo_3d_512(), presets::topo_3d_1k()])
+        .with_budgets([100.0, 300.0, 500.0, 700.0, 900.0])
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+}
+
+fn bench_crossval(c: &mut Criterion) {
+    let grid = grid();
+    let workloads = sweep_workloads(&[PaperModel::TuringNlg, PaperModel::ResNet50]);
+    let cm = CostModel::default();
+    let points = grid.len(workloads.len());
+    let analytical = Analytical::new();
+    let event_sim = EventSimBackend::default();
+    let cv = CrossValidation::new(&analytical, &event_sim);
+
+    let mut g = c.benchmark_group("sweep_crossval");
+    g.sample_size(10);
+    // Fresh engine per iteration: both paths pay full solver cost.
+    g.bench_with_input(BenchmarkId::new("analytical_only", points), &points, |b, _| {
+        b.iter(|| {
+            let report = SweepEngine::new(&cm).run(&grid, &workloads);
+            assert_eq!(report.results.len(), points);
+            report
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("cross_validated", points), &points, |b, _| {
+        b.iter(|| {
+            let report = SweepEngine::new(&cm).run_cross_validated(&grid, &workloads, &cv);
+            assert_eq!(report.divergence.points.len(), points);
+            assert!(report.divergence.within_tolerance(), "{}", report.divergence.summary());
+            report
+        })
+    });
+    // Warm cache: designs are memoized, so the delta is pure backend cost.
+    let warm = SweepEngine::new(&cm);
+    warm.run(&grid, &workloads);
+    g.bench_with_input(BenchmarkId::new("cross_validated_warm", points), &points, |b, _| {
+        b.iter(|| warm.run_cross_validated(&grid, &workloads, &cv))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_crossval
+}
+criterion_main!(benches);

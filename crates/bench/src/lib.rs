@@ -8,6 +8,7 @@
 
 use libra_core::comm::CommModel;
 use libra_core::cost::CostModel;
+use libra_core::eval::CommPlan;
 use libra_core::expr::BwExpr;
 use libra_core::network::NetworkShape;
 use libra_core::opt::{self, Constraint, Design, DesignRequest, Objective};
@@ -16,13 +17,24 @@ use libra_core::workload::{TrainingLoop, Workload};
 use libra_core::LibraError;
 use libra_workloads::zoo::{workload_for, PaperModel};
 
+pub use libra_core::eval;
 pub use libra_core::sweep;
+pub use libra_core::sweep::{CrossValidatedReport, CrossValidation, DivergenceReport};
+pub use libra_sim::EventSimBackend;
 
 /// Wraps a Table II paper model as a [`sweep::SweepWorkload`]
 /// (no-overlap training loop, default comm model — the paper's setup).
+///
+/// The workload carries its communication plan, so it is eligible for
+/// cross-validated sweeps ([`sweep::SweepEngine::run_cross_validated`])
+/// out of the box.
 pub fn sweep_workload(model: PaperModel) -> sweep::FnWorkload {
     sweep::FnWorkload::new(model.name(), move |shape: &NetworkShape| {
         Ok(vec![(1.0, time_expr_for(model, shape)?)])
+    })
+    .with_plan(move |shape: &NetworkShape| {
+        let w = workload_for(model, shape)?;
+        Ok(CommPlan::from_workload(&w, TrainingLoop::NoOverlap))
     })
 }
 
@@ -182,6 +194,24 @@ mod tests {
         for (p, b) in pts.iter().zip(BW_SWEEP) {
             assert_eq!(p.total_bw, b);
         }
+    }
+
+    #[test]
+    fn sweep_workloads_carry_cross_validatable_plans() {
+        use libra_core::eval::EvalBackend;
+        use libra_core::sweep::SweepWorkload;
+        let shape = presets::topo_3d_512();
+        let wl = sweep_workload(PaperModel::TuringNlg);
+        let plan = wl.comm_plan(&shape).unwrap().expect("paper workloads expose plans");
+        assert!(!plan.is_empty());
+        // The plan prices exactly like the optimizer's expression with the
+        // bandwidth-independent compute stripped: same model, two forms.
+        let bw = vec![100.0; shape.ndims()];
+        let expr = time_expr_for(PaperModel::TuringNlg, &shape).unwrap();
+        let w = workload_for(PaperModel::TuringNlg, &shape).unwrap();
+        let t_plan = eval::Analytical::new().eval_plan(shape.ndims(), &bw, &plan).unwrap();
+        let want = expr.eval(&bw) - w.total_compute();
+        assert!((t_plan - want).abs() < 1e-9 * (1.0 + want), "{t_plan} vs {want}");
     }
 
     #[test]

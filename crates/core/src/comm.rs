@@ -155,20 +155,37 @@ impl CommModel {
         CommModel { in_network_offload: true }
     }
 
+    /// Per-dimension traffic of a collective under this model's offload
+    /// setting — the single source of truth for which collectives offload
+    /// (All-to-All and point-to-point never do). Every consumer of the
+    /// analytical model ([`CommModel::time_expr`], utilization accounting,
+    /// the `eval::Analytical` backend) prices traffic through this method,
+    /// so the closed form cannot drift between them.
+    pub fn traffic(
+        &self,
+        collective: Collective,
+        bytes: f64,
+        span: &GroupSpan,
+    ) -> Vec<(usize, f64)> {
+        let offloadable = !matches!(collective, Collective::AllToAll | Collective::PointToPoint);
+        if self.in_network_offload && offloadable {
+            traffic_per_dim_offloaded(bytes, span)
+        } else {
+            traffic_per_dim(collective, bytes, span)
+        }
+    }
+
     /// Communication time of a collective as a function of bandwidth:
     /// `max_i traffic_i / B_i` (zero for trivial groups).
     pub fn time_expr(&self, collective: Collective, bytes: f64, span: &GroupSpan) -> BwExpr {
         if span.is_trivial() || bytes <= 0.0 {
             return BwExpr::zero();
         }
-        let offloadable = !matches!(collective, Collective::AllToAll | Collective::PointToPoint);
-        let traffic = if self.in_network_offload && offloadable {
-            traffic_per_dim_offloaded(bytes, span)
-        } else {
-            traffic_per_dim(collective, bytes, span)
-        };
         BwExpr::max_of(
-            traffic.into_iter().map(|(dim, t)| BwExpr::Ratio { coeff: t / 1e9, dim }).collect(),
+            self.traffic(collective, bytes, span)
+                .into_iter()
+                .map(|(dim, t)| BwExpr::Ratio { coeff: t / 1e9, dim })
+                .collect(),
         )
     }
 

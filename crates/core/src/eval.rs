@@ -1,0 +1,481 @@
+//! Pluggable evaluation backends: one communication plan, many evaluators.
+//!
+//! LIBRA's credibility rests on its closed-form multi-rail cost model
+//! agreeing with chunk-level event-driven timelines (paper §II-C, Fig. 9).
+//! This module makes that agreement checkable as a first-class subsystem:
+//!
+//! * [`CommPlan`] is the backend-neutral description of a workload's
+//!   communication — sequential [`CommPhase`]s of concurrently released
+//!   collective operations (reusing the [`CommOp`] IR).
+//! * [`EvalBackend`] is the evaluator interface: given a bandwidth vector,
+//!   produce the plan's end-to-end communication time in seconds.
+//! * [`Analytical`] is the closed-form backend (`Σ_phases max_i Σ_ops
+//!   traffic_i / B_i` — exactly the model [`crate::opt::evaluate`] prices).
+//!
+//! The event-driven counterpart (`EventSimBackend`) lives in `libra-sim`,
+//! which depends on this crate; `SweepEngine::run_cross_validated` compares
+//! any two backends over a full design grid and reports their divergence.
+//!
+//! # Adding a new backend
+//!
+//! Implement [`EvalBackend`] for your evaluator (an astra-sim bridge, a
+//! trace replayer, …): map each [`CommPhase`] to your engine's notion of
+//! concurrently released collectives, honour [`CommPhase::repeat`] by
+//! multiplying the phase's makespan, and return total seconds. Backends
+//! must be `Send + Sync` — cross-validation fans grid points out with
+//! rayon and shares the backend across workers.
+
+use crate::comm::CommModel;
+use crate::error::LibraError;
+use crate::workload::{CommOp, TrainingLoop, Workload};
+
+/// A set of collective operations released concurrently (they contend for
+/// the same per-dimension bandwidth), optionally repeated back-to-back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommPhase {
+    /// The concurrently released operations.
+    pub ops: Vec<CommOp>,
+    /// How many times the phase executes back-to-back. Because phases are
+    /// strictly sequential (the fabric drains between phases), repeating a
+    /// phase `k` times takes exactly `k ×` its makespan under every
+    /// backend — this keeps plans for 100-layer transformer stacks small.
+    pub repeat: usize,
+}
+
+impl CommPhase {
+    /// A phase running `ops` concurrently, once.
+    pub fn new(ops: Vec<CommOp>) -> Self {
+        CommPhase { ops, repeat: 1 }
+    }
+
+    /// A phase with a single operation, once.
+    pub fn solo(op: CommOp) -> Self {
+        CommPhase::new(vec![op])
+    }
+
+    /// The same phase repeated `repeat` times back-to-back.
+    #[must_use]
+    pub fn repeated(mut self, repeat: usize) -> Self {
+        self.repeat = repeat;
+        self
+    }
+}
+
+/// A backend-neutral communication plan: sequential phases of concurrent
+/// collectives. This is the common ground on which evaluation backends are
+/// compared — analytical and event-driven evaluators consume the *same*
+/// plan, so any disagreement is a modeling divergence, not an input skew.
+///
+/// Plans deliberately carry no compute constants: bandwidth-independent
+/// terms are identical under every backend and would only dilute relative
+/// errors that cross-validation exists to surface.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CommPlan {
+    /// The sequential phases.
+    pub phases: Vec<CommPhase>,
+}
+
+impl CommPlan {
+    /// An empty plan (zero communication time under every backend).
+    pub fn new() -> Self {
+        CommPlan::default()
+    }
+
+    /// A plan executing `ops` strictly sequentially, one phase each.
+    pub fn serial(ops: impl IntoIterator<Item = CommOp>) -> Self {
+        CommPlan { phases: ops.into_iter().map(CommPhase::solo).collect() }
+    }
+
+    /// Extracts the communication plan of a workload under a training loop:
+    /// per layer, the forward collective, then the backward TP and DP
+    /// collectives — concurrent under [`TrainingLoop::TpDpOverlap`]
+    /// (Fig. 5c), sequential otherwise (Fig. 5b). Runs of identical
+    /// consecutive layers collapse into repeated phases, mirroring
+    /// [`crate::time::estimate`]'s run-length collapsing.
+    pub fn from_workload(workload: &Workload, training_loop: TrainingLoop) -> Self {
+        let mut phases: Vec<CommPhase> = Vec::new();
+        let mut push = |phase: CommPhase| {
+            if !phase.ops.is_empty() && phase.repeat > 0 {
+                phases.push(phase);
+            }
+        };
+        let mut i = 0usize;
+        while i < workload.layers.len() {
+            let layer = &workload.layers[i];
+            let mut run = 1usize;
+            while i + run < workload.layers.len() && workload.layers[i + run] == *layer {
+                run += 1;
+            }
+            fn nontrivial(op: &Option<CommOp>) -> Option<&CommOp> {
+                op.as_ref().filter(|c| c.bytes > 0.0 && !c.span.is_trivial())
+            }
+            if let Some(fwd) = nontrivial(&layer.fwd_comm) {
+                push(CommPhase::solo(fwd.clone()).repeated(run));
+            }
+            match training_loop {
+                TrainingLoop::NoOverlap => {
+                    if let Some(tp) = nontrivial(&layer.tp_comm) {
+                        push(CommPhase::solo(tp.clone()).repeated(run));
+                    }
+                    if let Some(dp) = nontrivial(&layer.dp_comm) {
+                        push(CommPhase::solo(dp.clone()).repeated(run));
+                    }
+                }
+                TrainingLoop::TpDpOverlap => {
+                    let ops: Vec<CommOp> = [&layer.tp_comm, &layer.dp_comm]
+                        .into_iter()
+                        .filter_map(nontrivial)
+                        .cloned()
+                        .collect();
+                    push(CommPhase::new(ops).repeated(run));
+                }
+            }
+            i += run;
+        }
+        CommPlan { phases }
+    }
+
+    /// Whether the plan contains no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.phases.iter().all(|p| p.ops.is_empty() || p.repeat == 0)
+    }
+
+    /// Total payload bytes across every operation (repeats included).
+    pub fn total_bytes(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.repeat as f64 * p.ops.iter().map(|o| o.bytes).sum::<f64>())
+            .sum()
+    }
+
+    /// The largest dimension index any operation spans, if any.
+    pub fn max_dim(&self) -> Option<usize> {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.ops)
+            .flat_map(|o| o.span.extents().iter().map(|&(d, _)| d))
+            .max()
+    }
+}
+
+/// An evaluation backend: prices a [`CommPlan`] at a bandwidth vector.
+///
+/// Implementations must agree on units (seconds out, GB/s in) and on phase
+/// semantics (phases are sequential, ops within a phase are concurrent,
+/// [`CommPhase::repeat`] multiplies the phase makespan); everything else —
+/// closed-form vs event-driven vs external simulator — is the backend's
+/// business. See the module docs for how cross-validation uses pairs of
+/// backends.
+pub trait EvalBackend: Send + Sync {
+    /// Short display name (used in divergence reports).
+    fn name(&self) -> &str;
+
+    /// End-to-end communication time of `plan` in seconds on an
+    /// `n_dims`-dimensional fabric with per-dimension bandwidth `bw` (GB/s).
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] when the plan references a dimension
+    /// `≥ n_dims`, `bw` is shorter than `n_dims`, or a spanned dimension
+    /// has non-positive bandwidth.
+    fn eval_plan(&self, n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<f64, LibraError>;
+}
+
+/// Validates plan/bandwidth consistency shared by all well-behaved
+/// backends; exported so new backends can reuse it.
+///
+/// # Errors
+/// See [`EvalBackend::eval_plan`].
+pub fn validate_plan(n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<(), LibraError> {
+    if bw.len() < n_dims {
+        return Err(LibraError::BadRequest(format!(
+            "bandwidth vector has {} entries for a {n_dims}-dim fabric",
+            bw.len()
+        )));
+    }
+    if let Some(d) = plan.max_dim() {
+        if d >= n_dims {
+            return Err(LibraError::BadRequest(format!(
+                "plan spans dim {d} but the fabric has {n_dims} dims"
+            )));
+        }
+    }
+    for phase in &plan.phases {
+        for op in &phase.ops {
+            for &(d, _) in op.span.extents() {
+                if bw[d].is_nan() || bw[d] <= 0.0 {
+                    return Err(LibraError::BadRequest(format!(
+                        "dimension {d} has non-positive bandwidth {}",
+                        bw[d]
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The closed-form analytical backend (paper §II-C / §IV-C): a phase takes
+/// `max_i (Σ_ops traffic_op,i) / B_i` seconds — per-dimension traffic
+/// aggregated over the phase's concurrent ops, bottlenecked by the slowest
+/// dimension — and sequential phases sum.
+///
+/// This is the model the optimizer ([`crate::opt`]) prices, restated over
+/// [`CommPlan`], and is a *lower bound* on any faithful execution: it
+/// assumes perfect pipelining with no fill/drain bubbles and no scheduling
+/// gaps (see `EventSimBackend` in `libra-sim` for the documented gap).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Analytical {
+    /// Model in-network collective offload (reduces All-Reduce-family
+    /// traffic to `m / Π_{j<i} e_j`, §IV-C). Off by default — the chunked
+    /// event simulator models endpoint-driven collectives, so offload
+    /// plans cannot be cross-validated against it.
+    pub in_network_offload: bool,
+}
+
+impl Analytical {
+    /// The default endpoint-driven analytical backend.
+    pub fn new() -> Self {
+        Analytical::default()
+    }
+
+    /// Analytical time of a single phase (seconds).
+    fn phase_secs(&self, n_dims: usize, bw: &[f64], phase: &CommPhase) -> f64 {
+        let model = CommModel { in_network_offload: self.in_network_offload };
+        let mut per_dim = vec![0.0f64; n_dims];
+        for op in &phase.ops {
+            if op.bytes <= 0.0 || op.span.is_trivial() {
+                continue;
+            }
+            for (d, t) in model.traffic(op.collective, op.bytes, &op.span) {
+                per_dim[d] += t;
+            }
+        }
+        let bottleneck =
+            per_dim.iter().enumerate().map(|(d, &t)| t / 1e9 / bw[d]).fold(0.0f64, f64::max);
+        phase.repeat as f64 * bottleneck
+    }
+}
+
+impl EvalBackend for Analytical {
+    fn name(&self) -> &str {
+        if self.in_network_offload {
+            "analytical+offload"
+        } else {
+            "analytical"
+        }
+    }
+
+    fn eval_plan(&self, n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<f64, LibraError> {
+        validate_plan(n_dims, bw, plan)?;
+        Ok(plan.phases.iter().map(|p| self.phase_secs(n_dims, bw, p)).sum())
+    }
+}
+
+/// A backend that scales another backend's times by a constant factor.
+///
+/// Primarily a divergence-injection aid: wrapping a faithful backend with a
+/// factor outside the cross-validation tolerance must trip the
+/// `DivergenceReport`, which is how the reporting path itself is tested.
+/// (A factor of `1.0` is a transparent pass-through.)
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledBackend<B> {
+    /// The wrapped backend.
+    pub inner: B,
+    /// Multiplier applied to every evaluated time.
+    pub factor: f64,
+    /// Display name.
+    pub label: &'static str,
+}
+
+impl<B: EvalBackend> ScaledBackend<B> {
+    /// Wraps `inner`, scaling its times by `factor`.
+    pub fn new(inner: B, factor: f64, label: &'static str) -> Self {
+        ScaledBackend { inner, factor, label }
+    }
+}
+
+impl<B: EvalBackend> EvalBackend for ScaledBackend<B> {
+    fn name(&self) -> &str {
+        self.label
+    }
+
+    fn eval_plan(&self, n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<f64, LibraError> {
+        Ok(self.factor * self.inner.eval_plan(n_dims, bw, plan)?)
+    }
+}
+
+/// Symmetric relative error between two times: `|a − b| / max(|a|, |b|)`,
+/// and `0` when both are (near) zero. Symmetry means neither backend is
+/// privileged as "truth" — divergence is mutual disagreement.
+pub fn rel_error(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom <= f64::EPSILON {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Collective, GroupSpan};
+    use crate::time::estimate;
+    use crate::workload::Layer;
+
+    fn op(gb: f64, span: GroupSpan) -> CommOp {
+        CommOp::new(Collective::AllReduce, gb * 1e9, span)
+    }
+
+    fn span01() -> GroupSpan {
+        GroupSpan::new(vec![(0, 4), (1, 8)])
+    }
+
+    #[test]
+    fn analytical_matches_comm_model_for_one_collective() {
+        // One op per phase must price identically to CommModel::time_expr.
+        let plan = CommPlan::serial([op(4.0, span01())]);
+        let bw = [100.0, 10.0];
+        let got = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
+        let expr = CommModel::default().time_expr(Collective::AllReduce, 4e9, &span01());
+        assert!((got - expr.eval(&bw)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_sum_and_repeat_multiplies() {
+        let one = CommPlan::serial([op(2.0, span01())]);
+        let bw = [50.0, 25.0];
+        let t1 = Analytical::new().eval_plan(2, &bw, &one).unwrap();
+        let three = CommPlan { phases: vec![CommPhase::solo(op(2.0, span01())).repeated(3)] };
+        let t3 = Analytical::new().eval_plan(2, &bw, &three).unwrap();
+        assert!((t3 - 3.0 * t1).abs() < 1e-12);
+        let seq = CommPlan::serial([op(2.0, span01()), op(2.0, span01()), op(2.0, span01())]);
+        let ts = Analytical::new().eval_plan(2, &bw, &seq).unwrap();
+        assert!((ts - t3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_ops_aggregate_per_dim_traffic() {
+        // Two concurrent ops on disjoint dims: phase time is the slower one.
+        let a = CommOp::new(Collective::AllReduce, 4e9, GroupSpan::new(vec![(0, 4)]));
+        let b = CommOp::new(Collective::AllReduce, 1e9, GroupSpan::new(vec![(1, 4)]));
+        let plan = CommPlan { phases: vec![CommPhase::new(vec![a.clone(), b.clone()])] };
+        let bw = [10.0, 10.0];
+        let t = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
+        // a: 2·4·(3/4) = 6 GB on dim0 → 0.6 s; b: 1.5 GB on dim1 → 0.15 s.
+        assert!((t - 0.6).abs() < 1e-12);
+        // Same dim instead: traffic adds.
+        let b0 = CommOp::new(Collective::AllReduce, 1e9, GroupSpan::new(vec![(0, 4)]));
+        let plan = CommPlan { phases: vec![CommPhase::new(vec![a, b0])] };
+        let t = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
+        assert!((t - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_workload_no_overlap_matches_estimate_minus_compute() {
+        let layer = Layer {
+            name: "l".into(),
+            fwd_compute: 0.1,
+            fwd_comm: Some(op(1.0, span01())),
+            igrad_compute: 0.2,
+            tp_comm: Some(op(2.0, span01())),
+            wgrad_compute: 0.3,
+            dp_comm: Some(CommOp::new(Collective::ReduceScatter, 4e9, span01())),
+        };
+        let w = Workload::new("toy", vec![layer.clone(), layer]);
+        let plan = CommPlan::from_workload(&w, TrainingLoop::NoOverlap);
+        // Identical layers collapse: 3 phases, each repeated twice.
+        assert_eq!(plan.phases.len(), 3);
+        assert!(plan.phases.iter().all(|p| p.repeat == 2));
+        let bw = [10.0, 10.0];
+        let plan_t = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
+        let expr = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
+        let compute = w.total_compute();
+        assert!((plan_t - (expr.eval(&bw) - compute)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_workload_overlap_runs_tp_and_dp_concurrently() {
+        let layer = Layer {
+            name: "l".into(),
+            tp_comm: Some(op(2.0, GroupSpan::new(vec![(0, 4)]))),
+            dp_comm: Some(CommOp::new(
+                Collective::ReduceScatter,
+                4e9,
+                GroupSpan::new(vec![(1, 8)]),
+            )),
+            ..Default::default()
+        };
+        let w = Workload::new("toy", vec![layer]);
+        let plan = CommPlan::from_workload(&w, TrainingLoop::TpDpOverlap);
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!(plan.phases[0].ops.len(), 2);
+        // Disjoint dims overlap perfectly: max, not sum.
+        let bw = [10.0, 10.0];
+        let t = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
+        // tp: 2·2·(3/4) = 3 GB → 0.3 s; dp: 4·(7/8) = 3.5 GB → 0.35 s.
+        assert!((t - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_and_empty_ops_are_dropped() {
+        let layer = Layer {
+            name: "l".into(),
+            fwd_comm: Some(CommOp::new(Collective::AllReduce, 0.0, span01())),
+            tp_comm: Some(op(1.0, GroupSpan::new(vec![]))),
+            ..Default::default()
+        };
+        let w = Workload::new("toy", vec![layer]);
+        let plan = CommPlan::from_workload(&w, TrainingLoop::NoOverlap);
+        assert!(plan.is_empty());
+        assert_eq!(Analytical::new().eval_plan(2, &[1.0, 1.0], &plan).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let plan = CommPlan::serial([op(1.0, span01())]);
+        // Short bandwidth vector.
+        assert!(Analytical::new().eval_plan(2, &[10.0], &plan).is_err());
+        // Plan spans a dim outside the fabric.
+        assert!(Analytical::new().eval_plan(1, &[10.0], &plan).is_err());
+        // Zero bandwidth on a spanned dim.
+        assert!(Analytical::new().eval_plan(2, &[10.0, 0.0], &plan).is_err());
+        // Fine otherwise — unspanned dims may have zero bandwidth.
+        let inner = CommPlan::serial([op(1.0, GroupSpan::new(vec![(0, 4)]))]);
+        assert!(Analytical::new().eval_plan(2, &[10.0, 0.0], &inner).is_ok());
+    }
+
+    #[test]
+    fn plan_totals_and_max_dim() {
+        let plan = CommPlan {
+            phases: vec![
+                CommPhase::solo(op(1.0, span01())).repeated(2),
+                CommPhase::solo(op(3.0, GroupSpan::new(vec![(0, 4)]))),
+            ],
+        };
+        assert!((plan.total_bytes() - 5e9).abs() < 1.0);
+        assert_eq!(plan.max_dim(), Some(1));
+        assert!(!plan.is_empty());
+        assert_eq!(CommPlan::new().max_dim(), None);
+    }
+
+    #[test]
+    fn rel_error_is_symmetric_and_zero_safe() {
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+        assert!((rel_error(1.0, 1.1) - rel_error(1.1, 1.0)).abs() < 1e-15);
+        assert!((rel_error(1.0, 2.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn offload_variant_prices_offloaded_traffic() {
+        let plan = CommPlan::serial([op(1.0, span01())]);
+        let bw = [10.0, 10.0];
+        let plain = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
+        let off = Analytical { in_network_offload: true };
+        assert_eq!(off.name(), "analytical+offload");
+        let t = off.eval_plan(2, &bw, &plan).unwrap();
+        assert!(t < plain);
+        // Offloaded: dim0 carries m = 1 GB → 0.1 s; dim1 carries m/4 → 0.025.
+        assert!((t - 0.1).abs() < 1e-12);
+    }
+}

@@ -13,7 +13,12 @@
 //!   repeated `(shape, workload)` target-expression builds and repeated
 //!   design solves behind a sharded concurrent cache;
 //! * [`SweepReport`] returns results in grid order, plus ranking helpers
-//!   and the perf-vs-cost [Pareto front](SweepReport::pareto_front).
+//!   and the perf-vs-cost [Pareto front](SweepReport::pareto_front);
+//! * [`SweepEngine::run_cross_validated`] additionally prices every grid
+//!   point's [`CommPlan`] under two [`EvalBackend`]s in the same fan-out
+//!   and reports their per-point disagreement as a [`DivergenceReport`] —
+//!   the guard against ranking thousands of designs with a silently
+//!   broken model.
 //!
 //! ```
 //! use libra_core::comm::{Collective, CommModel, GroupSpan};
@@ -50,6 +55,7 @@ use rayon::prelude::*;
 
 use crate::cost::CostModel;
 use crate::error::LibraError;
+use crate::eval::{rel_error, CommPlan, EvalBackend};
 use crate::expr::BwExpr;
 use crate::network::NetworkShape;
 use crate::opt::{self, Constraint, Design, DesignRequest, Objective};
@@ -70,6 +76,20 @@ pub trait SweepWorkload: Send + Sync {
     /// degree the dimensions cannot host); such grid points are reported in
     /// [`SweepReport::errors`] rather than aborting the sweep.
     fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError>;
+
+    /// The workload's communication plan on `shape`, if it can express one —
+    /// the backend-neutral input cross-validation feeds to every
+    /// [`EvalBackend`]. Workloads without a plan (`None`, the default) are
+    /// counted as [`DivergenceReport::skipped`] in cross-validated sweeps
+    /// but still optimized normally.
+    ///
+    /// # Errors
+    /// Plan construction may fail for unmappable shapes, like
+    /// [`SweepWorkload::targets`].
+    fn comm_plan(&self, shape: &NetworkShape) -> Result<Option<CommPlan>, LibraError> {
+        let _ = shape;
+        Ok(None)
+    }
 }
 
 impl<W: SweepWorkload + ?Sized> SweepWorkload for &W {
@@ -79,6 +99,10 @@ impl<W: SweepWorkload + ?Sized> SweepWorkload for &W {
 
     fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> {
         (**self).targets(shape)
+    }
+
+    fn comm_plan(&self, shape: &NetworkShape) -> Result<Option<CommPlan>, LibraError> {
+        (**self).comm_plan(shape)
     }
 }
 
@@ -90,15 +114,24 @@ impl<W: SweepWorkload + ?Sized> SweepWorkload for Box<W> {
     fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> {
         (**self).targets(shape)
     }
+
+    fn comm_plan(&self, shape: &NetworkShape) -> Result<Option<CommPlan>, LibraError> {
+        (**self).comm_plan(shape)
+    }
 }
 
 /// The boxed closure type behind [`FnWorkload`].
 type TargetsFn = Box<dyn Fn(&NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> + Send + Sync>;
 
-/// A [`SweepWorkload`] backed by a closure.
+/// The boxed plan-builder closure behind [`FnWorkload::with_plan`].
+type PlanFn = Box<dyn Fn(&NetworkShape) -> Result<CommPlan, LibraError> + Send + Sync>;
+
+/// A [`SweepWorkload`] backed by a closure (plus an optional communication
+/// plan for cross-validated sweeps).
 pub struct FnWorkload {
     name: String,
     f: TargetsFn,
+    plan: Option<PlanFn>,
 }
 
 impl FnWorkload {
@@ -107,7 +140,18 @@ impl FnWorkload {
     where
         F: Fn(&NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> + Send + Sync + 'static,
     {
-        FnWorkload { name: name.into(), f: Box::new(f) }
+        FnWorkload { name: name.into(), f: Box::new(f), plan: None }
+    }
+
+    /// Attaches a communication-plan builder, making the workload eligible
+    /// for cross-validation ([`SweepEngine::run_cross_validated`]).
+    #[must_use]
+    pub fn with_plan<P>(mut self, plan: P) -> Self
+    where
+        P: Fn(&NetworkShape) -> Result<CommPlan, LibraError> + Send + Sync + 'static,
+    {
+        self.plan = Some(Box::new(plan));
+        self
     }
 }
 
@@ -118,6 +162,13 @@ impl SweepWorkload for FnWorkload {
 
     fn targets(&self, shape: &NetworkShape) -> Result<Vec<(f64, BwExpr)>, LibraError> {
         (self.f)(shape)
+    }
+
+    fn comm_plan(&self, shape: &NetworkShape) -> Result<Option<CommPlan>, LibraError> {
+        match &self.plan {
+            Some(p) => p(shape).map(Some),
+            None => Ok(None),
+        }
     }
 }
 
@@ -252,6 +303,7 @@ pub struct CacheStats {
 }
 
 type TargetsEntry = Arc<Result<Vec<(f64, BwExpr)>, LibraError>>;
+type PlanEntry = Arc<Result<Option<CommPlan>, LibraError>>;
 type ExprKey = (NetworkShape, String);
 type BaselineKey = (NetworkShape, String, u64);
 type DesignKey = (NetworkShape, String, u64, Objective);
@@ -265,6 +317,7 @@ const CACHE_SHARDS: usize = 16;
 /// repeated `run` calls (e.g. iterative grid refinement).
 struct SweepCache {
     exprs: Vec<Mutex<HashMap<ExprKey, TargetsEntry>>>,
+    plans: Vec<Mutex<HashMap<ExprKey, PlanEntry>>>,
     designs: Vec<Mutex<HashMap<DesignKey, Result<Design, LibraError>>>>,
     baselines: Vec<Mutex<HashMap<BaselineKey, Design>>>,
     expr_hits: AtomicUsize,
@@ -283,6 +336,7 @@ impl SweepCache {
     fn new() -> Self {
         SweepCache {
             exprs: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            plans: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             designs: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             baselines: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             expr_hits: AtomicUsize::new(0),
@@ -316,6 +370,18 @@ impl SweepCache {
         // serialize unrelated lookups.
         let built = Arc::new(workload.targets(shape));
         self.expr_misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
+    }
+
+    /// The memoized communication plan of `workload` on `shape` (keyed like
+    /// target expressions; plans are constraint- and budget-independent).
+    fn plan<W: SweepWorkload>(&self, shape: &NetworkShape, workload: &W) -> PlanEntry {
+        let key: ExprKey = (shape.clone(), workload.name().to_string());
+        let shard = &self.plans[shard_of(&key)];
+        if let Some(hit) = shard.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(workload.comm_plan(shape));
         Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
     }
 
@@ -462,6 +528,176 @@ impl SweepReport {
     }
 }
 
+/// Configuration of a cross-validated sweep: two [`EvalBackend`]s and the
+/// relative-error tolerance their times must agree within.
+///
+/// By convention `baseline` is the fast model being validated (e.g.
+/// [`crate::eval::Analytical`]) and `reference` the more faithful one (e.g.
+/// `libra-sim`'s `EventSimBackend`), but the divergence metric is
+/// symmetric — see [`crate::eval::rel_error`].
+#[derive(Clone, Copy)]
+pub struct CrossValidation<'b> {
+    baseline: &'b dyn EvalBackend,
+    reference: &'b dyn EvalBackend,
+    tolerance: f64,
+}
+
+impl<'b> CrossValidation<'b> {
+    /// Pairs two backends at [`CrossValidation::DEFAULT_TOLERANCE`].
+    pub fn new(baseline: &'b dyn EvalBackend, reference: &'b dyn EvalBackend) -> Self {
+        CrossValidation { baseline, reference, tolerance: Self::DEFAULT_TOLERANCE }
+    }
+
+    /// The default relative-error tolerance, sized for validating the
+    /// analytical model against the 64-chunk event simulator: the chunk
+    /// pipeline's fill/drain bubble costs at most one chunk's serial
+    /// traversal, ≈ `ndims / chunks` of the bottleneck time — ≤ 6.25 % for
+    /// the paper's ≤ 4-dim fabrics at 64 chunks — plus slack for
+    /// picosecond rounding and FIFO scheduling gaps.
+    pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+    /// Overrides the tolerance (relative error, e.g. `0.05` for 5 %).
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is negative or not finite.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(tolerance.is_finite() && tolerance >= 0.0, "tolerance must be ≥ 0");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The configured tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+}
+
+impl std::fmt::Debug for CrossValidation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossValidation")
+            .field("baseline", &self.baseline.name())
+            .field("reference", &self.reference.name())
+            .field("tolerance", &self.tolerance)
+            .finish()
+    }
+}
+
+/// Both backends' verdicts on one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointDivergence {
+    /// The grid cell.
+    pub point: GridPoint,
+    /// The evaluated shape.
+    pub shape: NetworkShape,
+    /// The workload's name.
+    pub workload: String,
+    /// Baseline backend's plan time at the optimized design's bandwidth
+    /// (seconds).
+    pub baseline_secs: f64,
+    /// Reference backend's plan time at the same bandwidth (seconds).
+    pub reference_secs: f64,
+    /// Symmetric relative error between the two times.
+    pub rel_error: f64,
+}
+
+/// The divergence side of a cross-validated sweep: per-point relative
+/// errors between the two backends, in grid-enumeration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceReport {
+    /// Baseline backend's display name.
+    pub baseline: String,
+    /// Reference backend's display name.
+    pub reference: String,
+    /// The tolerance points are judged against.
+    pub tolerance: f64,
+    /// Per-point comparisons, in grid order.
+    pub points: Vec<PointDivergence>,
+    /// Grid points whose workload exposes no [`CommPlan`] (not comparable,
+    /// not a failure).
+    pub skipped: usize,
+    /// Grid points where a backend itself errored (these ARE failures —
+    /// a plan both backends should handle was rejected by one of them).
+    pub backend_errors: Vec<SweepError>,
+}
+
+impl DivergenceReport {
+    /// The largest per-point relative error (0 when nothing was compared).
+    pub fn max_rel_error(&self) -> f64 {
+        self.points.iter().map(|p| p.rel_error).fold(0.0, f64::max)
+    }
+
+    /// The mean per-point relative error (0 when nothing was compared).
+    pub fn mean_rel_error(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.rel_error).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Points whose relative error exceeds the tolerance, worst first.
+    pub fn violations(&self) -> Vec<&PointDivergence> {
+        let mut out: Vec<&PointDivergence> =
+            self.points.iter().filter(|p| p.rel_error > self.tolerance).collect();
+        out.sort_by(|a, b| b.rel_error.total_cmp(&a.rel_error));
+        out
+    }
+
+    /// The `n` worst-diverging shape × workload × budget cells, worst
+    /// first (ties keep grid order).
+    pub fn worst(&self, n: usize) -> Vec<&PointDivergence> {
+        let mut out: Vec<&PointDivergence> = self.points.iter().collect();
+        out.sort_by(|a, b| b.rel_error.total_cmp(&a.rel_error));
+        out.truncate(n);
+        out
+    }
+
+    /// True when every compared point is within tolerance **and** no
+    /// backend errored. A report that compared nothing (all skipped) is
+    /// vacuously within tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.backend_errors.is_empty() && self.points.iter().all(|p| p.rel_error <= self.tolerance)
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} vs {}: {} points compared, {} skipped, {} backend errors; \
+             max rel err {:.3}%, mean {:.3}% (tolerance {:.1}%)",
+            self.baseline,
+            self.reference,
+            self.points.len(),
+            self.skipped,
+            self.backend_errors.len(),
+            100.0 * self.max_rel_error(),
+            100.0 * self.mean_rel_error(),
+            100.0 * self.tolerance,
+        );
+        if let Some(w) = self.worst(1).first() {
+            s.push_str(&format!(
+                "; worst cell: {} × {} @ {:.0} GB/s ({:?}) — {:.4}s vs {:.4}s",
+                w.shape,
+                w.workload,
+                w.point.budget,
+                w.point.objective,
+                w.baseline_secs,
+                w.reference_secs,
+            ));
+        }
+        s
+    }
+}
+
+/// A cross-validated sweep's outcome: the normal sweep report plus the
+/// backend-divergence report over the same grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidatedReport {
+    /// The design-space results, identical to [`SweepEngine::run`]'s.
+    pub sweep: SweepReport,
+    /// The per-point backend comparison.
+    pub divergence: DivergenceReport,
+}
+
 /// The sweep engine: a cost model, optional extra designer constraints, and
 /// a concurrent memo cache that persists across `run` calls.
 pub struct SweepEngine<'a> {
@@ -592,12 +828,129 @@ impl<'a> SweepEngine<'a> {
             points.iter().map(|&p| self.eval(grid, workloads, p)).collect();
         self.report(outcomes)
     }
+
+    /// Evaluates one grid point and, when its workload exposes a
+    /// [`CommPlan`], prices that plan under both of `cv`'s backends at the
+    /// optimized design's bandwidth vector.
+    #[allow(clippy::result_large_err)]
+    fn eval_cross<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        point: GridPoint,
+        cv: &CrossValidation<'_>,
+    ) -> (Result<SweepResult, SweepError>, Option<Result<PointDivergence, SweepError>>) {
+        let outcome = self.eval(grid, workloads, point);
+        let Ok(result) = &outcome else { return (outcome, None) };
+        let shape = &grid.shapes()[point.shape];
+        let workload = &workloads[point.workload];
+        let fail = |error: LibraError| SweepError {
+            point,
+            shape: shape.clone(),
+            workload: workload.name().to_string(),
+            error,
+        };
+        let planned = self.cache.plan(shape, workload);
+        let cmp = match planned.as_ref() {
+            Err(e) => Some(Err(fail(e.clone()))),
+            Ok(None) => None,
+            Ok(Some(plan)) => {
+                let n = shape.ndims();
+                let compare = || -> Result<PointDivergence, LibraError> {
+                    let baseline_secs = cv.baseline.eval_plan(n, &result.design.bw, plan)?;
+                    let reference_secs = cv.reference.eval_plan(n, &result.design.bw, plan)?;
+                    Ok(PointDivergence {
+                        point,
+                        shape: shape.clone(),
+                        workload: workload.name().to_string(),
+                        baseline_secs,
+                        reference_secs,
+                        rel_error: rel_error(baseline_secs, reference_secs),
+                    })
+                };
+                Some(compare().map_err(fail))
+            }
+        };
+        (outcome, cmp)
+    }
+
+    /// Folds per-point outcomes into a [`CrossValidatedReport`].
+    #[allow(clippy::type_complexity)]
+    fn cross_report(
+        &self,
+        outcomes: Vec<(
+            Result<SweepResult, SweepError>,
+            Option<Result<PointDivergence, SweepError>>,
+        )>,
+        cv: &CrossValidation<'_>,
+    ) -> CrossValidatedReport {
+        let mut sweep_outcomes = Vec::with_capacity(outcomes.len());
+        let mut points = Vec::new();
+        let mut backend_errors = Vec::new();
+        let mut skipped = 0usize;
+        for (o, c) in outcomes {
+            match c {
+                Some(Ok(p)) => points.push(p),
+                Some(Err(e)) => backend_errors.push(e),
+                // A designed-but-planless point is skipped; a failed design
+                // is already reported in the sweep errors.
+                None if o.is_ok() => skipped += 1,
+                None => {}
+            }
+            sweep_outcomes.push(o);
+        }
+        CrossValidatedReport {
+            sweep: self.report(sweep_outcomes),
+            divergence: DivergenceReport {
+                baseline: cv.baseline.name().to_string(),
+                reference: cv.reference.name().to_string(),
+                tolerance: cv.tolerance(),
+                points,
+                skipped,
+                backend_errors,
+            },
+        }
+    }
+
+    /// Evaluates the whole grid **in parallel** with both of `cv`'s
+    /// backends in the same rayon fan-out: each worker optimizes its grid
+    /// point (memoized, exactly as [`SweepEngine::run`]) and immediately
+    /// prices the workload's [`CommPlan`] under the baseline and reference
+    /// backends at the optimized bandwidth. Results and divergence records
+    /// are in grid-enumeration order and bit-identical to
+    /// [`SweepEngine::run_cross_validated_serial`].
+    pub fn run_cross_validated<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation<'_>,
+    ) -> CrossValidatedReport {
+        let points = grid.points(workloads.len());
+        let outcomes: Vec<_> =
+            points.par_iter().map(|&p| self.eval_cross(grid, workloads, p, cv)).collect();
+        self.cross_report(outcomes, cv)
+    }
+
+    /// Serial reference fold of [`SweepEngine::run_cross_validated`].
+    pub fn run_cross_validated_serial<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation<'_>,
+    ) -> CrossValidatedReport {
+        let points = grid.points(workloads.len());
+        let outcomes: Vec<_> =
+            points.iter().map(|&p| self.eval_cross(grid, workloads, p, cv)).collect();
+        self.cross_report(outcomes, cv)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::comm::{Collective, CommModel, GroupSpan};
+    use crate::eval::{Analytical, ScaledBackend};
+    use crate::workload::CommOp;
 
     fn allreduce_workload(name: &str, gb: f64) -> FnWorkload {
         FnWorkload::new(name, move |shape: &NetworkShape| {
@@ -606,6 +959,18 @@ mod tests {
                 1.0,
                 comm.time_expr(Collective::AllReduce, gb * 1e9, &GroupSpan::full(shape)),
             )])
+        })
+    }
+
+    /// Like [`allreduce_workload`], with the matching communication plan
+    /// attached so the workload is cross-validatable.
+    fn planned_workload(name: &'static str, gb: f64) -> FnWorkload {
+        allreduce_workload(name, gb).with_plan(move |shape: &NetworkShape| {
+            Ok(CommPlan::serial([CommOp::new(
+                Collective::AllReduce,
+                gb * 1e9,
+                GroupSpan::full(shape),
+            )]))
         })
     }
 
@@ -750,6 +1115,89 @@ mod tests {
         assert_eq!(report.results.len(), 1);
         let bw = &report.results[0].design.bw;
         assert!(bw[0] >= bw[1] - 1e-6 && bw[1] >= bw[2] - 1e-6, "bw = {bw:?}");
+    }
+
+    #[test]
+    fn cross_validation_of_identical_backends_is_exact() {
+        let grid = small_grid().with_objectives([Objective::PerfPerCost]);
+        let wls = [planned_workload("a", 1.0), planned_workload("b", 4.0)];
+        let cm = CostModel::default();
+        let engine = SweepEngine::new(&cm);
+        let a = Analytical::new();
+        let cv = CrossValidation::new(&a, &a).with_tolerance(0.0);
+        let report = engine.run_cross_validated(&grid, &wls, &cv);
+        let n_points = grid.len(wls.len());
+        assert_eq!(report.sweep.results.len(), n_points);
+        assert_eq!(report.divergence.points.len(), n_points);
+        assert_eq!(report.divergence.skipped, 0);
+        assert!(report.divergence.backend_errors.is_empty());
+        assert_eq!(report.divergence.max_rel_error(), 0.0);
+        assert!(report.divergence.within_tolerance());
+        // The sweep half is identical to a plain run over the same engine.
+        let plain = engine.run(&grid, &wls);
+        assert_eq!(plain.results, report.sweep.results);
+        // Parallel and serial cross-validated folds agree bit-for-bit.
+        let serial = engine.run_cross_validated_serial(&grid, &wls, &cv);
+        assert_eq!(serial.sweep.results, report.sweep.results);
+        assert_eq!(serial.divergence, report.divergence);
+    }
+
+    #[test]
+    fn planless_workloads_are_skipped_not_failed() {
+        let grid = small_grid();
+        let wls = [allreduce_workload("plain", 1.0)];
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let cv = CrossValidation::new(&a, &a);
+        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
+        assert_eq!(report.sweep.results.len(), grid.len(1));
+        assert!(report.divergence.points.is_empty());
+        assert_eq!(report.divergence.skipped, grid.len(1));
+        assert!(report.divergence.within_tolerance(), "nothing compared → vacuously fine");
+    }
+
+    #[test]
+    fn skewed_backend_trips_the_divergence_report() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 2.0)];
+        let cm = CostModel::default();
+        let analytical = Analytical::new();
+        let skewed = ScaledBackend::new(Analytical::new(), 1.5, "skewed");
+        let cv = CrossValidation::new(&analytical, &skewed).with_tolerance(0.10);
+        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
+        let d = &report.divergence;
+        assert_eq!(d.reference, "skewed");
+        assert!(!d.within_tolerance());
+        assert_eq!(d.violations().len(), d.points.len(), "every point is off by 1.5×");
+        // rel_error(t, 1.5t) = 0.5t / 1.5t = 1/3.
+        assert!((d.max_rel_error() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d.mean_rel_error() - 1.0 / 3.0).abs() < 1e-12);
+        // worst() ranks by error and truncates.
+        assert_eq!(d.worst(2).len(), 2);
+        assert!(d.worst(1)[0].rel_error >= d.worst(2)[1].rel_error);
+        assert!(d.summary().contains("worst cell"));
+    }
+
+    #[test]
+    fn backend_failures_are_reported_as_errors() {
+        // A plan spanning a dimension the fabric lacks: both backends must
+        // reject it, and the report must surface that as a backend error.
+        let grid = small_grid();
+        let wl = allreduce_workload("bad-plan", 1.0).with_plan(|_: &NetworkShape| {
+            Ok(CommPlan::serial([CommOp::new(
+                Collective::AllReduce,
+                1e9,
+                GroupSpan::new(vec![(7, 4)]),
+            )]))
+        });
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let cv = CrossValidation::new(&a, &a);
+        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &[wl], &cv);
+        assert_eq!(report.sweep.results.len(), grid.len(1), "designs still solve");
+        assert!(report.divergence.points.is_empty());
+        assert_eq!(report.divergence.backend_errors.len(), grid.len(1));
+        assert!(!report.divergence.within_tolerance());
     }
 
     #[test]

@@ -86,15 +86,7 @@ pub fn average_utilization(
         if c.span.is_trivial() || c.bytes <= 0.0 {
             return;
         }
-        let offloadable = !matches!(
-            c.collective,
-            crate::comm::Collective::AllToAll | crate::comm::Collective::PointToPoint
-        );
-        let traffic = if model.in_network_offload && offloadable {
-            crate::comm::traffic_per_dim_offloaded(c.bytes, &c.span)
-        } else {
-            crate::comm::traffic_per_dim(c.collective, c.bytes, &c.span)
-        };
+        let traffic = model.traffic(c.collective, c.bytes, &c.span);
         let times: Vec<(usize, f64)> = traffic.iter().map(|&(d, t)| (d, t / 1e9 / bw[d])).collect();
         let phase = times.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
         if phase <= 0.0 {

@@ -249,7 +249,7 @@ pub fn run_batch(
                 Some((dim, bytes, gather)) => {
                     let dur = transfer_ps(bytes, servers[dim].bw_gbps);
                     let s = &mut servers[dim];
-                    s.backlog_until = s.backlog_until.max(now) + dur;
+                    s.backlog_until = s.backlog_until.max(now).saturating_add(dur);
                     s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
                     try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
                 }
@@ -353,7 +353,7 @@ fn try_start(
     }
     let Some(job) = s.queue.pop_front() else { return };
     let start = now.max(s.free_at);
-    let end = start + transfer_ps(job.bytes, s.bw_gbps);
+    let end = start.saturating_add(transfer_ps(job.bytes, s.bw_gbps));
     s.free_at = end;
     s.running = Some(job.chunk_key);
     s.busy.push((start, end));

@@ -18,17 +18,23 @@
 //!   and ASCII Gantt charts (Fig. 9/10).
 //! * **Link-level execution** ([`linksim`]): runs synthesized (TACOS-style)
 //!   schedules on arbitrary topology graphs for the Fig. 20 study.
+//! * **Evaluation backend** ([`backend`]): adapts the chunk engine to
+//!   `libra_core::eval::EvalBackend`, so design-space sweeps can
+//!   cross-validate the analytical cost model against event-driven
+//!   execution point by point.
 //!
 //! Determinism: time is integer picoseconds, every queue breaks ties by
 //! insertion sequence, and no randomness exists anywhere in the crate —
 //! identical inputs produce identical traces.
 
+pub mod backend;
 pub mod collective;
 pub mod event;
 pub mod linksim;
 pub mod stats;
 pub mod training;
 
+pub use backend::EventSimBackend;
 pub use collective::{run_collective, ChunkScheduler, CollectiveResult, FixedOrder};
 pub use event::{ps_to_secs, secs_to_ps, Time};
 pub use training::{simulate_training, TrainingResult, TrainingSimConfig};

@@ -181,7 +181,7 @@ pub fn execute(
         };
         let send = schedule.per_link[li][next_idx[li]];
         let link = graph.links[li];
-        let end = start + transfer_ps(send.bytes, link.gbps);
+        let end = start.saturating_add(transfer_ps(send.bytes, link.gbps));
         free_at[li] = end;
         next_idx[li] += 1;
         remaining -= 1;

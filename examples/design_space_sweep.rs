@@ -1,6 +1,9 @@
 //! Design-space exploration with the parallel sweep engine: candidate
 //! topologies × workloads × bandwidth budgets × objectives evaluated
-//! concurrently, then ranked (the paper's Fig. 13/14 loop as a subsystem).
+//! concurrently, then ranked (the paper's Fig. 13/14 loop as a subsystem)
+//! — with every grid point **cross-validated**: the analytical cost model
+//! and the event-driven simulator price each optimized design in the same
+//! rayon fan-out, and the sweep reports their divergence.
 //!
 //! ```bash
 //! cargo run --release --example design_space_sweep
@@ -11,6 +14,7 @@ use std::time::Instant;
 use libra::core::cost::CostModel;
 use libra::core::opt::Objective;
 use libra::core::presets;
+use libra::{Analytical, CrossValidation, EventSimBackend};
 use libra_bench::sweep::{RankBy, SweepEngine, SweepGrid};
 use libra_bench::{sweep_workloads, BW_SWEEP};
 use libra_workloads::zoo::PaperModel;
@@ -25,9 +29,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cm = CostModel::default();
     let engine = SweepEngine::new(&cm);
+    let analytical = Analytical::new();
+    let event_sim = EventSimBackend::default();
+    // Tolerance from the backend's documented agreement bound for the
+    // widest fabric in the grid (4 dims at 64 chunks → 12.5 %).
+    let max_ndims = grid.shapes().iter().map(|s| s.ndims()).max().unwrap_or(1);
+    let cv = CrossValidation::new(&analytical, &event_sim)
+        .with_tolerance(event_sim.agreement_bound(max_ndims));
     let t0 = Instant::now();
-    let report = engine.run(&grid, &workloads);
+    let validated = engine.run_cross_validated(&grid, &workloads, &cv);
     let elapsed = t0.elapsed();
+    let report = &validated.sweep;
 
     println!(
         "swept {n_points} design points ({} shapes x {} workloads x {} budgets x {} objectives) \
@@ -41,13 +53,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let c = report.cache;
     println!(
-        "cache: {} expr builds ({} hits), {} solves ({} hits), {} errors\n",
+        "cache: {} expr builds ({} hits), {} solves ({} hits), {} errors",
         c.expr_misses,
         c.expr_hits,
         c.design_misses,
         c.design_hits,
         report.errors.len()
     );
+
+    // The model-validation half: did the closed form agree with the
+    // chunk-level event timelines at every optimized design point?
+    let d = &validated.divergence;
+    println!("cross-validation: {}", d.summary());
+    println!("worst-diverging cells:");
+    for w in d.worst(4) {
+        println!(
+            "  {} × {} @ {:.0} GB/s ({:?}): {} {:.4}s vs {} {:.4}s (rel err {:.2}%)",
+            w.shape,
+            w.workload,
+            w.point.budget,
+            w.point.objective,
+            d.baseline,
+            w.baseline_secs,
+            d.reference,
+            w.reference_secs,
+            100.0 * w.rel_error
+        );
+    }
+    assert!(d.within_tolerance(), "analytical model diverged from the event simulator");
+    println!();
 
     println!("top designs by speedup over EqualBW:");
     println!(

@@ -18,3 +18,11 @@ pub use libra_solver as solver;
 pub use libra_tacos as tacos;
 pub use libra_themis as themis;
 pub use libra_workloads as workloads;
+
+// The pluggable-evaluation surface, flattened for convenience: the
+// backend-neutral plan IR and analytical backend (from `libra-core`), the
+// event-driven backend (from `libra-sim`), and the cross-validation sweep
+// types. See `examples/design_space_sweep.rs` for the full loop.
+pub use libra_core::eval::{Analytical, CommPhase, CommPlan, EvalBackend, ScaledBackend};
+pub use libra_core::sweep::{CrossValidatedReport, CrossValidation, DivergenceReport};
+pub use libra_sim::EventSimBackend;

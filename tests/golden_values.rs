@@ -101,3 +101,69 @@ fn facade_doctest_allocation_is_pinned() {
     let want_cost = 32.0 * (4.0 * design.bw[0] + 57.4 * design.bw[1]);
     assert!(close(design.cost, want_cost, 1e-9), "cost drifted: {}", design.cost);
 }
+
+/// Fig. 9 chunk-pipeline timeline, pinned to hand-computed picoseconds.
+///
+/// Setup: a 4 GB All-Reduce over a 2-dim (4 × 2) group, 2 chunks, both
+/// dimensions at 10 GB/s. Each 2 GB chunk moves `m(e₁−1)/e₁ = 1.5 GB`
+/// through dim 0 (150 000 000 000 ps at 10 GB/s) and
+/// `m(e₂−1)/(e₂·e₁) = 0.25 GB` through dim 1 (25 000 000 000 ps), first as
+/// Reduce-Scatter (dims ascending) then as All-Gather (the chunk's own RS
+/// order reversed). Chunks pipeline through FIFO per-dimension servers:
+///
+/// ```text
+/// dim0: |c0 RS 0–150|c1 RS 150–300|c0 AG 300–450|c1 AG 450–600| (·10⁹ ps)
+/// dim1:             |c0 RS 150–175|c0 AG 175–200|c1 RS 300–325|c1 AG 325–350|
+/// ```
+///
+/// Every stage boundary below is derivable by hand from FIFO order alone;
+/// if any of them moves, the chunk engine's scheduling semantics changed.
+#[test]
+fn fig9_chunk_pipeline_timeline_is_pinned() {
+    use libra::sim::collective::{run_collective, FixedOrder};
+
+    let span = GroupSpan::new(vec![(0, 4), (1, 2)]);
+    let res =
+        run_collective(2, &[10.0, 10.0], Collective::AllReduce, 4e9, &span, 2, &mut FixedOrder);
+
+    // (chunk, dim, is_gather) → (start ps, end ps), hand-computed.
+    const G: u64 = 1_000_000_000; // 10⁹ ps = 1 ms
+    type StageKey = (usize, usize, bool);
+    let golden: &[(StageKey, (u64, u64))] = &[
+        ((0, 0, false), (0, 150 * G)),       // c0 RS dim0
+        ((1, 0, false), (150 * G, 300 * G)), // c1 RS dim0 (queued behind c0)
+        ((0, 1, false), (150 * G, 175 * G)), // c0 RS dim1
+        ((0, 1, true), (175 * G, 200 * G)),  // c0 AG dim1 (reverse order)
+        ((0, 0, true), (300 * G, 450 * G)),  // c0 AG dim0 (waits for c1 RS)
+        ((1, 1, false), (300 * G, 325 * G)), // c1 RS dim1
+        ((1, 1, true), (325 * G, 350 * G)),  // c1 AG dim1
+        ((1, 0, true), (450 * G, 600 * G)),  // c1 AG dim0
+    ];
+
+    assert_eq!(res.records.len(), golden.len(), "stage count changed");
+    for &(key, want) in golden {
+        let (chunk, dim, gather) = key;
+        let got = res
+            .records
+            .iter()
+            .find(|r| r.chunk == chunk && r.dim == dim && r.gather == gather)
+            .unwrap_or_else(|| panic!("missing stage {key:?}"));
+        assert_eq!(
+            (got.start, got.end),
+            want,
+            "stage {key:?} drifted: got [{}, {}], pinned [{}, {}]",
+            got.start,
+            got.end,
+            want.0,
+            want.1
+        );
+    }
+    // Makespan: the last All-Gather on dim 0 ends at 600·10⁹ ps = 0.6 s.
+    assert_eq!(res.makespan(), 600 * G);
+    // Dim 0 streams continuously (no bubble); dim 1 idles between chunks.
+    assert_eq!(
+        res.per_dim_busy[0],
+        vec![(0, 150 * G), (150 * G, 300 * G), (300 * G, 450 * G), (450 * G, 600 * G)]
+    );
+    assert_eq!(res.per_dim_busy[1].len(), 4);
+}

@@ -1,0 +1,127 @@
+//! Differential property tests between evaluation backends: for random
+//! shapes, collectives, payloads, bandwidths, and chunk counts, the
+//! event-driven backend must bracket the analytical backend within a
+//! bound stated from first principles.
+//!
+//! # Why the bound is what it is
+//!
+//! The analytical time of a single collective is the bottleneck
+//! dimension's streaming time, `max_i traffic_i / B_i` — a **lower bound**
+//! on any faithful execution (it assumes the bottleneck dimension never
+//! idles). The chunked event simulation adds the pipeline's fill/drain
+//! bubble: the bottleneck dimension waits while the first (and last) chunk
+//! traverses the other dimensions. One chunk's serial traversal of every
+//! stage costs `serial = Σ_i traffic_i / (chunks · B_i)`, so
+//!
+//! ```text
+//! analytic − ε  ≤  sim  ≤  analytic + 2·serial + ε
+//! ```
+//!
+//! where the factor 2 absorbs FIFO scheduling gaps (an All-Gather stage
+//! queued behind a *later* chunk's Reduce-Scatter on the same server —
+//! the server totals are unchanged but the critical path can see the
+//! bubble twice) and `ε` absorbs picosecond rounding (each of the
+//! `≤ chunks · 2 · ndims` stages rounds to the nearest tick, ≤ 0.5 ps
+//! each). Since `serial ≤ ndims · analytic / chunks`, this implies the
+//! user-facing bound published by `EventSimBackend::agreement_bound`:
+//! `rel_error ≤ 2 · ndims / chunks`.
+
+use libra::core::comm::{traffic_per_dim, Collective, GroupSpan};
+use libra::core::workload::CommOp;
+use libra::{Analytical, CommPlan, EvalBackend, EventSimBackend};
+use libra_core::eval::rel_error;
+use proptest::prelude::*;
+
+/// `(extent, bandwidth GB/s)` per dimension: 1–4 dims, extents 2/4/8.
+fn arb_dims() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((prop_oneof![Just(2u64), Just(4u64), Just(8u64)], 5.0f64..200.0), 1..5)
+}
+
+fn arb_collective() -> impl Strategy<Value = Collective> {
+    prop_oneof![
+        Just(Collective::AllReduce),
+        Just(Collective::ReduceScatter),
+        Just(Collective::AllGather),
+        Just(Collective::AllToAll),
+        Just(Collective::PointToPoint),
+    ]
+}
+
+fn arb_chunks() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16), Just(32), Just(64)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The event simulation brackets the analytical model: never below it
+    /// (minus rounding), never above it by more than the documented
+    /// fill/drain bubble.
+    #[test]
+    fn event_sim_brackets_analytical(
+        dims in arb_dims(),
+        collective in arb_collective(),
+        chunks in arb_chunks(),
+        gb in 0.01f64..8.0,
+    ) {
+        let ndims = dims.len();
+        let span = GroupSpan::new(
+            dims.iter().enumerate().map(|(d, &(e, _))| (d, e)).collect(),
+        );
+        let bw: Vec<f64> = dims.iter().map(|&(_, b)| b).collect();
+        let plan = CommPlan::serial([CommOp::new(collective, gb * 1e9, span.clone())]);
+
+        let analytic = Analytical::new().eval_plan(ndims, &bw, &plan).unwrap();
+        let backend = EventSimBackend::new(chunks);
+        let sim = backend.eval_plan(ndims, &bw, &plan).unwrap();
+
+        // Rounding slack: ≤ chunks · 2 · ndims stages, ≤ 0.5 ps each.
+        let eps = (chunks * 2 * ndims) as f64 * 0.5e-12 + 1e-12;
+        prop_assert!(
+            sim >= analytic - eps,
+            "sim {sim} fell below the analytical lower bound {analytic}"
+        );
+
+        // One chunk's serial traversal of every spanned dimension.
+        let serial: f64 = traffic_per_dim(collective, gb * 1e9, &span)
+            .iter()
+            .map(|&(d, t)| t / 1e9 / bw[d] / chunks as f64)
+            .sum();
+        prop_assert!(
+            sim <= analytic + 2.0 * serial + eps,
+            "sim {sim} exceeds analytic {analytic} + 2·serial {serial} (ndims {ndims}, \
+             chunks {chunks}, {collective:?})"
+        );
+
+        // The published coarse bound follows from the tight one.
+        prop_assert!(
+            rel_error(analytic, sim) <= backend.agreement_bound(ndims) + 1e-9,
+            "rel error {} above agreement_bound {}",
+            rel_error(analytic, sim),
+            backend.agreement_bound(ndims)
+        );
+    }
+
+    /// Degenerate pipelines are exact: one dimension means no cross-dim
+    /// bubble, so at any chunk count the simulated time equals the
+    /// analytical time up to per-stage rounding.
+    #[test]
+    fn single_dim_is_exact_at_any_chunking(
+        extent in prop_oneof![Just(2u64), Just(4u64), Just(8u64)],
+        b in 5.0f64..200.0,
+        collective in arb_collective(),
+        chunks in arb_chunks(),
+        gb in 0.01f64..8.0,
+    ) {
+        let span = GroupSpan::new(vec![(0, extent)]);
+        let plan = CommPlan::serial([CommOp::new(collective, gb * 1e9, span)]);
+        let analytic = Analytical::new().eval_plan(1, &[b], &plan).unwrap();
+        let sim = EventSimBackend::new(chunks).eval_plan(1, &[b], &plan).unwrap();
+        // 2·chunks stages of rounding at most (All-Reduce), ≤ 0.5 ps each.
+        let eps = (2 * chunks) as f64 * 0.5e-12 + 1e-12;
+        prop_assert!(
+            (sim - analytic).abs() <= eps,
+            "single-dim sim {sim} != analytic {analytic} beyond rounding"
+        );
+    }
+}
