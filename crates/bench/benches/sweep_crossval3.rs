@@ -1,0 +1,64 @@
+//! Criterion benchmark of three-way cross-validated sweeps: the two-way
+//! Analytical/EventSim validation vs the same grid with every point
+//! additionally priced by the network-layer α-β backend
+//! (`SweepEngine::run_cross_validated3`), quantifying what the third
+//! backend costs on top of continuous two-way validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use libra_bench::sweep::{SweepEngine, SweepGrid};
+use libra_bench::{
+    sweep_workloads_with_link, CrossValidation, CrossValidation3, EventSimBackend, LinkParams,
+    NetSimBackend,
+};
+use libra_core::cost::CostModel;
+use libra_core::eval::Analytical;
+use libra_core::opt::Objective;
+use libra_core::presets;
+use libra_workloads::zoo::PaperModel;
+
+/// A 40-point grid: 2 shapes × 2 workloads × 5 budgets × 2 objectives.
+fn grid() -> SweepGrid {
+    SweepGrid::new()
+        .with_shapes([presets::topo_3d_512(), presets::topo_3d_1k()])
+        .with_budgets([100.0, 300.0, 500.0, 700.0, 900.0])
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+}
+
+fn bench_crossval3(c: &mut Criterion) {
+    let grid = grid();
+    // 20 ns per hop — NVLink-class latency, small against these payloads.
+    let link = LinkParams::latency(20_000.0);
+    let workloads = sweep_workloads_with_link(&[PaperModel::TuringNlg, PaperModel::ResNet50], link);
+    let cm = CostModel::default();
+    let points = grid.len(workloads.len());
+    let analytical = Analytical::new();
+    let event_sim = EventSimBackend::default();
+    let net_sim = NetSimBackend::default();
+    let cv2 = CrossValidation::new(&analytical, &event_sim);
+    let cv3 = CrossValidation3::new(&analytical, &event_sim, &net_sim);
+
+    let mut g = c.benchmark_group("sweep_crossval3");
+    g.sample_size(10);
+    // Warm cache: designs are memoized, so the delta is pure backend cost.
+    let warm = SweepEngine::new(&cm);
+    warm.run(&grid, &workloads);
+    g.bench_with_input(BenchmarkId::new("two_way_warm", points), &points, |b, _| {
+        b.iter(|| warm.run_cross_validated(&grid, &workloads, &cv2))
+    });
+    g.bench_with_input(BenchmarkId::new("three_way_warm", points), &points, |b, _| {
+        b.iter(|| {
+            let report = warm.run_cross_validated3(&grid, &workloads, &cv3);
+            assert_eq!(report.divergence.pairs.len(), 3);
+            report
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_crossval3
+}
+criterion_main!(benches);

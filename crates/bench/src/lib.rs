@@ -18,8 +18,13 @@ use libra_core::LibraError;
 use libra_workloads::zoo::{workload_for, PaperModel};
 
 pub use libra_core::eval;
+pub use libra_core::eval::{LinkParams, NetSpec};
 pub use libra_core::sweep;
-pub use libra_core::sweep::{CrossValidatedReport, CrossValidation, DivergenceReport};
+pub use libra_core::sweep::{
+    CrossValidated3Report, CrossValidatedReport, CrossValidation, CrossValidation3,
+    Divergence3Report, DivergenceReport,
+};
+pub use libra_net::NetSimBackend;
 pub use libra_sim::EventSimBackend;
 
 /// Wraps a Table II paper model as a [`sweep::SweepWorkload`]
@@ -41,6 +46,31 @@ pub fn sweep_workload(model: PaperModel) -> sweep::FnWorkload {
 /// Wraps several paper models for a multi-workload sweep.
 pub fn sweep_workloads(models: &[PaperModel]) -> Vec<sweep::FnWorkload> {
     models.iter().copied().map(sweep_workload).collect()
+}
+
+/// Like [`sweep_workload`], but the plan also carries a network-layer
+/// [`NetSpec`] derived from each candidate shape's per-dimension unit
+/// topologies with the given α-β link parameters — the input
+/// `libra_net::NetSimBackend` needs to price hop latency and switch
+/// traversal in a three-way cross-validated sweep
+/// ([`sweep::SweepEngine::run_cross_validated3`]).
+pub fn sweep_workload_with_link(model: PaperModel, link: LinkParams) -> sweep::FnWorkload {
+    sweep::FnWorkload::new(model.name(), move |shape: &NetworkShape| {
+        Ok(vec![(1.0, time_expr_for(model, shape)?)])
+    })
+    .with_plan(move |shape: &NetworkShape| {
+        let w = workload_for(model, shape)?;
+        Ok(CommPlan::from_workload(&w, TrainingLoop::NoOverlap)
+            .with_net(NetSpec::from_shape(shape, link)))
+    })
+}
+
+/// [`sweep_workload_with_link`] over several paper models.
+pub fn sweep_workloads_with_link(
+    models: &[PaperModel],
+    link: LinkParams,
+) -> Vec<sweep::FnWorkload> {
+    models.iter().map(|&m| sweep_workload_with_link(m, link)).collect()
 }
 
 /// The Fig. 13/14-style grid for a set of shapes: the paper's 100–1,000
@@ -212,6 +242,26 @@ mod tests {
         let t_plan = eval::Analytical::new().eval_plan(shape.ndims(), &bw, &plan).unwrap();
         let want = expr.eval(&bw) - w.total_compute();
         assert!((t_plan - want).abs() < 1e-9 * (1.0 + want), "{t_plan} vs {want}");
+    }
+
+    #[test]
+    fn link_carrying_workloads_expose_net_specs() {
+        use libra_core::sweep::SweepWorkload;
+        let shape = presets::topo_3d_512();
+        let link = LinkParams::latency(1e5).with_switch_ps(5e4);
+        let wl = sweep_workload_with_link(PaperModel::TuringNlg, link);
+        let plan = wl.comm_plan(&shape).unwrap().expect("paper workloads expose plans");
+        let net = plan.net.as_ref().expect("link-carrying workloads attach a NetSpec");
+        assert_eq!(net.dims.len(), shape.ndims());
+        for (spec_dim, shape_dim) in net.dims.iter().zip(shape.dims()) {
+            assert_eq!(spec_dim.kind, shape_dim.topology);
+            assert_eq!(spec_dim.link, link);
+        }
+        // The phases are identical to the plain plan — only the side
+        // channel differs.
+        let plain = sweep_workload(PaperModel::TuringNlg).comm_plan(&shape).unwrap().unwrap();
+        assert_eq!(plan.phases, plain.phases);
+        assert_eq!(plain.net, None);
     }
 
     #[test]

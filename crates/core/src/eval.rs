@@ -27,7 +27,111 @@
 
 use crate::comm::CommModel;
 use crate::error::LibraError;
+use crate::network::{NetworkShape, UnitTopology};
 use crate::workload::{CommOp, TrainingLoop, Workload};
+
+/// α-β link parameters of one network dimension, in picoseconds.
+///
+/// The β (serialization) term is not stored here — it is what the
+/// bandwidth vector under evaluation already encodes (`β = 1 / B`). What a
+/// pure bandwidth model *cannot* express is the bandwidth-independent part
+/// of a message's journey, and that is exactly what these two knobs carry:
+///
+/// * [`LinkParams::alpha_ps`] — the per-hop link latency α. A stage over a
+///   Ring dimension of extent `e` pays `(e − 1)·α` (store-and-forward
+///   relay), a FullyConnected dimension pays `α` (one direct hop), and a
+///   Switch dimension pays `2·α` (NPU → switch → NPU).
+/// * [`LinkParams::switch_ps`] — the per-message switch-traversal cost
+///   (arbitration + crossbar + optional in-network reduction ALU), paid
+///   once per stage on Switch dimensions only.
+///
+/// The default is zero latency, under which every latency-aware backend
+/// must degenerate to its pure-bandwidth counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkParams {
+    /// Per-hop link latency (picoseconds) — the α term.
+    pub alpha_ps: f64,
+    /// Per-message switch-traversal cost (picoseconds), Switch dims only.
+    pub switch_ps: f64,
+}
+
+impl LinkParams {
+    /// Zero-latency links (the pure-β regime).
+    pub fn zero() -> Self {
+        LinkParams::default()
+    }
+
+    /// Links with per-hop latency `alpha_ps` and no switch cost.
+    pub fn latency(alpha_ps: f64) -> Self {
+        LinkParams { alpha_ps, switch_ps: 0.0 }
+    }
+
+    /// Adds a per-message switch-traversal cost.
+    #[must_use]
+    pub fn with_switch_ps(mut self, switch_ps: f64) -> Self {
+        self.switch_ps = switch_ps;
+        self
+    }
+}
+
+/// The network layer of one dimension: its unit-topology kind plus α-β
+/// link parameters. The kind decides how many α hops a stage pays and
+/// whether the dimension is eligible for in-network (switch) offload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DimTopology {
+    /// The dimension's unit topology (Ring / FullyConnected / Switch).
+    pub kind: UnitTopology,
+    /// The dimension's link parameters.
+    pub link: LinkParams,
+}
+
+impl DimTopology {
+    /// A dimension of `kind` with the given link parameters.
+    pub fn new(kind: UnitTopology, link: LinkParams) -> Self {
+        DimTopology { kind, link }
+    }
+
+    /// A zero-latency Switch dimension — the default a network-layer
+    /// backend assumes for dims the plan does not describe, chosen so an
+    /// unspecified plan prices identically to the pure-bandwidth backends.
+    pub fn zero_switch() -> Self {
+        DimTopology::new(UnitTopology::Switch, LinkParams::zero())
+    }
+}
+
+/// The optional network-layer side channel of a [`CommPlan`]: one
+/// [`DimTopology`] per fabric dimension.
+///
+/// Pure bandwidth backends ([`Analytical`], `EventSimBackend`) ignore it
+/// entirely — it exists for network-layer backends (`libra_net`'s
+/// `NetSimBackend`) that price per-hop latency, switch traversal, and
+/// switch-resident reduction, which need to know each dimension's unit
+/// topology and link parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetSpec {
+    /// Per-dimension topologies, innermost first. May be shorter than the
+    /// fabric's dimensionality; backends fall back to their default for
+    /// uncovered dims.
+    pub dims: Vec<DimTopology>,
+}
+
+impl NetSpec {
+    /// `n_dims` dimensions of the same kind and link parameters.
+    pub fn uniform(n_dims: usize, kind: UnitTopology, link: LinkParams) -> Self {
+        NetSpec { dims: vec![DimTopology::new(kind, link); n_dims] }
+    }
+
+    /// Derives the spec from a [`NetworkShape`]'s per-dimension unit
+    /// topologies, applying the same link parameters to every dimension.
+    pub fn from_shape(shape: &NetworkShape, link: LinkParams) -> Self {
+        NetSpec { dims: shape.dims().iter().map(|d| DimTopology::new(d.topology, link)).collect() }
+    }
+
+    /// The topology of dimension `d`, if described.
+    pub fn dim(&self, d: usize) -> Option<DimTopology> {
+        self.dims.get(d).copied()
+    }
+}
 
 /// A set of collective operations released concurrently (they contend for
 /// the same per-dimension bandwidth), optionally repeated back-to-back.
@@ -73,6 +177,12 @@ impl CommPhase {
 pub struct CommPlan {
     /// The sequential phases.
     pub phases: Vec<CommPhase>,
+    /// Optional network-layer side channel (per-dimension topology kinds
+    /// and α-β link parameters). `None` — the default — means "no network
+    /// layer described"; pure bandwidth backends ignore the field either
+    /// way, and network-layer backends fall back to zero-latency switch
+    /// dimensions, so plans without a spec price identically everywhere.
+    pub net: Option<NetSpec>,
 }
 
 impl CommPlan {
@@ -83,7 +193,14 @@ impl CommPlan {
 
     /// A plan executing `ops` strictly sequentially, one phase each.
     pub fn serial(ops: impl IntoIterator<Item = CommOp>) -> Self {
-        CommPlan { phases: ops.into_iter().map(CommPhase::solo).collect() }
+        CommPlan { phases: ops.into_iter().map(CommPhase::solo).collect(), net: None }
+    }
+
+    /// Attaches a network-layer side channel (see [`NetSpec`]).
+    #[must_use]
+    pub fn with_net(mut self, net: NetSpec) -> Self {
+        self.net = Some(net);
+        self
     }
 
     /// Extracts the communication plan of a workload under a training loop:
@@ -132,7 +249,7 @@ impl CommPlan {
             }
             i += run;
         }
-        CommPlan { phases }
+        CommPlan { phases, net: None }
     }
 
     /// Whether the plan contains no operations at all.
@@ -226,9 +343,11 @@ pub fn validate_plan(n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<(), L
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Analytical {
     /// Model in-network collective offload (reduces All-Reduce-family
-    /// traffic to `m / Π_{j<i} e_j`, §IV-C). Off by default — the chunked
-    /// event simulator models endpoint-driven collectives, so offload
-    /// plans cannot be cross-validated against it.
+    /// traffic to `m / Π_{j<i} e_j`, §IV-C). Off by default. Offloaded
+    /// plans are no longer analytical-only: `libra_net`'s
+    /// `NetSimBackend::offloaded` performs event-driven in-network
+    /// reduction on switch dimensions, so this variant is cross-validated
+    /// against a real timeline rather than merely asserted.
     pub in_network_offload: bool,
 }
 
@@ -346,7 +465,8 @@ mod tests {
         let one = CommPlan::serial([op(2.0, span01())]);
         let bw = [50.0, 25.0];
         let t1 = Analytical::new().eval_plan(2, &bw, &one).unwrap();
-        let three = CommPlan { phases: vec![CommPhase::solo(op(2.0, span01())).repeated(3)] };
+        let three =
+            CommPlan { phases: vec![CommPhase::solo(op(2.0, span01())).repeated(3)], net: None };
         let t3 = Analytical::new().eval_plan(2, &bw, &three).unwrap();
         assert!((t3 - 3.0 * t1).abs() < 1e-12);
         let seq = CommPlan::serial([op(2.0, span01()), op(2.0, span01()), op(2.0, span01())]);
@@ -359,14 +479,14 @@ mod tests {
         // Two concurrent ops on disjoint dims: phase time is the slower one.
         let a = CommOp::new(Collective::AllReduce, 4e9, GroupSpan::new(vec![(0, 4)]));
         let b = CommOp::new(Collective::AllReduce, 1e9, GroupSpan::new(vec![(1, 4)]));
-        let plan = CommPlan { phases: vec![CommPhase::new(vec![a.clone(), b.clone()])] };
+        let plan = CommPlan { phases: vec![CommPhase::new(vec![a.clone(), b.clone()])], net: None };
         let bw = [10.0, 10.0];
         let t = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
         // a: 2·4·(3/4) = 6 GB on dim0 → 0.6 s; b: 1.5 GB on dim1 → 0.15 s.
         assert!((t - 0.6).abs() < 1e-12);
         // Same dim instead: traffic adds.
         let b0 = CommOp::new(Collective::AllReduce, 1e9, GroupSpan::new(vec![(0, 4)]));
-        let plan = CommPlan { phases: vec![CommPhase::new(vec![a, b0])] };
+        let plan = CommPlan { phases: vec![CommPhase::new(vec![a, b0])], net: None };
         let t = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
         assert!((t - 0.75).abs() < 1e-12);
     }
@@ -452,6 +572,7 @@ mod tests {
                 CommPhase::solo(op(1.0, span01())).repeated(2),
                 CommPhase::solo(op(3.0, GroupSpan::new(vec![(0, 4)]))),
             ],
+            net: None,
         };
         assert!((plan.total_bytes() - 5e9).abs() < 1.0);
         assert_eq!(plan.max_dim(), Some(1));
@@ -464,6 +585,27 @@ mod tests {
         assert_eq!(rel_error(0.0, 0.0), 0.0);
         assert!((rel_error(1.0, 1.1) - rel_error(1.1, 1.0)).abs() < 1e-15);
         assert!((rel_error(1.0, 2.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn net_spec_side_channel_is_inert_for_bandwidth_backends() {
+        use crate::network::NetworkShape;
+        let shape: NetworkShape = "RI(4)_SW(8)".parse().unwrap();
+        let spec = NetSpec::from_shape(&shape, LinkParams::latency(1e6).with_switch_ps(5e5));
+        assert_eq!(spec.dims.len(), 2);
+        assert_eq!(spec.dim(0).unwrap().kind, UnitTopology::Ring);
+        assert_eq!(spec.dim(1).unwrap().kind, UnitTopology::Switch);
+        assert_eq!(spec.dim(2), None);
+        // Attaching a spec changes nothing for the analytical backend.
+        let bare = CommPlan::serial([op(1.0, span01())]);
+        let specced = bare.clone().with_net(spec);
+        let bw = [10.0, 10.0];
+        let a = Analytical::new();
+        assert_eq!(a.eval_plan(2, &bw, &bare).unwrap(), a.eval_plan(2, &bw, &specced).unwrap());
+        // Defaults: zero latency, Switch kind for unspecified dims.
+        assert_eq!(LinkParams::zero(), LinkParams::default());
+        assert_eq!(DimTopology::zero_switch().kind, UnitTopology::Switch);
+        assert_eq!(NetSpec::uniform(3, UnitTopology::Ring, LinkParams::zero()).dims.len(), 3);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   point's [`CommPlan`] under two [`EvalBackend`]s in the same fan-out
 //!   and reports their per-point disagreement as a [`DivergenceReport`] —
 //!   the guard against ranking thousands of designs with a silently
-//!   broken model.
+//!   broken model;
+//! * [`SweepEngine::run_cross_validated3`] does the same for **three**
+//!   backends at once (canonically Analytical / EventSim / NetSim),
+//!   pricing each plan once per backend and emitting the pairwise
+//!   [`Divergence3Report`].
 //!
 //! ```
 //! use libra_core::comm::{Collective, CommModel, GroupSpan};
@@ -623,8 +627,17 @@ pub struct DivergenceReport {
 
 impl DivergenceReport {
     /// The largest per-point relative error (0 when nothing was compared).
+    /// A NaN error — a backend returned a non-finite time — propagates to
+    /// the result instead of being silently dropped by the max fold, so a
+    /// failing report never summarizes as "0.000%".
     pub fn max_rel_error(&self) -> f64 {
-        self.points.iter().map(|p| p.rel_error).fold(0.0, f64::max)
+        self.points.iter().map(|p| p.rel_error).fold(0.0, |a, b| {
+            if b.is_nan() {
+                f64::NAN
+            } else {
+                a.max(b)
+            }
+        })
     }
 
     /// The mean per-point relative error (0 when nothing was compared).
@@ -636,9 +649,15 @@ impl DivergenceReport {
     }
 
     /// Points whose relative error exceeds the tolerance, worst first.
+    /// NaN errors (a backend returned a non-finite time) count as
+    /// violations — keeping this list consistent with
+    /// [`DivergenceReport::within_tolerance`], which also fails them.
     pub fn violations(&self) -> Vec<&PointDivergence> {
-        let mut out: Vec<&PointDivergence> =
-            self.points.iter().filter(|p| p.rel_error > self.tolerance).collect();
+        let mut out: Vec<&PointDivergence> = self
+            .points
+            .iter()
+            .filter(|p| p.rel_error.is_nan() || p.rel_error > self.tolerance)
+            .collect();
         out.sort_by(|a, b| b.rel_error.total_cmp(&a.rel_error));
         out
     }
@@ -696,6 +715,95 @@ pub struct CrossValidatedReport {
     pub sweep: SweepReport,
     /// The per-point backend comparison.
     pub divergence: DivergenceReport,
+}
+
+/// Configuration of a **three-way** cross-validated sweep: three
+/// [`EvalBackend`]s priced per grid point in the same fan-out, compared
+/// pairwise. The canonical triple is Analytical / `EventSimBackend` /
+/// `NetSimBackend` — the closed form, the chunk-level event engine, and
+/// the network-layer α-β engine.
+#[derive(Clone, Copy)]
+pub struct CrossValidation3<'b> {
+    backends: [&'b dyn EvalBackend; 3],
+    tolerance: f64,
+}
+
+impl<'b> CrossValidation3<'b> {
+    /// Triples three backends at [`CrossValidation::DEFAULT_TOLERANCE`].
+    pub fn new(a: &'b dyn EvalBackend, b: &'b dyn EvalBackend, c: &'b dyn EvalBackend) -> Self {
+        CrossValidation3 { backends: [a, b, c], tolerance: CrossValidation::DEFAULT_TOLERANCE }
+    }
+
+    /// Overrides the tolerance every pair is judged against.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is negative or not finite.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(tolerance.is_finite() && tolerance >= 0.0, "tolerance must be ≥ 0");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// The configured tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The three pair index combinations, in report order.
+    const PAIRS: [(usize, usize); 3] = [(0, 1), (0, 2), (1, 2)];
+}
+
+impl std::fmt::Debug for CrossValidation3<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossValidation3")
+            .field("backends", &self.backends.map(|b| b.name().to_string()))
+            .field("tolerance", &self.tolerance)
+            .finish()
+    }
+}
+
+/// The combined divergence side of a three-way cross-validated sweep: one
+/// [`DivergenceReport`] per backend pair, in the order (a, b), (a, c),
+/// (b, c) of the [`CrossValidation3`] constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence3Report {
+    /// Pairwise reports: `[a vs b, a vs c, b vs c]`.
+    pub pairs: Vec<DivergenceReport>,
+}
+
+impl Divergence3Report {
+    /// The pairwise report whose backends carry the two display names (in
+    /// either order), if present.
+    pub fn pair(&self, a: &str, b: &str) -> Option<&DivergenceReport> {
+        self.pairs.iter().find(|p| {
+            (p.baseline == a && p.reference == b) || (p.baseline == b && p.reference == a)
+        })
+    }
+
+    /// The largest relative error across every pair and point.
+    pub fn max_rel_error(&self) -> f64 {
+        self.pairs.iter().map(DivergenceReport::max_rel_error).fold(0.0, f64::max)
+    }
+
+    /// True when every pair is within tolerance with no backend errors.
+    pub fn within_tolerance(&self) -> bool {
+        self.pairs.iter().all(DivergenceReport::within_tolerance)
+    }
+
+    /// One line per pair.
+    pub fn summary(&self) -> String {
+        self.pairs.iter().map(DivergenceReport::summary).collect::<Vec<_>>().join("\n")
+    }
+}
+
+/// A three-way cross-validated sweep's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidated3Report {
+    /// The design-space results, identical to [`SweepEngine::run`]'s.
+    pub sweep: SweepReport,
+    /// The pairwise backend comparisons.
+    pub divergence: Divergence3Report,
 }
 
 /// The sweep engine: a cost model, optional extra designer constraints, and
@@ -943,6 +1051,136 @@ impl<'a> SweepEngine<'a> {
             points.iter().map(|&p| self.eval_cross(grid, workloads, p, cv)).collect();
         self.cross_report(outcomes, cv)
     }
+
+    /// Evaluates one grid point and, when its workload exposes a
+    /// [`CommPlan`], prices that plan **once under each of the three
+    /// backends** at the optimized design's bandwidth vector.
+    #[allow(clippy::result_large_err, clippy::type_complexity)]
+    fn eval_cross3<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        point: GridPoint,
+        cv: &CrossValidation3<'_>,
+    ) -> (Result<SweepResult, SweepError>, Option<Result<[f64; 3], SweepError>>) {
+        let outcome = self.eval(grid, workloads, point);
+        let Ok(result) = &outcome else { return (outcome, None) };
+        let shape = &grid.shapes()[point.shape];
+        let workload = &workloads[point.workload];
+        let fail = |error: LibraError| SweepError {
+            point,
+            shape: shape.clone(),
+            workload: workload.name().to_string(),
+            error,
+        };
+        let planned = self.cache.plan(shape, workload);
+        let priced = match planned.as_ref() {
+            Err(e) => Some(Err(fail(e.clone()))),
+            Ok(None) => None,
+            Ok(Some(plan)) => {
+                let n = shape.ndims();
+                let price = || -> Result<[f64; 3], LibraError> {
+                    let mut secs = [0.0f64; 3];
+                    for (s, b) in secs.iter_mut().zip(cv.backends) {
+                        *s = b.eval_plan(n, &result.design.bw, plan)?;
+                    }
+                    Ok(secs)
+                };
+                Some(price().map_err(fail))
+            }
+        };
+        (outcome, priced)
+    }
+
+    /// Folds per-point three-way outcomes into a [`CrossValidated3Report`].
+    #[allow(clippy::type_complexity)]
+    fn cross_report3<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        points: &[GridPoint],
+        outcomes: Vec<(Result<SweepResult, SweepError>, Option<Result<[f64; 3], SweepError>>)>,
+        cv: &CrossValidation3<'_>,
+    ) -> CrossValidated3Report {
+        let mut pairs: Vec<DivergenceReport> = CrossValidation3::PAIRS
+            .iter()
+            .map(|&(i, j)| DivergenceReport {
+                baseline: cv.backends[i].name().to_string(),
+                reference: cv.backends[j].name().to_string(),
+                tolerance: cv.tolerance(),
+                points: Vec::new(),
+                skipped: 0,
+                backend_errors: Vec::new(),
+            })
+            .collect();
+        let mut sweep_outcomes = Vec::with_capacity(outcomes.len());
+        for (&point, (o, priced)) in points.iter().zip(outcomes) {
+            match priced {
+                Some(Ok(secs)) => {
+                    let shape = &grid.shapes()[point.shape];
+                    let workload = workloads[point.workload].name().to_string();
+                    for (pair, &(i, j)) in pairs.iter_mut().zip(&CrossValidation3::PAIRS) {
+                        pair.points.push(PointDivergence {
+                            point,
+                            shape: shape.clone(),
+                            workload: workload.clone(),
+                            baseline_secs: secs[i],
+                            reference_secs: secs[j],
+                            rel_error: rel_error(secs[i], secs[j]),
+                        });
+                    }
+                }
+                Some(Err(e)) => {
+                    for pair in &mut pairs {
+                        pair.backend_errors.push(e.clone());
+                    }
+                }
+                None if o.is_ok() => {
+                    for pair in &mut pairs {
+                        pair.skipped += 1;
+                    }
+                }
+                None => {}
+            }
+            sweep_outcomes.push(o);
+        }
+        CrossValidated3Report {
+            sweep: self.report(sweep_outcomes),
+            divergence: Divergence3Report { pairs },
+        }
+    }
+
+    /// Evaluates the whole grid **in parallel** with all three of `cv`'s
+    /// backends in the same rayon fan-out: each worker optimizes its grid
+    /// point (memoized, exactly as [`SweepEngine::run`]), prices the
+    /// workload's [`CommPlan`] once under each backend at the optimized
+    /// bandwidth, and the fold emits one [`DivergenceReport`] per backend
+    /// pair. Results are in grid-enumeration order and bit-identical to
+    /// [`SweepEngine::run_cross_validated3_serial`].
+    pub fn run_cross_validated3<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation3<'_>,
+    ) -> CrossValidated3Report {
+        let points = grid.points(workloads.len());
+        let outcomes: Vec<_> =
+            points.par_iter().map(|&p| self.eval_cross3(grid, workloads, p, cv)).collect();
+        self.cross_report3(grid, workloads, &points, outcomes, cv)
+    }
+
+    /// Serial reference fold of [`SweepEngine::run_cross_validated3`].
+    pub fn run_cross_validated3_serial<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation3<'_>,
+    ) -> CrossValidated3Report {
+        let points = grid.points(workloads.len());
+        let outcomes: Vec<_> =
+            points.iter().map(|&p| self.eval_cross3(grid, workloads, p, cv)).collect();
+        self.cross_report3(grid, workloads, &points, outcomes, cv)
+    }
 }
 
 #[cfg(test)]
@@ -1176,6 +1414,104 @@ mod tests {
         assert_eq!(d.worst(2).len(), 2);
         assert!(d.worst(1)[0].rel_error >= d.worst(2)[1].rel_error);
         assert!(d.summary().contains("worst cell"));
+    }
+
+    /// A backend producing NaN times must yield a *diagnosable* failing
+    /// report: the NaN point shows up in violations(), max_rel_error()
+    /// propagates the NaN instead of reporting 0, and within_tolerance()
+    /// fails — all three views agree.
+    #[test]
+    fn nan_rel_errors_are_violations_not_silence() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 2.0)];
+        let cm = CostModel::default();
+        let analytical = Analytical::new();
+        let poisoned = ScaledBackend::new(Analytical::new(), f64::NAN, "poisoned");
+        let cv = CrossValidation::new(&analytical, &poisoned).with_tolerance(0.10);
+        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
+        let d = &report.divergence;
+        assert!(d.points.iter().all(|p| p.rel_error.is_nan()));
+        assert!(!d.within_tolerance());
+        assert_eq!(d.violations().len(), d.points.len(), "NaN points must be violations");
+        assert!(d.max_rel_error().is_nan(), "a failing report must not summarize as 0%");
+    }
+
+    #[test]
+    fn three_way_cross_validation_of_identical_backends_is_exact() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 1.0), planned_workload("b", 4.0)];
+        let cm = CostModel::default();
+        let engine = SweepEngine::new(&cm);
+        let a = Analytical::new();
+        let cv = CrossValidation3::new(&a, &a, &a).with_tolerance(0.0);
+        let report = engine.run_cross_validated3(&grid, &wls, &cv);
+        let n_points = grid.len(wls.len());
+        assert_eq!(report.sweep.results.len(), n_points);
+        assert_eq!(report.divergence.pairs.len(), 3);
+        for pair in &report.divergence.pairs {
+            assert_eq!(pair.points.len(), n_points);
+            assert_eq!(pair.skipped, 0);
+            assert!(pair.backend_errors.is_empty());
+            assert_eq!(pair.max_rel_error(), 0.0);
+        }
+        assert_eq!(report.divergence.max_rel_error(), 0.0);
+        assert!(report.divergence.within_tolerance());
+        // Parallel and serial folds agree bit-for-bit (cache counters
+        // accumulate across runs, so compare the semantic halves); the
+        // sweep half is a plain run.
+        let serial = engine.run_cross_validated3_serial(&grid, &wls, &cv);
+        assert_eq!(serial.sweep.results, report.sweep.results);
+        assert_eq!(serial.divergence, report.divergence);
+        assert_eq!(engine.run(&grid, &wls).results, report.sweep.results);
+    }
+
+    #[test]
+    fn three_way_skew_trips_only_pairs_involving_the_skewed_backend() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 2.0)];
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let b = Analytical::new();
+        let skewed = ScaledBackend::new(Analytical::new(), 1.5, "skewed");
+        let cv = CrossValidation3::new(&a, &b, &skewed).with_tolerance(0.10);
+        let report = SweepEngine::new(&cm).run_cross_validated3(&grid, &wls, &cv);
+        let d = &report.divergence;
+        assert!(!d.within_tolerance());
+        // (a, b) agree exactly; both pairs against the skew are off by 1/3.
+        let ab = d.pair("analytical", "analytical").unwrap();
+        assert_eq!(ab.max_rel_error(), 0.0);
+        assert!(ab.within_tolerance());
+        let a_skew = d.pair("analytical", "skewed").unwrap();
+        assert!((a_skew.max_rel_error() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a_skew.violations().len(), a_skew.points.len());
+        assert!(d.pair("skewed", "nonexistent").is_none());
+        assert!((d.max_rel_error() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.summary().lines().count(), 3);
+    }
+
+    #[test]
+    fn three_way_skips_and_backend_errors_propagate_to_every_pair() {
+        let grid = small_grid();
+        let planless = allreduce_workload("planless", 1.0);
+        let bad = allreduce_workload("bad-plan", 1.0).with_plan(|_: &NetworkShape| {
+            Ok(CommPlan::serial([CommOp::new(
+                Collective::AllReduce,
+                1e9,
+                GroupSpan::new(vec![(7, 4)]),
+            )]))
+        });
+        let wls: Vec<Box<dyn SweepWorkload>> = vec![Box::new(planless), Box::new(bad)];
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let cv = CrossValidation3::new(&a, &a, &a);
+        let report = SweepEngine::new(&cm).run_cross_validated3(&grid, &wls, &cv);
+        let per_wl = grid.len(1);
+        for pair in &report.divergence.pairs {
+            assert!(pair.points.is_empty());
+            assert_eq!(pair.skipped, per_wl, "planless points skip in every pair");
+            assert_eq!(pair.backend_errors.len(), per_wl, "bad plans error in every pair");
+        }
+        assert!(!report.divergence.within_tolerance());
     }
 
     #[test]

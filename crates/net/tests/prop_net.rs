@@ -1,0 +1,158 @@
+//! Differential property tests for the network-layer backend.
+//!
+//! Three laws, over random shapes, collectives, payloads, bandwidths,
+//! chunk counts, and link parameters:
+//!
+//! 1. **β-dominated limit**: at α = 0 (and zero switch cost) NetSim is
+//!    bit-identical to EventSim, hence bracketed by the analytical model
+//!    within the documented chunk-pipeline bound.
+//! 2. **Monotonicity in α**: adding latency can only slow a plan down,
+//!    and the slowdown vanishes as α → 0 — the rel-err-to-analytical of a
+//!    shrinking-α sequence is non-increasing down to the β-only bound.
+//! 3. **Offload pricing**: on all-Switch fabrics the offloaded backend is
+//!    bracketed by `Analytical { in_network_offload: true }` within the
+//!    same bound at α = 0, and never beats that closed form from below.
+
+use libra_core::comm::{Collective, GroupSpan};
+use libra_core::eval::EvalBackend;
+use libra_core::eval::{rel_error, Analytical, CommPlan, LinkParams, NetSpec};
+use libra_core::network::UnitTopology;
+use libra_core::workload::CommOp;
+use libra_net::NetSimBackend;
+use libra_sim::EventSimBackend;
+use proptest::prelude::*;
+
+/// `(extent, bandwidth GB/s)` per dimension: 1–4 dims, extents 2/4/8.
+fn arb_dims() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((prop_oneof![Just(2u64), Just(4u64), Just(8u64)], 5.0f64..200.0), 1..5)
+}
+
+fn arb_collective() -> impl Strategy<Value = Collective> {
+    prop_oneof![
+        Just(Collective::AllReduce),
+        Just(Collective::ReduceScatter),
+        Just(Collective::AllGather),
+        Just(Collective::AllToAll),
+        Just(Collective::PointToPoint),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = UnitTopology> {
+    prop_oneof![
+        Just(UnitTopology::Ring),
+        Just(UnitTopology::FullyConnected),
+        Just(UnitTopology::Switch),
+    ]
+}
+
+fn arb_chunks() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(8), Just(32), Just(64)]
+}
+
+fn plan_for(
+    collective: Collective,
+    gb: f64,
+    dims: &[(u64, f64)],
+    kinds: &[UnitTopology],
+    link: LinkParams,
+) -> (usize, Vec<f64>, CommPlan) {
+    let ndims = dims.len();
+    let span = GroupSpan::new(dims.iter().enumerate().map(|(d, &(e, _))| (d, e)).collect());
+    let bw: Vec<f64> = dims.iter().map(|&(_, b)| b).collect();
+    let spec = NetSpec {
+        dims: kinds.iter().map(|&k| libra_core::eval::DimTopology::new(k, link)).collect(),
+    };
+    let plan = CommPlan::serial([CommOp::new(collective, gb * 1e9, span)]).with_net(spec);
+    (ndims, bw, plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Law 1: the β-dominated limit is exactly the event simulator.
+    #[test]
+    fn zero_alpha_is_event_sim_and_within_analytical_bound(
+        dims in arb_dims(),
+        kinds in prop::collection::vec(arb_kind(), 4),
+        collective in arb_collective(),
+        chunks in arb_chunks(),
+        gb in 0.01f64..8.0,
+    ) {
+        let (ndims, bw, plan) =
+            plan_for(collective, gb, &dims, &kinds[..dims.len()], LinkParams::zero());
+        let net = NetSimBackend::new(chunks).eval_plan(ndims, &bw, &plan).unwrap();
+        let ev = EventSimBackend::new(chunks).eval_plan(ndims, &bw, &plan).unwrap();
+        prop_assert_eq!(net, ev, "α=0 NetSim diverged from EventSim");
+        let ana = Analytical::new().eval_plan(ndims, &bw, &plan).unwrap();
+        prop_assert!(
+            rel_error(ana, net) <= NetSimBackend::new(chunks).agreement_bound(ndims) + 1e-9,
+            "β-only rel err {} above bound", rel_error(ana, net)
+        );
+    }
+
+    /// Law 2: rel-err to the analytical model is non-increasing as α
+    /// shrinks, and reaches the β-only bound at α = 0.
+    #[test]
+    fn rel_err_to_analytical_vanishes_as_alpha_shrinks(
+        dims in arb_dims(),
+        kinds in prop::collection::vec(arb_kind(), 4),
+        collective in arb_collective(),
+        chunks in arb_chunks(),
+        gb in 0.01f64..8.0,
+        alpha0 in 1e6f64..1e9, // 1 µs .. 1 ms per hop, then ÷100 each step
+    ) {
+        let ndims = dims.len();
+        let backend = NetSimBackend::new(chunks);
+        let ana = {
+            let (n, bw, plan) =
+                plan_for(collective, gb, &dims, &kinds[..ndims], LinkParams::zero());
+            Analytical::new().eval_plan(n, &bw, &plan).unwrap()
+        };
+        let mut last_err = f64::INFINITY;
+        let mut last_t = f64::INFINITY;
+        for step in 0..4 {
+            let alpha = if step == 3 { 0.0 } else { alpha0 / 100f64.powi(step) };
+            let (n, bw, plan) =
+                plan_for(collective, gb, &dims, &kinds[..ndims], LinkParams::latency(alpha));
+            let t = backend.eval_plan(n, &bw, &plan).unwrap();
+            // Latency only ever slows the plan (picosecond rounding slack).
+            prop_assert!(t <= last_t + 1e-9, "shrinking α sped the plan up: {t} > {last_t}");
+            let err = rel_error(ana, t);
+            prop_assert!(err <= last_err + 1e-9, "rel err grew as α shrank");
+            last_err = err;
+            last_t = t;
+        }
+        prop_assert!(
+            last_err <= backend.agreement_bound(ndims) + 1e-9,
+            "α→0 rel err {last_err} did not reach the β-only bound {}",
+            backend.agreement_bound(ndims)
+        );
+    }
+
+    /// Law 3: offloaded plans are bracketed by the offloaded closed form
+    /// on all-Switch fabrics.
+    #[test]
+    fn offloaded_brackets_analytical_offload(
+        dims in arb_dims(),
+        chunks in arb_chunks(),
+        collective in arb_collective(),
+        gb in 0.01f64..8.0,
+    ) {
+        let ndims = dims.len();
+        let kinds = vec![UnitTopology::Switch; ndims];
+        let (n, bw, plan) = plan_for(collective, gb, &dims, &kinds, LinkParams::zero());
+        let backend = NetSimBackend::offloaded(chunks);
+        let net = backend.eval_plan(n, &bw, &plan).unwrap();
+        let ana =
+            Analytical { in_network_offload: true }.eval_plan(n, &bw, &plan).unwrap();
+        // Per-stage picosecond rounding slack (≤ chunks · 2 · ndims stages).
+        let eps = (chunks * 2 * ndims) as f64 * 0.5e-12 + 1e-12;
+        prop_assert!(net >= ana - eps, "offloaded sim {net} beat the closed form {ana}");
+        prop_assert!(
+            rel_error(ana, net) <= backend.agreement_bound(ndims) + 1e-9,
+            "offloaded rel err {} above bound {} ({collective:?}, {chunks} chunks)",
+            rel_error(ana, net),
+            backend.agreement_bound(ndims)
+        );
+    }
+}

@@ -26,14 +26,60 @@
 //! set their cross-validation tolerance from first principles, and the
 //! repo's differential property tests enforce it.
 
-use libra_core::eval::{validate_plan, CommPlan, EvalBackend};
+use libra_core::eval::{validate_plan, CommPhase, CommPlan, EvalBackend};
 use libra_core::LibraError;
 
-use crate::collective::{run_batch, CollectiveJob, FixedOrder};
+use crate::collective::{run_batch_ext, BatchExt, CollectiveJob, FixedOrder};
 use crate::event::ps_to_secs;
 
-#[allow(unused_imports)] // doc links
-use libra_core::eval::CommPhase;
+/// Prices a [`CommPlan`] on the chunked engine: each phase's non-trivial
+/// ops become concurrently released [`CollectiveJob`]s split into `chunks`
+/// chunks, executed on per-dimension FIFO servers under the [`BatchExt`]
+/// `ext_of` derives for that phase (α-β stage overheads, offload flags);
+/// sequential phases sum and [`CommPhase::repeat`] multiplies.
+///
+/// This is the single plan→engine adapter shared by every event-driven
+/// backend — [`EventSimBackend`] is the `BatchExt::none()` case, and
+/// `libra_net`'s `NetSimBackend` derives per-phase extensions from the
+/// plan's network spec — so the op-eligibility filter and repeat
+/// semantics cannot drift between them.
+///
+/// # Errors
+/// See [`EvalBackend::eval_plan`].
+pub fn eval_plan_on_engine(
+    n_dims: usize,
+    bw: &[f64],
+    plan: &CommPlan,
+    chunks: usize,
+    mut ext_of: impl FnMut(&CommPhase) -> BatchExt,
+) -> Result<f64, LibraError> {
+    validate_plan(n_dims, bw, plan)?;
+    let mut total = 0.0f64;
+    for phase in &plan.phases {
+        if phase.repeat == 0 {
+            continue;
+        }
+        let jobs: Vec<CollectiveJob> = phase
+            .ops
+            .iter()
+            .filter(|op| op.bytes > 0.0 && !op.span.is_trivial())
+            .map(|op| CollectiveJob {
+                collective: op.collective,
+                bytes: op.bytes,
+                span: op.span.clone(),
+                chunks,
+                release: 0,
+            })
+            .collect();
+        if jobs.is_empty() {
+            continue;
+        }
+        let ext = ext_of(phase);
+        let res = run_batch_ext(n_dims, bw, &ext, &jobs, &mut FixedOrder);
+        total += phase.repeat as f64 * ps_to_secs(res.makespan());
+    }
+    Ok(total)
+}
 
 /// The event-driven backend: chunked multi-rail execution on per-dimension
 /// FIFO bandwidth servers, canonical ([`FixedOrder`]) dimension order.
@@ -86,31 +132,7 @@ impl EvalBackend for EventSimBackend {
     }
 
     fn eval_plan(&self, n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<f64, LibraError> {
-        validate_plan(n_dims, bw, plan)?;
-        let mut total = 0.0f64;
-        for phase in &plan.phases {
-            if phase.repeat == 0 {
-                continue;
-            }
-            let jobs: Vec<CollectiveJob> = phase
-                .ops
-                .iter()
-                .filter(|op| op.bytes > 0.0 && !op.span.is_trivial())
-                .map(|op| CollectiveJob {
-                    collective: op.collective,
-                    bytes: op.bytes,
-                    span: op.span.clone(),
-                    chunks: self.chunks,
-                    release: 0,
-                })
-                .collect();
-            if jobs.is_empty() {
-                continue;
-            }
-            let res = run_batch(n_dims, bw, &jobs, &mut FixedOrder);
-            total += phase.repeat as f64 * ps_to_secs(res.makespan());
-        }
-        Ok(total)
+        eval_plan_on_engine(n_dims, bw, plan, self.chunks, |_| BatchExt::none())
     }
 }
 
@@ -159,7 +181,8 @@ mod tests {
     #[test]
     fn repeat_is_exactly_periodic() {
         let once = CommPlan::serial([ar(2.0, span2())]);
-        let thrice = CommPlan { phases: vec![CommPhase::solo(ar(2.0, span2())).repeated(3)] };
+        let thrice =
+            CommPlan { phases: vec![CommPhase::solo(ar(2.0, span2())).repeated(3)], net: None };
         let bw = [30.0, 15.0];
         let backend = EventSimBackend::new(8);
         let t1 = backend.eval_plan(2, &bw, &once).unwrap();
@@ -175,6 +198,7 @@ mod tests {
                 ar(2.0, GroupSpan::new(vec![(0, 4)])),
                 ar(2.0, GroupSpan::new(vec![(0, 4)])),
             ])],
+            net: None,
         };
         let bw = [10.0, 10.0];
         let backend = EventSimBackend::new(8);

@@ -13,12 +13,55 @@
 //! [`FixedOrder`] implements the paper's canonical ascending multi-rail
 //! order; the `libra-themis` crate provides the greedy bandwidth-aware
 //! policy of the Fig. 19 study.
+//!
+//! [`run_batch_ext`] generalizes the engine with a [`BatchExt`]: per-
+//! dimension α-β stage overheads (fixed picoseconds added to every stage's
+//! service time — hop latency, switch traversal) and per-dimension
+//! in-network offload flags (switch-resident reduction: a single ascending
+//! pass carrying the §IV-C injection traffic, no All-Gather replay). The
+//! `libra-net` network-layer backend drives the engine through this
+//! surface; [`run_batch`] is the all-zero special case.
 
 use std::collections::VecDeque;
 
 use libra_core::comm::{Collective, GroupSpan};
 
-use crate::event::{transfer_ps, EventQueue, Time};
+use crate::event::{transfer_with_latency_ps, EventQueue, Time};
+
+/// Per-dimension execution extensions for [`run_batch_ext`]: α-β stage
+/// overheads and in-network (switch) offload flags. [`run_batch`] is the
+/// all-zero special case.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchExt {
+    /// `stage_overhead_ps[d]`: fixed picoseconds added to every chunk-stage
+    /// serviced on dimension `d` — the bandwidth-independent α side of the
+    /// α-β model (hop latency × hop count, switch traversal). Missing
+    /// entries (or an empty vec) mean zero overhead.
+    pub stage_overhead_ps: Vec<Time>,
+    /// `offload_dims[d]`: dimension `d` performs in-network reduction.
+    /// Offloadable collectives (the All-Reduce family) cross it in a
+    /// single ascending pass carrying `m_chunk / Π_{j<i} e_j` bytes — the
+    /// paper's §IV-C offload traffic — and skip its All-Gather replay.
+    /// All-to-All and point-to-point jobs are unaffected, mirroring
+    /// `CommModel::traffic`'s offloadability rule. Missing entries mean
+    /// endpoint-driven execution.
+    pub offload_dims: Vec<bool>,
+}
+
+impl BatchExt {
+    /// No overheads, no offload — [`run_batch`]'s behaviour.
+    pub fn none() -> Self {
+        BatchExt::default()
+    }
+
+    fn overhead(&self, dim: usize) -> Time {
+        self.stage_overhead_ps.get(dim).copied().unwrap_or(0)
+    }
+
+    fn offloaded(&self, dim: usize) -> bool {
+        self.offload_dims.get(dim).copied().unwrap_or(false)
+    }
+}
 
 /// One stage option presented to a [`ChunkScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +76,9 @@ pub struct StageOption {
     pub server_free_at: Time,
     /// The dimension's bandwidth (GB/s).
     pub bw_gbps: f64,
+    /// Fixed per-stage overhead on this dimension (ps) — the α term a
+    /// latency-aware scheduler should add to its service estimates.
+    pub overhead_ps: Time,
     /// Whether visiting a dimension shrinks the payload carried into later
     /// dimensions (true for the Reduce-Scatter family, false for
     /// All-to-All). Schedulers use this to weigh visit orders.
@@ -118,6 +164,7 @@ struct QueuedStage {
 #[derive(Debug)]
 struct Server {
     bw_gbps: f64,
+    overhead_ps: Time,
     free_at: Time,
     backlog_until: Time,
     queue: VecDeque<QueuedStage>,
@@ -150,12 +197,16 @@ struct ChunkState {
 }
 
 impl ChunkState {
-    fn stage_bytes(&self, extent: u64) -> f64 {
+    fn stage_bytes(&self, extent: u64, offloaded: bool) -> f64 {
         let e = extent as f64;
         if self.full {
             self.m_chunk
         } else if self.flat {
             self.m_chunk * (e - 1.0) / e
+        } else if offloaded {
+            // In-network reduction: the NPU only injects its current shard
+            // (§IV-C) — the switch reduces and returns the result in-line.
+            self.m_chunk / self.shrink
         } else {
             self.m_chunk * (e - 1.0) / (e * self.shrink)
         }
@@ -181,10 +232,28 @@ pub fn run_batch(
     jobs: &[CollectiveJob],
     scheduler: &mut dyn ChunkScheduler,
 ) -> CollectiveResult {
+    run_batch_ext(n_dims, bw, &BatchExt::none(), jobs, scheduler)
+}
+
+/// [`run_batch`] with per-dimension α-β stage overheads and in-network
+/// offload flags (see [`BatchExt`]). This is the latency-carrying engine
+/// the `libra-net` network-layer backend drives; with `BatchExt::none()`
+/// it is byte-for-byte [`run_batch`].
+///
+/// # Panics
+/// See [`run_batch`].
+pub fn run_batch_ext(
+    n_dims: usize,
+    bw: &[f64],
+    ext: &BatchExt,
+    jobs: &[CollectiveJob],
+    scheduler: &mut dyn ChunkScheduler,
+) -> CollectiveResult {
     assert!(bw.len() >= n_dims, "bandwidth vector shorter than dimensionality");
     let mut servers: Vec<Server> = (0..n_dims)
         .map(|d| Server {
             bw_gbps: bw[d],
+            overhead_ps: ext.overhead(d),
             free_at: 0,
             backlog_until: 0,
             queue: VecDeque::new(),
@@ -225,11 +294,17 @@ pub fn run_batch(
             if job.collective == Collective::AllGather {
                 // All-Gather-only: precompute the Reduce-Scatter-shaped
                 // sizes in ascending order; LIFO consumption yields the
-                // canonical descending execution.
+                // canonical descending execution. Offloaded dims carry the
+                // §IV-C injection traffic instead.
                 let mut shrink = 1.0f64;
                 for &(d, e) in &st.remaining {
                     let e_f = e as f64;
-                    st.visited.push((d, m_chunk * (e_f - 1.0) / (e_f * shrink)));
+                    let bytes = if ext.offloaded(d) {
+                        m_chunk / shrink
+                    } else {
+                        m_chunk * (e_f - 1.0) / (e_f * shrink)
+                    };
+                    st.visited.push((d, bytes));
                     shrink *= e_f;
                 }
                 st.remaining.clear();
@@ -245,25 +320,31 @@ pub fn run_batch(
 
     while let Some((now, ev)) = queue.pop() {
         match ev {
-            Ev::Ready(key) => match next_stage(&mut chunks[key], &servers, scheduler, now, key) {
-                Some((dim, bytes, gather)) => {
-                    let dur = transfer_ps(bytes, servers[dim].bw_gbps);
-                    let s = &mut servers[dim];
-                    s.backlog_until = s.backlog_until.max(now).saturating_add(dur);
-                    s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
-                    try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
-                }
-                None => {
-                    let st = &mut chunks[key];
-                    if !st.done {
-                        st.done = true;
-                        outstanding[st.job] -= 1;
-                        if outstanding[st.job] == 0 {
-                            finish[st.job] = now;
+            Ev::Ready(key) => {
+                match next_stage(&mut chunks[key], &servers, scheduler, now, key, ext) {
+                    Some((dim, bytes, gather)) => {
+                        let dur = transfer_with_latency_ps(
+                            bytes,
+                            servers[dim].bw_gbps,
+                            servers[dim].overhead_ps,
+                        );
+                        let s = &mut servers[dim];
+                        s.backlog_until = s.backlog_until.max(now).saturating_add(dur);
+                        s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
+                        try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
+                    }
+                    None => {
+                        let st = &mut chunks[key];
+                        if !st.done {
+                            st.done = true;
+                            outstanding[st.job] -= 1;
+                            if outstanding[st.job] == 0 {
+                                finish[st.job] = now;
+                            }
                         }
                     }
                 }
-            },
+            }
             Ev::Done(dim) => {
                 if let Some(key) = servers[dim].running.take() {
                     queue.push(now, Ev::Ready(key));
@@ -285,9 +366,10 @@ fn next_stage(
     scheduler: &mut dyn ChunkScheduler,
     now: Time,
     key: usize,
+    ext: &BatchExt,
 ) -> Option<(usize, f64, bool)> {
     if !st.gathering {
-        if let Some(pick) = pick_scatter(st, servers, scheduler, now, key) {
+        if let Some(pick) = pick_scatter(st, servers, scheduler, now, key, ext) {
             return Some(pick);
         }
         // Scatter phase exhausted.
@@ -307,6 +389,7 @@ fn pick_scatter(
     scheduler: &mut dyn ChunkScheduler,
     now: Time,
     key: usize,
+    ext: &BatchExt,
 ) -> Option<(usize, f64, bool)> {
     if st.remaining.is_empty() {
         return None;
@@ -317,9 +400,10 @@ fn pick_scatter(
         .map(|&(d, e)| StageOption {
             dim: d,
             extent: e,
-            bytes: st.stage_bytes(e),
+            bytes: st.stage_bytes(e, ext.offloaded(d)),
             server_free_at: servers[d].backlog_until,
             bw_gbps: servers[d].bw_gbps,
+            overhead_ps: servers[d].overhead_ps,
             shrinks: !st.flat && !st.full,
         })
         .collect();
@@ -327,10 +411,13 @@ fn pick_scatter(
     // policies can track per-chunk plans across jobs.
     let pick = scheduler.choose(key, now, &options).min(options.len() - 1);
     let (d, e) = st.remaining.remove(pick);
-    let bytes = st.stage_bytes(e);
-    // All-Reduce remembers its visit order for the gather half; flat
-    // collectives don't gather, but recording costs nothing.
-    if st.has_gather {
+    let offloaded = ext.offloaded(d);
+    let bytes = st.stage_bytes(e, offloaded);
+    // All-Reduce remembers its visit order for the gather half — except on
+    // offloaded dims, whose switch returns the reduced result in the same
+    // pass (no All-Gather replay). Flat collectives don't gather, but
+    // recording costs nothing.
+    if st.has_gather && !offloaded {
         st.visited.push((d, bytes));
     }
     if !st.flat && !st.full {
@@ -353,7 +440,7 @@ fn try_start(
     }
     let Some(job) = s.queue.pop_front() else { return };
     let start = now.max(s.free_at);
-    let end = start.saturating_add(transfer_ps(job.bytes, s.bw_gbps));
+    let end = start.saturating_add(transfer_with_latency_ps(job.bytes, s.bw_gbps, s.overhead_ps));
     s.free_at = end;
     s.running = Some(job.chunk_key);
     s.busy.push((start, end));
@@ -521,6 +608,130 @@ mod tests {
         let serial = run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 1, &mut FixedOrder);
         let piped = run_collective(2, &bw, Collective::AllReduce, 8e9, &span, 64, &mut FixedOrder);
         assert!(piped.makespan() < serial.makespan());
+    }
+
+    /// `run_batch_ext` with the empty extension is byte-for-byte
+    /// `run_batch`.
+    #[test]
+    fn empty_ext_matches_run_batch() {
+        let bw = [33.0, 11.0];
+        let job = CollectiveJob {
+            collective: Collective::AllReduce,
+            bytes: 3e9,
+            span: span2(),
+            chunks: 16,
+            release: 0,
+        };
+        let plain = run_batch(2, &bw, std::slice::from_ref(&job), &mut FixedOrder);
+        let ext = run_batch_ext(2, &bw, &BatchExt::none(), &[job], &mut FixedOrder);
+        assert_eq!(plain.finish, ext.finish);
+        assert_eq!(plain.records, ext.records);
+    }
+
+    /// Per-dimension stage overhead delays every stage serviced on that
+    /// dimension: a single chunk's serial schedule grows by exactly
+    /// (#stages on dim) × overhead.
+    #[test]
+    fn stage_overhead_extends_every_stage() {
+        let bw = [10.0, 10.0];
+        let span = GroupSpan::new(vec![(0, 4), (1, 2)]);
+        let job = CollectiveJob {
+            collective: Collective::AllReduce,
+            bytes: 4e9,
+            span,
+            chunks: 1,
+            release: 0,
+        };
+        let alpha: Time = 1_000_000; // 1 µs per stage on dim 0 only
+        let ext = BatchExt { stage_overhead_ps: vec![alpha, 0], offload_dims: vec![] };
+        let base = run_batch(2, &bw, std::slice::from_ref(&job), &mut FixedOrder);
+        let slow = run_batch_ext(2, &bw, &ext, &[job], &mut FixedOrder);
+        // The serial chunk visits dim 0 twice (RS + AG).
+        assert_eq!(slow.makespan(), base.makespan() + 2 * alpha);
+    }
+
+    /// Offloaded dims carry the §IV-C injection traffic in a single pass:
+    /// a fully offloaded All-Reduce has ndims stages per chunk (no gather
+    /// half) with bytes `m_chunk / Π_{j<i} e_j`.
+    #[test]
+    fn offloaded_allreduce_single_pass_traffic() {
+        let bw = [10.0, 10.0];
+        let span = span2(); // (0,4), (1,8)
+        let job = CollectiveJob {
+            collective: Collective::AllReduce,
+            bytes: 4e9,
+            span,
+            chunks: 1,
+            release: 0,
+        };
+        let ext = BatchExt { stage_overhead_ps: vec![], offload_dims: vec![true, true] };
+        let res = run_batch_ext(2, &bw, &ext, &[job], &mut FixedOrder);
+        // Stages: dim0 injects m = 4 GB (0.4 s), dim1 injects m/4 = 1 GB
+        // (0.1 s); no All-Gather replay. Serial chunk: 0.5 s.
+        let seq: Vec<(usize, bool)> = res.records.iter().map(|r| (r.dim, r.gather)).collect();
+        assert_eq!(seq, vec![(0, false), (1, false)]);
+        assert!((ps_to_secs(res.makespan()) - 0.5).abs() < 1e-9);
+    }
+
+    /// Mixed offload: only the offloaded dim skips its gather replay; the
+    /// endpoint-driven dim still mirrors.
+    #[test]
+    fn mixed_offload_keeps_endpoint_gather() {
+        let bw = [10.0, 10.0];
+        let span = GroupSpan::new(vec![(0, 4), (1, 2)]);
+        let job = CollectiveJob {
+            collective: Collective::AllReduce,
+            bytes: 4e9,
+            span,
+            chunks: 1,
+            release: 0,
+        };
+        let ext = BatchExt { stage_overhead_ps: vec![], offload_dims: vec![false, true] };
+        let res = run_batch_ext(2, &bw, &ext, &[job], &mut FixedOrder);
+        // RS dim0 (3 GB), offloaded dim1 (m/4 = 1 GB), AG dim0 (3 GB).
+        let seq: Vec<(usize, bool)> = res.records.iter().map(|r| (r.dim, r.gather)).collect();
+        assert_eq!(seq, vec![(0, false), (1, false), (0, true)]);
+        assert!((ps_to_secs(res.makespan()) - 0.7).abs() < 1e-9);
+    }
+
+    /// All-to-All never offloads (it has nothing to reduce in-network),
+    /// matching `CommModel::traffic`'s offloadability rule.
+    #[test]
+    fn alltoall_ignores_offload_flags() {
+        let bw = [10.0, 10.0];
+        let job = CollectiveJob {
+            collective: Collective::AllToAll,
+            bytes: 4e9,
+            span: span2(),
+            chunks: 4,
+            release: 0,
+        };
+        let ext = BatchExt { stage_overhead_ps: vec![], offload_dims: vec![true, true] };
+        let plain = run_batch(2, &bw, std::slice::from_ref(&job), &mut FixedOrder);
+        let off = run_batch_ext(2, &bw, &ext, &[job], &mut FixedOrder);
+        assert_eq!(plain.finish, off.finish);
+        assert_eq!(plain.records, off.records);
+    }
+
+    /// Offloaded All-Gather carries `m/shrink` per dim (descending order
+    /// preserved).
+    #[test]
+    fn offloaded_allgather_uses_injection_traffic() {
+        let bw = [10.0, 10.0];
+        let span = span2(); // (0,4), (1,8)
+        let job = CollectiveJob {
+            collective: Collective::AllGather,
+            bytes: 4e9,
+            span,
+            chunks: 1,
+            release: 0,
+        };
+        let ext = BatchExt { stage_overhead_ps: vec![], offload_dims: vec![true, true] };
+        let res = run_batch_ext(2, &bw, &ext, &[job], &mut FixedOrder);
+        // Descending: dim1 m/4 = 1 GB (0.1 s), then dim0 m = 4 GB (0.4 s).
+        let seq: Vec<(usize, bool)> = res.records.iter().map(|r| (r.dim, r.gather)).collect();
+        assert_eq!(seq, vec![(1, true), (0, true)]);
+        assert!((ps_to_secs(res.makespan()) - 0.5).abs() < 1e-9);
     }
 
     /// A release offset delays the whole collective.

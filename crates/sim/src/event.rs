@@ -60,6 +60,15 @@ pub fn transfer_ps(bytes: f64, gbps: f64) -> Time {
     saturate_ps(bytes * 1e3 / gbps)
 }
 
+/// α-β transfer duration: `latency_ps` of bandwidth-independent message
+/// overhead (hop latency, switch traversal) plus the serialization time of
+/// `bytes` at `gbps` GB/s. Saturating like [`transfer_ps`]; the latency
+/// term composes with `saturating_add`, so a saturated serialization time
+/// stays [`Time::MAX`].
+pub fn transfer_with_latency_ps(bytes: f64, gbps: f64, latency_ps: Time) -> Time {
+    transfer_ps(bytes, gbps).saturating_add(latency_ps)
+}
+
 /// A time-ordered event queue with stable FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
@@ -204,6 +213,21 @@ mod tests {
         assert_eq!(transfer_ps(1e30, 1e-6), Time::MAX);
         // Saturated durations compose safely with saturating_add.
         assert_eq!(Time::MAX.saturating_add(transfer_ps(1e9, 10.0)), Time::MAX);
+    }
+
+    /// α-β transfers add the latency on top of serialization and keep the
+    /// saturating semantics of the pure-β form.
+    #[test]
+    fn transfer_with_latency_adds_and_saturates() {
+        // 1 GB at 100 GB/s = 1e10 ps serialization + 500 ps latency.
+        assert_eq!(transfer_with_latency_ps(1e9, 100.0, 500), 10_000_000_500);
+        // Zero latency is exactly the pure-β duration.
+        assert_eq!(transfer_with_latency_ps(1e9, 100.0, 0), transfer_ps(1e9, 100.0));
+        // Latency alone still delays an empty payload.
+        assert_eq!(transfer_with_latency_ps(0.0, 10.0, 42), 42);
+        // Dead links and overflowing sums saturate instead of wrapping.
+        assert_eq!(transfer_with_latency_ps(1e9, 0.0, 42), Time::MAX);
+        assert_eq!(transfer_with_latency_ps(1e9, 10.0, Time::MAX), Time::MAX);
     }
 
     /// Sub-picosecond transfers round to the nearest tick.

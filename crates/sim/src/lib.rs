@@ -34,7 +34,9 @@ pub mod linksim;
 pub mod stats;
 pub mod training;
 
-pub use backend::EventSimBackend;
-pub use collective::{run_collective, ChunkScheduler, CollectiveResult, FixedOrder};
-pub use event::{ps_to_secs, secs_to_ps, Time};
+pub use backend::{eval_plan_on_engine, EventSimBackend};
+pub use collective::{
+    run_batch_ext, run_collective, BatchExt, ChunkScheduler, CollectiveResult, FixedOrder,
+};
+pub use event::{ps_to_secs, secs_to_ps, transfer_with_latency_ps, Time};
 pub use training::{simulate_training, TrainingResult, TrainingSimConfig};

@@ -28,6 +28,9 @@ pub struct Link {
 pub struct LinkGraph {
     n_nodes: usize,
     links: Vec<Link>,
+    /// `out[v]` = indices of links leaving `v`, precomputed at build time
+    /// so the hot scheduling loops get a slice instead of a fresh `Vec`.
+    out: Vec<Vec<usize>>,
 }
 
 impl LinkGraph {
@@ -37,11 +40,13 @@ impl LinkGraph {
     /// Panics if a link references a node `≥ n_nodes` or has non-positive
     /// bandwidth.
     pub fn new(n_nodes: usize, links: Vec<Link>) -> Self {
-        for l in &links {
+        let mut out = vec![Vec::new(); n_nodes];
+        for (i, l) in links.iter().enumerate() {
             assert!(l.src < n_nodes && l.dst < n_nodes, "link endpoint out of range");
             assert!(l.gbps > 0.0, "link bandwidth must be positive");
+            out[l.src].push(i);
         }
-        LinkGraph { n_nodes, links }
+        LinkGraph { n_nodes, links, out }
     }
 
     /// A bidirectional ring of `n` nodes (two directed links per edge).
@@ -88,9 +93,10 @@ impl LinkGraph {
         &self.links
     }
 
-    /// Indices of links leaving `node`.
-    pub fn out_links(&self, node: usize) -> Vec<usize> {
-        self.links.iter().enumerate().filter(|(_, l)| l.src == node).map(|(i, _)| i).collect()
+    /// Indices of links leaving `node` (precomputed adjacency; no
+    /// allocation per call).
+    pub fn out_links(&self, node: usize) -> &[usize] {
+        &self.out[node]
     }
 }
 
@@ -265,6 +271,18 @@ mod tests {
         // Every node has 6 outgoing links.
         for v in 0..64 {
             assert_eq!(g.out_links(v).len(), 6, "node {v}");
+        }
+    }
+
+    /// The precomputed adjacency lists link indices in insertion order —
+    /// exactly what the old filter-scan returned.
+    #[test]
+    fn out_links_match_linear_scan_order() {
+        let g = LinkGraph::torus(&[(4, 30.0), (4, 10.0)]);
+        for v in 0..g.n_nodes() {
+            let scan: Vec<usize> =
+                g.links().iter().enumerate().filter(|(_, l)| l.src == v).map(|(i, _)| i).collect();
+            assert_eq!(g.out_links(v), scan.as_slice(), "node {v}");
         }
     }
 

@@ -37,9 +37,10 @@ pub struct TrainingResult {
 impl TrainingResult {
     /// Average network-bandwidth utilization: each dimension's busy fraction
     /// of the communication window, averaged over dimensions (Fig. 10's
-    /// metric).
+    /// metric). A zero-dimensional result (no network at all) is 0, not
+    /// NaN — the `0/0` a naive average would produce.
     pub fn average_utilization(&self) -> f64 {
-        if self.comm_window_secs <= 0.0 {
+        if self.comm_window_secs <= 0.0 || self.per_dim_busy_secs.is_empty() {
             return 0.0;
         }
         let n = self.per_dim_busy_secs.len() as f64;
@@ -214,6 +215,21 @@ mod tests {
         // The analytical compute floor agrees.
         let expr = estimate(&w, TrainingLoop::NoOverlap, &CommModel::default());
         assert!((BwExpr::compute_floor(&expr) - 1.0).abs() < 1e-12);
+    }
+
+    /// Regression: a manually built result with no dimensions used to
+    /// average over zero entries and return NaN (`0/0`); it must be 0.
+    #[test]
+    fn average_utilization_of_zero_dims_is_zero_not_nan() {
+        let r = TrainingResult {
+            makespan: 1.0,
+            per_dim_busy_secs: vec![],
+            comm_window_secs: 0.5, // nonzero window, nothing per-dim
+            compute_secs: 0.5,
+        };
+        let u = r.average_utilization();
+        assert!(!u.is_nan(), "average_utilization returned NaN for empty per_dim_busy_secs");
+        assert_eq!(u, 0.0);
     }
 
     /// Better-balanced bandwidth raises utilization and lowers makespan.

@@ -107,7 +107,7 @@ pub fn synthesize_allgather(
         copies[c] = 1;
     }
 
-    let out_links: Vec<Vec<usize>> = (0..n).map(|v| graph.out_links(v)).collect();
+    let out_links: Vec<&[usize]> = (0..n).map(|v| graph.out_links(v)).collect();
     let in_links: Vec<Vec<usize>> = (0..n)
         .map(|v| {
             graph.links().iter().enumerate().filter(|(_, l)| l.dst == v).map(|(i, _)| i).collect()
@@ -214,7 +214,7 @@ pub fn synthesize_allgather(
                 );
             }
             Ev::Arrival { node } => {
-                for &li in &out_links[node] {
+                for &li in out_links[node] {
                     try_schedule(
                         li,
                         now,

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use libra_sim::collective::{ChunkScheduler, StageOption};
-use libra_sim::event::{transfer_ps, Time};
+use libra_sim::event::{transfer_with_latency_ps, Time};
 
 /// The greedy bandwidth-aware chunk planner.
 ///
@@ -133,7 +133,13 @@ impl ChunkScheduler for ThemisScheduler {
             let mut shrink = 1.0f64;
             for &idx in perm {
                 let o = &options[idx];
-                loads[idx] += transfer_ps(o.bytes / shrink, o.bw_gbps);
+                // α-β service estimate: serialization plus the dimension's
+                // fixed per-stage overhead (zero on pure-bandwidth runs).
+                loads[idx] = loads[idx].saturating_add(transfer_with_latency_ps(
+                    o.bytes / shrink,
+                    o.bw_gbps,
+                    o.overhead_ps,
+                ));
                 if o.shrinks {
                     shrink *= o.extent as f64;
                 }

@@ -1,0 +1,155 @@
+//! Property tests for the `.wl` workload text format: `parse(to_wl(w))`
+//! must reproduce `w` exactly over generated workloads (full `f64`
+//! precision included), and malformed inputs must fail with the precise
+//! line number and reason the parser documents.
+
+use libra_core::comm::{Collective, GroupSpan};
+use libra_core::error::LibraError;
+use libra_core::workload::{CommOp, Layer, Workload};
+use libra_workloads::format::{from_wl, to_wl};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+fn arb_collective() -> impl Strategy<Value = Collective> {
+    prop_oneof![
+        Just(Collective::AllReduce),
+        Just(Collective::ReduceScatter),
+        Just(Collective::AllGather),
+        Just(Collective::AllToAll),
+        Just(Collective::PointToPoint),
+    ]
+}
+
+/// A non-trivial span over 1–4 ascending dimensions (the format cannot
+/// represent empty spans — a trivial group performs no collective, so
+/// generators never emit one).
+fn arb_span() -> impl Strategy<Value = GroupSpan> {
+    prop::collection::vec(prop_oneof![Just(2u64), Just(4), Just(8), Just(32)], 1..5)
+        .prop_map(|extents| GroupSpan::new(extents.into_iter().enumerate().collect()))
+}
+
+/// An optional communication op: present ~2/3 of the time.
+fn arb_comm() -> impl Strategy<Value = Option<CommOp>> {
+    (0u8..3, arb_collective(), 0.0f64..9e9, arb_span()).prop_map(
+        |(present, collective, bytes, span)| {
+            (present > 0).then(|| CommOp::new(collective, bytes, span))
+        },
+    )
+}
+
+/// A layer with float-precision compute times and up to three comm ops.
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    (0u32..1000, (0.0f64..2.0, 0.0f64..2.0, 0.0f64..2.0), arb_comm(), arb_comm(), arb_comm())
+        .prop_map(|(id, (fwd, igrad, wgrad), fwd_comm, tp_comm, dp_comm)| Layer {
+            name: format!("layer-{id}"),
+            fwd_compute: fwd,
+            fwd_comm,
+            igrad_compute: igrad,
+            tp_comm,
+            wgrad_compute: wgrad,
+            dp_comm,
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (0u32..1000, prop::collection::vec(arb_layer(), 0..8))
+        .prop_map(|(id, layers)| Workload::new(format!("model-{id}"), layers))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The round-trip law: serialization is lossless, down to the last
+    /// bit of every `f64` (Rust's shortest-round-trip float formatting).
+    #[test]
+    fn wl_round_trip_is_identity(w in arb_workload()) {
+        let text = to_wl(&w);
+        let back = from_wl(&text).map_err(|e| {
+            TestCaseError::fail(format!("generated workload failed to parse: {e:?}\n{text}"))
+        })?;
+        prop_assert_eq!(&back, &w, "round trip changed the workload");
+        // And serialization is deterministic: a second lap is textual.
+        prop_assert_eq!(to_wl(&back), text);
+    }
+}
+
+/// Asserts `from_wl(text)` fails at `line` with a reason containing
+/// `needle`.
+fn assert_parse_error(text: &str, line: usize, needle: &str) {
+    match from_wl(text) {
+        Err(LibraError::ParseWorkload { line: got_line, reason }) => {
+            assert_eq!(got_line, line, "wrong line for {text:?} (reason {reason:?})");
+            assert!(
+                reason.contains(needle),
+                "reason {reason:?} does not mention {needle:?} for {text:?}"
+            );
+        }
+        other => panic!("expected ParseWorkload for {text:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_span_errors_are_precise() {
+    let head = "WORKLOAD t\nLAYER l\n";
+    // Missing SPAN keyword entirely.
+    assert_parse_error(&format!("{head}  DP_COMM ALLREDUCE 1"), 3, "expected SPAN keyword");
+    // SPAN keyword present but the list is missing.
+    assert_parse_error(&format!("{head}  DP_COMM ALLREDUCE 1 SPAN"), 3, "missing span list");
+    // Entries must be dim:extent pairs.
+    assert_parse_error(
+        &format!("{head}  DP_COMM ALLREDUCE 1 SPAN 4"),
+        3,
+        "span entries must look like dim:extent",
+    );
+    // Dims must be integers, strictly ascending; extents at least 2.
+    assert_parse_error(
+        &format!("{head}  DP_COMM ALLREDUCE 1 SPAN x:4"),
+        3,
+        "span dim is not an integer",
+    );
+    assert_parse_error(
+        &format!("{head}  DP_COMM ALLREDUCE 1 SPAN 0:y"),
+        3,
+        "span extent is not an integer",
+    );
+    assert_parse_error(
+        &format!("{head}  DP_COMM ALLREDUCE 1 SPAN 2:4,1:2"),
+        3,
+        "span dims must be strictly ascending",
+    );
+    assert_parse_error(
+        &format!("{head}  DP_COMM ALLREDUCE 1 SPAN 0:1"),
+        3,
+        "span extent must be at least 2",
+    );
+}
+
+#[test]
+fn missing_field_errors_are_precise() {
+    // Missing top-level directives and names.
+    assert_parse_error("LAYER l\n", 0, "missing WORKLOAD directive");
+    assert_parse_error("WORKLOAD\n", 1, "WORKLOAD needs a name");
+    assert_parse_error("WORKLOAD t\nLAYER\n", 2, "LAYER needs a name");
+    // Missing comm fields, with the line number pointing at the comm line.
+    let head = "WORKLOAD t\nLAYER l\n";
+    assert_parse_error(&format!("{head}  TP_COMM"), 3, "missing collective name");
+    assert_parse_error(&format!("{head}  TP_COMM ALLREDUCE"), 3, "missing byte count");
+    assert_parse_error(&format!("{head}  TP_COMM FROBNICATE 1 SPAN 0:4"), 3, "unknown collective");
+    assert_parse_error(&format!("{head}  TP_COMM ALLREDUCE nan SPAN 0:4"), 3, "byte count");
+    // Missing compute values, and garbage ones.
+    assert_parse_error(&format!("{head}  FWD_COMPUTE"), 3, "missing compute value");
+    assert_parse_error(
+        &format!("{head}  WGRAD_COMPUTE banana"),
+        3,
+        "compute value is not a number",
+    );
+    // Structure errors: content before its parent directive.
+    assert_parse_error("WORKLOAD t\n  FWD_COMPUTE 1\n", 2, "compute line before any LAYER");
+    assert_parse_error(
+        "WORKLOAD t\n  DP_COMM ALLREDUCE 1 SPAN 0:4\n",
+        2,
+        "comm line before any LAYER",
+    );
+    // Duplicate workload directive names its line.
+    assert_parse_error("WORKLOAD a\nWORKLOAD b\n", 2, "duplicate WORKLOAD directive");
+}

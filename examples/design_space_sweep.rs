@@ -1,9 +1,10 @@
 //! Design-space exploration with the parallel sweep engine: candidate
 //! topologies × workloads × bandwidth budgets × objectives evaluated
 //! concurrently, then ranked (the paper's Fig. 13/14 loop as a subsystem)
-//! — with every grid point **cross-validated**: the analytical cost model
-//! and the event-driven simulator price each optimized design in the same
-//! rayon fan-out, and the sweep reports their divergence.
+//! — with every grid point **three-way cross-validated**: the analytical
+//! cost model, the event-driven simulator, and the network-layer α-β
+//! simulator price each optimized design in the same rayon fan-out, and
+//! the sweep reports every pairwise divergence.
 //!
 //! ```bash
 //! cargo run --release --example design_space_sweep
@@ -14,9 +15,9 @@ use std::time::Instant;
 use libra::core::cost::CostModel;
 use libra::core::opt::Objective;
 use libra::core::presets;
-use libra::{Analytical, CrossValidation, EventSimBackend};
+use libra::{Analytical, CrossValidation3, EventSimBackend, LinkParams, NetSimBackend};
 use libra_bench::sweep::{RankBy, SweepEngine, SweepGrid};
-use libra_bench::{sweep_workloads, BW_SWEEP};
+use libra_bench::{sweep_workloads_with_link, BW_SWEEP};
 use libra_workloads::zoo::PaperModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,20 +25,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_shapes([presets::topo_4d_4k(), presets::topo_3d_4k()])
         .with_budgets(BW_SWEEP)
         .with_objectives([Objective::Perf, Objective::PerfPerCost]);
-    let workloads = sweep_workloads(&[PaperModel::Msft1T, PaperModel::Gpt3]);
+    // Each plan carries its shape's per-dimension topology kinds plus
+    // NVLink-class link latency (20 ns per hop, 10 ns switch traversal) —
+    // the network layer NetSim prices and the closed form ignores.
+    let link = LinkParams::latency(20_000.0).with_switch_ps(10_000.0);
+    let workloads = sweep_workloads_with_link(&[PaperModel::Msft1T, PaperModel::Gpt3], link);
     let n_points = grid.len(workloads.len());
 
     let cm = CostModel::default();
     let engine = SweepEngine::new(&cm);
     let analytical = Analytical::new();
     let event_sim = EventSimBackend::default();
-    // Tolerance from the backend's documented agreement bound for the
-    // widest fabric in the grid (4 dims at 64 chunks → 12.5 %).
+    let net_sim = NetSimBackend::default();
+    // Tolerance from the backends' documented β-only agreement bound for
+    // the widest fabric in the grid (4 dims at 64 chunks → 12.5 %), plus a
+    // small allowance for the α terms NetSim adds on these GB-scale plans.
     let max_ndims = grid.shapes().iter().map(|s| s.ndims()).max().unwrap_or(1);
-    let cv = CrossValidation::new(&analytical, &event_sim)
-        .with_tolerance(event_sim.agreement_bound(max_ndims));
+    let cv = CrossValidation3::new(&analytical, &event_sim, &net_sim)
+        .with_tolerance(event_sim.agreement_bound(max_ndims) + 0.02);
     let t0 = Instant::now();
-    let validated = engine.run_cross_validated(&grid, &workloads, &cv);
+    let validated = engine.run_cross_validated3(&grid, &workloads, &cv);
     let elapsed = t0.elapsed();
     let report = &validated.sweep;
 
@@ -61,26 +68,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.errors.len()
     );
 
-    // The model-validation half: did the closed form agree with the
-    // chunk-level event timelines at every optimized design point?
-    let d = &validated.divergence;
-    println!("cross-validation: {}", d.summary());
-    println!("worst-diverging cells:");
-    for w in d.worst(4) {
-        println!(
-            "  {} × {} @ {:.0} GB/s ({:?}): {} {:.4}s vs {} {:.4}s (rel err {:.2}%)",
-            w.shape,
-            w.workload,
-            w.point.budget,
-            w.point.objective,
-            d.baseline,
-            w.baseline_secs,
-            d.reference,
-            w.reference_secs,
-            100.0 * w.rel_error
-        );
+    // The model-validation half: did the closed form, the chunk-level
+    // event timelines, and the network-layer α-β timelines agree at every
+    // optimized design point, pairwise?
+    let d3 = &validated.divergence;
+    println!("three-way cross-validation:");
+    for pair in &d3.pairs {
+        println!("  {}", pair.summary());
+        if let Some(w) = pair.worst(1).first() {
+            println!(
+                "    worst: {} × {} @ {:.0} GB/s ({:?}): {:.4}s vs {:.4}s (rel err {:.2}%)",
+                w.shape,
+                w.workload,
+                w.point.budget,
+                w.point.objective,
+                w.baseline_secs,
+                w.reference_secs,
+                100.0 * w.rel_error
+            );
+        }
     }
-    assert!(d.within_tolerance(), "analytical model diverged from the event simulator");
+    assert!(d3.within_tolerance(), "a backend pair diverged beyond tolerance");
     println!();
 
     println!("top designs by speedup over EqualBW:");

@@ -7,12 +7,15 @@
 //! * [`solver`] — convex/QP optimization substrate (Gurobi substitute).
 //! * [`workloads`] — DNN workload generators & parsers (Table II models).
 //! * [`sim`] — deterministic event-driven simulator (ASTRA-sim substitute).
+//! * [`net`] — network-layer α-β simulation backend (per-hop latency,
+//!   switch traversal, switch-offload-aware collectives).
 //! * [`themis`] — bandwidth-aware runtime chunk scheduler.
 //! * [`tacos`] — topology-aware collective algorithm synthesizer.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use libra_core as core;
+pub use libra_net as net;
 pub use libra_sim as sim;
 pub use libra_solver as solver;
 pub use libra_tacos as tacos;
@@ -20,9 +23,17 @@ pub use libra_themis as themis;
 pub use libra_workloads as workloads;
 
 // The pluggable-evaluation surface, flattened for convenience: the
-// backend-neutral plan IR and analytical backend (from `libra-core`), the
-// event-driven backend (from `libra-sim`), and the cross-validation sweep
-// types. See `examples/design_space_sweep.rs` for the full loop.
-pub use libra_core::eval::{Analytical, CommPhase, CommPlan, EvalBackend, ScaledBackend};
-pub use libra_core::sweep::{CrossValidatedReport, CrossValidation, DivergenceReport};
+// backend-neutral plan IR, the network-layer side channel, and the
+// analytical backend (from `libra-core`); the event-driven backend (from
+// `libra-sim`); the α-β network-layer backend (from `libra-net`); and the
+// two- and three-way cross-validation sweep types. See
+// `examples/design_space_sweep.rs` for the full loop.
+pub use libra_core::eval::{
+    Analytical, CommPhase, CommPlan, DimTopology, EvalBackend, LinkParams, NetSpec, ScaledBackend,
+};
+pub use libra_core::sweep::{
+    CrossValidated3Report, CrossValidatedReport, CrossValidation, CrossValidation3,
+    Divergence3Report, DivergenceReport,
+};
+pub use libra_net::NetSimBackend;
 pub use libra_sim::EventSimBackend;

@@ -167,3 +167,71 @@ fn fig9_chunk_pipeline_timeline_is_pinned() {
     );
     assert_eq!(res.per_dim_busy[1].len(), 4);
 }
+
+/// α-β timeline of a 2-node ring All-Reduce with nonzero hop latency,
+/// pinned to hand-computed picoseconds — the network-layer (NetSim)
+/// analogue of the Fig. 9 chunk-pipeline golden above.
+///
+/// Setup: a 2 GB All-Reduce over a 2-node ring, 2 chunks, 10 GB/s, and
+/// α = 10 ms per hop (a ring of extent 2 is a single hop per stage). Each
+/// 1 GB chunk moves `m_chunk(e−1)/e = 0.5 GB` per stage — 50·10⁹ ps of β
+/// serialization — plus 10·10⁹ ps of α, so every stage occupies the
+/// single dimension server for exactly 60·10⁹ ps. FIFO order serializes
+/// the four stages (c0 RS, c1 RS, c0 AG, c1 AG):
+///
+/// ```text
+/// dim0: |c0 RS 0–60|c1 RS 60–120|c0 AG 120–180|c1 AG 180–240| (·10⁹ ps)
+/// ```
+///
+/// The analytical (β-only) time is `2m(e−1)/e / B = 0.2 s`; the α-β
+/// timeline adds exactly 4 stages × α = 0.04 s — the bandwidth-independent
+/// term the closed form cannot see.
+#[test]
+fn two_node_ring_alpha_beta_timeline_is_pinned() {
+    use libra::core::eval::{LinkParams, NetSpec};
+    use libra::core::workload::CommOp;
+    use libra::sim::collective::{run_batch_ext, BatchExt, CollectiveJob, FixedOrder};
+    use libra::{Analytical, CommPlan, EvalBackend, NetSimBackend};
+
+    const G: u64 = 1_000_000_000; // 10⁹ ps = 1 ms
+    let span = GroupSpan::new(vec![(0, 2)]);
+
+    // Engine level: the latency-carrying chunk engine, stage by stage.
+    let job = CollectiveJob {
+        collective: Collective::AllReduce,
+        bytes: 2e9,
+        span: span.clone(),
+        chunks: 2,
+        release: 0,
+    };
+    let ext = BatchExt { stage_overhead_ps: vec![10 * G], offload_dims: vec![] };
+    let res = run_batch_ext(1, &[10.0], &ext, &[job], &mut FixedOrder);
+    // (chunk, is_gather) → (start ps, end ps), hand-computed.
+    type StageKey = (usize, bool);
+    let golden: &[(StageKey, (u64, u64))] = &[
+        ((0, false), (0, 60 * G)),       // c0 RS
+        ((1, false), (60 * G, 120 * G)), // c1 RS
+        ((0, true), (120 * G, 180 * G)), // c0 AG
+        ((1, true), (180 * G, 240 * G)), // c1 AG
+    ];
+    assert_eq!(res.records.len(), golden.len(), "stage count changed");
+    for &((chunk, gather), want) in golden {
+        let got = res
+            .records
+            .iter()
+            .find(|r| r.chunk == chunk && r.gather == gather)
+            .unwrap_or_else(|| panic!("missing stage (c{chunk}, gather={gather})"));
+        assert_eq!((got.start, got.end), want, "stage (c{chunk}, gather={gather}) drifted");
+    }
+    assert_eq!(res.makespan(), 240 * G);
+
+    // Backend level: NetSimBackend prices the same plan through its
+    // NetSpec side channel — 0.24 s, the analytical 0.2 s plus 4α.
+    let plan = CommPlan::serial([CommOp::new(Collective::AllReduce, 2e9, span)])
+        .with_net(NetSpec::uniform(1, UnitTopology::Ring, LinkParams::latency(10.0 * G as f64)));
+    let net = NetSimBackend::new(2).eval_plan(1, &[10.0], &plan).unwrap();
+    assert!((net - 0.24).abs() < 1e-12, "NetSim priced {net}, pinned 0.24");
+    let ana = Analytical::new().eval_plan(1, &[10.0], &plan).unwrap();
+    assert!((ana - 0.2).abs() < 1e-12);
+    assert!((net - ana - 0.04).abs() < 1e-12, "α contribution drifted");
+}
