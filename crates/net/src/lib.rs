@@ -44,6 +44,8 @@
 //! pin both behaviours: convergence under α → 0, divergence beyond the
 //! bound when α dominates.
 
+use std::cell::RefCell;
+
 use libra_core::eval::{CommPlan, DimTopology, EvalBackend, LinkParams};
 use libra_core::network::UnitTopology;
 use libra_core::LibraError;
@@ -51,6 +53,14 @@ use libra_core::LibraError;
 use libra_sim::backend::{eval_plan_on_engine, EventSimBackend};
 use libra_sim::collective::BatchExt;
 use libra_sim::event::{secs_to_ps, Time};
+
+thread_local! {
+    /// Reusable per-thread buffer for the resolved per-dimension
+    /// topologies, so `eval_plan` allocates nothing in steady state (the
+    /// chunk engine underneath already runs on its own thread-local
+    /// scratch).
+    static DIMS_SCRATCH: RefCell<Vec<DimTopology>> = const { RefCell::new(Vec::new()) };
+}
 
 #[allow(unused_imports)] // doc links
 use libra_sim::collective::run_batch_ext;
@@ -169,27 +179,36 @@ impl NetSimBackend {
         EventSimBackend::new(self.chunks).agreement_bound(n_dims)
     }
 
-    /// The per-dimension topologies in effect for an `n_dims` fabric:
-    /// the plan's spec where present, the backend default elsewhere.
-    fn resolve_dims(&self, n_dims: usize, plan: &CommPlan) -> Vec<DimTopology> {
-        (0..n_dims)
-            .map(|d| plan.net.as_ref().and_then(|n| n.dim(d)).unwrap_or(self.default_dim))
-            .collect()
+    /// Resolves the per-dimension topologies in effect for an `n_dims`
+    /// fabric into `dims`: the plan's spec where present, the backend
+    /// default elsewhere.
+    fn resolve_dims_into(&self, n_dims: usize, plan: &CommPlan, dims: &mut Vec<DimTopology>) {
+        dims.clear();
+        dims.extend(
+            (0..n_dims)
+                .map(|d| plan.net.as_ref().and_then(|n| n.dim(d)).unwrap_or(self.default_dim)),
+        );
     }
 
-    /// The [`BatchExt`] of one phase: per-dimension stage overheads (the
-    /// worst extent of any op spanning the dimension, for multi-op phases)
-    /// and offload flags.
-    fn phase_ext(&self, n_dims: usize, dims: &[DimTopology], phase: &CommPhase) -> BatchExt {
-        let mut overhead = vec![0 as Time; n_dims];
+    /// Writes the [`BatchExt`] of one phase into `ext` (arrives cleared):
+    /// per-dimension stage overheads (the worst extent of any op spanning
+    /// the dimension, for multi-op phases) and offload flags.
+    fn phase_ext(
+        &self,
+        n_dims: usize,
+        dims: &[DimTopology],
+        phase: &CommPhase,
+        ext: &mut BatchExt,
+    ) {
+        ext.stage_overhead_ps.resize(n_dims, 0 as Time);
         for op in &phase.ops {
             for &(d, e) in op.span.extents() {
-                overhead[d] = overhead[d].max(stage_overhead_ps(dims[d], e));
+                ext.stage_overhead_ps[d] =
+                    ext.stage_overhead_ps[d].max(stage_overhead_ps(dims[d], e));
             }
         }
-        let offload_dims =
-            dims.iter().map(|t| self.offload && t.kind == UnitTopology::Switch).collect();
-        BatchExt { stage_overhead_ps: overhead, offload_dims }
+        ext.offload_dims
+            .extend(dims.iter().map(|t| self.offload && t.kind == UnitTopology::Switch));
     }
 }
 
@@ -203,10 +222,15 @@ impl EvalBackend for NetSimBackend {
     }
 
     fn eval_plan(&self, n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<f64, LibraError> {
-        let dims = self.resolve_dims(n_dims, plan);
-        eval_plan_on_engine(n_dims, bw, plan, self.chunks, |phase| {
-            self.phase_ext(n_dims, &dims, phase)
-        })
+        // Taken out (not borrowed) so a reentrant evaluation on this
+        // thread warms a fresh buffer instead of panicking.
+        let mut dims = DIMS_SCRATCH.take();
+        self.resolve_dims_into(n_dims, plan, &mut dims);
+        let result = eval_plan_on_engine(n_dims, bw, plan, self.chunks, |phase, ext| {
+            self.phase_ext(n_dims, &dims, phase, ext)
+        });
+        DIMS_SCRATCH.replace(dims);
+        result
     }
 }
 

@@ -26,23 +26,42 @@
 //! set their cross-validation tolerance from first principles, and the
 //! repo's differential property tests enforce it.
 
+use std::cell::RefCell;
+
 use libra_core::eval::{validate_plan, CommPhase, CommPlan, EvalBackend};
 use libra_core::LibraError;
 
-use crate::collective::{run_batch_ext, BatchExt, CollectiveJob, FixedOrder};
+use crate::collective::{BatchExt, EngineScratch, FixedOrder, JobSpec, Trace};
 use crate::event::ps_to_secs;
 
+thread_local! {
+    /// Per-thread engine arena shared by every event-driven backend
+    /// evaluation on this thread. `EvalBackend::eval_plan` takes `&self`
+    /// and backends are shared across rayon workers, so the scratch is
+    /// per-thread rather than per-backend: after warm-up, plan evaluation
+    /// performs no heap allocation at all.
+    static EVAL_SCRATCH: RefCell<(EngineScratch, BatchExt)> =
+        RefCell::new((EngineScratch::new(), BatchExt::none()));
+}
+
 /// Prices a [`CommPlan`] on the chunked engine: each phase's non-trivial
-/// ops become concurrently released [`CollectiveJob`]s split into `chunks`
+/// ops become concurrently released jobs split into `chunks` pipelined
 /// chunks, executed on per-dimension FIFO servers under the [`BatchExt`]
-/// `ext_of` derives for that phase (α-β stage overheads, offload flags);
+/// `ext_of` writes for that phase (α-β stage overheads, offload flags —
+/// the buffer arrives cleared and is reused across phases and calls);
 /// sequential phases sum and [`CommPhase::repeat`] multiplies.
 ///
 /// This is the single plan→engine adapter shared by every event-driven
-/// backend — [`EventSimBackend`] is the `BatchExt::none()` case, and
+/// backend — [`EventSimBackend`] is the no-extension case, and
 /// `libra_net`'s `NetSimBackend` derives per-phase extensions from the
 /// plan's network spec — so the op-eligibility filter and repeat
 /// semantics cannot drift between them.
+///
+/// Evaluation runs on the thread-local [`EngineScratch`] with
+/// [`Trace::Off`]: no `GroupSpan` is cloned, no stage record is collected,
+/// and steady-state calls allocate nothing. Results are bit-identical to
+/// driving [`crate::collective::run_batch_ext`] phase by phase (the two
+/// share one event loop).
 ///
 /// # Errors
 /// See [`EvalBackend::eval_plan`].
@@ -51,33 +70,42 @@ pub fn eval_plan_on_engine(
     bw: &[f64],
     plan: &CommPlan,
     chunks: usize,
-    mut ext_of: impl FnMut(&CommPhase) -> BatchExt,
+    mut ext_of: impl FnMut(&CommPhase, &mut BatchExt),
 ) -> Result<f64, LibraError> {
     validate_plan(n_dims, bw, plan)?;
+    // Take the warm buffers out of the thread-local (leaving fresh
+    // defaults) rather than holding a RefCell borrow across `ext_of`:
+    // a closure that reentrantly evaluates another plan on this thread
+    // then simply warms up its own temporary arena instead of panicking.
+    let (mut scratch, mut ext) = EVAL_SCRATCH.take();
     let mut total = 0.0f64;
     for phase in &plan.phases {
         if phase.repeat == 0 {
             continue;
         }
-        let jobs: Vec<CollectiveJob> = phase
-            .ops
-            .iter()
-            .filter(|op| op.bytes > 0.0 && !op.span.is_trivial())
-            .map(|op| CollectiveJob {
-                collective: op.collective,
-                bytes: op.bytes,
-                span: op.span.clone(),
-                chunks,
-                release: 0,
-            })
-            .collect();
-        if jobs.is_empty() {
+        let eligible = || phase.ops.iter().filter(|op| op.bytes > 0.0 && !op.span.is_trivial());
+        if eligible().next().is_none() {
             continue;
         }
-        let ext = ext_of(phase);
-        let res = run_batch_ext(n_dims, bw, &ext, &jobs, &mut FixedOrder);
-        total += phase.repeat as f64 * ps_to_secs(res.makespan());
+        ext.clear();
+        ext_of(phase, &mut ext);
+        let makespan = scratch.run_jobs(
+            n_dims,
+            bw,
+            &ext,
+            eligible().map(|op| JobSpec {
+                collective: op.collective,
+                bytes: op.bytes,
+                span: &op.span,
+                chunks,
+                release: 0,
+            }),
+            &mut FixedOrder,
+            Trace::Off,
+        );
+        total += phase.repeat as f64 * ps_to_secs(makespan);
     }
+    EVAL_SCRATCH.replace((scratch, ext));
     Ok(total)
 }
 
@@ -132,7 +160,7 @@ impl EvalBackend for EventSimBackend {
     }
 
     fn eval_plan(&self, n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<f64, LibraError> {
-        eval_plan_on_engine(n_dims, bw, plan, self.chunks, |_| BatchExt::none())
+        eval_plan_on_engine(n_dims, bw, plan, self.chunks, |_, _| {})
     }
 }
 

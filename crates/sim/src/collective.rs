@@ -21,6 +21,30 @@
 //! pass carrying the §IV-C injection traffic, no All-Gather replay). The
 //! `libra-net` network-layer backend drives the engine through this
 //! surface; [`run_batch`] is the all-zero special case.
+//!
+//! # The allocation-free fast path
+//!
+//! Design-space sweeps price the same plan shapes millions of times, so the
+//! engine is split into a reusable arena ([`EngineScratch`]) plus a trace
+//! switch ([`Trace`]):
+//!
+//! * [`EngineScratch::run_jobs`] executes a batch **without allocating**
+//!   once the arena has warmed up: chunk states live in a slab, their
+//!   remaining/visited stage lists in two flat buffers, server queues and
+//!   the event heap are reused, and jobs are fed as borrowed [`JobSpec`]s
+//!   (no `GroupSpan` clones anywhere in the fan-out).
+//! * [`Trace::Off`] (the fast path) skips [`StageRecord`] collection and
+//!   per-transfer busy-interval pushes entirely; per-dimension utilization
+//!   survives as an O(1) [`DimUsage`] accumulator (total busy time + span
+//!   ends + stage count). [`Trace::Full`] restores the Gantt-grade
+//!   instrumentation.
+//!
+//! Both paths share one event loop, so their finish times are **bit
+//! identical** — the repo's determinism suite (`tests/engine_determinism.rs`)
+//! pins this on the golden timelines and a 60-point cross-validated sweep.
+//! The classic [`run_batch`]/[`run_batch_ext`]/[`run_collective`] entry
+//! points are the `Trace::Full` case on a fresh arena and behave exactly as
+//! they always did.
 
 use std::collections::VecDeque;
 
@@ -52,6 +76,13 @@ impl BatchExt {
     /// No overheads, no offload — [`run_batch`]'s behaviour.
     pub fn none() -> Self {
         BatchExt::default()
+    }
+
+    /// Empties both extension vectors, keeping their allocations (used by
+    /// the backends' per-phase extension reuse).
+    pub fn clear(&mut self) {
+        self.stage_overhead_ps.clear();
+        self.offload_dims.clear();
     }
 
     fn overhead(&self, dim: usize) -> Time {
@@ -92,6 +123,14 @@ pub struct StageOption {
 pub trait ChunkScheduler {
     /// Returns an index into `options` (clamped by the engine).
     fn choose(&mut self, chunk: usize, now: Time, options: &[StageOption]) -> usize;
+
+    /// Whether the scheduler inspects [`StageOption`]s at all. Policies
+    /// that always pick index 0 ([`FixedOrder`]) return `false`, letting
+    /// the engine skip option construction on the hot path — the engine
+    /// then never calls [`ChunkScheduler::choose`].
+    fn needs_options(&self) -> bool {
+        true
+    }
 }
 
 /// The canonical multi-rail order: dimensions ascending (paper §II-C).
@@ -102,9 +141,14 @@ impl ChunkScheduler for FixedOrder {
     fn choose(&mut self, _chunk: usize, _now: Time, _options: &[StageOption]) -> usize {
         0 // `remaining` is kept in ascending dimension order
     }
+
+    fn needs_options(&self) -> bool {
+        false
+    }
 }
 
-/// One collective to execute.
+/// One collective to execute (owned form; see [`JobSpec`] for the borrowed
+/// form the allocation-free path consumes).
 #[derive(Debug, Clone)]
 pub struct CollectiveJob {
     /// The collective pattern.
@@ -117,6 +161,49 @@ pub struct CollectiveJob {
     pub chunks: usize,
     /// Simulation time at which the collective is released.
     pub release: Time,
+}
+
+/// A borrowed collective job: what [`EngineScratch::run_jobs`] actually
+/// consumes. Borrowing the span is what lets plan evaluators feed the
+/// engine without cloning a `GroupSpan` per operation per call.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec<'a> {
+    /// The collective pattern.
+    pub collective: Collective,
+    /// Total payload bytes per NPU.
+    pub bytes: f64,
+    /// The group span (borrowed).
+    pub span: &'a GroupSpan,
+    /// Number of pipelined chunks.
+    pub chunks: usize,
+    /// Simulation time at which the collective is released.
+    pub release: Time,
+}
+
+impl<'a> From<&'a CollectiveJob> for JobSpec<'a> {
+    fn from(j: &'a CollectiveJob) -> Self {
+        JobSpec {
+            collective: j.collective,
+            bytes: j.bytes,
+            span: &j.span,
+            chunks: j.chunks,
+            release: j.release,
+        }
+    }
+}
+
+/// What the engine records beyond job finish times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Trace {
+    /// Fast path: no [`StageRecord`]s, no per-transfer busy intervals.
+    /// Per-dimension utilization is still available through the O(1)
+    /// [`DimUsage`] accumulators.
+    #[default]
+    Off,
+    /// Full instrumentation: every chunk-stage interval is recorded (Gantt
+    /// rendering, golden-timeline tests) and per-dimension busy intervals
+    /// are kept.
+    Full,
 }
 
 /// A start/end record of one chunk-stage on one dimension.
@@ -134,6 +221,34 @@ pub struct StageRecord {
     pub start: Time,
     /// Service end (ps).
     pub end: Time,
+}
+
+/// O(1) per-dimension service accumulator maintained on **every** path
+/// (the fast path's replacement for the unbounded per-transfer interval
+/// vector): total busy time plus the service span's end points. Because a
+/// FIFO server never overlaps its own service intervals, `busy_ps` is
+/// exact, not an approximation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DimUsage {
+    /// Total service time on this dimension (ps).
+    pub busy_ps: Time,
+    /// Start of the first service interval (0 when the dim never served).
+    pub first_start: Time,
+    /// End of the last service interval (0 when the dim never served).
+    pub last_end: Time,
+    /// Number of chunk-stages serviced.
+    pub stages: usize,
+}
+
+impl DimUsage {
+    /// Busy fraction of the dimension within `window` picoseconds
+    /// (0 for an empty window).
+    pub fn utilization_in(&self, window: Time) -> f64 {
+        if window == 0 {
+            return 0.0;
+        }
+        self.busy_ps as f64 / window as f64
+    }
 }
 
 /// The result of executing a batch of collectives on shared servers.
@@ -161,7 +276,7 @@ struct QueuedStage {
     gather: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Server {
     bw_gbps: f64,
     overhead_ps: Time,
@@ -169,18 +284,27 @@ struct Server {
     backlog_until: Time,
     queue: VecDeque<QueuedStage>,
     running: Option<usize>, // chunk key
-    busy: Vec<(Time, Time)>,
+    usage: DimUsage,
+    busy: Vec<(Time, Time)>, // Trace::Full only
 }
 
+/// Per-chunk state. Stage lists live in the scratch arena's flat buffers
+/// (`rem_buf` / `vis_buf`), addressed by `(offset, len)` — a chunk owns a
+/// fixed region of span-length capacity in each, so the fan-out performs
+/// zero per-chunk allocations.
 #[derive(Debug)]
 struct ChunkState {
     job: usize,
     chunk: usize,
-    /// Remaining scatter-phase (dim, extent) stages, ascending dim order.
-    remaining: Vec<(usize, u64)>,
-    /// Scatter visit history `(dim, bytes)` in visit order; the gather half
-    /// consumes it LIFO (reverse order).
-    visited: Vec<(usize, f64)>,
+    /// Remaining scatter-phase stages: `rem_buf[rem_lo..rem_lo + rem_len]`,
+    /// ascending dim order.
+    rem_lo: usize,
+    rem_len: usize,
+    /// Scatter visit history `(dim, bytes)` in visit order:
+    /// `vis_buf[vis_lo..vis_lo + vis_len]`; the gather half consumes it
+    /// LIFO (reverse order).
+    vis_lo: usize,
+    vis_len: usize,
     /// Whether the gather half has begun.
     gathering: bool,
     /// Product of extents already reduced over.
@@ -213,9 +337,228 @@ impl ChunkState {
     }
 }
 
+#[derive(Debug)]
 enum Ev {
     Ready(usize), // chunk key
     Done(usize),  // dim
+}
+
+/// The engine's reusable arena: chunk slab, flat stage buffers, server
+/// pool, option buffer, event heap, and result vectors. Create once, drive
+/// [`EngineScratch::run_jobs`] arbitrarily often — after the first few runs
+/// every buffer has reached steady-state capacity and execution performs
+/// **zero heap allocations** (with `Trace::Off` and a scheduler that does
+/// not request options).
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    servers: Vec<Server>,
+    chunks: Vec<ChunkState>,
+    rem_buf: Vec<(usize, u64)>,
+    vis_buf: Vec<(usize, f64)>,
+    options: Vec<StageOption>,
+    queue: EventQueue<Ev>,
+    finish: Vec<Time>,
+    outstanding: Vec<usize>,
+    records: Vec<StageRecord>,
+}
+
+impl EngineScratch {
+    /// An empty arena.
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+
+    fn reset(&mut self, n_dims: usize, bw: &[f64], ext: &BatchExt) {
+        self.servers.truncate(n_dims);
+        while self.servers.len() < n_dims {
+            self.servers.push(Server::default());
+        }
+        for (d, s) in self.servers.iter_mut().enumerate() {
+            s.bw_gbps = bw[d];
+            s.overhead_ps = ext.overhead(d);
+            s.free_at = 0;
+            s.backlog_until = 0;
+            s.running = None;
+            s.queue.clear();
+            s.usage = DimUsage::default();
+            s.busy.clear();
+        }
+        self.chunks.clear();
+        self.rem_buf.clear();
+        self.vis_buf.clear();
+        self.options.clear();
+        self.queue.clear();
+        self.finish.clear();
+        self.outstanding.clear();
+        self.records.clear();
+    }
+
+    /// Executes a batch of collectives on shared per-dimension servers,
+    /// returning the batch makespan. Finish times, usage accumulators and
+    /// (under [`Trace::Full`]) stage records stay readable on the arena
+    /// until the next run.
+    ///
+    /// Identical inputs produce results bit-identical to
+    /// [`run_batch_ext`] — the two share one event loop; only the
+    /// instrumentation differs.
+    ///
+    /// # Panics
+    /// Panics if `bw.len() < n_dims`, a spanned dimension has non-positive
+    /// bandwidth, or a non-trivial job has `chunks == 0`.
+    pub fn run_jobs<'a>(
+        &mut self,
+        n_dims: usize,
+        bw: &[f64],
+        ext: &BatchExt,
+        jobs: impl IntoIterator<Item = JobSpec<'a>>,
+        scheduler: &mut dyn ChunkScheduler,
+        trace: Trace,
+    ) -> Time {
+        assert!(bw.len() >= n_dims, "bandwidth vector shorter than dimensionality");
+        self.reset(n_dims, bw, ext);
+        let EngineScratch {
+            servers,
+            chunks,
+            rem_buf,
+            vis_buf,
+            options,
+            queue,
+            finish,
+            outstanding,
+            records,
+        } = self;
+
+        for (ji, job) in jobs.into_iter().enumerate() {
+            finish.push(job.release);
+            outstanding.push(0);
+            if job.span.is_trivial() || job.bytes <= 0.0 {
+                continue;
+            }
+            assert!(job.chunks > 0, "collective must have at least one chunk");
+            for &(d, _) in job.span.extents() {
+                assert!(bw[d] > 0.0, "dimension {d} has non-positive bandwidth");
+            }
+            let extents = job.span.extents();
+            let k = extents.len();
+            let m_chunk = job.bytes / job.chunks as f64;
+            for c in 0..job.chunks {
+                let key = chunks.len();
+                let mut st = ChunkState {
+                    job: ji,
+                    chunk: c,
+                    rem_lo: rem_buf.len(),
+                    rem_len: 0,
+                    vis_lo: vis_buf.len(),
+                    vis_len: 0,
+                    gathering: false,
+                    shrink: 1.0,
+                    m_chunk,
+                    has_gather: job.collective == Collective::AllReduce,
+                    flat: job.collective == Collective::AllToAll,
+                    full: job.collective == Collective::PointToPoint,
+                    done: false,
+                };
+                if job.collective == Collective::AllGather {
+                    // All-Gather-only: precompute the Reduce-Scatter-shaped
+                    // sizes in ascending order; LIFO consumption yields the
+                    // canonical descending execution. Offloaded dims carry
+                    // the §IV-C injection traffic instead.
+                    let mut shrink = 1.0f64;
+                    for &(d, e) in extents {
+                        let e_f = e as f64;
+                        let bytes = if ext.offloaded(d) {
+                            m_chunk / shrink
+                        } else {
+                            m_chunk * (e_f - 1.0) / (e_f * shrink)
+                        };
+                        vis_buf.push((d, bytes));
+                        shrink *= e_f;
+                    }
+                    st.vis_len = k;
+                    st.gathering = true;
+                } else {
+                    rem_buf.extend_from_slice(extents);
+                    st.rem_len = k;
+                    // Reserve this chunk's gather slots up front so later
+                    // pushes never move another chunk's region.
+                    vis_buf.resize(vis_buf.len() + k, (0, 0.0));
+                }
+                chunks.push(st);
+                outstanding[ji] += 1;
+                queue.push(job.release, Ev::Ready(key));
+            }
+        }
+
+        while let Some((now, ev)) = queue.pop() {
+            match ev {
+                Ev::Ready(key) => {
+                    match next_stage(
+                        &mut chunks[key],
+                        rem_buf,
+                        vis_buf,
+                        servers,
+                        scheduler,
+                        options,
+                        now,
+                        key,
+                        ext,
+                    ) {
+                        Some((dim, bytes, gather)) => {
+                            let s = &mut servers[dim];
+                            let dur = transfer_with_latency_ps(bytes, s.bw_gbps, s.overhead_ps);
+                            s.backlog_until = s.backlog_until.max(now).saturating_add(dur);
+                            s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
+                            try_start(dim, s, now, queue, chunks, records, trace);
+                        }
+                        None => {
+                            let st = &mut chunks[key];
+                            if !st.done {
+                                st.done = true;
+                                outstanding[st.job] -= 1;
+                                if outstanding[st.job] == 0 {
+                                    finish[st.job] = now;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ev::Done(dim) => {
+                    if let Some(key) = servers[dim].running.take() {
+                        queue.push(now, Ev::Ready(key));
+                    }
+                    try_start(dim, &mut servers[dim], now, queue, chunks, records, trace);
+                }
+            }
+        }
+        finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-job finish times of the last run.
+    pub fn finish_times(&self) -> &[Time] {
+        &self.finish
+    }
+
+    /// Per-dimension service accumulators of the last run.
+    pub fn dim_usages(&self) -> impl Iterator<Item = DimUsage> + '_ {
+        self.servers.iter().map(|s| s.usage)
+    }
+
+    /// Stage records of the last run (empty under [`Trace::Off`]).
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Harvests the last run into an owned [`CollectiveResult`], moving the
+    /// record and interval buffers out of the arena (they regrow on the
+    /// next traced run). `per_dim_busy` is empty-per-dim under
+    /// [`Trace::Off`].
+    pub fn take_result(&mut self) -> CollectiveResult {
+        CollectiveResult {
+            finish: std::mem::take(&mut self.finish),
+            per_dim_busy: self.servers.iter_mut().map(|s| std::mem::take(&mut s.busy)).collect(),
+            records: std::mem::take(&mut self.records),
+        }
+    }
 }
 
 /// Executes a batch of collectives on shared per-dimension servers.
@@ -240,6 +583,10 @@ pub fn run_batch(
 /// the `libra-net` network-layer backend drives; with `BatchExt::none()`
 /// it is byte-for-byte [`run_batch`].
 ///
+/// This entry point always runs fully instrumented ([`Trace::Full`]) on a
+/// fresh arena; hot paths that do not need the trace should hold an
+/// [`EngineScratch`] and call [`EngineScratch::run_jobs`] instead.
+///
 /// # Panics
 /// See [`run_batch`].
 pub fn run_batch_ext(
@@ -249,155 +596,67 @@ pub fn run_batch_ext(
     jobs: &[CollectiveJob],
     scheduler: &mut dyn ChunkScheduler,
 ) -> CollectiveResult {
-    assert!(bw.len() >= n_dims, "bandwidth vector shorter than dimensionality");
-    let mut servers: Vec<Server> = (0..n_dims)
-        .map(|d| Server {
-            bw_gbps: bw[d],
-            overhead_ps: ext.overhead(d),
-            free_at: 0,
-            backlog_until: 0,
-            queue: VecDeque::new(),
-            running: None,
-            busy: Vec::new(),
-        })
-        .collect();
-
-    let mut chunks: Vec<ChunkState> = Vec::new();
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut finish: Vec<Time> = jobs.iter().map(|j| j.release).collect();
-    let mut outstanding: Vec<usize> = vec![0; jobs.len()];
-
-    for (ji, job) in jobs.iter().enumerate() {
-        if job.span.is_trivial() || job.bytes <= 0.0 {
-            continue;
-        }
-        assert!(job.chunks > 0, "collective must have at least one chunk");
-        for &(d, _) in job.span.extents() {
-            assert!(bw[d] > 0.0, "dimension {d} has non-positive bandwidth");
-        }
-        let m_chunk = job.bytes / job.chunks as f64;
-        for c in 0..job.chunks {
-            let key = chunks.len();
-            let mut st = ChunkState {
-                job: ji,
-                chunk: c,
-                remaining: job.span.extents().to_vec(),
-                visited: Vec::new(),
-                gathering: false,
-                shrink: 1.0,
-                m_chunk,
-                has_gather: job.collective == Collective::AllReduce,
-                flat: job.collective == Collective::AllToAll,
-                full: job.collective == Collective::PointToPoint,
-                done: false,
-            };
-            if job.collective == Collective::AllGather {
-                // All-Gather-only: precompute the Reduce-Scatter-shaped
-                // sizes in ascending order; LIFO consumption yields the
-                // canonical descending execution. Offloaded dims carry the
-                // §IV-C injection traffic instead.
-                let mut shrink = 1.0f64;
-                for &(d, e) in &st.remaining {
-                    let e_f = e as f64;
-                    let bytes = if ext.offloaded(d) {
-                        m_chunk / shrink
-                    } else {
-                        m_chunk * (e_f - 1.0) / (e_f * shrink)
-                    };
-                    st.visited.push((d, bytes));
-                    shrink *= e_f;
-                }
-                st.remaining.clear();
-                st.gathering = true;
-            }
-            chunks.push(st);
-            outstanding[ji] += 1;
-            queue.push(job.release, Ev::Ready(key));
-        }
-    }
-
-    let mut records: Vec<StageRecord> = Vec::new();
-
-    while let Some((now, ev)) = queue.pop() {
-        match ev {
-            Ev::Ready(key) => {
-                match next_stage(&mut chunks[key], &servers, scheduler, now, key, ext) {
-                    Some((dim, bytes, gather)) => {
-                        let dur = transfer_with_latency_ps(
-                            bytes,
-                            servers[dim].bw_gbps,
-                            servers[dim].overhead_ps,
-                        );
-                        let s = &mut servers[dim];
-                        s.backlog_until = s.backlog_until.max(now).saturating_add(dur);
-                        s.queue.push_back(QueuedStage { chunk_key: key, bytes, gather });
-                        try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
-                    }
-                    None => {
-                        let st = &mut chunks[key];
-                        if !st.done {
-                            st.done = true;
-                            outstanding[st.job] -= 1;
-                            if outstanding[st.job] == 0 {
-                                finish[st.job] = now;
-                            }
-                        }
-                    }
-                }
-            }
-            Ev::Done(dim) => {
-                if let Some(key) = servers[dim].running.take() {
-                    queue.push(now, Ev::Ready(key));
-                }
-                try_start(dim, &mut servers[dim], now, &mut queue, &chunks, &mut records);
-            }
-        }
-    }
-
-    let per_dim_busy: Vec<Vec<(Time, Time)>> = servers.into_iter().map(|s| s.busy).collect();
-    CollectiveResult { finish, per_dim_busy, records }
+    let mut scratch = EngineScratch::new();
+    scratch.run_jobs(n_dims, bw, ext, jobs.iter().map(JobSpec::from), scheduler, Trace::Full);
+    scratch.take_result()
 }
 
 /// Picks the chunk's next stage: `(dim, bytes, is_gather)`, or `None` when
 /// finished.
+#[allow(clippy::too_many_arguments)] // engine-internal plumbing of disjoint arena fields
 fn next_stage(
     st: &mut ChunkState,
+    rem_buf: &mut [(usize, u64)],
+    vis_buf: &mut [(usize, f64)],
     servers: &[Server],
     scheduler: &mut dyn ChunkScheduler,
+    options: &mut Vec<StageOption>,
     now: Time,
     key: usize,
     ext: &BatchExt,
 ) -> Option<(usize, f64, bool)> {
     if !st.gathering {
-        if let Some(pick) = pick_scatter(st, servers, scheduler, now, key, ext) {
+        if let Some(pick) =
+            pick_scatter(st, rem_buf, vis_buf, servers, scheduler, options, now, key, ext)
+        {
             return Some(pick);
         }
         // Scatter phase exhausted.
-        if st.has_gather && !st.visited.is_empty() {
+        if st.has_gather && st.vis_len > 0 {
             st.gathering = true;
         } else if !st.gathering {
             return None;
         }
     }
     // Gather: consume the visit history LIFO (reverse order).
-    st.visited.pop().map(|(d, b)| (d, b, true))
+    if st.vis_len == 0 {
+        return None;
+    }
+    st.vis_len -= 1;
+    let (d, b) = vis_buf[st.vis_lo + st.vis_len];
+    Some((d, b, true))
 }
 
+#[allow(clippy::too_many_arguments)] // engine-internal plumbing of disjoint arena fields
 fn pick_scatter(
     st: &mut ChunkState,
+    rem_buf: &mut [(usize, u64)],
+    vis_buf: &mut [(usize, f64)],
     servers: &[Server],
     scheduler: &mut dyn ChunkScheduler,
+    options: &mut Vec<StageOption>,
     now: Time,
     key: usize,
     ext: &BatchExt,
 ) -> Option<(usize, f64, bool)> {
-    if st.remaining.is_empty() {
+    if st.rem_len == 0 {
         return None;
     }
-    let options: Vec<StageOption> = st
-        .remaining
-        .iter()
-        .map(|&(d, e)| StageOption {
+    let lo = st.rem_lo;
+    let len = st.rem_len;
+    let pick = if scheduler.needs_options() {
+        options.clear();
+        options.extend(rem_buf[lo..lo + len].iter().map(|&(d, e)| StageOption {
             dim: d,
             extent: e,
             bytes: st.stage_bytes(e, ext.offloaded(d)),
@@ -405,20 +664,25 @@ fn pick_scatter(
             bw_gbps: servers[d].bw_gbps,
             overhead_ps: servers[d].overhead_ps,
             shrinks: !st.flat && !st.full,
-        })
-        .collect();
-    // The scheduler receives the batch-unique chunk key so stateful
-    // policies can track per-chunk plans across jobs.
-    let pick = scheduler.choose(key, now, &options).min(options.len() - 1);
-    let (d, e) = st.remaining.remove(pick);
+        }));
+        // The scheduler receives the batch-unique chunk key so stateful
+        // policies can track per-chunk plans across jobs.
+        scheduler.choose(key, now, options).min(len - 1)
+    } else {
+        0 // FixedOrder: `remaining` is kept in ascending dimension order
+    };
+    let (d, e) = rem_buf[lo + pick];
+    // Ordered removal within the chunk's slab region (span-length shift).
+    rem_buf.copy_within(lo + pick + 1..lo + len, lo + pick);
+    st.rem_len -= 1;
     let offloaded = ext.offloaded(d);
     let bytes = st.stage_bytes(e, offloaded);
     // All-Reduce remembers its visit order for the gather half — except on
     // offloaded dims, whose switch returns the reduced result in the same
-    // pass (no All-Gather replay). Flat collectives don't gather, but
-    // recording costs nothing.
+    // pass (no All-Gather replay).
     if st.has_gather && !offloaded {
-        st.visited.push((d, bytes));
+        vis_buf[st.vis_lo + st.vis_len] = (d, bytes);
+        st.vis_len += 1;
     }
     if !st.flat && !st.full {
         st.shrink *= e as f64;
@@ -434,6 +698,7 @@ fn try_start(
     queue: &mut EventQueue<Ev>,
     chunks: &[ChunkState],
     records: &mut Vec<StageRecord>,
+    trace: Trace,
 ) {
     if s.running.is_some() {
         return;
@@ -443,9 +708,24 @@ fn try_start(
     let end = start.saturating_add(transfer_with_latency_ps(job.bytes, s.bw_gbps, s.overhead_ps));
     s.free_at = end;
     s.running = Some(job.chunk_key);
-    s.busy.push((start, end));
-    let st = &chunks[job.chunk_key];
-    records.push(StageRecord { job: st.job, chunk: st.chunk, dim, gather: job.gather, start, end });
+    s.usage.busy_ps = s.usage.busy_ps.saturating_add(end - start);
+    if s.usage.stages == 0 {
+        s.usage.first_start = start;
+    }
+    s.usage.last_end = s.usage.last_end.max(end);
+    s.usage.stages += 1;
+    if trace == Trace::Full {
+        s.busy.push((start, end));
+        let st = &chunks[job.chunk_key];
+        records.push(StageRecord {
+            job: st.job,
+            chunk: st.chunk,
+            dim,
+            gather: job.gather,
+            start,
+            end,
+        });
+    }
     queue.push(end, Ev::Done(dim));
 }
 
@@ -460,12 +740,16 @@ pub fn run_collective(
     chunks: usize,
     scheduler: &mut dyn ChunkScheduler,
 ) -> CollectiveResult {
-    run_batch(
+    let mut scratch = EngineScratch::new();
+    scratch.run_jobs(
         n_dims,
         bw,
-        &[CollectiveJob { collective, bytes, span: span.clone(), chunks, release: 0 }],
+        &BatchExt::none(),
+        [JobSpec { collective, bytes, span, chunks, release: 0 }],
         scheduler,
-    )
+        Trace::Full,
+    );
+    scratch.take_result()
 }
 
 #[cfg(test)]
@@ -755,5 +1039,158 @@ mod tests {
         let a = mk(0);
         let b = mk(1_000_000);
         assert_eq!(b.makespan(), a.makespan() + 1_000_000);
+    }
+
+    /// The scratch fast path produces finish times bit-identical to the
+    /// traced entry points, for every collective kind and extension.
+    #[test]
+    fn fast_path_is_bit_identical_to_trace_path() {
+        let bw = [37.0, 13.0];
+        let exts = [
+            BatchExt::none(),
+            BatchExt { stage_overhead_ps: vec![500, 1_000], offload_dims: vec![false, true] },
+        ];
+        let mut scratch = EngineScratch::new();
+        for collective in [
+            Collective::AllReduce,
+            Collective::ReduceScatter,
+            Collective::AllGather,
+            Collective::AllToAll,
+            Collective::PointToPoint,
+        ] {
+            for ext in &exts {
+                let span = span2();
+                let job = CollectiveJob { collective, bytes: 3e9, span, chunks: 16, release: 7 };
+                let traced =
+                    run_batch_ext(2, &bw, ext, std::slice::from_ref(&job), &mut FixedOrder);
+                let ms = scratch.run_jobs(
+                    2,
+                    &bw,
+                    ext,
+                    [JobSpec::from(&job)],
+                    &mut FixedOrder,
+                    Trace::Off,
+                );
+                assert_eq!(ms, traced.makespan(), "{collective:?}");
+                assert_eq!(scratch.finish_times(), traced.finish.as_slice(), "{collective:?}");
+                assert!(scratch.records().is_empty(), "fast path must not collect records");
+            }
+        }
+    }
+
+    /// A reused arena gives the same answers as a fresh one — state never
+    /// leaks between runs.
+    #[test]
+    fn scratch_reuse_is_stateless_across_runs() {
+        let mut scratch = EngineScratch::new();
+        let span_a = span2();
+        let span_b = GroupSpan::new(vec![(0, 2), (1, 2), (2, 4)]);
+        let job_a = CollectiveJob {
+            collective: Collective::AllReduce,
+            bytes: 2e9,
+            span: span_a,
+            chunks: 8,
+            release: 0,
+        };
+        let job_b = CollectiveJob {
+            collective: Collective::AllToAll,
+            bytes: 5e9,
+            span: span_b,
+            chunks: 4,
+            release: 3,
+        };
+        let bw3 = [10.0, 20.0, 30.0];
+        // Interleave two different batches several times; each must match a
+        // fresh engine every time (including a dimensionality change).
+        for _ in 0..3 {
+            let a = scratch.run_jobs(
+                2,
+                &bw3[..2],
+                &BatchExt::none(),
+                [JobSpec::from(&job_a)],
+                &mut FixedOrder,
+                Trace::Off,
+            );
+            assert_eq!(
+                a,
+                run_batch(2, &bw3[..2], std::slice::from_ref(&job_a), &mut FixedOrder).makespan()
+            );
+            let b = scratch.run_jobs(
+                3,
+                &bw3,
+                &BatchExt::none(),
+                [JobSpec::from(&job_b)],
+                &mut FixedOrder,
+                Trace::Off,
+            );
+            assert_eq!(
+                b,
+                run_batch(3, &bw3, std::slice::from_ref(&job_b), &mut FixedOrder).makespan()
+            );
+        }
+    }
+
+    /// The fast path's [`DimUsage`] accumulators agree with the trace
+    /// path's interval vectors: same total busy time, same span ends, same
+    /// stage count — without storing any interval.
+    #[test]
+    fn dim_usage_matches_trace_intervals() {
+        let bw = [25.0, 5.0];
+        let span = span2();
+        let job = CollectiveJob {
+            collective: Collective::AllReduce,
+            bytes: 4e9,
+            span,
+            chunks: 8,
+            release: 0,
+        };
+        let traced = run_batch(2, &bw, std::slice::from_ref(&job), &mut FixedOrder);
+        let mut scratch = EngineScratch::new();
+        scratch.run_jobs(
+            2,
+            &bw,
+            &BatchExt::none(),
+            [JobSpec::from(&job)],
+            &mut FixedOrder,
+            Trace::Off,
+        );
+        for (d, usage) in scratch.dim_usages().enumerate() {
+            let intervals = &traced.per_dim_busy[d];
+            let busy: Time = intervals.iter().map(|(s, e)| e - s).sum();
+            assert_eq!(usage.busy_ps, busy, "dim {d} busy");
+            assert_eq!(usage.stages, intervals.len(), "dim {d} stages");
+            assert_eq!(usage.first_start, intervals.first().map_or(0, |&(s, _)| s));
+            assert_eq!(usage.last_end, intervals.last().map_or(0, |&(_, e)| e));
+        }
+        // And under Trace::Full the arena records both views at once.
+        scratch.run_jobs(
+            2,
+            &bw,
+            &BatchExt::none(),
+            [JobSpec::from(&job)],
+            &mut FixedOrder,
+            Trace::Full,
+        );
+        assert_eq!(scratch.records(), traced.records.as_slice());
+    }
+
+    /// [`FixedOrder`] opts out of option construction; a scheduler using the
+    /// default `needs_options` still sees the full option list.
+    #[test]
+    fn needs_options_default_preserves_option_driven_schedulers() {
+        struct LastFirst;
+        impl ChunkScheduler for LastFirst {
+            fn choose(&mut self, _c: usize, _n: Time, options: &[StageOption]) -> usize {
+                options.len() - 1
+            }
+        }
+        assert!(!FixedOrder.needs_options());
+        assert!(LastFirst.needs_options());
+        let bw = [10.0, 10.0];
+        let span = span2();
+        let res = run_collective(2, &bw, Collective::ReduceScatter, 2e9, &span, 1, &mut LastFirst);
+        // LastFirst visits dim 1 before dim 0.
+        let seq: Vec<usize> = res.records.iter().map(|r| r.dim).collect();
+        assert_eq!(seq, vec![1, 0]);
     }
 }

@@ -128,6 +128,14 @@ impl<E> EventQueue<E> {
     pub fn len(&self) -> usize {
         self.heap.len()
     }
+
+    /// Drops all pending events and resets the FIFO sequence counter, so a
+    /// reused queue orders identical event batches identically regardless
+    /// of what ran through it before. Keeps the heap's allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+    }
 }
 
 impl<E> Default for EventQueue<E> {

@@ -36,7 +36,8 @@ pub mod training;
 
 pub use backend::{eval_plan_on_engine, EventSimBackend};
 pub use collective::{
-    run_batch_ext, run_collective, BatchExt, ChunkScheduler, CollectiveResult, FixedOrder,
+    run_batch_ext, run_collective, BatchExt, ChunkScheduler, CollectiveResult, DimUsage,
+    EngineScratch, FixedOrder, JobSpec, Trace,
 };
 pub use event::{ps_to_secs, secs_to_ps, transfer_with_latency_ps, Time};
 pub use training::{simulate_training, TrainingResult, TrainingSimConfig};

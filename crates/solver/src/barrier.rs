@@ -24,6 +24,16 @@ const T_MU: f64 = 20.0;
 const GAP_TOL: f64 = 1e-10;
 const UNBOUNDED_NORM: f64 = 1e14;
 
+/// Presumed relative suboptimality of a warm-start seed: a warm solve
+/// enters the barrier ladder at `t ≈ m / (WARM_GAP · scale)` instead of
+/// `t ≈ 1`, skipping the centering stages a cold solve spends crossing the
+/// gap the seed has already closed. Sweep seeds are rescaled neighboring
+/// optima — for LIBRA's ratio objectives the rescaling is nearly exact, so
+/// the trust is deep; a seed that is actually worse only costs extra
+/// damped-Newton steps in the first stage, never correctness (the stopping
+/// criterion is unchanged, and divergence falls back to more stages).
+const WARM_GAP: f64 = 1e-3;
+
 /// An affine expression `βᵀz + α` over reduced variables.
 #[derive(Debug, Clone, Default)]
 struct Affine {
@@ -404,11 +414,16 @@ fn center(
     Ok(MAX_NEWTON_PER_STAGE)
 }
 
-/// Full barrier loop from a strictly feasible starting point.
+/// Full barrier loop from a strictly feasible starting point. `warm` marks
+/// the start as a near-optimal seed (see [`WARM_GAP`]): the ladder begins
+/// several rungs up, with the same duality-gap stopping criterion, so the
+/// answer matches a cold solve to within solver tolerance while spending
+/// far fewer Newton iterations.
 fn barrier_loop(
     nlp: &Nlp,
     mut z: Vec<f64>,
     early_stop: EarlyStop<'_>,
+    warm: bool,
 ) -> Result<(Vec<f64>, usize), SolverError> {
     let m = nlp.cons.len().max(1) as f64;
     let mut t = 1.0f64;
@@ -416,6 +431,15 @@ fn barrier_loop(
     let obj0 = dot(&nlp.objective, &z).abs();
     if obj0 > 1.0 {
         t = (m / obj0).clamp(1e-6, 1.0);
+    }
+    if warm {
+        // Trust the seed — but boundedly: skip two rungs of the ladder,
+        // never past the rung whose duality gap matches [`WARM_GAP`].
+        // Seeds that transfer imperfectly (e.g. compute-floor expressions,
+        // whose optima do not scale with the budget) still converge to the
+        // cold optimum because the remaining ladder is walked normally; a
+        // deeper jump was measured to stall Newton on exactly those seeds.
+        t = (t * T_MU * T_MU).min((m / (WARM_GAP * (1.0 + obj0))).max(t));
     }
     let mut total_iters = 0usize;
     for _ in 0..MAX_BARRIER_STAGES {
@@ -509,7 +533,7 @@ fn phase_one(nlp: &Nlp, z0: &[f64]) -> Result<Vec<f64>, SolverError> {
     let mut zs = z0.to_vec();
     zs.push(worst.max(0.0) + 1.0);
     let stop = |x: &[f64]| x[s_idx] < -1e-9;
-    let (zs, _) = barrier_loop(&aux, zs, Some(&stop))?;
+    let (zs, _) = barrier_loop(&aux, zs, Some(&stop), false)?;
     if zs[s_idx] >= 0.0 {
         return Err(SolverError::Infeasible);
     }
@@ -518,6 +542,19 @@ fn phase_one(nlp: &Nlp, z0: &[f64]) -> Result<Vec<f64>, SolverError> {
 
 /// Entry point used by [`ConvexProblem::solve`].
 pub(crate) fn solve(p: &ConvexProblem) -> Result<Solution, SolverError> {
+    solve_seeded(p, None)
+}
+
+/// Entry point used by [`ConvexProblem::solve_from`]: when `seed` is given
+/// it overrides the problem's suggested start **and** is trusted as
+/// near-optimal, entering the barrier ladder several rungs up (warm
+/// start). An infeasible seed is repaired by phase-I exactly like a cold
+/// start, so warm solves are never less robust — only cheaper when the
+/// seed is good.
+pub(crate) fn solve_seeded(
+    p: &ConvexProblem,
+    seed: Option<&[f64]>,
+) -> Result<Solution, SolverError> {
     let (nlp, sub) = lower(p)?;
     if nlp.n == 0 {
         // Everything was pinned by equalities; just validate feasibility.
@@ -529,12 +566,16 @@ pub(crate) fn solve(p: &ConvexProblem) -> Result<Solution, SolverError> {
     }
     // Map the heuristic start into reduced space via least squares
     // z0 = argmin ‖x_p + N z − x0‖.
-    let x0 = initial_guess(p);
+    let warm = matches!(seed, Some(s) if s.len() == p.n_vars());
+    let x0 = match seed {
+        Some(s) if s.len() == p.n_vars() => s.to_vec(),
+        _ => initial_guess(p),
+    };
     let mut z0 = reduce_start(&sub, &x0, nlp.n)?;
     enter_domain(&nlp, &mut z0)?;
     let strictly_feasible = nlp.cons.iter().all(|gc| gc.eval(&z0) < -1e-9);
     let z_start = if strictly_feasible { z0 } else { phase_one(&nlp, &z0)? };
-    let (z, iters) = barrier_loop(&nlp, z_start, None)?;
+    let (z, iters) = barrier_loop(&nlp, z_start, None, warm && strictly_feasible)?;
     let x = sub.recover(&z);
     Ok(Solution { x: x.clone(), objective: p.objective_at(&x), newton_iters: iters })
 }
@@ -679,6 +720,56 @@ mod tests {
         p.minimize(&[(0, -1.0)]);
         p.set_lower(0, 0.0);
         assert_eq!(p.solve().unwrap_err(), SolverError::Unbounded);
+    }
+
+    /// Warm-starting from (a perturbation of) the cold optimum reproduces
+    /// the optimum within solver tolerance while spending fewer Newton
+    /// iterations — the sweep-engine seeding contract.
+    #[test]
+    fn warm_start_converges_with_fewer_iterations() {
+        let mut p = ConvexProblem::new(3);
+        p.minimize(&[(2, 1.0)]);
+        p.add_ratio_le(RatioTerm::new(vec![(0, 8.0)]).minus_var(2));
+        p.add_ratio_le(RatioTerm::new(vec![(1, 2.0)]).minus_var(2));
+        p.add_lin_le(&[(0, 1.0), (1, 1.0)], 10.0);
+        p.set_lower(0, 1e-3).set_lower(1, 1e-3);
+        let cold = p.solve().unwrap();
+        // Seed ~0.1% off the optimum, epigraph kept strictly feasible.
+        let seed = vec![cold.x[0] * 0.999, cold.x[1] * 1.001, cold.x[2] * 1.001 + 1e-6];
+        let warm = p.solve_from(&seed).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() <= 1e-6 * (1.0 + cold.objective.abs()),
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        for (w, c) in warm.x.iter().zip(&cold.x) {
+            assert!((w - c).abs() < 1e-3, "warm {:?} vs cold {:?}", warm.x, cold.x);
+        }
+        assert!(
+            warm.newton_iters < cold.newton_iters,
+            "warm start should save iterations: {} vs {}",
+            warm.newton_iters,
+            cold.newton_iters
+        );
+    }
+
+    /// An infeasible warm seed is repaired by phase-I — warm starting never
+    /// loses robustness.
+    #[test]
+    fn bad_warm_seed_is_repaired() {
+        let mut p = ConvexProblem::new(3);
+        p.minimize(&[(2, 1.0)]);
+        p.add_ratio_le(RatioTerm::new(vec![(0, 4.0), (1, 1.0)]).minus_var(2));
+        p.add_lin_le(&[(0, 1.0), (1, 1.0)], 10.0);
+        p.set_lower(0, 1e-3).set_lower(1, 1e-3);
+        // Violates the budget row and carries a hopeless epigraph value.
+        let warm = p.solve_from(&[50.0, 50.0, 0.0]).unwrap();
+        let cold = p.solve().unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-4);
+        // A wrong-length seed silently falls back to the cold heuristics.
+        let ignored = p.solve_from(&[1.0]).unwrap();
+        assert!((ignored.objective - cold.objective).abs() < 1e-4);
     }
 
     /// Upper bounds interact with ratio objectives.

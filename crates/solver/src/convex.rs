@@ -243,7 +243,10 @@ impl ConvexProblem {
         (&self.ratio_cons, &self.lin_ineq, &self.lin_eq, &self.lower, &self.upper)
     }
 
-    pub(crate) fn guess(&self) -> Option<&[f64]> {
+    /// The suggested starting point, if any (what
+    /// [`ConvexProblem::suggest_start`] installed) — callers composing a
+    /// warm start from a compiled guess read it back through here.
+    pub fn guess(&self) -> Option<&[f64]> {
         self.initial_guess.as_deref()
     }
 
@@ -279,6 +282,32 @@ impl ConvexProblem {
     pub fn solve(&self) -> Result<Solution, SolverError> {
         self.validate()?;
         barrier::solve(self)
+    }
+
+    /// Solves the problem **warm-started** from `x0` — the seed API used
+    /// by design-space sweeps, where neighboring grid points differ in one
+    /// axis and the previous optimum is an excellent start.
+    ///
+    /// `x0` overrides any [`ConvexProblem::suggest_start`] suggestion and
+    /// is additionally trusted as near-optimal: the interior-point ladder
+    /// starts at a high barrier weight, skipping the centering stages a
+    /// cold solve spends closing a gap the seed already closed. The
+    /// stopping criterion (duality gap) is identical to [`solve`], so the
+    /// returned optimum agrees with a cold solve to within solver
+    /// tolerance — warm starting changes the path, never the target. A bad
+    /// or infeasible seed degrades gracefully: phase-I repairs it and the
+    /// solve proceeds cold.
+    ///
+    /// A seed of the wrong length is ignored (falls back to the cold
+    /// heuristics).
+    ///
+    /// # Errors
+    /// See [`ConvexProblem::solve`].
+    ///
+    /// [`solve`]: ConvexProblem::solve
+    pub fn solve_from(&self, x0: &[f64]) -> Result<Solution, SolverError> {
+        self.validate()?;
+        barrier::solve_seeded(self, Some(x0))
     }
 
     /// Evaluates the linear objective at `x`.

@@ -1,0 +1,187 @@
+//! Determinism contract of the allocation-free chunk-engine fast path: the
+//! scratch arena with [`Trace::Off`] must be **bit identical** to the fully
+//! instrumented trace path — on the hand-computed golden timelines and
+//! across a 60-point cross-validated design-space sweep.
+//!
+//! The fast path and the trace path share one event loop, so any
+//! divergence here means the refactor changed scheduling semantics, not
+//! just instrumentation.
+
+use libra::core::comm::{Collective, CommModel, GroupSpan};
+use libra::core::cost::CostModel;
+use libra::core::eval::{validate_plan, Analytical, CommPlan, EvalBackend};
+use libra::core::network::NetworkShape;
+use libra::core::opt::Objective;
+use libra::core::sweep::{CrossValidation, FnWorkload, SweepEngine, SweepGrid, SweepWorkload};
+use libra::core::workload::CommOp;
+use libra::core::LibraError;
+use libra::sim::collective::{
+    run_batch_ext, run_collective, BatchExt, CollectiveJob, EngineScratch, FixedOrder, JobSpec,
+    Trace,
+};
+use libra::sim::event::ps_to_secs;
+use libra::sim::EventSimBackend;
+
+/// The pre-optimization engine, preserved verbatim as a test oracle: every
+/// phase builds owned [`CollectiveJob`]s (span clones included) and runs
+/// the fully instrumented trace path on a fresh arena — exactly what
+/// `EventSimBackend::eval_plan` did before the scratch fast path existed.
+struct TracePathEventSim {
+    chunks: usize,
+}
+
+impl EvalBackend for TracePathEventSim {
+    fn name(&self) -> &str {
+        "event-sim-trace-path"
+    }
+
+    fn eval_plan(&self, n_dims: usize, bw: &[f64], plan: &CommPlan) -> Result<f64, LibraError> {
+        validate_plan(n_dims, bw, plan)?;
+        let mut total = 0.0f64;
+        for phase in &plan.phases {
+            if phase.repeat == 0 {
+                continue;
+            }
+            let jobs: Vec<CollectiveJob> = phase
+                .ops
+                .iter()
+                .filter(|op| op.bytes > 0.0 && !op.span.is_trivial())
+                .map(|op| CollectiveJob {
+                    collective: op.collective,
+                    bytes: op.bytes,
+                    span: op.span.clone(),
+                    chunks: self.chunks,
+                    release: 0,
+                })
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            let res = run_batch_ext(n_dims, bw, &BatchExt::none(), &jobs, &mut FixedOrder);
+            total += phase.repeat as f64 * ps_to_secs(res.makespan());
+        }
+        Ok(total)
+    }
+}
+
+/// Fig. 9 golden timeline: the fast path reproduces the trace path's
+/// pinned makespan and finish times bit-for-bit, while collecting nothing.
+#[test]
+fn fast_path_matches_fig9_golden_timeline() {
+    const G: u64 = 1_000_000_000;
+    let span = GroupSpan::new(vec![(0, 4), (1, 2)]);
+    let traced =
+        run_collective(2, &[10.0, 10.0], Collective::AllReduce, 4e9, &span, 2, &mut FixedOrder);
+    assert_eq!(traced.makespan(), 600 * G, "golden timeline moved — not a fast-path issue");
+
+    let mut scratch = EngineScratch::new();
+    let makespan = scratch.run_jobs(
+        2,
+        &[10.0, 10.0],
+        &BatchExt::none(),
+        [JobSpec {
+            collective: Collective::AllReduce,
+            bytes: 4e9,
+            span: &span,
+            chunks: 2,
+            release: 0,
+        }],
+        &mut FixedOrder,
+        Trace::Off,
+    );
+    assert_eq!(makespan, 600 * G);
+    assert_eq!(scratch.finish_times(), traced.finish.as_slice());
+    assert!(scratch.records().is_empty());
+    // The O(1) usage accumulators agree with the golden busy intervals:
+    // dim 0 streams continuously 0 → 600 G, dim 1 serves 4 × 25 G stages.
+    let usages: Vec<_> = scratch.dim_usages().collect();
+    assert_eq!(usages[0].busy_ps, 600 * G);
+    assert_eq!((usages[0].first_start, usages[0].last_end), (0, 600 * G));
+    assert_eq!(usages[1].busy_ps, 100 * G);
+    assert_eq!(usages[1].stages, 4);
+}
+
+/// 2-node-ring α-β golden: with per-stage overhead the fast path still
+/// matches the trace path exactly (0.24 s = analytical 0.2 s + 4 α).
+#[test]
+fn fast_path_matches_two_node_ring_alpha_beta_golden() {
+    let span = GroupSpan::new(vec![(0, 2)]);
+    let alpha_ps = 10_000_000_000; // 10 ms per ring stage
+    let ext = BatchExt { stage_overhead_ps: vec![alpha_ps], offload_dims: vec![] };
+    let job = CollectiveJob {
+        collective: Collective::AllReduce,
+        bytes: 2e9,
+        span: span.clone(),
+        chunks: 2,
+        release: 0,
+    };
+    let traced = run_batch_ext(1, &[10.0], &ext, std::slice::from_ref(&job), &mut FixedOrder);
+    assert!((ps_to_secs(traced.makespan()) - 0.24).abs() < 1e-12, "α-β golden moved");
+
+    let mut scratch = EngineScratch::new();
+    let makespan =
+        scratch.run_jobs(1, &[10.0], &ext, [JobSpec::from(&job)], &mut FixedOrder, Trace::Off);
+    assert_eq!(makespan, traced.makespan());
+    assert_eq!(scratch.finish_times(), traced.finish.as_slice());
+}
+
+/// A 60-point cross-validated sweep prices every grid point under the new
+/// scratch-arena backend and the preserved trace-path oracle at **zero
+/// tolerance**: all 60 comparisons must agree bit-for-bit.
+#[test]
+fn sixty_point_sweep_fast_path_is_bit_identical_to_trace_path() {
+    let allreduce = |name: &'static str, gb: f64| {
+        FnWorkload::new(name, move |shape: &NetworkShape| {
+            let comm = CommModel::default();
+            Ok(vec![(
+                1.0,
+                comm.time_expr(Collective::AllReduce, gb * 1e9, &GroupSpan::full(shape)),
+            )])
+        })
+        .with_plan(move |shape: &NetworkShape| {
+            Ok(CommPlan::serial([CommOp::new(
+                Collective::AllReduce,
+                gb * 1e9,
+                GroupSpan::full(shape),
+            )]))
+        })
+    };
+    let grid = SweepGrid::new()
+        .with_shape("RI(4)_SW(8)".parse().unwrap())
+        .with_shape("FC(8)_SW(4)".parse().unwrap())
+        .with_shape("RI(4)_FC(4)_SW(4)".parse().unwrap())
+        .with_budgets([100.0, 250.0, 400.0, 550.0, 700.0])
+        .with_objectives([Objective::Perf, Objective::PerfPerCost]);
+    let wls = [allreduce("ar-2g", 2.0), allreduce("ar-8g", 8.0)];
+    assert_eq!(grid.len(wls.len()), 60);
+
+    let fast = EventSimBackend::new(16);
+    let trace = TracePathEventSim { chunks: 16 };
+    let cm = CostModel::default();
+    let cv = CrossValidation::new(&trace, &fast).with_tolerance(0.0);
+    let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
+    assert!(report.sweep.errors.is_empty());
+    assert!(report.divergence.backend_errors.is_empty());
+    assert_eq!(report.divergence.points.len(), 60);
+    for p in &report.divergence.points {
+        assert_eq!(
+            p.baseline_secs.to_bits(),
+            p.reference_secs.to_bits(),
+            "fast path diverged from trace path at {:?}: {} vs {}",
+            p.point,
+            p.baseline_secs,
+            p.reference_secs
+        );
+    }
+    assert_eq!(report.divergence.max_rel_error(), 0.0);
+    assert!(report.divergence.within_tolerance());
+
+    // Sanity: the trace-path oracle itself brackets the analytical model —
+    // i.e. it really is the old backend, not a stub.
+    let ana = Analytical::new();
+    let plan = wls[0].comm_plan(&grid.shapes()[0]).unwrap().unwrap();
+    let bw = [50.0, 50.0];
+    let t_trace = trace.eval_plan(2, &bw, &plan).unwrap();
+    let t_ana = ana.eval_plan(2, &bw, &plan).unwrap();
+    assert!(t_trace >= t_ana * (1.0 - 1e-12));
+}
