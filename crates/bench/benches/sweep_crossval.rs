@@ -1,15 +1,16 @@
 //! Criterion benchmark of cross-validated sweeps: the analytical-only
 //! design-space sweep vs the same grid with every point additionally
-//! priced by both the analytical and event-driven backends
-//! (`SweepEngine::run_cross_validated`), quantifying what continuous
-//! model validation costs on top of the search itself.
+//! priced by both the analytical and event-driven backends (a two-backend
+//! `Session::run`), quantifying what continuous model validation costs on
+//! top of the search itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use libra_bench::sweep::{SweepEngine, SweepGrid};
-use libra_bench::{sweep_workloads, CrossValidation, EventSimBackend};
+use libra_bench::{sweep_workloads, EventSimBackend, Session};
 use libra_core::cost::CostModel;
 use libra_core::eval::Analytical;
+use libra_core::eval::EvalBackend;
 use libra_core::opt::Objective;
 use libra_core::presets;
 use libra_workloads::zoo::PaperModel;
@@ -29,31 +30,31 @@ fn bench_crossval(c: &mut Criterion) {
     let points = grid.len(workloads.len());
     let analytical = Analytical::new();
     let event_sim = EventSimBackend::default();
-    let cv = CrossValidation::new(&analytical, &event_sim);
+    let backends: [&dyn EvalBackend; 2] = [&analytical, &event_sim];
 
     let mut g = c.benchmark_group("sweep_crossval");
     g.sample_size(10);
     // Fresh engine per iteration: both paths pay full solver cost.
     g.bench_with_input(BenchmarkId::new("analytical_only", points), &points, |b, _| {
         b.iter(|| {
-            let report = SweepEngine::new(&cm).run(&grid, &workloads);
+            let report = Session::new(&cm).run(&grid, &workloads, &[]).sweep;
             assert_eq!(report.results.len(), points);
             report
         })
     });
     g.bench_with_input(BenchmarkId::new("cross_validated", points), &points, |b, _| {
         b.iter(|| {
-            let report = SweepEngine::new(&cm).run_cross_validated(&grid, &workloads, &cv);
-            assert_eq!(report.divergence.points.len(), points);
+            let report = Session::new(&cm).run(&grid, &workloads, &backends);
+            assert_eq!(report.divergence.pairs[0].points.len(), points);
             assert!(report.divergence.within_tolerance(), "{}", report.divergence.summary());
             report
         })
     });
     // Warm cache: designs are memoized, so the delta is pure backend cost.
     let warm = SweepEngine::new(&cm);
-    warm.run(&grid, &workloads);
+    Session::over(&warm).run(&grid, &workloads, &[]);
     g.bench_with_input(BenchmarkId::new("cross_validated_warm", points), &points, |b, _| {
-        b.iter(|| warm.run_cross_validated(&grid, &workloads, &cv))
+        b.iter(|| Session::over(&warm).run(&grid, &workloads, &backends))
     });
     g.finish();
 }

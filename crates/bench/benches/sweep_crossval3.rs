@@ -1,18 +1,16 @@
 //! Criterion benchmark of three-way cross-validated sweeps: the two-way
 //! Analytical/EventSim validation vs the same grid with every point
-//! additionally priced by the network-layer α-β backend
-//! (`SweepEngine::run_cross_validated3`), quantifying what the third
-//! backend costs on top of continuous two-way validation.
+//! additionally priced by the network-layer α-β backend (a three-backend
+//! `Session::run`), quantifying what the third backend costs on top of
+//! continuous two-way validation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use libra_bench::sweep::{SweepEngine, SweepGrid};
-use libra_bench::{
-    sweep_workloads_with_link, CrossValidation, CrossValidation3, EventSimBackend, LinkParams,
-    NetSimBackend,
-};
+use libra_bench::{sweep_workloads_with_link, EventSimBackend, LinkParams, NetSimBackend, Session};
 use libra_core::cost::CostModel;
 use libra_core::eval::Analytical;
+use libra_core::eval::EvalBackend;
 use libra_core::opt::Objective;
 use libra_core::presets;
 use libra_workloads::zoo::PaperModel;
@@ -35,20 +33,20 @@ fn bench_crossval3(c: &mut Criterion) {
     let analytical = Analytical::new();
     let event_sim = EventSimBackend::default();
     let net_sim = NetSimBackend::default();
-    let cv2 = CrossValidation::new(&analytical, &event_sim);
-    let cv3 = CrossValidation3::new(&analytical, &event_sim, &net_sim);
+    let two: [&dyn EvalBackend; 2] = [&analytical, &event_sim];
+    let three: [&dyn EvalBackend; 3] = [&analytical, &event_sim, &net_sim];
 
     let mut g = c.benchmark_group("sweep_crossval3");
     g.sample_size(10);
     // Warm cache: designs are memoized, so the delta is pure backend cost.
     let warm = SweepEngine::new(&cm);
-    warm.run(&grid, &workloads);
+    Session::over(&warm).run(&grid, &workloads, &[]);
     g.bench_with_input(BenchmarkId::new("two_way_warm", points), &points, |b, _| {
-        b.iter(|| warm.run_cross_validated(&grid, &workloads, &cv2))
+        b.iter(|| Session::over(&warm).run(&grid, &workloads, &two))
     });
     g.bench_with_input(BenchmarkId::new("three_way_warm", points), &points, |b, _| {
         b.iter(|| {
-            let report = warm.run_cross_validated3(&grid, &workloads, &cv3);
+            let report = Session::over(&warm).run(&grid, &workloads, &three);
             assert_eq!(report.divergence.pairs.len(), 3);
             report
         })

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use libra_bench::sweep::{SweepEngine, SweepGrid};
-use libra_bench::sweep_workloads;
+use libra_bench::sweep::{ExecMode, SweepEngine, SweepGrid};
+use libra_bench::{sweep_workloads, Session};
 use libra_core::cost::CostModel;
 use libra_core::opt::Objective;
 use libra_core::presets;
@@ -32,24 +32,25 @@ fn bench_sweep(c: &mut Criterion) {
     // Fresh engine per iteration: both paths pay full solver cost.
     g.bench_with_input(BenchmarkId::new("serial", points), &points, |b, _| {
         b.iter(|| {
-            let report = SweepEngine::new(&cm).run_serial(&grid, &workloads);
+            let report =
+                Session::new(&cm).with_mode(ExecMode::Serial).run(&grid, &workloads, &[]).sweep;
             assert_eq!(report.results.len(), points);
             report
         })
     });
     g.bench_with_input(BenchmarkId::new("parallel", points), &points, |b, _| {
         b.iter(|| {
-            let report = SweepEngine::new(&cm).run(&grid, &workloads);
+            let report = Session::new(&cm).run(&grid, &workloads, &[]).sweep;
             assert_eq!(report.results.len(), points);
             report
         })
     });
     // Shared engine: after the first fill the sweep is pure cache traffic.
     let warm = SweepEngine::new(&cm);
-    warm.run(&grid, &workloads);
+    Session::over(&warm).run(&grid, &workloads, &[]);
     g.bench_with_input(BenchmarkId::new("parallel_warm_cache", points), &points, |b, _| {
         b.iter(|| {
-            let report = warm.run(&grid, &workloads);
+            let report = Session::over(&warm).run(&grid, &workloads, &[]).sweep;
             assert_eq!(report.results.len(), points);
             report
         })

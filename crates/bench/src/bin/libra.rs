@@ -1,0 +1,192 @@
+//! `libra` — the scenario-first command line for the design-space engine.
+//!
+//! Scenario files (see `scenarios/` in the repository root and the
+//! "Scenario files & CLI" section of the README) describe a sweep as
+//! data: shapes × budgets × objectives, Table II workload names, backend
+//! names, link parameters, and policies. This binary executes them:
+//!
+//! ```text
+//! libra list-backends
+//! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
+//! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
+//! ```
+//!
+//! * `sweep` runs the design-space grid without backend pricing (the
+//!   scenario's `backends` list is ignored).
+//! * `crossval` prices every grid point under each of the scenario's
+//!   backends (two or more required) and reports pairwise divergence.
+//! * `--jsonl PATH` streams per-point records as JSON-lines to `PATH`
+//!   (`-` for stdout, which implies `--quiet`); the stream is
+//!   bit-identical across runs and machines-with-identical-libm, which
+//!   is what the CI golden diff pins.
+//! * `--serial` uses the serial reference fold (bit-identical to the
+//!   default rayon fan-out by the engine's determinism contract).
+//!
+//! Exit codes: `0` success (and, for `crossval`, all pairs within
+//! tolerance); `1` usage, I/O, or scenario errors; `2` a `crossval` run
+//! whose backends diverged beyond the scenario's tolerance.
+
+use std::io::Write;
+
+use libra_bench::{default_registry, scenario_workloads, ExecMode, Scenario};
+use libra_core::cost::CostModel;
+use libra_core::scenario::{ConsoleTableSink, JsonLinesSink, ReportSink};
+use libra_core::LibraError;
+
+const USAGE: &str = "\
+libra — scenario-first front door for the LIBRA design-space engine
+
+USAGE:
+    libra list-backends
+    libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
+    libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
+
+EXIT CODES:
+    0  success (crossval: every backend pair within tolerance)
+    1  usage, I/O, or scenario error
+    2  crossval divergence beyond the scenario's tolerance
+";
+
+struct Options {
+    scenario_path: String,
+    serial: bool,
+    quiet: bool,
+    jsonl: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut scenario_path = None;
+    let mut serial = false;
+    let mut quiet = false;
+    let mut jsonl = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--serial" => serial = true,
+            "--quiet" => quiet = true,
+            "--jsonl" => {
+                let path = it.next().filter(|p| *p == "-" || !p.starts_with("--"));
+                jsonl = Some(path.ok_or_else(|| "--jsonl requires a path".to_string())?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            path => {
+                if scenario_path.replace(path.to_string()).is_some() {
+                    return Err("more than one scenario file given".to_string());
+                }
+            }
+        }
+    }
+    let scenario_path = scenario_path.ok_or_else(|| "missing scenario file".to_string())?;
+    // Interleaving records with the table on one stream would corrupt both.
+    if jsonl.as_deref() == Some("-") {
+        quiet = true;
+    }
+    Ok(Options { scenario_path, serial, quiet, jsonl })
+}
+
+fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
+    let mut scenario = Scenario::load(&opts.scenario_path)?;
+    if !validate {
+        scenario.backends.clear();
+    } else if scenario.backends.len() < 2 {
+        return Err(LibraError::BadRequest(format!(
+            "crossval needs at least two backends; scenario {:?} names {}",
+            scenario.name,
+            scenario.backends.len()
+        )));
+    }
+    let workloads = scenario_workloads(&scenario)?;
+    let registry = default_registry();
+    let cost_model = CostModel::default();
+    let mut session = scenario.session(&cost_model);
+    if opts.serial {
+        session = session.with_mode(ExecMode::Serial);
+    }
+
+    let mut console = (!opts.quiet).then(|| ConsoleTableSink::new(std::io::stdout().lock()));
+    let mut jsonl = match &opts.jsonl {
+        None => None,
+        Some(path) => {
+            let out: Box<dyn Write> =
+                if path == "-" {
+                    Box::new(std::io::stdout().lock())
+                } else {
+                    Box::new(std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| {
+                        LibraError::BadRequest(format!("cannot create {path}: {e}"))
+                    })?))
+                };
+            Some(JsonLinesSink::new(out))
+        }
+    };
+    let mut sinks: Vec<&mut dyn ReportSink> = Vec::new();
+    if let Some(c) = console.as_mut() {
+        sinks.push(c);
+    }
+    if let Some(j) = jsonl.as_mut() {
+        sinks.push(j);
+    }
+
+    let report = session.run_scenario_with_sinks(&scenario, &workloads, &registry, &mut sinks)?;
+    // Every grid point streams one record — failed points included.
+    let records = report.sweep.results.len() + report.sweep.errors.len();
+    if let Some(j) = jsonl {
+        let mut out = j.into_inner();
+        out.flush().map_err(|e| LibraError::BadRequest(format!("flushing JSON-lines: {e}")))?;
+        if let Some(path) = opts.jsonl.as_deref().filter(|p| *p != "-") {
+            eprintln!("libra: wrote {records} records to {path}");
+        }
+    }
+    let stats = session.engine().cache_stats();
+    eprintln!(
+        "libra: {records} grid points ({} solved, {} errors); cache: {} solves ({} hits, {} warm-seeded)",
+        report.sweep.results.len(),
+        report.sweep.errors.len(),
+        stats.design_misses,
+        stats.design_hits,
+        stats.warm_seeded,
+    );
+    if validate {
+        for line in report.divergence.summary().lines() {
+            eprintln!("libra: {line}");
+        }
+        if !report.divergence.within_tolerance() {
+            eprintln!("libra: FAIL — divergence beyond tolerance {}", session.tolerance());
+            return Ok(2);
+        }
+    }
+    Ok(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list-backends") => {
+            for name in default_registry().names() {
+                println!("{name}");
+            }
+            0
+        }
+        Some(cmd @ ("sweep" | "crossval")) => match parse_options(&args[1..]) {
+            Err(msg) => {
+                eprintln!("libra {cmd}: {msg}\n\n{USAGE}");
+                1
+            }
+            Ok(opts) => match run(cmd == "crossval", &opts) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("libra {cmd}: {e}");
+                    1
+                }
+            },
+        },
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            i32::from(args.is_empty())
+        }
+        Some(other) => {
+            eprintln!("libra: unknown command {other:?}\n\n{USAGE}");
+            1
+        }
+    };
+    std::process::exit(code);
+}

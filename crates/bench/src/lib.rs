@@ -19,13 +19,45 @@ use libra_workloads::zoo::{workload_for, PaperModel};
 
 pub use libra_core::eval;
 pub use libra_core::eval::{LinkParams, NetSpec};
+pub use libra_core::scenario;
+pub use libra_core::scenario::{
+    BackendConfig, BackendRegistry, DivergenceMatrix, ReportSink, Scenario, Session, SessionReport,
+};
 pub use libra_core::sweep;
 pub use libra_core::sweep::{
     CrossValidated3Report, CrossValidatedReport, CrossValidation, CrossValidation3,
-    Divergence3Report, DivergenceReport,
+    Divergence3Report, DivergenceReport, ExecMode,
 };
-pub use libra_net::NetSimBackend;
+pub use libra_net::{default_registry, NetSimBackend};
 pub use libra_sim::EventSimBackend;
+
+/// Resolves a [`Scenario`]'s workload names into Table II sweep
+/// workloads, attaching the scenario's α-β link parameters (when given)
+/// so `net-sim` backends have a [`NetSpec`] to price.
+///
+/// # Errors
+/// [`LibraError::BadRequest`] naming the known paper models when a
+/// workload name does not resolve.
+pub fn scenario_workloads(scenario: &Scenario) -> Result<Vec<sweep::FnWorkload>, LibraError> {
+    scenario
+        .workloads
+        .iter()
+        .map(|name| {
+            let model = PaperModel::by_name(name).ok_or_else(|| {
+                let known: Vec<&str> =
+                    PaperModel::all().into_iter().map(PaperModel::name).collect();
+                LibraError::BadRequest(format!(
+                    "unknown workload {name:?}; known paper models: {}",
+                    known.join(", ")
+                ))
+            })?;
+            Ok(match scenario.link {
+                Some(link) => sweep_workload_with_link(model, link),
+                None => sweep_workload(model),
+            })
+        })
+        .collect()
+}
 
 /// Wraps a Table II paper model as a [`sweep::SweepWorkload`]
 /// (no-overlap training loop, default comm model — the paper's setup).
@@ -262,6 +294,32 @@ mod tests {
         let plain = sweep_workload(PaperModel::TuringNlg).comm_plan(&shape).unwrap().unwrap();
         assert_eq!(plan.phases, plain.phases);
         assert_eq!(plain.net, None);
+    }
+
+    #[test]
+    fn default_registry_and_scenario_workloads_resolve() {
+        use libra_core::opt::Objective;
+        use libra_core::sweep::SweepWorkload;
+        let registry = default_registry();
+        for name in ["analytical", "analytical-offload", "event-sim", "net-sim", "net-sim-offload"]
+        {
+            assert!(registry.contains(name), "registry is missing {name}");
+        }
+        let scenario = Scenario::builder("t")
+            .with_shape(presets::topo_3d_512())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workloads(["turing_nlg", "GPT-3"])
+            .with_link(LinkParams::latency(1e4))
+            .build()
+            .unwrap();
+        let wls = scenario_workloads(&scenario).unwrap();
+        assert_eq!(wls.len(), 2);
+        assert_eq!(wls[0].name(), "Turing-NLG");
+        let plan = wls[0].comm_plan(&presets::topo_3d_512()).unwrap().unwrap();
+        assert!(plan.net.is_some(), "link-carrying scenarios attach NetSpecs");
+        let missing = scenario_workloads(&Scenario { workloads: vec!["LLaMA".into()], ..scenario });
+        assert!(missing.unwrap_err().to_string().contains("known paper models"));
     }
 
     #[test]

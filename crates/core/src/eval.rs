@@ -13,8 +13,9 @@
 //!   traffic_i / B_i` — exactly the model [`crate::opt::evaluate`] prices).
 //!
 //! The event-driven counterpart (`EventSimBackend`) lives in `libra-sim`,
-//! which depends on this crate; `SweepEngine::run_cross_validated` compares
-//! any two backends over a full design grid and reports their divergence.
+//! which depends on this crate; a [`crate::scenario::Session`] compares
+//! any number of backends over a full design grid and reports every
+//! pairwise divergence.
 //!
 //! # Adding a new backend
 //!
@@ -378,7 +379,7 @@ impl Analytical {
 impl EvalBackend for Analytical {
     fn name(&self) -> &str {
         if self.in_network_offload {
-            "analytical+offload"
+            "analytical-offload"
         } else {
             "analytical"
         }
@@ -614,7 +615,7 @@ mod tests {
         let bw = [10.0, 10.0];
         let plain = Analytical::new().eval_plan(2, &bw, &plan).unwrap();
         let off = Analytical { in_network_offload: true };
-        assert_eq!(off.name(), "analytical+offload");
+        assert_eq!(off.name(), "analytical-offload");
         let t = off.eval_plan(2, &bw, &plan).unwrap();
         assert!(t < plain);
         // Offloaded: dim0 carries m = 1 GB → 0.1 s; dim1 carries m/4 → 0.025.

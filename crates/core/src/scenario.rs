@@ -1,0 +1,1961 @@
+//! Scenario-first front door: one declarative problem description, any
+//! number of evaluation backends, streaming result sinks.
+//!
+//! The sweep surface used to grow one entry point per backend count
+//! (`run`, `run_cross_validated`, `run_cross_validated3`, each with a
+//! `_serial` twin). This module replaces that accretion with a single
+//! scenario-shaped API, mirroring how the paper itself frames its
+//! experiments — one workload/topology grid priced by interchangeable
+//! models:
+//!
+//! * [`Scenario`] (built by [`ScenarioBuilder`]) is the declarative
+//!   description: shapes × budgets × objectives, workload names, optional
+//!   α-β link parameters, backend names, chunking, tolerance, and
+//!   warm-start policy. Scenarios are **data**: they round-trip through a
+//!   hand-rolled JSON file format ([`Scenario::to_json`] /
+//!   [`Scenario::from_json`]), which is what makes grids shardable across
+//!   processes.
+//! * [`BackendRegistry`] maps backend *names* (`"analytical"`,
+//!   `"analytical-offload"`, plus `"event-sim"` / `"net-sim"` registered
+//!   by `libra-sim` / `libra-net`, plus user registrations) to
+//!   constructors, so a scenario file can name its evaluators.
+//! * [`Session`] executes: [`Session::run`] prices **any number** of
+//!   backends per grid point in one rayon fan-out and reports every
+//!   pairwise disagreement as a [`DivergenceMatrix`]. `N = 0` is a plain
+//!   sweep, `N = 2` is the old two-way cross-validation, `N = 3` the old
+//!   three-way — one code path for all of them.
+//! * [`ReportSink`] streams per-point [`RecordRow`]s out of the run
+//!   (console table, JSON-lines, in-memory collector) instead of forcing
+//!   callers to hold the whole report — the prerequisite for sharded
+//!   grids whose shards aggregate downstream.
+//!
+//! ```
+//! use libra_core::comm::{Collective, CommModel, GroupSpan};
+//! use libra_core::cost::CostModel;
+//! use libra_core::eval::{Analytical, CommPlan};
+//! use libra_core::opt::Objective;
+//! use libra_core::scenario::Session;
+//! use libra_core::sweep::{FnWorkload, SweepGrid};
+//! use libra_core::workload::CommOp;
+//!
+//! let wl = FnWorkload::new("allreduce-1g", |shape| {
+//!     let comm = CommModel::default();
+//!     Ok(vec![(1.0, comm.time_expr(Collective::AllReduce, 1e9, &GroupSpan::full(shape)))])
+//! })
+//! .with_plan(|shape| {
+//!     Ok(CommPlan::serial([CommOp::new(Collective::AllReduce, 1e9, GroupSpan::full(shape))]))
+//! });
+//! let grid = SweepGrid::new()
+//!     .with_shape("RI(8)_SW(4)".parse()?)
+//!     .with_budgets([100.0, 200.0])
+//!     .with_objectives([Objective::Perf]);
+//! let cm = CostModel::default();
+//! let a = Analytical::new();
+//! // One front door, N backends: here N = 2 identical ones.
+//! let report = Session::new(&cm).with_tolerance(0.0).run(&grid, &[wl], &[&a, &a]);
+//! assert_eq!(report.sweep.results.len(), 2);
+//! assert_eq!(report.divergence.pairs.len(), 1);
+//! assert!(report.divergence.within_tolerance());
+//! # Ok::<(), libra_core::LibraError>(())
+//! ```
+
+use std::io::Write;
+
+use crate::cost::CostModel;
+use crate::error::LibraError;
+use crate::eval::{EvalBackend, LinkParams};
+use crate::network::NetworkShape;
+use crate::opt::Objective;
+use crate::sweep::{
+    CrossValidation, DivergenceReport, ExecMode, SweepEngine, SweepError, SweepGrid, SweepReport,
+    SweepResult, SweepWorkload,
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (serde-free, matching the perf harness's hand-rolled style).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Object key order is preserved (scenario files are
+/// written and diffed by humans and CI goldens).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, also accepting the quoted non-finite encodings
+    /// [`json_f64`] emits (`"NaN"`, `"Infinity"`, `"-Infinity"`) — the
+    /// decoder every numeric field uses, so a backend that produced a
+    /// non-finite time still round-trips through the JSON-lines stream
+    /// instead of poisoning re-aggregation.
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON value that parses back **bit-identically**
+/// through [`Json::as_f64`]: finite values use Rust's float `Display`
+/// (the shortest exactly-round-tripping decimal); non-finite values —
+/// which a misbehaving backend can produce, and which cross-validation
+/// must surface rather than drop — are encoded as the quoted strings
+/// `"NaN"` / `"Infinity"` / `"-Infinity"`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v > 0.0 {
+        "\"Infinity\"".to_string()
+    } else {
+        "\"-Infinity\"".to_string()
+    }
+}
+
+struct JsonParser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> JsonParser<'s> {
+    fn parse(input: &'s str) -> Result<Json, LibraError> {
+        let mut p = JsonParser { bytes: input.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, what: &str) -> LibraError {
+        LibraError::BadRequest(format!("invalid JSON at byte {}: {what}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), LibraError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: Json) -> Result<Json, LibraError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, LibraError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, LibraError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| LibraError::BadRequest(format!("invalid JSON number {text:?}")))
+    }
+
+    fn string(&mut self) -> Result<String, LibraError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for scenario
+                            // files; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, LibraError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, LibraError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Objective naming (scenario files speak strings).
+// ---------------------------------------------------------------------------
+
+/// The scenario-file name of an [`Objective`] (`"perf"` /
+/// `"perf-per-cost"`).
+pub fn objective_name(o: Objective) -> &'static str {
+    match o {
+        Objective::Perf => "perf",
+        Objective::PerfPerCost => "perf-per-cost",
+    }
+}
+
+/// Parses an [`Objective`] from its scenario-file name.
+///
+/// # Errors
+/// [`LibraError::BadRequest`] naming the known objectives.
+pub fn objective_from_name(s: &str) -> Result<Objective, LibraError> {
+    match s {
+        "perf" => Ok(Objective::Perf),
+        "perf-per-cost" => Ok(Objective::PerfPerCost),
+        other => Err(LibraError::BadRequest(format!(
+            "unknown objective {other:?}; known objectives: \"perf\", \"perf-per-cost\""
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: the declarative problem description.
+// ---------------------------------------------------------------------------
+
+/// A declarative sweep description: everything a [`Session`] needs except
+/// the workload *implementations* (workloads are referenced by name and
+/// resolved by the caller — `libra-bench` maps Table II model names).
+///
+/// Build with [`Scenario::builder`]; serialize with [`Scenario::to_json`] /
+/// [`Scenario::save`]; parse with [`Scenario::from_json`] /
+/// [`Scenario::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Display name (also echoed into streamed report headers).
+    pub name: String,
+    /// Candidate shapes, in grid order.
+    pub shapes: Vec<NetworkShape>,
+    /// Total per-NPU bandwidth budgets (GB/s), in grid order.
+    pub budgets: Vec<f64>,
+    /// Optimization objectives, in grid order.
+    pub objectives: Vec<Objective>,
+    /// Workload names (resolved by the caller, e.g. Table II model names).
+    pub workloads: Vec<String>,
+    /// Optional α-β link parameters attached to every workload's plan
+    /// (what `net-sim` prices; bandwidth-only backends ignore it).
+    pub link: Option<LinkParams>,
+    /// Backend names resolved through a [`BackendRegistry`]. Empty means a
+    /// plain (un-validated) sweep.
+    pub backends: Vec<String>,
+    /// Chunks per collective for chunk-pipelined backends.
+    pub chunks: usize,
+    /// Pairwise relative-error tolerance for the divergence verdicts.
+    pub tolerance: f64,
+    /// Warm-start design solves along the budget axis
+    /// (see [`SweepEngine::with_warm_start`]).
+    pub warm_start: bool,
+}
+
+impl Scenario {
+    /// Schema tag written into scenario files.
+    pub const SCHEMA: &'static str = "libra-scenario-v1";
+
+    /// Starts building a scenario named `name`.
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.into(),
+                shapes: Vec::new(),
+                budgets: Vec::new(),
+                objectives: Vec::new(),
+                workloads: Vec::new(),
+                link: None,
+                backends: Vec::new(),
+                chunks: 64,
+                tolerance: CrossValidation::DEFAULT_TOLERANCE,
+                warm_start: true,
+            },
+        }
+    }
+
+    /// The scenario's design grid (shapes × budgets × objectives).
+    pub fn grid(&self) -> SweepGrid {
+        SweepGrid::new()
+            .with_shapes(self.shapes.iter().cloned())
+            .with_budgets(self.budgets.iter().copied())
+            .with_objectives(self.objectives.iter().copied())
+    }
+
+    /// A [`Session`] configured the way the scenario asks (warm-start
+    /// policy on the engine, scenario tolerance). Pair with
+    /// [`Session::run_scenario`].
+    pub fn session<'a>(&self, cost_model: &'a CostModel) -> Session<'a> {
+        Session::from_engine(SweepEngine::new(cost_model).with_warm_start(self.warm_start))
+            .with_tolerance(self.tolerance)
+    }
+
+    /// Instantiates the scenario's backends through `registry` (in
+    /// scenario order).
+    ///
+    /// # Errors
+    /// Propagates unknown-name errors from [`BackendRegistry::build`].
+    pub fn build_backends(
+        &self,
+        registry: &BackendRegistry,
+    ) -> Result<Vec<Box<dyn EvalBackend>>, LibraError> {
+        registry.build_all(&self.backends, &BackendConfig { chunks: self.chunks })
+    }
+
+    /// Serializes the scenario as pretty-printed JSON (2-space indent,
+    /// keys in a fixed order — diff-friendly and [`Scenario::from_json`]
+    /// round-trippable).
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\n");
+        let field = |o: &mut String, key: &str, value: String, last: bool| {
+            o.push_str(&format!("  {}: {value}", json_escape(key)));
+            if !last {
+                o.push(',');
+            }
+            o.push('\n');
+        };
+        let str_arr = |items: &[String]| {
+            let inner: Vec<String> = items.iter().map(|s| json_escape(s)).collect();
+            format!("[{}]", inner.join(", "))
+        };
+        field(&mut o, "schema", json_escape(Self::SCHEMA), false);
+        field(&mut o, "name", json_escape(&self.name), false);
+        let shapes: Vec<String> = self.shapes.iter().map(|s| s.to_string()).collect();
+        field(&mut o, "shapes", str_arr(&shapes), false);
+        let budgets: Vec<String> = self.budgets.iter().map(|&b| json_f64(b)).collect();
+        field(&mut o, "budgets", format!("[{}]", budgets.join(", ")), false);
+        let objectives: Vec<String> =
+            self.objectives.iter().map(|&ob| objective_name(ob).to_string()).collect();
+        field(&mut o, "objectives", str_arr(&objectives), false);
+        field(&mut o, "workloads", str_arr(&self.workloads), false);
+        match self.link {
+            Some(link) => field(
+                &mut o,
+                "link",
+                format!(
+                    "{{\"alpha_ps\": {}, \"switch_ps\": {}}}",
+                    json_f64(link.alpha_ps),
+                    json_f64(link.switch_ps)
+                ),
+                false,
+            ),
+            None => field(&mut o, "link", "null".to_string(), false),
+        }
+        field(&mut o, "backends", str_arr(&self.backends), false);
+        field(&mut o, "chunks", self.chunks.to_string(), false);
+        field(&mut o, "tolerance", json_f64(self.tolerance), false);
+        field(&mut o, "warm_start", self.warm_start.to_string(), true);
+        o.push_str("}\n");
+        o
+    }
+
+    /// Parses a scenario from its JSON form.
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] on malformed JSON, an unknown schema
+    /// tag, or invalid field contents;
+    /// [`LibraError::ParseNetwork`] for bad shape strings.
+    pub fn from_json(input: &str) -> Result<Self, LibraError> {
+        let root = JsonParser::parse(input)?;
+        let bad = |what: String| LibraError::BadRequest(what);
+        if let Some(schema) = root.get("schema").and_then(Json::as_str) {
+            if schema != Self::SCHEMA {
+                return Err(bad(format!(
+                    "unsupported scenario schema {schema:?} (expected {:?})",
+                    Self::SCHEMA
+                )));
+            }
+        }
+        // Unknown keys are rejected, not ignored: a typo'd optional field
+        // ("tolerence", "warm-start") silently reverting to its default
+        // would change run verdicts with nothing pointing at the typo.
+        const KNOWN_KEYS: [&str; 11] = [
+            "schema",
+            "name",
+            "shapes",
+            "budgets",
+            "objectives",
+            "workloads",
+            "link",
+            "backends",
+            "chunks",
+            "tolerance",
+            "warm_start",
+        ];
+        if let Json::Obj(fields) = &root {
+            for (key, _) in fields {
+                if !KNOWN_KEYS.contains(&key.as_str()) {
+                    return Err(bad(format!(
+                        "unknown scenario field {key:?}; known fields: {}",
+                        KNOWN_KEYS.join(", ")
+                    )));
+                }
+            }
+        }
+        let str_field = |key: &str| -> Result<&str, LibraError> {
+            root.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(format!("scenario is missing string field {key:?}")))
+        };
+        let arr_field = |key: &str| -> Result<&[Json], LibraError> {
+            root.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad(format!("scenario is missing array field {key:?}")))
+        };
+        let str_items = |key: &str| -> Result<Vec<String>, LibraError> {
+            arr_field(key)?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| bad(format!("field {key:?} must hold strings")))
+                })
+                .collect()
+        };
+
+        let mut b = Scenario::builder(str_field("name")?);
+        for s in str_items("shapes")? {
+            b = b.with_shape(s.parse::<NetworkShape>()?);
+        }
+        let budgets: Vec<f64> = arr_field("budgets")?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| bad("field \"budgets\" must hold numbers".into())))
+            .collect::<Result<_, _>>()?;
+        b = b.with_budgets(budgets);
+        for name in str_items("objectives")? {
+            b = b.with_objectives([objective_from_name(&name)?]);
+        }
+        b = b.with_workloads(str_items("workloads")?);
+        match root.get("link") {
+            None | Some(Json::Null) => {}
+            Some(link) => {
+                if let Json::Obj(fields) = link {
+                    for (key, _) in fields {
+                        if key != "alpha_ps" && key != "switch_ps" {
+                            return Err(bad(format!(
+                                "unknown link field {key:?}; known fields: alpha_ps, switch_ps"
+                            )));
+                        }
+                    }
+                }
+                let num = |key: &str| -> Result<f64, LibraError> {
+                    match link.get(key) {
+                        None => Ok(0.0),
+                        Some(v) => v
+                            .as_f64()
+                            .ok_or_else(|| bad(format!("link field {key:?} must be a number"))),
+                    }
+                };
+                b = b.with_link(LinkParams {
+                    alpha_ps: num("alpha_ps")?,
+                    switch_ps: num("switch_ps")?,
+                });
+            }
+        }
+        b = b.with_backends(str_items("backends")?);
+        if let Some(v) = root.get("chunks") {
+            let n = v.as_num().ok_or_else(|| bad("field \"chunks\" must be a number".into()))?;
+            if n < 1.0 || n.fract() != 0.0 {
+                return Err(bad(format!("field \"chunks\" must be a positive integer, got {n}")));
+            }
+            b = b.with_chunks(n as usize);
+        }
+        if let Some(v) = root.get("tolerance") {
+            let t = v.as_f64().ok_or_else(|| bad("field \"tolerance\" must be a number".into()))?;
+            b = b.with_tolerance(t);
+        }
+        if let Some(v) = root.get("warm_start") {
+            let w =
+                v.as_bool().ok_or_else(|| bad("field \"warm_start\" must be a boolean".into()))?;
+            b = b.with_warm_start(w);
+        }
+        b.build()
+    }
+
+    /// Writes the scenario to `path` as JSON.
+    ///
+    /// # Errors
+    /// Propagates I/O failures as [`LibraError::BadRequest`].
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), LibraError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json())
+            .map_err(|e| LibraError::BadRequest(format!("cannot write {}: {e}", path.display())))
+    }
+
+    /// Reads a scenario from a JSON file.
+    ///
+    /// # Errors
+    /// I/O failures as [`LibraError::BadRequest`]; parse failures as in
+    /// [`Scenario::from_json`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, LibraError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| LibraError::BadRequest(format!("cannot read {}: {e}", path.display())))?;
+        Scenario::from_json(&text)
+    }
+}
+
+/// Builder for [`Scenario`] — same `with_*` idiom as [`SweepGrid`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Adds one candidate shape.
+    #[must_use]
+    pub fn with_shape(mut self, shape: NetworkShape) -> Self {
+        self.scenario.shapes.push(shape);
+        self
+    }
+
+    /// Adds candidate shapes.
+    #[must_use]
+    pub fn with_shapes(self, shapes: impl IntoIterator<Item = NetworkShape>) -> Self {
+        shapes.into_iter().fold(self, ScenarioBuilder::with_shape)
+    }
+
+    /// Adds bandwidth budgets (GB/s).
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: impl IntoIterator<Item = f64>) -> Self {
+        self.scenario.budgets.extend(budgets);
+        self
+    }
+
+    /// Adds objectives.
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: impl IntoIterator<Item = Objective>) -> Self {
+        self.scenario.objectives.extend(objectives);
+        self
+    }
+
+    /// Adds one workload by name.
+    #[must_use]
+    pub fn with_workload(mut self, name: impl Into<String>) -> Self {
+        self.scenario.workloads.push(name.into());
+        self
+    }
+
+    /// Adds workloads by name.
+    #[must_use]
+    pub fn with_workloads(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.scenario.workloads.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Attaches α-β link parameters to every workload plan.
+    #[must_use]
+    pub fn with_link(mut self, link: LinkParams) -> Self {
+        self.scenario.link = Some(link);
+        self
+    }
+
+    /// Adds one backend by registry name.
+    #[must_use]
+    pub fn with_backend(mut self, name: impl Into<String>) -> Self {
+        self.scenario.backends.push(name.into());
+        self
+    }
+
+    /// Adds backends by registry name.
+    #[must_use]
+    pub fn with_backends(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.scenario.backends.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Sets chunks per collective for chunk-pipelined backends.
+    #[must_use]
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        self.scenario.chunks = chunks;
+        self
+    }
+
+    /// Sets the pairwise divergence tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.scenario.tolerance = tolerance;
+        self
+    }
+
+    /// Enables or disables warm-started design solves.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.scenario.warm_start = warm_start;
+        self
+    }
+
+    /// Validates and returns the scenario.
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] when the name is empty, the grid or
+    /// workload list is empty, `chunks == 0`, or the tolerance is
+    /// negative/non-finite.
+    pub fn build(self) -> Result<Scenario, LibraError> {
+        let s = self.scenario;
+        let bad =
+            |what: &str| Err(LibraError::BadRequest(format!("scenario {:?}: {what}", s.name)));
+        if s.name.is_empty() {
+            return Err(LibraError::BadRequest("scenario name must not be empty".into()));
+        }
+        if s.shapes.is_empty() {
+            return bad("at least one shape is required");
+        }
+        if s.budgets.is_empty() {
+            return bad("at least one budget is required");
+        }
+        if let Some(&b) = s.budgets.iter().find(|b| !b.is_finite() || **b <= 0.0) {
+            return bad(&format!("budgets must be finite and > 0, got {b}"));
+        }
+        if s.objectives.is_empty() {
+            return bad("at least one objective is required");
+        }
+        if s.workloads.is_empty() {
+            return bad("at least one workload is required");
+        }
+        if s.chunks == 0 {
+            return bad("chunks must be >= 1");
+        }
+        if !s.tolerance.is_finite() || s.tolerance < 0.0 {
+            return bad("tolerance must be finite and >= 0");
+        }
+        Ok(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry: backends as data.
+// ---------------------------------------------------------------------------
+
+/// Construction-time knobs passed to registered backend constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendConfig {
+    /// Chunks per collective for chunk-pipelined backends (ignored by
+    /// closed-form ones).
+    pub chunks: usize,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig { chunks: 64 }
+    }
+}
+
+/// The boxed constructor type stored per registry entry.
+type BackendCtor = Box<dyn Fn(&BackendConfig) -> Box<dyn EvalBackend> + Send + Sync>;
+
+/// A string-name → constructor table for [`EvalBackend`]s, so scenarios
+/// can name their evaluators as data.
+///
+/// [`BackendRegistry::new`] pre-registers this crate's closed-form
+/// backends (`"analytical"`, `"analytical-offload"`); `libra-sim` and
+/// `libra-net` contribute `"event-sim"` and `"net-sim"` /
+/// `"net-sim-offload"` via their `register_backends` functions, and the
+/// facade/bench crates bundle all of them as `default_registry()`. User
+/// backends register under fresh names with [`BackendRegistry::register`].
+#[derive(Default)]
+pub struct BackendRegistry {
+    entries: Vec<(String, BackendCtor)>,
+}
+
+impl BackendRegistry {
+    /// A registry holding the core closed-form backends: `"analytical"`
+    /// and `"analytical-offload"`.
+    pub fn new() -> Self {
+        use crate::eval::Analytical;
+        let mut r = BackendRegistry::empty();
+        r.register("analytical", |_| Box::new(Analytical::new())).expect("fresh registry");
+        r.register("analytical-offload", |_| Box::new(Analytical { in_network_offload: true }))
+            .expect("fresh registry");
+        r
+    }
+
+    /// A registry with no entries at all.
+    pub fn empty() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// Registers `ctor` under `name`.
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] when `name` is already registered —
+    /// silently shadowing a backend would make scenario files ambiguous.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        ctor: impl Fn(&BackendConfig) -> Box<dyn EvalBackend> + Send + Sync + 'static,
+    ) -> Result<(), LibraError> {
+        let name = name.into();
+        if self.contains(&name) {
+            return Err(LibraError::BadRequest(format!("backend {name:?} is already registered")));
+        }
+        self.entries.push((name, Box::new(ctor)));
+        Ok(())
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Constructs the backend registered under `name`.
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] listing the known names when `name` is
+    /// unregistered.
+    pub fn build(
+        &self,
+        name: &str,
+        config: &BackendConfig,
+    ) -> Result<Box<dyn EvalBackend>, LibraError> {
+        match self.entries.iter().find(|(n, _)| n == name) {
+            Some((_, ctor)) => Ok(ctor(config)),
+            None => Err(LibraError::BadRequest(format!(
+                "unknown backend {name:?}; known backends: {}",
+                self.names().join(", ")
+            ))),
+        }
+    }
+
+    /// Constructs every named backend, in order.
+    ///
+    /// # Errors
+    /// See [`BackendRegistry::build`].
+    pub fn build_all(
+        &self,
+        names: &[String],
+        config: &BackendConfig,
+    ) -> Result<Vec<Box<dyn EvalBackend>>, LibraError> {
+        names.iter().map(|n| self.build(n, config)).collect()
+    }
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry").field("names", &self.names()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence matrix: pairwise reports for runtime N.
+// ---------------------------------------------------------------------------
+
+/// Pairwise divergence of an `N`-backend session: one
+/// [`DivergenceReport`] per unordered backend pair, in lexicographic
+/// index order `(0,1), (0,2), …, (1,2), …`.
+///
+/// `N = 2` carries exactly the legacy two-way report; `N = 3` carries the
+/// legacy `Divergence3Report`'s three pairs in the same order. `N < 2`
+/// has no pairs and is vacuously within tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceMatrix {
+    /// The backends' display names, in session order.
+    pub backends: Vec<String>,
+    /// Pairwise reports, `(i, j)` with `i < j` in lexicographic order.
+    pub pairs: Vec<DivergenceReport>,
+}
+
+impl DivergenceMatrix {
+    /// The pair index order for `n` backends.
+    pub fn pair_indices(n: usize) -> Vec<(usize, usize)> {
+        (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect()
+    }
+
+    /// Number of backends priced per point.
+    pub fn n_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The report comparing backends `i` and `j` (either order).
+    pub fn pair_between(&self, i: usize, j: usize) -> Option<&DivergenceReport> {
+        let (i, j) = if i <= j { (i, j) } else { (j, i) };
+        let pos = Self::pair_indices(self.n_backends()).iter().position(|&p| p == (i, j))?;
+        self.pairs.get(pos)
+    }
+
+    /// The report whose backends carry the two display names (either
+    /// order), if present.
+    pub fn pair(&self, a: &str, b: &str) -> Option<&DivergenceReport> {
+        self.pairs.iter().find(|p| {
+            (p.baseline == a && p.reference == b) || (p.baseline == b && p.reference == a)
+        })
+    }
+
+    /// The largest relative error across every pair and point (0 with no
+    /// pairs; NaN propagates — see [`DivergenceReport::max_rel_error`]).
+    pub fn max_rel_error(&self) -> f64 {
+        self.pairs.iter().map(DivergenceReport::max_rel_error).fold(0.0, |a, b| {
+            if b.is_nan() {
+                f64::NAN
+            } else {
+                a.max(b)
+            }
+        })
+    }
+
+    /// True when every pair is within tolerance with no backend errors
+    /// (vacuously true with fewer than two backends).
+    pub fn within_tolerance(&self) -> bool {
+        self.pairs.iter().all(DivergenceReport::within_tolerance)
+    }
+
+    /// One summary line per pair (or a note that nothing was compared).
+    pub fn summary(&self) -> String {
+        if self.pairs.is_empty() {
+            return format!("{} backend(s): no pairs compared", self.n_backends());
+        }
+        self.pairs.iter().map(DivergenceReport::summary).collect::<Vec<_>>().join("\n")
+    }
+}
+
+/// A session's outcome: the design-space sweep plus the pairwise backend
+/// divergence over the same grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The design-space results, identical to a plain sweep's.
+    pub sweep: SweepReport,
+    /// Pairwise backend comparisons (empty with fewer than two backends).
+    pub divergence: DivergenceMatrix,
+}
+
+// ---------------------------------------------------------------------------
+// Report sinks: streaming per-point records.
+// ---------------------------------------------------------------------------
+
+/// Header handed to sinks before the first record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta<'a> {
+    /// The scenario name, when the run came from a [`Scenario`].
+    pub scenario: Option<&'a str>,
+    /// The backends priced per point, in session order.
+    pub backends: &'a [String],
+    /// Grid points the run will enumerate.
+    pub n_points: usize,
+    /// The pairwise divergence tolerance.
+    pub tolerance: f64,
+}
+
+/// One streamed grid-point record: the optimized design's headline
+/// metrics plus the per-backend plan times.
+///
+/// Rows are emitted in grid-enumeration order. `RecordRow` is owned and
+/// `PartialEq` so sinks can be diffed against each other — the JSON-lines
+/// round-trip test relies on exact (bit-identical) float round-tripping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordRow {
+    /// Grid-enumeration index.
+    pub index: usize,
+    /// The evaluated shape (display form).
+    pub shape: String,
+    /// The workload's name.
+    pub workload: String,
+    /// Total per-NPU bandwidth budget (GB/s).
+    pub budget: f64,
+    /// Optimization objective.
+    pub objective: Objective,
+    /// Optimized weighted time (seconds); `None` when the solve failed.
+    pub weighted_time: Option<f64>,
+    /// Optimized network cost (dollars); `None` when the solve failed.
+    pub cost: Option<f64>,
+    /// Speedup over the EqualBW baseline; `None` when the solve failed.
+    pub speedup: Option<f64>,
+    /// Per-backend plan times (seconds), aligned with the run's backend
+    /// list; empty when the point was unpriced (no plan, a failure, or a
+    /// plain sweep).
+    pub secs: Vec<f64>,
+    /// The failure message when the design solve or a backend errored.
+    pub error: Option<String>,
+}
+
+impl RecordRow {
+    pub(crate) fn from_outcome(
+        index: usize,
+        outcome: &Result<SweepResult, SweepError>,
+        priced: Option<&Result<Vec<f64>, SweepError>>,
+    ) -> Self {
+        match outcome {
+            Ok(r) => RecordRow {
+                index,
+                shape: r.shape.to_string(),
+                workload: r.workload.clone(),
+                budget: r.point.budget,
+                objective: r.point.objective,
+                weighted_time: Some(r.design.weighted_time),
+                cost: Some(r.design.cost),
+                speedup: Some(r.speedup()),
+                secs: match priced {
+                    Some(Ok(secs)) => secs.clone(),
+                    _ => Vec::new(),
+                },
+                error: match priced {
+                    Some(Err(e)) => Some(e.error.to_string()),
+                    _ => None,
+                },
+            },
+            Err(e) => RecordRow {
+                index,
+                shape: e.shape.to_string(),
+                workload: e.workload.clone(),
+                budget: e.point.budget,
+                objective: e.point.objective,
+                weighted_time: None,
+                cost: None,
+                speedup: None,
+                secs: Vec::new(),
+                error: Some(e.error.to_string()),
+            },
+        }
+    }
+
+    /// Serializes the row as one JSON object on one line (the JSON-lines
+    /// record format; floats round-trip bit-identically).
+    pub fn to_json_line(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), json_f64);
+        let secs: Vec<String> = self.secs.iter().map(|&s| json_f64(s)).collect();
+        format!(
+            "{{\"index\": {}, \"shape\": {}, \"workload\": {}, \"budget\": {}, \
+             \"objective\": {}, \"weighted_time\": {}, \"cost\": {}, \"speedup\": {}, \
+             \"secs\": [{}], \"error\": {}}}",
+            self.index,
+            json_escape(&self.shape),
+            json_escape(&self.workload),
+            json_f64(self.budget),
+            json_escape(objective_name(self.objective)),
+            opt(self.weighted_time),
+            opt(self.cost),
+            opt(self.speedup),
+            secs.join(", "),
+            self.error.as_deref().map_or_else(|| "null".to_string(), json_escape),
+        )
+    }
+
+    /// Parses one JSON-lines record produced by [`RecordRow::to_json_line`].
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] on malformed JSON or missing fields.
+    pub fn from_json_line(line: &str) -> Result<Self, LibraError> {
+        Self::from_json_value(&JsonParser::parse(line)?)
+    }
+
+    /// The parsed-value form of [`RecordRow::from_json_line`], so callers
+    /// that already hold the line's [`Json`] (the JSON-lines aggregator)
+    /// do not parse twice.
+    fn from_json_value(v: &Json) -> Result<Self, LibraError> {
+        let bad = |what: String| LibraError::BadRequest(what);
+        let num = |key: &str| -> Result<f64, LibraError> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(format!("record is missing numeric field {key:?}")))
+        };
+        let string = |key: &str| -> Result<String, LibraError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("record is missing string field {key:?}")))
+        };
+        let opt_num = |key: &str| -> Option<f64> { v.get(key).and_then(Json::as_f64) };
+        let secs = v
+            .get("secs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("record is missing array field \"secs\"".into()))?
+            .iter()
+            .map(|s| s.as_f64().ok_or_else(|| bad("\"secs\" must hold numbers".into())))
+            .collect::<Result<Vec<f64>, _>>()?;
+        Ok(RecordRow {
+            index: num("index")? as usize,
+            shape: string("shape")?,
+            workload: string("workload")?,
+            budget: num("budget")?,
+            objective: objective_from_name(&string("objective")?)?,
+            weighted_time: opt_num("weighted_time"),
+            cost: opt_num("cost"),
+            speedup: opt_num("speedup"),
+            secs,
+            error: v.get("error").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+/// Extracts every [`RecordRow`] from a JSON-lines stream, skipping the
+/// header and summary lines [`JsonLinesSink`] interleaves (records are
+/// the lines carrying an `"index"` field).
+///
+/// # Errors
+/// Propagates malformed-record errors.
+pub fn records_from_jsonl(stream: &str) -> Result<Vec<RecordRow>, LibraError> {
+    stream
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| match JsonParser::parse(l) {
+            Ok(v) if v.get("index").is_some() => Some(RecordRow::from_json_value(&v)),
+            Ok(_) => None,
+            Err(e) => Some(Err(e)),
+        })
+        .collect()
+}
+
+/// A streaming consumer of session output: gets the run header, then one
+/// [`RecordRow`] per grid point **in grid order as the fold produces
+/// them**, then the final report. Implementations must tolerate
+/// `on_run_end` observing state accumulated in `on_record`.
+pub trait ReportSink {
+    /// Called once before the first record.
+    fn on_run_start(&mut self, meta: &RunMeta<'_>) {
+        let _ = meta;
+    }
+
+    /// Called once per grid point, in grid-enumeration order.
+    fn on_record(&mut self, row: &RecordRow);
+
+    /// Called once after the last record with the assembled report.
+    fn on_run_end(&mut self, report: &SessionReport) {
+        let _ = report;
+    }
+}
+
+/// A sink that renders an aligned console table (one row per grid point)
+/// plus a divergence summary footer.
+pub struct ConsoleTableSink<W: Write> {
+    out: W,
+    backends: Vec<String>,
+}
+
+impl ConsoleTableSink<std::io::Stdout> {
+    /// A console sink writing to stdout.
+    pub fn stdout() -> Self {
+        ConsoleTableSink::new(std::io::stdout())
+    }
+}
+
+impl<W: Write> ConsoleTableSink<W> {
+    /// A console sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        ConsoleTableSink { out, backends: Vec::new() }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> ReportSink for ConsoleTableSink<W> {
+    fn on_run_start(&mut self, meta: &RunMeta<'_>) {
+        self.backends = meta.backends.to_vec();
+        if let Some(name) = meta.scenario {
+            let _ = writeln!(self.out, "scenario: {name}");
+        }
+        let _ = write!(
+            self.out,
+            "{:>6} {:>28} {:<12} {:>7} {:<13} {:>10} {:>8}",
+            "#", "shape", "workload", "GB/s", "objective", "t(s)", "speedup"
+        );
+        for b in &self.backends {
+            let _ = write!(self.out, " {b:>14}");
+        }
+        let _ = writeln!(self.out);
+    }
+
+    fn on_record(&mut self, row: &RecordRow) {
+        if let Some(err) = &row.error {
+            let _ = writeln!(
+                self.out,
+                "{:>6} {:>28} {:<12} {:>7.0} {:<13} ERROR: {err}",
+                row.index,
+                row.shape,
+                row.workload,
+                row.budget,
+                objective_name(row.objective),
+            );
+            return;
+        }
+        let _ = write!(
+            self.out,
+            "{:>6} {:>28} {:<12} {:>7.0} {:<13} {:>10.4} {:>7.2}x",
+            row.index,
+            row.shape,
+            row.workload,
+            row.budget,
+            objective_name(row.objective),
+            row.weighted_time.unwrap_or(f64::NAN),
+            row.speedup.unwrap_or(f64::NAN),
+        );
+        for &s in &row.secs {
+            let _ = write!(self.out, " {s:>13.4}s");
+        }
+        let _ = writeln!(self.out);
+    }
+
+    fn on_run_end(&mut self, report: &SessionReport) {
+        let _ = writeln!(
+            self.out,
+            "{} results, {} errors",
+            report.sweep.results.len(),
+            report.sweep.errors.len()
+        );
+        for line in report.divergence.summary().lines() {
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
+}
+
+/// A sink that streams JSON-lines: one header object, one record object
+/// per grid point, one summary object. Every line is self-contained
+/// JSON, so shard outputs can be concatenated and re-aggregated with
+/// [`records_from_jsonl`].
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// A JSON-lines sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> ReportSink for JsonLinesSink<W> {
+    fn on_run_start(&mut self, meta: &RunMeta<'_>) {
+        let backends: Vec<String> = meta.backends.iter().map(|b| json_escape(b)).collect();
+        let _ = writeln!(
+            self.out,
+            "{{\"schema\": \"libra-run-v1\", \"scenario\": {}, \"backends\": [{}], \
+             \"points\": {}, \"tolerance\": {}}}",
+            meta.scenario.map_or_else(|| "null".to_string(), json_escape),
+            backends.join(", "),
+            meta.n_points,
+            json_f64(meta.tolerance),
+        );
+    }
+
+    fn on_record(&mut self, row: &RecordRow) {
+        let _ = writeln!(self.out, "{}", row.to_json_line());
+    }
+
+    fn on_run_end(&mut self, report: &SessionReport) {
+        let compared: usize = report.divergence.pairs.iter().map(|p| p.points.len()).sum();
+        let _ = writeln!(
+            self.out,
+            "{{\"summary\": {{\"results\": {}, \"errors\": {}, \"pairs\": {}, \
+             \"compared_points\": {}, \"max_rel_error\": {}, \"within_tolerance\": {}}}}}",
+            report.sweep.results.len(),
+            report.sweep.errors.len(),
+            report.divergence.pairs.len(),
+            compared,
+            json_f64(report.divergence.max_rel_error()),
+            report.divergence.within_tolerance(),
+        );
+    }
+}
+
+/// A sink that collects every [`RecordRow`] in memory — the reference
+/// the JSON-lines stream is diffed against in tests, and a convenient
+/// programmatic consumer.
+#[derive(Debug, Default)]
+pub struct CollectorSink {
+    /// Collected rows, in grid order.
+    pub rows: Vec<RecordRow>,
+    /// The run header, captured at `on_run_start`.
+    pub scenario: Option<String>,
+}
+
+impl CollectorSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectorSink::default()
+    }
+}
+
+impl ReportSink for CollectorSink {
+    fn on_run_start(&mut self, meta: &RunMeta<'_>) {
+        self.scenario = meta.scenario.map(str::to_string);
+    }
+
+    fn on_record(&mut self, row: &RecordRow) {
+        self.rows.push(row.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session: the executor.
+// ---------------------------------------------------------------------------
+
+/// Owned-or-borrowed engine handle, so `Session` can either stand alone
+/// or front an existing engine's memo cache.
+enum EngineHandle<'a> {
+    Owned(SweepEngine<'a>),
+    Borrowed(&'a SweepEngine<'a>),
+}
+
+/// The scenario executor: one front door for plain, two-way, three-way —
+/// any-`N`-way — sweeps.
+///
+/// A session wraps a [`SweepEngine`] (owned via [`Session::new`] /
+/// [`Session::from_engine`], or borrowed via [`Session::over`] to reuse
+/// a warm memo cache), a pairwise divergence tolerance, and an execution
+/// mode. [`Session::run`] prices every grid point under each backend in
+/// the slice within one rayon fan-out; [`Session::run_with_sinks`]
+/// additionally streams per-point [`RecordRow`]s to [`ReportSink`]s.
+pub struct Session<'a> {
+    engine: EngineHandle<'a>,
+    tolerance: f64,
+    mode: ExecMode,
+}
+
+impl<'a> Session<'a> {
+    /// A session over a fresh default engine pricing with `cost_model`.
+    pub fn new(cost_model: &'a CostModel) -> Self {
+        Session::from_engine(SweepEngine::new(cost_model))
+    }
+
+    /// A session taking ownership of a pre-configured engine (constraints,
+    /// warm-start policy).
+    pub fn from_engine(engine: SweepEngine<'a>) -> Self {
+        Session {
+            engine: EngineHandle::Owned(engine),
+            tolerance: CrossValidation::DEFAULT_TOLERANCE,
+            mode: ExecMode::Parallel,
+        }
+    }
+
+    /// A session borrowing an existing engine — runs share (and warm) that
+    /// engine's memo cache.
+    pub fn over(engine: &'a SweepEngine<'a>) -> Self {
+        Session {
+            engine: EngineHandle::Borrowed(engine),
+            tolerance: CrossValidation::DEFAULT_TOLERANCE,
+            mode: ExecMode::Parallel,
+        }
+    }
+
+    /// Overrides the pairwise divergence tolerance
+    /// (default [`CrossValidation::DEFAULT_TOLERANCE`]).
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is negative or not finite.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(tolerance.is_finite() && tolerance >= 0.0, "tolerance must be ≥ 0");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Selects parallel (default) or serial execution. Both modes are
+    /// bit-identical by the engine's determinism contract; serial is the
+    /// reference fold and plays nicely under external thread pools.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The underlying engine (e.g. for [`SweepEngine::cache_stats`]).
+    pub fn engine(&self) -> &SweepEngine<'a> {
+        match &self.engine {
+            EngineHandle::Owned(e) => e,
+            EngineHandle::Borrowed(e) => e,
+        }
+    }
+
+    /// Evaluates the grid, pricing every point's [`crate::eval::CommPlan`]
+    /// under **each backend in `backends`** at the optimized design's
+    /// bandwidth, and reports all pairwise divergences.
+    ///
+    /// * `backends.is_empty()` — a plain design-space sweep, nothing
+    ///   priced, no pairs.
+    /// * one backend — plans priced (the times stream to sinks), still no
+    ///   pairs.
+    /// * two or more — every unordered pair gets a [`DivergenceReport`],
+    ///   exactly as the legacy two-/three-way entry points produced.
+    pub fn run<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        backends: &[&dyn EvalBackend],
+    ) -> SessionReport {
+        self.run_with_sinks(grid, workloads, backends, &mut [])
+    }
+
+    /// [`Session::run`], streaming per-point [`RecordRow`]s to `sinks`
+    /// (in grid order) as the fold assembles the report.
+    pub fn run_with_sinks<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        backends: &[&dyn EvalBackend],
+        sinks: &mut [&mut dyn ReportSink],
+    ) -> SessionReport {
+        self.run_inner(None, self.tolerance, grid, workloads, backends, sinks)
+    }
+
+    /// Runs a [`Scenario`]'s grid with backends built from `registry`.
+    /// `workloads` are the resolved implementations of
+    /// [`Scenario::workloads`] (e.g. from `libra-bench`'s name resolver).
+    ///
+    /// The run is judged at **the scenario's tolerance** (overriding the
+    /// session's), so a scenario file's verdicts do not depend on which
+    /// session executes it. The scenario's `warm_start` policy is an
+    /// engine-construction knob: [`Scenario::session`] applies it, while
+    /// a session over a pre-built engine keeps that engine's policy.
+    ///
+    /// # Errors
+    /// Propagates unknown-backend-name errors.
+    pub fn run_scenario<W: SweepWorkload>(
+        &self,
+        scenario: &Scenario,
+        workloads: &[W],
+        registry: &BackendRegistry,
+    ) -> Result<SessionReport, LibraError> {
+        self.run_scenario_with_sinks(scenario, workloads, registry, &mut [])
+    }
+
+    /// [`Session::run_scenario`] with streaming sinks.
+    ///
+    /// # Errors
+    /// Propagates unknown-backend-name errors.
+    pub fn run_scenario_with_sinks<W: SweepWorkload>(
+        &self,
+        scenario: &Scenario,
+        workloads: &[W],
+        registry: &BackendRegistry,
+        sinks: &mut [&mut dyn ReportSink],
+    ) -> Result<SessionReport, LibraError> {
+        let built = scenario.build_backends(registry)?;
+        let refs: Vec<&dyn EvalBackend> = built.iter().map(|b| b.as_ref()).collect();
+        let grid = scenario.grid();
+        Ok(self.run_inner(Some(&scenario.name), scenario.tolerance, &grid, workloads, &refs, sinks))
+    }
+
+    fn run_inner<W: SweepWorkload>(
+        &self,
+        scenario: Option<&str>,
+        tolerance: f64,
+        grid: &SweepGrid,
+        workloads: &[W],
+        backends: &[&dyn EvalBackend],
+        sinks: &mut [&mut dyn ReportSink],
+    ) -> SessionReport {
+        let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
+        let pair_indices = DivergenceMatrix::pair_indices(backends.len());
+        if !sinks.is_empty() {
+            let meta = RunMeta {
+                scenario,
+                backends: &names,
+                n_points: grid.len(workloads.len()),
+                tolerance,
+            };
+            for sink in sinks.iter_mut() {
+                sink.on_run_start(&meta);
+            }
+        }
+        let (sweep, pairs) = self.engine().run_priced(
+            grid,
+            workloads,
+            backends,
+            &pair_indices,
+            tolerance,
+            self.mode,
+            &mut |index, outcome, priced| {
+                if sinks.is_empty() {
+                    return;
+                }
+                let row = RecordRow::from_outcome(index, outcome, priced);
+                for sink in sinks.iter_mut() {
+                    sink.on_record(&row);
+                }
+            },
+        );
+        let report =
+            SessionReport { sweep, divergence: DivergenceMatrix { backends: names, pairs } };
+        for sink in sinks.iter_mut() {
+            sink.on_run_end(&report);
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("tolerance", &self.tolerance)
+            .field("mode", &self.mode)
+            .field(
+                "engine",
+                &match self.engine {
+                    EngineHandle::Owned(_) => "owned",
+                    EngineHandle::Borrowed(_) => "borrowed",
+                },
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Collective, CommModel, GroupSpan};
+    use crate::eval::{Analytical, CommPlan, ScaledBackend};
+    use crate::workload::CommOp;
+
+    fn planned_workload(name: &'static str, gb: f64) -> crate::sweep::FnWorkload {
+        crate::sweep::FnWorkload::new(name, move |shape: &NetworkShape| {
+            let comm = CommModel::default();
+            Ok(vec![(
+                1.0,
+                comm.time_expr(Collective::AllReduce, gb * 1e9, &GroupSpan::full(shape)),
+            )])
+        })
+        .with_plan(move |shape: &NetworkShape| {
+            Ok(CommPlan::serial([CommOp::new(
+                Collective::AllReduce,
+                gb * 1e9,
+                GroupSpan::full(shape),
+            )]))
+        })
+    }
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new()
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_shape("FC(8)_SW(4)".parse().unwrap())
+            .with_budgets([100.0, 300.0])
+            .with_objectives([Objective::Perf])
+    }
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        let v = JsonParser::parse(
+            r#"{"a": [1, -2.5, 1e3], "b": "x\n\"y\"", "c": null, "d": true, "e": {}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(1000.0));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e"), Some(&Json::Obj(vec![])));
+        assert!(JsonParser::parse("{\"unterminated").is_err());
+        assert!(JsonParser::parse("[1,]").is_err());
+        assert!(JsonParser::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn json_f64_round_trips_bit_identically() {
+        for v in [0.1, 1.0 / 3.0, 123456.789, 1e-300, 7.2e18, -0.0, 42.0] {
+            let s = json_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s} -> {back}");
+        }
+        assert_eq!(json_f64(f64::NAN), "\"NaN\"");
+        assert_eq!(json_f64(f64::INFINITY), "\"Infinity\"");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "\"-Infinity\"");
+        for special in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let parsed = JsonParser::parse(&json_f64(special)).unwrap();
+            let back = parsed.as_f64().expect("special encodings decode");
+            assert_eq!(back.is_nan(), special.is_nan());
+            assert_eq!(back.is_infinite(), special.is_infinite());
+            assert_eq!(back.is_sign_positive(), special.is_sign_positive());
+        }
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = Scenario::builder("round-trip")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_shape("FC(8)_SW(4)".parse().unwrap())
+            .with_budgets([100.0, 333.25])
+            .with_objectives([Objective::Perf, Objective::PerfPerCost])
+            .with_workloads(["Turing-NLG", "GPT-3"])
+            .with_link(LinkParams::latency(20_000.0).with_switch_ps(10_000.0))
+            .with_backends(["analytical", "event-sim", "net-sim"])
+            .with_chunks(32)
+            .with_tolerance(0.145)
+            .with_warm_start(false)
+            .build()
+            .unwrap();
+        let text = s.to_json();
+        let back = Scenario::from_json(&text).unwrap();
+        assert_eq!(back, s);
+        // A linkless scenario round-trips too.
+        let s2 = Scenario::builder("linkless")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("DLRM")
+            .build()
+            .unwrap();
+        assert_eq!(Scenario::from_json(&s2.to_json()).unwrap(), s2);
+    }
+
+    #[test]
+    fn scenario_builder_validates() {
+        let base = || {
+            Scenario::builder("v")
+                .with_shape("RI(4)_SW(8)".parse().unwrap())
+                .with_budgets([100.0])
+                .with_objectives([Objective::Perf])
+                .with_workload("w")
+        };
+        assert!(base().build().is_ok());
+        assert!(Scenario::builder("").build().is_err());
+        assert!(base().with_chunks(0).build().is_err());
+        assert!(base().with_tolerance(-1.0).build().is_err());
+        assert!(base().with_tolerance(f64::NAN).build().is_err());
+        let no_shapes = Scenario::builder("x")
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("w");
+        assert!(no_shapes.build().is_err());
+    }
+
+    #[test]
+    fn scenario_rejects_wrong_schema_and_bad_fields() {
+        let err = Scenario::from_json("{\"schema\": \"other-v9\", \"name\": \"x\"}").unwrap_err();
+        assert!(err.to_string().contains("unsupported scenario schema"));
+        let err = Scenario::from_json("{\"name\": \"x\", \"shapes\": [1]}").unwrap_err();
+        assert!(err.to_string().contains("must hold strings"));
+        let err = Scenario::from_json("not json").unwrap_err();
+        assert!(err.to_string().contains("invalid JSON"));
+        // A typo'd field must not silently revert to its default.
+        let base = Scenario::builder("t")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("w")
+            .build()
+            .unwrap();
+        let typo = base.to_json().replace("\"tolerance\"", "\"tolerence\"");
+        let err = Scenario::from_json(&typo).unwrap_err();
+        assert!(err.to_string().contains("unknown scenario field \"tolerence\""), "{err}");
+        let typo = base.to_json().replace("\"alpha_ps\"", "\"alphaps\"");
+        if typo.contains("alphaps") {
+            assert!(Scenario::from_json(&typo).is_err());
+        }
+        // Non-finite / non-positive budgets are rejected at build time,
+        // not silently swept at NaN bandwidth.
+        let bad_budget = base.to_json().replace("[100]", "[\"NaN\"]");
+        let err = Scenario::from_json(&bad_budget).unwrap_err();
+        assert!(err.to_string().contains("budgets must be finite"), "{err}");
+        let builder = Scenario::builder("b")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([-5.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("w");
+        assert!(builder.build().is_err());
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_names_unknowns() {
+        let mut r = BackendRegistry::new();
+        assert!(r.contains("analytical"));
+        assert!(r.contains("analytical-offload"));
+        let dup = r.register("analytical", |_| Box::new(Analytical::new()));
+        assert!(dup.unwrap_err().to_string().contains("already registered"));
+        let missing = r.build("astra-sim", &BackendConfig::default()).err().expect("unknown name");
+        let msg = missing.to_string();
+        assert!(msg.contains("unknown backend \"astra-sim\""), "{msg}");
+        assert!(msg.contains("analytical"), "error must list known names: {msg}");
+        r.register("custom", |_| Box::new(Analytical::new())).unwrap();
+        assert_eq!(r.build("custom", &BackendConfig::default()).unwrap().name(), "analytical");
+    }
+
+    #[test]
+    fn session_n0_is_a_plain_sweep() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 1.0)];
+        let cm = CostModel::default();
+        let report = Session::new(&cm).run(&grid, &wls, &[]);
+        assert_eq!(report.sweep.results.len(), grid.len(1));
+        assert!(report.divergence.pairs.is_empty());
+        assert_eq!(report.divergence.n_backends(), 0);
+        assert!(report.divergence.within_tolerance());
+        assert!(report.divergence.summary().contains("no pairs"));
+    }
+
+    #[test]
+    fn session_prices_all_pairs_for_n4() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 2.0)];
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let skew = ScaledBackend::new(Analytical::new(), 1.5, "skewed");
+        let report = Session::new(&cm).with_tolerance(0.10).run(&grid, &wls, &[&a, &a, &skew, &a]);
+        // C(4, 2) = 6 pairs, in lexicographic order.
+        assert_eq!(report.divergence.pairs.len(), 6);
+        assert_eq!(
+            DivergenceMatrix::pair_indices(4),
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        );
+        // Pairs not involving the skew agree exactly; pairs with it are 1/3 off.
+        for (k, &(i, j)) in DivergenceMatrix::pair_indices(4).iter().enumerate() {
+            let pair = &report.divergence.pairs[k];
+            assert_eq!(pair, report.divergence.pair_between(i, j).unwrap());
+            assert_eq!(pair, report.divergence.pair_between(j, i).unwrap());
+            if i == 2 || j == 2 {
+                assert!((pair.max_rel_error() - 1.0 / 3.0).abs() < 1e-12);
+            } else {
+                assert_eq!(pair.max_rel_error(), 0.0);
+            }
+        }
+        assert!(!report.divergence.within_tolerance());
+        assert!((report.divergence.max_rel_error() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(report.divergence.pair("analytical", "skewed").is_some());
+        assert_eq!(report.divergence.summary().lines().count(), 6);
+    }
+
+    #[test]
+    fn serial_and_parallel_sessions_are_bit_identical() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 1.0), planned_workload("b", 4.0)];
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let parallel = Session::new(&cm).run(&grid, &wls, &[&a, &a]);
+        let serial = Session::new(&cm).with_mode(ExecMode::Serial).run(&grid, &wls, &[&a, &a]);
+        assert_eq!(parallel.sweep.results, serial.sweep.results);
+        assert_eq!(parallel.divergence, serial.divergence);
+    }
+
+    #[test]
+    fn sinks_stream_rows_in_grid_order_and_jsonl_round_trips() {
+        let grid = small_grid();
+        let wls = [planned_workload("a", 1.0), planned_workload("b", 4.0)];
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let skew = ScaledBackend::new(Analytical::new(), 1.02, "near");
+        let mut collector = CollectorSink::new();
+        let mut jsonl = JsonLinesSink::new(Vec::<u8>::new());
+        let mut console = ConsoleTableSink::new(Vec::<u8>::new());
+        let session = Session::new(&cm).with_tolerance(0.05);
+        let report = session.run_with_sinks(
+            &grid,
+            &wls,
+            &[&a, &skew],
+            &mut [&mut collector, &mut jsonl, &mut console],
+        );
+        let n = grid.len(wls.len());
+        assert_eq!(collector.rows.len(), n);
+        for (i, row) in collector.rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+            assert_eq!(row.secs.len(), 2);
+            assert!(row.error.is_none());
+        }
+        // JSON-lines stream: header + n records + summary, and records
+        // parse back bit-identically to the collector's rows.
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), n + 2);
+        assert!(text.lines().next().unwrap().contains("libra-run-v1"));
+        assert!(text.lines().last().unwrap().contains("within_tolerance"));
+        let parsed = records_from_jsonl(&text).unwrap();
+        assert_eq!(parsed, collector.rows);
+        // Console table: header + n rows + footer summary lines.
+        let table = String::from_utf8(console.into_inner()).unwrap();
+        assert!(table.contains("shape"));
+        assert!(table.contains("near"));
+        assert!(report.divergence.within_tolerance());
+    }
+
+    #[test]
+    fn record_rows_surface_errors() {
+        let grid = SweepGrid::new()
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf]);
+        let bad = crate::sweep::FnWorkload::new("bad", |_: &NetworkShape| {
+            Err(LibraError::BadRequest("unmappable".into()))
+        });
+        let cm = CostModel::default();
+        let mut collector = CollectorSink::new();
+        let a = Analytical::new();
+        Session::new(&cm).run_with_sinks(&grid, &[bad], &[&a, &a], &mut [&mut collector]);
+        assert_eq!(collector.rows.len(), 1);
+        let row = &collector.rows[0];
+        assert!(row.error.as_deref().unwrap().contains("unmappable"));
+        assert_eq!(row.weighted_time, None);
+        // Error rows round-trip through JSON-lines too.
+        let back = RecordRow::from_json_line(&row.to_json_line()).unwrap();
+        assert_eq!(&back, row);
+    }
+
+    #[test]
+    fn scenario_session_runs_via_registry() {
+        let scenario = Scenario::builder("unit")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0, 200.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("allreduce-2g")
+            .with_backends(["analytical", "analytical-offload"])
+            .with_tolerance(1.0)
+            .build()
+            .unwrap();
+        let registry = BackendRegistry::new();
+        let wls = [planned_workload("allreduce-2g", 2.0)];
+        let cm = CostModel::default();
+        let session = scenario.session(&cm);
+        assert_eq!(session.tolerance(), 1.0);
+        let report = session.run_scenario(&scenario, &wls, &registry).unwrap();
+        assert_eq!(report.sweep.results.len(), 2);
+        assert_eq!(report.divergence.backends, vec!["analytical", "analytical-offload"]);
+        assert_eq!(report.divergence.pairs.len(), 1);
+        // Unknown backend names fail loudly.
+        let broken = Scenario { backends: vec!["nope".into()], ..scenario.clone() };
+        let err = session.run_scenario(&broken, &wls, &registry).unwrap_err();
+        assert!(err.to_string().contains("unknown backend"));
+    }
+
+    #[test]
+    fn poisoned_backend_times_survive_the_jsonl_round_trip() {
+        let grid = SweepGrid::new()
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf]);
+        let wls = [planned_workload("a", 1.0)];
+        let cm = CostModel::default();
+        let a = Analytical::new();
+        let poisoned = ScaledBackend::new(Analytical::new(), f64::NAN, "poisoned");
+        let mut jsonl = JsonLinesSink::new(Vec::<u8>::new());
+        Session::new(&cm).run_with_sinks(&grid, &wls, &[&a, &poisoned], &mut [&mut jsonl]);
+        let stream = String::from_utf8(jsonl.into_inner()).unwrap();
+        // The NaN time is encoded (as "NaN"), not dropped, and the stream
+        // re-parses instead of erroring — shard aggregation must not be
+        // poisoned by the very divergence cross-validation exists to catch.
+        let rows = records_from_jsonl(&stream).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].secs.len(), 2);
+        assert!(rows[0].secs[0].is_finite());
+        assert!(rows[0].secs[1].is_nan());
+        assert!(stream.lines().last().unwrap().contains("\"NaN\""), "summary max_rel_error");
+    }
+
+    #[test]
+    fn run_scenario_judges_at_the_scenario_tolerance() {
+        let scenario = Scenario::builder("tol")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("allreduce-2g")
+            .with_backends(["analytical", "skewed"])
+            .with_tolerance(0.5)
+            .build()
+            .unwrap();
+        let mut registry = BackendRegistry::new();
+        registry
+            .register("skewed", |_| Box::new(ScaledBackend::new(Analytical::new(), 1.2, "skewed")))
+            .unwrap();
+        let wls = [planned_workload("allreduce-2g", 2.0)];
+        let cm = CostModel::default();
+        // A session at a *tighter* default tolerance still judges the
+        // scenario at the scenario's own 0.5 — scenario files carry their
+        // verdict thresholds with them.
+        let session = Session::new(&cm).with_tolerance(0.01);
+        let report = session.run_scenario(&scenario, &wls, &registry).unwrap();
+        assert_eq!(report.divergence.pairs[0].tolerance, 0.5);
+        assert!(report.divergence.within_tolerance());
+        // Plain runs keep using the session tolerance.
+        let skew = ScaledBackend::new(Analytical::new(), 1.2, "skewed");
+        let a = Analytical::new();
+        let plain = session.run(&scenario.grid(), &wls, &[&a, &skew]);
+        assert_eq!(plain.divergence.pairs[0].tolerance, 0.01);
+        assert!(!plain.divergence.within_tolerance());
+    }
+
+    #[test]
+    fn objective_names_round_trip() {
+        for o in [Objective::Perf, Objective::PerfPerCost] {
+            assert_eq!(objective_from_name(objective_name(o)).unwrap(), o);
+        }
+        assert!(objective_from_name("speed").is_err());
+    }
+}

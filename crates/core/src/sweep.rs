@@ -9,31 +9,35 @@
 //!
 //! * [`SweepGrid`] enumerates a duplicate-free cartesian grid in a
 //!   deterministic order (shape-major, then workload, budget, objective);
-//! * [`SweepEngine::run`] evaluates the grid in parallel, memoizing
-//!   repeated `(shape, workload)` target-expression builds and repeated
-//!   design solves behind a sharded concurrent cache;
+//! * [`crate::scenario::Session::run`] — the public front door, in the
+//!   [`crate::scenario`] module — evaluates the grid in parallel,
+//!   memoizing repeated `(shape, workload)` target-expression builds and
+//!   repeated design solves behind the engine's sharded concurrent cache,
+//!   and prices every grid point's [`CommPlan`] under **any number** of
+//!   [`EvalBackend`]s in the same fan-out, reporting each pair's
+//!   per-point disagreement as a [`DivergenceReport`] — the guard against
+//!   ranking thousands of designs with a silently broken model;
 //! * [`SweepReport`] returns results in grid order, plus ranking helpers
 //!   and the perf-vs-cost [Pareto front](SweepReport::pareto_front);
-//! * [`SweepEngine::run_cross_validated`] additionally prices every grid
-//!   point's [`CommPlan`] under two [`EvalBackend`]s in the same fan-out
-//!   and reports their per-point disagreement as a [`DivergenceReport`] —
-//!   the guard against ranking thousands of designs with a silently
-//!   broken model;
-//! * [`SweepEngine::run_cross_validated3`] does the same for **three**
-//!   backends at once (canonically Analytical / EventSim / NetSim),
-//!   pricing each plan once per backend and emitting the pairwise
-//!   [`Divergence3Report`];
 //! * design solves are **warm-started** along the budget axis: one anchor
 //!   budget per shape × workload × objective group solves cold, every
 //!   other budget seeds its interior-point solve from the nearest anchor's
 //!   optimum ([`opt::optimize_seeded`]) — phase-barriered so parallel and
 //!   serial runs stay bit-identical ([`SweepEngine::with_warm_start`]).
 //!
+//! The historical fixed-arity entry points (`run`, `run_cross_validated`,
+//! `run_cross_validated3`, and their `_serial` twins) survive as
+//! deprecated shims over the session front door; every one of them
+//! funnels into the same internal [`ExecMode`]-parameterized drive, so
+//! the serial-vs-parallel bit-identity contract is enforced in exactly
+//! one place.
+//!
 //! ```
 //! use libra_core::comm::{Collective, CommModel, GroupSpan};
 //! use libra_core::cost::CostModel;
 //! use libra_core::opt::Objective;
-//! use libra_core::sweep::{FnWorkload, SweepEngine, SweepGrid};
+//! use libra_core::scenario::Session;
+//! use libra_core::sweep::{FnWorkload, SweepGrid};
 //!
 //! // One synthetic workload: a 1-GB All-Reduce over the whole machine.
 //! let wl = FnWorkload::new("allreduce-1g", |shape| {
@@ -46,7 +50,7 @@
 //!     .with_budgets([100.0, 200.0])
 //!     .with_objectives([Objective::Perf, Objective::PerfPerCost]);
 //! let cm = CostModel::default();
-//! let report = SweepEngine::new(&cm).run(&grid, &[wl]);
+//! let report = Session::new(&cm).run(&grid, &[wl], &[]).sweep;
 //! assert_eq!(report.results.len(), 8);
 //! assert!(report.errors.is_empty());
 //! let front = report.pareto_front();
@@ -68,6 +72,21 @@ use crate::eval::{rel_error, CommPlan, EvalBackend};
 use crate::expr::BwExpr;
 use crate::network::NetworkShape;
 use crate::opt::{self, Constraint, Design, DesignRequest, Objective};
+use crate::scenario::Session;
+
+/// One grid point's priced outcome: the design solve plus (when the
+/// workload exposes a plan and backends were supplied) the per-backend
+/// plan times, in backend order.
+pub(crate) type PricedOutcome =
+    (Result<SweepResult, SweepError>, Option<Result<Vec<f64>, SweepError>>);
+
+/// The streaming hook [`SweepEngine::run_priced`] calls once per grid
+/// point, in grid-enumeration order, as the fold assembles the report.
+pub(crate) type PointEmit<'f> = &'f mut dyn FnMut(
+    usize,
+    &Result<SweepResult, SweepError>,
+    Option<&Result<Vec<f64>, SweepError>>,
+);
 
 /// A workload that can be swept: given a shape, produce the weighted
 /// per-iteration time expressions [`opt::optimize`] consumes.
@@ -482,6 +501,22 @@ impl SweepCache {
     }
 }
 
+/// How a run walks the grid: rayon fan-out or a serial reference fold.
+///
+/// Both modes are **bit-identical** on the same inputs — every point is an
+/// independent deterministic solve, the memo cache only avoids
+/// recomputation, and warm-start seeding is phase-barriered — which is the
+/// engine's core determinism contract. Serial mode is the reference fold
+/// (and the right choice under an external thread pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Fan grid points out with rayon (the default).
+    #[default]
+    Parallel,
+    /// Walk grid points in order on the calling thread.
+    Serial,
+}
+
 /// How a grid point's design solve participates in warm-start seeding.
 ///
 /// Seeding must be **deterministic under parallel execution**: a point may
@@ -824,9 +859,6 @@ impl<'b> CrossValidation3<'b> {
     pub fn tolerance(&self) -> f64 {
         self.tolerance
     }
-
-    /// The three pair index combinations, in report order.
-    const PAIRS: [(usize, usize); 3] = [(0, 1), (0, 2), (1, 2)];
 }
 
 impl std::fmt::Debug for CrossValidation3<'_> {
@@ -940,7 +972,10 @@ impl<'a> SweepEngine<'a> {
     }
 
     /// Drives `f` over every grid point, parallel or serial, returning
-    /// results in grid-enumeration order.
+    /// results in grid-enumeration order. **Every** public run path —
+    /// session or legacy shim, plain or cross-validated — funnels through
+    /// this one function, so the serial-vs-parallel bit-identity contract
+    /// is enforced in exactly one place.
     ///
     /// With warm-start enabled the points are processed in two
     /// barrier-separated phases (anchors first — the grid's first budget —
@@ -952,14 +987,13 @@ impl<'a> SweepEngine<'a> {
         &self,
         grid: &SweepGrid,
         points: &[GridPoint],
-        parallel: bool,
+        exec: ExecMode,
         f: impl Fn(GridPoint, SeedMode) -> T + Sync,
     ) -> Vec<T> {
         let apply = |idx: &[usize], mode: SeedMode| -> Vec<(usize, T)> {
-            if parallel {
-                idx.par_iter().map(|&i| (i, f(points[i], mode))).collect()
-            } else {
-                idx.iter().map(|&i| (i, f(points[i], mode))).collect()
+            match exec {
+                ExecMode::Parallel => idx.par_iter().map(|&i| (i, f(points[i], mode))).collect(),
+                ExecMode::Serial => idx.iter().map(|&i| (i, f(points[i], mode))).collect(),
             }
         };
         if !self.warm_start {
@@ -1070,42 +1104,25 @@ impl<'a> SweepEngine<'a> {
         SweepReport { results, errors, cache: self.cache.stats() }
     }
 
-    /// Evaluates the whole grid **in parallel** (rayon). Results are in
-    /// grid-enumeration order and bit-identical to [`SweepEngine::run_serial`]
-    /// on the same inputs: every point is an independent deterministic
-    /// solve, the cache only avoids recomputation, and warm-start seeding
-    /// is phase-barriered so the seed each solve sees never depends on
-    /// worker scheduling.
-    #[allow(clippy::result_large_err)]
-    pub fn run<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
-        let points = grid.points(workloads.len());
-        self.report(self.drive(grid, &points, true, |p, m| self.eval(grid, workloads, p, m)))
-    }
-
-    /// Evaluates the whole grid serially (the reference fold for the
-    /// determinism contract; also useful under an external thread pool).
-    #[allow(clippy::result_large_err)]
-    pub fn run_serial<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
-        let points = grid.points(workloads.len());
-        self.report(self.drive(grid, &points, false, |p, m| self.eval(grid, workloads, p, m)))
-    }
-
     /// Evaluates one grid point and, when its workload exposes a
-    /// [`CommPlan`], prices that plan **once under each of the `N`
-    /// backends** at the optimized design's bandwidth vector — the shared
-    /// body of every cross-validated sweep (two-way and three-way), so
+    /// [`CommPlan`], prices that plan **once under each backend** at the
+    /// optimized design's bandwidth vector — the shared body of every
+    /// priced sweep (the session front door and each legacy shim), so
     /// warm-start seeding and op-eligibility rules live in exactly one
-    /// place.
-    #[allow(clippy::result_large_err, clippy::type_complexity)]
-    fn eval_priced<W: SweepWorkload, const N: usize>(
+    /// place. An empty backend slice skips pricing entirely (a plain
+    /// sweep never touches the plan cache).
+    fn eval_priced<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         point: GridPoint,
-        backends: &[&dyn EvalBackend; N],
+        backends: &[&dyn EvalBackend],
         mode: SeedMode,
-    ) -> (Result<SweepResult, SweepError>, Option<Result<[f64; N], SweepError>>) {
+    ) -> PricedOutcome {
         let outcome = self.eval(grid, workloads, point, mode);
+        if backends.is_empty() {
+            return (outcome, None);
+        }
         let Ok(result) = &outcome else { return (outcome, None) };
         let shape = &grid.shapes()[point.shape];
         let workload = &workloads[point.workload];
@@ -1121,12 +1138,8 @@ impl<'a> SweepEngine<'a> {
             Ok(None) => None,
             Ok(Some(plan)) => {
                 let n = shape.ndims();
-                let price = || -> Result<[f64; N], LibraError> {
-                    let mut secs = [0.0f64; N];
-                    for (s, b) in secs.iter_mut().zip(backends) {
-                        *s = b.eval_plan(n, &result.design.bw, plan)?;
-                    }
-                    Ok(secs)
+                let price = || -> Result<Vec<f64>, LibraError> {
+                    backends.iter().map(|b| b.eval_plan(n, &result.design.bw, plan)).collect()
                 };
                 Some(price().map_err(fail))
             }
@@ -1135,18 +1148,19 @@ impl<'a> SweepEngine<'a> {
     }
 
     /// Folds per-point `N`-backend outcomes into the sweep report plus one
-    /// [`DivergenceReport`] per requested backend pair.
-    #[allow(clippy::type_complexity)]
-    #[allow(clippy::too_many_arguments)] // internal fold plumbing shared by both cross-validated drivers
-    fn fold_pairwise<W: SweepWorkload, const N: usize>(
+    /// [`DivergenceReport`] per requested backend pair, emitting each
+    /// point's outcome to `emit` (the streaming-sink hook) in grid order.
+    #[allow(clippy::too_many_arguments)] // internal fold plumbing shared by every priced driver
+    fn fold_pairwise<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         points: &[GridPoint],
-        outcomes: Vec<(Result<SweepResult, SweepError>, Option<Result<[f64; N], SweepError>>)>,
-        backends: &[&dyn EvalBackend; N],
+        outcomes: Vec<PricedOutcome>,
+        backends: &[&dyn EvalBackend],
         pair_indices: &[(usize, usize)],
         tolerance: f64,
+        emit: PointEmit<'_>,
     ) -> (SweepReport, Vec<DivergenceReport>) {
         let mut pairs: Vec<DivergenceReport> = pair_indices
             .iter()
@@ -1160,7 +1174,8 @@ impl<'a> SweepEngine<'a> {
             })
             .collect();
         let mut sweep_outcomes = Vec::with_capacity(outcomes.len());
-        for (&point, (o, priced)) in points.iter().zip(outcomes) {
+        for (idx, (&point, (o, priced))) in points.iter().zip(outcomes).enumerate() {
+            emit(idx, &o, priced.as_ref());
             match priced {
                 Some(Ok(secs)) => {
                     let shape = &grid.shapes()[point.shape];
@@ -1195,50 +1210,75 @@ impl<'a> SweepEngine<'a> {
         (self.report(sweep_outcomes), pairs)
     }
 
-    /// Runs an `N`-backend cross-validated sweep: the shared driver behind
-    /// [`SweepEngine::run_cross_validated`] and
-    /// [`SweepEngine::run_cross_validated3`].
-    #[allow(clippy::type_complexity)]
-    fn run_priced<W: SweepWorkload, const N: usize>(
+    /// Runs an `N`-backend priced sweep: the single driver behind
+    /// [`crate::scenario::Session::run`] and every legacy entry point.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_priced<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
-        backends: &[&dyn EvalBackend; N],
+        backends: &[&dyn EvalBackend],
         pair_indices: &[(usize, usize)],
         tolerance: f64,
-        parallel: bool,
+        exec: ExecMode,
+        emit: PointEmit<'_>,
     ) -> (SweepReport, Vec<DivergenceReport>) {
         let points = grid.points(workloads.len());
-        let outcomes = self.drive(grid, &points, parallel, |p, m| {
-            self.eval_priced(grid, workloads, p, backends, m)
-        });
-        self.fold_pairwise(grid, workloads, &points, outcomes, backends, pair_indices, tolerance)
+        let outcomes = self
+            .drive(grid, &points, exec, |p, m| self.eval_priced(grid, workloads, p, backends, m));
+        self.fold_pairwise(
+            grid,
+            workloads,
+            &points,
+            outcomes,
+            backends,
+            pair_indices,
+            tolerance,
+            emit,
+        )
+    }
+
+    /// Evaluates the whole grid **in parallel** (rayon). Results are in
+    /// grid-enumeration order and bit-identical to
+    /// [`SweepEngine::run_serial`] on the same inputs.
+    #[deprecated(
+        note = "use the scenario front door: `scenario::Session::run(grid, workloads, &[])`"
+    )]
+    pub fn run<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
+        Session::over(self).run(grid, workloads, &[]).sweep
+    }
+
+    /// Evaluates the whole grid serially (the reference fold for the
+    /// determinism contract; also useful under an external thread pool).
+    #[deprecated(note = "use the scenario front door: \
+                `scenario::Session::run` with `ExecMode::Serial`")]
+    pub fn run_serial<W: SweepWorkload>(&self, grid: &SweepGrid, workloads: &[W]) -> SweepReport {
+        Session::over(self).with_mode(ExecMode::Serial).run(grid, workloads, &[]).sweep
     }
 
     /// Evaluates the whole grid **in parallel** with both of `cv`'s
-    /// backends in the same rayon fan-out: each worker optimizes its grid
-    /// point (memoized, exactly as [`SweepEngine::run`]) and immediately
-    /// prices the workload's [`CommPlan`] under the baseline and reference
-    /// backends at the optimized bandwidth. Results and divergence records
-    /// are in grid-enumeration order and bit-identical to
-    /// [`SweepEngine::run_cross_validated_serial`].
+    /// backends priced per point in the same rayon fan-out.
+    #[deprecated(note = "use the scenario front door: \
+                `scenario::Session::run(grid, workloads, &[baseline, reference])`")]
     pub fn run_cross_validated<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         cv: &CrossValidation<'_>,
     ) -> CrossValidatedReport {
-        self.cross_validated(grid, workloads, cv, true)
+        self.cross_validated(grid, workloads, cv, ExecMode::Parallel)
     }
 
     /// Serial reference fold of [`SweepEngine::run_cross_validated`].
+    #[deprecated(note = "use the scenario front door: \
+                `scenario::Session::run` with `ExecMode::Serial`")]
     pub fn run_cross_validated_serial<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         cv: &CrossValidation<'_>,
     ) -> CrossValidatedReport {
-        self.cross_validated(grid, workloads, cv, false)
+        self.cross_validated(grid, workloads, cv, ExecMode::Serial)
     }
 
     fn cross_validated<W: SweepWorkload>(
@@ -1246,41 +1286,42 @@ impl<'a> SweepEngine<'a> {
         grid: &SweepGrid,
         workloads: &[W],
         cv: &CrossValidation<'_>,
-        parallel: bool,
+        exec: ExecMode,
     ) -> CrossValidatedReport {
-        let backends = [cv.baseline, cv.reference];
-        let (sweep, mut pairs) =
-            self.run_priced(grid, workloads, &backends, &[(0, 1)], cv.tolerance(), parallel);
-        CrossValidatedReport {
-            sweep,
-            divergence: pairs.pop().expect("one pair requested, one report produced"),
-        }
+        let mut report = Session::over(self).with_tolerance(cv.tolerance()).with_mode(exec).run(
+            grid,
+            workloads,
+            &[cv.baseline, cv.reference],
+        );
+        let divergence =
+            report.divergence.pairs.pop().expect("two backends produce exactly one pair");
+        CrossValidatedReport { sweep: report.sweep, divergence }
     }
 
     /// Evaluates the whole grid **in parallel** with all three of `cv`'s
-    /// backends in the same rayon fan-out: each worker optimizes its grid
-    /// point (memoized, exactly as [`SweepEngine::run`]), prices the
-    /// workload's [`CommPlan`] once under each backend at the optimized
-    /// bandwidth, and the fold emits one [`DivergenceReport`] per backend
-    /// pair. Results are in grid-enumeration order and bit-identical to
-    /// [`SweepEngine::run_cross_validated3_serial`].
+    /// backends priced per point in the same rayon fan-out, one
+    /// [`DivergenceReport`] per backend pair.
+    #[deprecated(note = "use the scenario front door: \
+                `scenario::Session::run(grid, workloads, &[a, b, c])`")]
     pub fn run_cross_validated3<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         cv: &CrossValidation3<'_>,
     ) -> CrossValidated3Report {
-        self.cross_validated3(grid, workloads, cv, true)
+        self.cross_validated3(grid, workloads, cv, ExecMode::Parallel)
     }
 
     /// Serial reference fold of [`SweepEngine::run_cross_validated3`].
+    #[deprecated(note = "use the scenario front door: \
+                `scenario::Session::run` with `ExecMode::Serial`")]
     pub fn run_cross_validated3_serial<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         cv: &CrossValidation3<'_>,
     ) -> CrossValidated3Report {
-        self.cross_validated3(grid, workloads, cv, false)
+        self.cross_validated3(grid, workloads, cv, ExecMode::Serial)
     }
 
     fn cross_validated3<W: SweepWorkload>(
@@ -1288,17 +1329,17 @@ impl<'a> SweepEngine<'a> {
         grid: &SweepGrid,
         workloads: &[W],
         cv: &CrossValidation3<'_>,
-        parallel: bool,
+        exec: ExecMode,
     ) -> CrossValidated3Report {
-        let (sweep, pairs) = self.run_priced(
+        let report = Session::over(self).with_tolerance(cv.tolerance()).with_mode(exec).run(
             grid,
             workloads,
             &cv.backends,
-            &CrossValidation3::PAIRS,
-            cv.tolerance(),
-            parallel,
         );
-        CrossValidated3Report { sweep, divergence: Divergence3Report { pairs } }
+        CrossValidated3Report {
+            sweep: report.sweep,
+            divergence: Divergence3Report { pairs: report.divergence.pairs },
+        }
     }
 }
 
@@ -1362,7 +1403,7 @@ mod tests {
         // Serial first run: exact cache counters (under a parallel cold run
         // two workers may race past a cold key's first lookup and both
         // build it — by design, so exact counts only hold serially).
-        let report = engine.run_serial(&grid, &wls);
+        let report = Session::over(&engine).with_mode(ExecMode::Serial).run(&grid, &wls, &[]).sweep;
         assert_eq!(report.results.len(), 2 * 2 * 2 * 2);
         assert!(report.errors.is_empty());
         // Expressions are built once per (shape, workload)...
@@ -1371,7 +1412,7 @@ mod tests {
         // ...and every distinct design is solved exactly once.
         assert_eq!(report.cache.design_misses, 16);
         // A parallel re-run over the same grid is served entirely from cache.
-        let again = engine.run(&grid, &wls);
+        let again = Session::over(&engine).run(&grid, &wls, &[]).sweep;
         assert_eq!(again.results, report.results);
         assert_eq!(again.cache.design_misses, 16);
         assert_eq!(again.cache.design_hits, 16);
@@ -1382,7 +1423,7 @@ mod tests {
         let grid = small_grid();
         let wls = [allreduce_workload("a", 1.0)];
         let cm = CostModel::default();
-        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        let report = Session::new(&cm).run(&grid, &wls, &[]).sweep;
         let points = grid.points(wls.len());
         assert_eq!(report.results.len(), points.len());
         for (r, p) in report.results.iter().zip(&points) {
@@ -1395,7 +1436,7 @@ mod tests {
         let grid = small_grid();
         let wls = [allreduce_workload("a", 10.0)];
         let cm = CostModel::default();
-        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        let report = Session::new(&cm).run(&grid, &wls, &[]).sweep;
         for r in &report.results {
             assert!(r.speedup() >= 1.0 - 1e-6, "PerfOpt lost to EqualBW: {r:?}");
         }
@@ -1417,7 +1458,7 @@ mod tests {
             .with_objectives([Objective::Perf, Objective::PerfPerCost]);
         let wls = [allreduce_workload("a", 10.0)];
         let cm = CostModel::default();
-        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        let report = Session::new(&cm).run(&grid, &wls, &[]).sweep;
         let front = report.pareto_front();
         assert!(!front.is_empty());
         for f in &front {
@@ -1446,7 +1487,7 @@ mod tests {
         let wls: Vec<Box<dyn SweepWorkload>> =
             vec![Box::new(allreduce_workload("good", 1.0)), Box::new(bad)];
         let cm = CostModel::default();
-        let report = SweepEngine::new(&cm).run(&grid, &wls);
+        let report = Session::new(&cm).run(&grid, &wls, &[]).sweep;
         assert_eq!(report.results.len(), 4, "good workload still evaluated");
         assert_eq!(report.errors.len(), 4, "bad workload fails at every point");
         for e in &report.errors {
@@ -1468,7 +1509,7 @@ mod tests {
         });
         let cm = CostModel::default();
         let engine = SweepEngine::new(&cm).with_constraints([Constraint::Ordered]);
-        let report = engine.run(&grid, &[wl]);
+        let report = Session::from_engine(engine).run(&grid, &[wl], &[]).sweep;
         assert_eq!(report.results.len(), 1);
         let bw = &report.results[0].design.bw;
         assert!(bw[0] >= bw[1] - 1e-6 && bw[1] >= bw[2] - 1e-6, "bw = {bw:?}");
@@ -1481,20 +1522,21 @@ mod tests {
         let cm = CostModel::default();
         let engine = SweepEngine::new(&cm);
         let a = Analytical::new();
-        let cv = CrossValidation::new(&a, &a).with_tolerance(0.0);
-        let report = engine.run_cross_validated(&grid, &wls, &cv);
+        let session = Session::over(&engine).with_tolerance(0.0);
+        let report = session.run(&grid, &wls, &[&a, &a]);
         let n_points = grid.len(wls.len());
         assert_eq!(report.sweep.results.len(), n_points);
-        assert_eq!(report.divergence.points.len(), n_points);
-        assert_eq!(report.divergence.skipped, 0);
-        assert!(report.divergence.backend_errors.is_empty());
+        let pair = &report.divergence.pairs[0];
+        assert_eq!(pair.points.len(), n_points);
+        assert_eq!(pair.skipped, 0);
+        assert!(pair.backend_errors.is_empty());
         assert_eq!(report.divergence.max_rel_error(), 0.0);
         assert!(report.divergence.within_tolerance());
         // The sweep half is identical to a plain run over the same engine.
-        let plain = engine.run(&grid, &wls);
+        let plain = Session::over(&engine).run(&grid, &wls, &[]).sweep;
         assert_eq!(plain.results, report.sweep.results);
         // Parallel and serial cross-validated folds agree bit-for-bit.
-        let serial = engine.run_cross_validated_serial(&grid, &wls, &cv);
+        let serial = session.with_mode(ExecMode::Serial).run(&grid, &wls, &[&a, &a]);
         assert_eq!(serial.sweep.results, report.sweep.results);
         assert_eq!(serial.divergence, report.divergence);
     }
@@ -1505,11 +1547,11 @@ mod tests {
         let wls = [allreduce_workload("plain", 1.0)];
         let cm = CostModel::default();
         let a = Analytical::new();
-        let cv = CrossValidation::new(&a, &a);
-        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
+        let report = Session::new(&cm).run(&grid, &wls, &[&a, &a]);
         assert_eq!(report.sweep.results.len(), grid.len(1));
-        assert!(report.divergence.points.is_empty());
-        assert_eq!(report.divergence.skipped, grid.len(1));
+        let pair = &report.divergence.pairs[0];
+        assert!(pair.points.is_empty());
+        assert_eq!(pair.skipped, grid.len(1));
         assert!(report.divergence.within_tolerance(), "nothing compared → vacuously fine");
     }
 
@@ -1520,9 +1562,9 @@ mod tests {
         let cm = CostModel::default();
         let analytical = Analytical::new();
         let skewed = ScaledBackend::new(Analytical::new(), 1.5, "skewed");
-        let cv = CrossValidation::new(&analytical, &skewed).with_tolerance(0.10);
-        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
-        let d = &report.divergence;
+        let report =
+            Session::new(&cm).with_tolerance(0.10).run(&grid, &wls, &[&analytical, &skewed]);
+        let d = &report.divergence.pairs[0];
         assert_eq!(d.reference, "skewed");
         assert!(!d.within_tolerance());
         assert_eq!(d.violations().len(), d.points.len(), "every point is off by 1.5×");
@@ -1546,9 +1588,9 @@ mod tests {
         let cm = CostModel::default();
         let analytical = Analytical::new();
         let poisoned = ScaledBackend::new(Analytical::new(), f64::NAN, "poisoned");
-        let cv = CrossValidation::new(&analytical, &poisoned).with_tolerance(0.10);
-        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
-        let d = &report.divergence;
+        let report =
+            Session::new(&cm).with_tolerance(0.10).run(&grid, &wls, &[&analytical, &poisoned]);
+        let d = &report.divergence.pairs[0];
         assert!(d.points.iter().all(|p| p.rel_error.is_nan()));
         assert!(!d.within_tolerance());
         assert_eq!(d.violations().len(), d.points.len(), "NaN points must be violations");
@@ -1562,8 +1604,8 @@ mod tests {
         let cm = CostModel::default();
         let engine = SweepEngine::new(&cm);
         let a = Analytical::new();
-        let cv = CrossValidation3::new(&a, &a, &a).with_tolerance(0.0);
-        let report = engine.run_cross_validated3(&grid, &wls, &cv);
+        let session = Session::over(&engine).with_tolerance(0.0);
+        let report = session.run(&grid, &wls, &[&a, &a, &a]);
         let n_points = grid.len(wls.len());
         assert_eq!(report.sweep.results.len(), n_points);
         assert_eq!(report.divergence.pairs.len(), 3);
@@ -1578,10 +1620,13 @@ mod tests {
         // Parallel and serial folds agree bit-for-bit (cache counters
         // accumulate across runs, so compare the semantic halves); the
         // sweep half is a plain run.
-        let serial = engine.run_cross_validated3_serial(&grid, &wls, &cv);
+        let serial = session.with_mode(ExecMode::Serial).run(&grid, &wls, &[&a, &a, &a]);
         assert_eq!(serial.sweep.results, report.sweep.results);
         assert_eq!(serial.divergence, report.divergence);
-        assert_eq!(engine.run(&grid, &wls).results, report.sweep.results);
+        assert_eq!(
+            Session::over(&engine).run(&grid, &wls, &[]).sweep.results,
+            report.sweep.results
+        );
     }
 
     #[test]
@@ -1592,8 +1637,7 @@ mod tests {
         let a = Analytical::new();
         let b = Analytical::new();
         let skewed = ScaledBackend::new(Analytical::new(), 1.5, "skewed");
-        let cv = CrossValidation3::new(&a, &b, &skewed).with_tolerance(0.10);
-        let report = SweepEngine::new(&cm).run_cross_validated3(&grid, &wls, &cv);
+        let report = Session::new(&cm).with_tolerance(0.10).run(&grid, &wls, &[&a, &b, &skewed]);
         let d = &report.divergence;
         assert!(!d.within_tolerance());
         // (a, b) agree exactly; both pairs against the skew are off by 1/3.
@@ -1622,8 +1666,7 @@ mod tests {
         let wls: Vec<Box<dyn SweepWorkload>> = vec![Box::new(planless), Box::new(bad)];
         let cm = CostModel::default();
         let a = Analytical::new();
-        let cv = CrossValidation3::new(&a, &a, &a);
-        let report = SweepEngine::new(&cm).run_cross_validated3(&grid, &wls, &cv);
+        let report = Session::new(&cm).run(&grid, &wls, &[&a, &a, &a]);
         let per_wl = grid.len(1);
         for pair in &report.divergence.pairs {
             assert!(pair.points.is_empty());
@@ -1647,11 +1690,11 @@ mod tests {
         });
         let cm = CostModel::default();
         let a = Analytical::new();
-        let cv = CrossValidation::new(&a, &a);
-        let report = SweepEngine::new(&cm).run_cross_validated(&grid, &[wl], &cv);
+        let report = Session::new(&cm).run(&grid, &[wl], &[&a, &a]);
         assert_eq!(report.sweep.results.len(), grid.len(1), "designs still solve");
-        assert!(report.divergence.points.is_empty());
-        assert_eq!(report.divergence.backend_errors.len(), grid.len(1));
+        let pair = &report.divergence.pairs[0];
+        assert!(pair.points.is_empty());
+        assert_eq!(pair.backend_errors.len(), grid.len(1));
         assert!(!report.divergence.within_tolerance());
     }
 
@@ -1667,8 +1710,10 @@ mod tests {
         let wls = [allreduce_workload("a", 10.0)];
         let cm = CostModel::default();
         let warm_engine = SweepEngine::new(&cm);
-        let warm = warm_engine.run(&grid, &wls);
-        let cold = SweepEngine::new(&cm).with_warm_start(false).run(&grid, &wls);
+        let warm = Session::over(&warm_engine).run(&grid, &wls, &[]).sweep;
+        let cold = Session::from_engine(SweepEngine::new(&cm).with_warm_start(false))
+            .run(&grid, &wls, &[])
+            .sweep;
         assert!(warm.errors.is_empty() && cold.errors.is_empty());
         // 3 of the 4 budgets are non-anchor and found a published seed.
         assert_eq!(warm.cache.warm_seeded, 3);
@@ -1679,7 +1724,7 @@ mod tests {
             assert!(rel < 1e-4, "warm vs cold diverged: {rel} at {:?}", w.point);
         }
         // Parallel and serial warm runs are bit-identical on fresh engines.
-        let serial = SweepEngine::new(&cm).run_serial(&grid, &wls);
+        let serial = Session::new(&cm).with_mode(ExecMode::Serial).run(&grid, &wls, &[]).sweep;
         assert_eq!(warm.results, serial.results);
     }
 
@@ -1696,11 +1741,11 @@ mod tests {
         // Warm the engine unconstrained: the optimum pours bandwidth into
         // the outer dimension.
         let engine = SweepEngine::new(&cm);
-        let unconstrained = engine.run(&grid, &wl);
+        let unconstrained = Session::over(&engine).run(&grid, &wl, &[]).sweep;
         assert!(unconstrained.results[0].design.bw[2] > 80.0);
         // Adding Ordered must drop the memoized design, not serve it stale.
         let engine = engine.with_constraints([Constraint::Ordered]);
-        let constrained = engine.run(&grid, &wl);
+        let constrained = Session::over(&engine).run(&grid, &wl, &[]).sweep;
         let bw = &constrained.results[0].design.bw;
         assert!(
             bw[0] >= bw[1] - 1e-6 && bw[1] >= bw[2] - 1e-6,

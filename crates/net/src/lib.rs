@@ -215,7 +215,7 @@ impl NetSimBackend {
 impl EvalBackend for NetSimBackend {
     fn name(&self) -> &str {
         if self.offload {
-            "net-sim+offload"
+            "net-sim-offload"
         } else {
             "net-sim"
         }
@@ -232,6 +232,37 @@ impl EvalBackend for NetSimBackend {
         DIMS_SCRATCH.replace(dims);
         result
     }
+}
+
+/// Registers this crate's backends with a scenario
+/// [`BackendRegistry`](libra_core::scenario::BackendRegistry):
+/// `"net-sim"` ([`NetSimBackend::new`], endpoint mode) and
+/// `"net-sim-offload"` ([`NetSimBackend::offloaded`], switch-resident
+/// reduction), both chunked by
+/// [`BackendConfig::chunks`](libra_core::scenario::BackendConfig).
+///
+/// # Errors
+/// Propagates duplicate-name rejections (registering twice into the same
+/// registry).
+pub fn register_backends(
+    registry: &mut libra_core::scenario::BackendRegistry,
+) -> Result<(), LibraError> {
+    registry.register("net-sim", |cfg| Box::new(NetSimBackend::new(cfg.chunks)))?;
+    registry.register("net-sim-offload", |cfg| Box::new(NetSimBackend::offloaded(cfg.chunks)))
+}
+
+/// The registry holding every backend the workspace ships:
+/// `"analytical"` / `"analytical-offload"` (libra-core), `"event-sim"`
+/// (libra-sim), and `"net-sim"` / `"net-sim-offload"` (this crate) — the
+/// names scenario files use. Defined here, in the most-derived backend
+/// crate (the only one that sees core, sim, and net at once), and
+/// re-exported by the facade and `libra-bench` so there is exactly one
+/// copy to extend when a new backend crate lands.
+pub fn default_registry() -> libra_core::scenario::BackendRegistry {
+    let mut registry = libra_core::scenario::BackendRegistry::new();
+    libra_sim::register_backends(&mut registry).expect("fresh registry");
+    register_backends(&mut registry).expect("fresh registry");
+    registry
 }
 
 #[cfg(test)]
@@ -336,7 +367,7 @@ mod tests {
         let plan = CommPlan::serial([ar(4.0, span2())]).with_net(switch_spec(2, 0.0, 0.0));
         let bw = [40.0, 15.0];
         let backend = NetSimBackend::offloaded(64);
-        assert_eq!(backend.name(), "net-sim+offload");
+        assert_eq!(backend.name(), "net-sim-offload");
         let net = backend.eval_plan(2, &bw, &plan).unwrap();
         let ana = Analytical { in_network_offload: true }.eval_plan(2, &bw, &plan).unwrap();
         assert!(net >= ana * (1.0 - 1e-9), "offloaded sim below analytical lower bound");

@@ -164,6 +164,20 @@ impl EvalBackend for EventSimBackend {
     }
 }
 
+/// Registers this crate's backends with a scenario
+/// [`BackendRegistry`](libra_core::scenario::BackendRegistry):
+/// `"event-sim"` ([`EventSimBackend`], chunked by
+/// [`BackendConfig::chunks`](libra_core::scenario::BackendConfig)).
+///
+/// # Errors
+/// Propagates duplicate-name rejections (registering twice into the same
+/// registry).
+pub fn register_backends(
+    registry: &mut libra_core::scenario::BackendRegistry,
+) -> Result<(), LibraError> {
+    registry.register("event-sim", |cfg| Box::new(EventSimBackend::new(cfg.chunks)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ pub mod linksim;
 pub mod stats;
 pub mod training;
 
-pub use backend::{eval_plan_on_engine, EventSimBackend};
+pub use backend::{eval_plan_on_engine, register_backends, EventSimBackend};
 pub use collective::{
     run_batch_ext, run_collective, BatchExt, ChunkScheduler, CollectiveResult, DimUsage,
     EngineScratch, FixedOrder, JobSpec, Trace,

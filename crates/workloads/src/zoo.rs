@@ -52,6 +52,17 @@ impl PaperModel {
             PaperModel::ResNet50 => "ResNet-50",
         }
     }
+
+    /// Looks a model up by its display name, case-insensitively and
+    /// ignoring `-`/`_` separators (`"GPT-3"`, `"gpt3"`, and `"gpt_3"`
+    /// all resolve) — how scenario files reference Table II workloads.
+    pub fn by_name(name: &str) -> Option<PaperModel> {
+        fn canon(s: &str) -> String {
+            s.chars().filter(|c| *c != '-' && *c != '_').flat_map(char::to_lowercase).collect()
+        }
+        let key = canon(name);
+        PaperModel::all().into_iter().find(|m| canon(m.name()) == key)
+    }
 }
 
 /// Builds the workload for a paper model on the given network using the

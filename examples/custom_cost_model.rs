@@ -1,21 +1,21 @@
 //! Plug in your own dollar-cost model (the paper's §VI-C flexibility
 //! argument): vendors and technologies change, so Table I is an input.
+//! Each cost model gets its own `Session` — the scenario front door's
+//! sweep result already carries the EqualBW baseline per grid point.
 //!
 //! ```bash
 //! cargo run --release --example custom_cost_model
 //! ```
 
 use libra::core::cost::{CostModel, ScopeCost};
-use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::opt::Objective;
 use libra::core::presets;
-use libra::core::time::estimate;
-use libra::core::workload::TrainingLoop;
-use libra::workloads::zoo::{workload_for, PaperModel};
+use libra::{Session, SweepGrid};
+use libra_bench::sweep_workload;
+use libra_workloads::zoo::PaperModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = presets::topo_4d_4k();
-    let w = workload_for(PaperModel::Gpt3, &shape)?;
-    let expr = estimate(&w, TrainingLoop::NoOverlap, &libra::core::comm::CommModel::default());
     let total = 500.0;
 
     // A hypothetical future where photonic pod links get 3× cheaper and
@@ -27,28 +27,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pod: ScopeCost { link: 2.6, switch: Some(6.0), nic: Some(10.5) },
     };
 
+    let grid = SweepGrid::new()
+        .with_shape(shape.clone())
+        .with_budgets([total])
+        .with_objectives([Objective::PerfPerCost]);
     for (name, cm) in
         [("Table I (default)", CostModel::default()), ("photonic future", photonic_future)]
     {
-        let targets = vec![(1.0, expr.clone())];
-        let d = opt::optimize(&DesignRequest {
-            shape: &shape,
-            targets: targets.clone(),
-            objective: Objective::PerfPerCost,
-            constraints: vec![Constraint::TotalBw(total)],
-            cost_model: &cm,
-        })?;
-        let equal = opt::evaluate(&shape, &targets, &opt::equal_bw(4, total), &cm);
+        let report = Session::new(&cm).run(&grid, &[sweep_workload(PaperModel::Gpt3)], &[]).sweep;
+        let r = report.results.first().ok_or("grid point failed")?;
         println!("{name}:");
         println!(
             "  PerfPerCostOptBW bw = {:?} GB/s",
-            d.bw.iter().map(|b| b.round()).collect::<Vec<_>>()
+            r.design.bw.iter().map(|b| b.round()).collect::<Vec<_>>()
         );
         println!(
             "  {:.3} s/iter at ${:.2}M  ({:.2}x perf-per-cost vs EqualBW)\n",
-            d.weighted_time,
-            d.cost / 1e6,
-            d.ppc_gain_over(&equal)
+            r.design.weighted_time,
+            r.design.cost / 1e6,
+            r.ppc_gain()
         );
     }
     Ok(())

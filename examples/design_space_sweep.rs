@@ -1,10 +1,16 @@
-//! Design-space exploration with the parallel sweep engine: candidate
-//! topologies × workloads × bandwidth budgets × objectives evaluated
-//! concurrently, then ranked (the paper's Fig. 13/14 loop as a subsystem)
-//! — with every grid point **three-way cross-validated**: the analytical
-//! cost model, the event-driven simulator, and the network-layer α-β
-//! simulator price each optimized design in the same rayon fan-out, and
-//! the sweep reports every pairwise divergence.
+//! Design-space exploration through the scenario front door: the whole
+//! problem — candidate topologies × workloads × bandwidth budgets ×
+//! objectives, the α-β link parameters, and the three evaluation
+//! backends — lives in a committed **scenario file**
+//! (`scenarios/design_space_sweep.json`), and one `Session::run_scenario`
+//! call evaluates the grid in parallel with every grid point three-way
+//! cross-validated (analytical / event-sim / net-sim priced in the same
+//! rayon fan-out, all pairwise divergences reported).
+//!
+//! The identical scenario file drives the `libra` CLI
+//! (`cargo run --release -p libra-bench --bin libra -- crossval
+//! scenarios/design_space_sweep.json`), so this example and the CLI are
+//! bit-identical by construction — the CI golden pins it.
 //!
 //! ```bash
 //! cargo run --release --example design_space_sweep
@@ -13,44 +19,28 @@
 use std::time::Instant;
 
 use libra::core::cost::CostModel;
-use libra::core::opt::Objective;
-use libra::core::presets;
-use libra::{Analytical, CrossValidation3, EventSimBackend, LinkParams, NetSimBackend};
-use libra_bench::sweep::{RankBy, SweepEngine, SweepGrid};
-use libra_bench::{sweep_workloads_with_link, BW_SWEEP};
-use libra_workloads::zoo::PaperModel;
+use libra::{RankBy, Scenario};
+use libra_bench::{default_registry, scenario_workloads};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let grid = SweepGrid::new()
-        .with_shapes([presets::topo_4d_4k(), presets::topo_3d_4k()])
-        .with_budgets(BW_SWEEP)
-        .with_objectives([Objective::Perf, Objective::PerfPerCost]);
-    // Each plan carries its shape's per-dimension topology kinds plus
-    // NVLink-class link latency (20 ns per hop, 10 ns switch traversal) —
-    // the network layer NetSim prices and the closed form ignores.
-    let link = LinkParams::latency(20_000.0).with_switch_ps(10_000.0);
-    let workloads = sweep_workloads_with_link(&[PaperModel::Msft1T, PaperModel::Gpt3], link);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/design_space_sweep.json");
+    let scenario = Scenario::load(path)?;
+    let workloads = scenario_workloads(&scenario)?;
+    let registry = default_registry();
+    let grid = scenario.grid();
     let n_points = grid.len(workloads.len());
 
     let cm = CostModel::default();
-    let engine = SweepEngine::new(&cm);
-    let analytical = Analytical::new();
-    let event_sim = EventSimBackend::default();
-    let net_sim = NetSimBackend::default();
-    // Tolerance from the backends' documented β-only agreement bound for
-    // the widest fabric in the grid (4 dims at 64 chunks → 12.5 %), plus a
-    // small allowance for the α terms NetSim adds on these GB-scale plans.
-    let max_ndims = grid.shapes().iter().map(|s| s.ndims()).max().unwrap_or(1);
-    let cv = CrossValidation3::new(&analytical, &event_sim, &net_sim)
-        .with_tolerance(event_sim.agreement_bound(max_ndims) + 0.02);
+    let session = scenario.session(&cm);
     let t0 = Instant::now();
-    let validated = engine.run_cross_validated3(&grid, &workloads, &cv);
+    let validated = session.run_scenario(&scenario, &workloads, &registry)?;
     let elapsed = t0.elapsed();
     let report = &validated.sweep;
 
     println!(
-        "swept {n_points} design points ({} shapes x {} workloads x {} budgets x {} objectives) \
-         in {:.2?} on {} threads",
+        "scenario {:?}: swept {n_points} design points ({} shapes x {} workloads x {} budgets \
+         x {} objectives) in {:.2?} on {} threads",
+        scenario.name,
         grid.shapes().len(),
         workloads.len(),
         grid.budgets().len(),
@@ -60,20 +50,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let c = report.cache;
     println!(
-        "cache: {} expr builds ({} hits), {} solves ({} hits), {} errors",
+        "cache: {} expr builds ({} hits), {} solves ({} hits, {} warm-seeded), {} errors",
         c.expr_misses,
         c.expr_hits,
         c.design_misses,
         c.design_hits,
+        c.warm_seeded,
         report.errors.len()
     );
 
     // The model-validation half: did the closed form, the chunk-level
     // event timelines, and the network-layer α-β timelines agree at every
     // optimized design point, pairwise?
-    let d3 = &validated.divergence;
-    println!("three-way cross-validation:");
-    for pair in &d3.pairs {
+    let d = &validated.divergence;
+    println!("{}-way cross-validation ({} pairs):", d.n_backends(), d.pairs.len());
+    for pair in &d.pairs {
         println!("  {}", pair.summary());
         if let Some(w) = pair.worst(1).first() {
             println!(
@@ -88,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    assert!(d3.within_tolerance(), "a backend pair diverged beyond tolerance");
+    assert!(d.within_tolerance(), "a backend pair diverged beyond tolerance");
     println!();
 
     println!("top designs by speedup over EqualBW:");

@@ -12,6 +12,8 @@ use libra::core::presets;
 use libra::core::time::estimate;
 use libra::core::workload::TrainingLoop;
 use libra::workloads::zoo::{workload_for, PaperModel};
+use libra::{Session, SweepGrid};
+use libra_bench::sweep_workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = presets::topo_4d_4k();
@@ -45,10 +47,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("group-optimized 4D-4K @ {total:.0} GB/s per NPU");
     println!("bw = {:?} GB/s\n", group.bw.iter().map(|b| b.round()).collect::<Vec<_>>());
-    println!("{:<12} {:>12} {:>12} {:>10}", "workload", "EqualBW (s)", "group (s)", "speedup");
-    for ((m, e), eq_t) in models.iter().zip(&exprs).zip(&eq_times) {
+
+    // For contrast, let the Session front door design a *dedicated*
+    // network per model on the same budget (one plain sweep: 1 shape ×
+    // 3 workloads × 1 budget, no backends to price).
+    let grid = SweepGrid::new()
+        .with_shape(shape.clone())
+        .with_budgets([total])
+        .with_objectives([Objective::Perf]);
+    let per_model = Session::new(&cm).run(&grid, &sweep_workloads(&models), &[]).sweep;
+    assert!(per_model.errors.is_empty());
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "workload", "EqualBW (s)", "group (s)", "dedicated(s)", "speedup"
+    );
+    for (((m, e), eq_t), solo) in models.iter().zip(&exprs).zip(&eq_times).zip(&per_model.results) {
         let t = e.eval(&group.bw);
-        println!("{:<12} {:>12.3} {:>12.3} {:>9.2}x", m.name(), eq_t, t, eq_t / t);
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>12.3} {:>9.2}x",
+            m.name(),
+            eq_t,
+            t,
+            solo.design.weighted_time,
+            eq_t / t
+        );
     }
     Ok(())
 }

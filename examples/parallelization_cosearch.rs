@@ -1,55 +1,66 @@
 //! Co-optimize the parallelization strategy *and* the network (the paper's
-//! §VI-E study): for each HP-(TP, DP) split of MSFT-1T, design the best
-//! network, and pick the joint winner.
+//! §VI-E study): each HP-(TP, DP) split of MSFT-1T becomes one named
+//! workload in a single `Session` sweep — the engine designs the best
+//! network for every strategy in one parallel fan-out, and the ranking
+//! picks the joint winner.
 //!
 //! ```bash
 //! cargo run --release --example parallelization_cosearch
 //! ```
 
 use libra::core::cost::CostModel;
-use libra::core::opt::{self, Constraint, DesignRequest, Objective};
+use libra::core::network::NetworkShape;
+use libra::core::opt::Objective;
 use libra::core::presets;
 use libra::core::time::estimate;
 use libra::core::workload::TrainingLoop;
 use libra::workloads::compute::ComputeModel;
 use libra::workloads::transformer::TransformerConfig;
+use libra::{FnWorkload, RankBy, Session, SweepGrid};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = presets::topo_4d_4k();
     let total = 1000.0;
     let cm = CostModel::default();
-    let compute = ComputeModel::default();
-    let comm = libra::core::comm::CommModel::default();
     let global_batch = 512u64;
+
+    // One sweep workload per candidate TP degree; the closure rebuilds
+    // the split on whatever shape the grid hands it.
+    let strategies = [8u64, 16, 32, 64, 128, 256];
+    let workloads: Vec<FnWorkload> = strategies
+        .iter()
+        .map(|&tp| {
+            FnWorkload::new(format!("HP-({tp},{})", shape.npus() / tp), move |s: &NetworkShape| {
+                let dp = s.npus() / tp;
+                let w = TransformerConfig::msft_1t()
+                    .with_tp(tp)
+                    .with_batch((global_batch / dp).max(1))
+                    .build(s, &ComputeModel::default())?;
+                let comm = libra::core::comm::CommModel::default();
+                Ok(vec![(1.0, estimate(&w, TrainingLoop::NoOverlap, &comm))])
+            })
+        })
+        .collect();
+
+    let grid = SweepGrid::new()
+        .with_shape(shape.clone())
+        .with_budgets([total])
+        .with_objectives([Objective::Perf]);
+    let report = Session::new(&cm).run(&grid, &workloads, &[]).sweep;
+    assert!(report.errors.is_empty(), "every strategy must map: {:?}", report.errors);
 
     println!("MSFT-1T on {shape} @ {total:.0} GB/s per NPU, global batch {global_batch}");
     println!("{:<16} {:>12} {:>30}", "strategy", "t (s/iter)", "optimized bw (GB/s)");
-    let mut best: Option<(u64, f64)> = None;
-    for tp in [8u64, 16, 32, 64, 128, 256] {
-        let dp = shape.npus() / tp;
-        let w = TransformerConfig::msft_1t()
-            .with_tp(tp)
-            .with_batch((global_batch / dp).max(1))
-            .build(&shape, &compute)?;
-        let expr = estimate(&w, TrainingLoop::NoOverlap, &comm);
-        let d = opt::optimize(&DesignRequest {
-            shape: &shape,
-            targets: vec![(1.0, expr)],
-            objective: Objective::Perf,
-            constraints: vec![Constraint::TotalBw(total)],
-            cost_model: &cm,
-        })?;
+    for r in &report.results {
         println!(
-            "HP-({tp:>3},{dp:>4}) {:>12.3} {:>30}",
-            d.weighted_time,
-            format!("{:?}", d.bw.iter().map(|b| b.round()).collect::<Vec<_>>())
+            "{:<16} {:>12.3} {:>30}",
+            r.workload,
+            r.design.weighted_time,
+            format!("{:?}", r.design.bw.iter().map(|b| b.round()).collect::<Vec<_>>())
         );
-        if best.is_none_or(|(_, t)| d.weighted_time < t) {
-            best = Some((tp, d.weighted_time));
-        }
     }
-    let (tp, t) = best.expect("at least one strategy evaluated");
+    let best = report.ranked(RankBy::WeightedTime)[0];
     println!();
-    println!("joint optimum: HP-({tp}, {}) at {t:.3} s/iter", shape.npus() / tp);
+    println!("joint optimum: {} at {:.3} s/iter", best.workload, best.design.weighted_time);
     Ok(())
 }

@@ -7,7 +7,8 @@
 //! Walks the full LIBRA pipeline: describe a network, generate a workload,
 //! estimate training time as a function of bandwidth, optimize the
 //! bandwidth split, and compare against the EqualBW baseline — both
-//! analytically and on the event-driven simulator.
+//! analytically and on the event-driven simulator — then replays the same
+//! study through the scenario-first `Session` front door.
 
 use libra::core::comm::CommModel;
 use libra::core::cost::CostModel;
@@ -17,6 +18,8 @@ use libra::core::time::estimate;
 use libra::core::workload::TrainingLoop;
 use libra::sim::training::{simulate_training, TrainingSimConfig};
 use libra::workloads::zoo::{workload_for, PaperModel};
+use libra::Scenario;
+use libra_bench::{default_registry, scenario_workloads};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The fabric: the paper's representative 4D-4K topology —
@@ -69,5 +72,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (sim.makespan / design.weighted_time - 1.0) * 100.0,
         sim.average_utilization() * 100.0
     );
+
+    // 6. The same study as one declarative scenario: workloads and
+    //    backends by name, executed by the N-way Session front door with
+    //    cross-validation built in. Scenarios serialize to JSON, so this
+    //    exact description can be saved and replayed by the `libra` CLI.
+    let scenario = Scenario::builder("quickstart")
+        .with_shape(shape.clone())
+        .with_budgets([300.0])
+        .with_objectives([Objective::Perf])
+        .with_workload("GPT-3")
+        .with_backends(["analytical", "event-sim"])
+        .build()?;
+    let registry = default_registry();
+    let session = scenario.session(&cost_model);
+    let report = session.run_scenario(&scenario, &scenario_workloads(&scenario)?, &registry)?;
+    println!();
+    println!("scenario front door ({} grid point):", report.sweep.results.len());
+    for line in report.divergence.summary().lines() {
+        println!("  {line}");
+    }
+    assert!(report.divergence.within_tolerance());
     Ok(())
 }

@@ -12,7 +12,7 @@ use libra::core::workload::CommOp;
 use libra::sim::collective::{run_collective, FixedOrder};
 use libra::sim::stats::{average_utilization, render_gantt};
 use libra::themis::ThemisScheduler;
-use libra::{Analytical, CommPlan, EvalBackend, EventSimBackend};
+use libra::{default_registry, BackendConfig, CommPlan, EvalBackend, EventSimBackend};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8 GB All-Reduce over a 4×4×4 group, 8 chunks.
@@ -36,8 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pipeline-bubble bound is a modeling bug, which is exactly what
     // cross-validated sweeps guard against at scale.
     let plan = CommPlan::serial([CommOp::new(Collective::AllReduce, bytes, span.clone())]);
-    let analytical = Analytical::new();
-    let event_sim = EventSimBackend::new(chunks);
+    // Backends by registry name — exactly how scenario files resolve them.
+    let registry = default_registry();
+    let config = BackendConfig { chunks };
+    let analytical = registry.build("analytical", &config)?;
+    let event_sim = registry.build("event-sim", &config)?;
 
     for (name, bw) in [("EqualBW", equal.clone()), ("traffic-proportional", proportional)] {
         let ana = analytical.eval_plan(3, &bw, &plan)?;

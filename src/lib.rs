@@ -12,7 +12,39 @@
 //! * [`themis`] — bandwidth-aware runtime chunk scheduler.
 //! * [`tacos`] — topology-aware collective algorithm synthesizer.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! The quickstart import block — everything the scenario-first front door
+//! needs is re-exported at the root (no `libra::core::sweep::…` paths):
+//!
+//! ```
+//! use libra::{
+//!     Analytical, BackendConfig, BackendRegistry, CacheStats, CollectorSink, CommPlan,
+//!     ConsoleTableSink, DivergenceMatrix, EvalBackend, EventSimBackend, ExecMode,
+//!     FnWorkload, JsonLinesSink, LinkParams, NetSimBackend, RankBy, ReportSink, Scenario,
+//!     ScenarioBuilder, Session, SessionReport, SweepEngine, SweepGrid, SweepReport,
+//! };
+//! use libra::core::cost::CostModel;
+//! use libra::core::opt::Objective;
+//!
+//! // Describe the problem as data, execute it with a Session.
+//! let scenario = Scenario::builder("quickstart")
+//!     .with_shape("RI(8)_SW(4)".parse()?)
+//!     .with_budgets([100.0])
+//!     .with_objectives([Objective::Perf])
+//!     .with_workload("Turing-NLG")
+//!     .with_backends(["analytical", "event-sim"])
+//!     .build()?;
+//! assert_eq!(Scenario::from_json(&scenario.to_json())?, scenario);
+//! let registry = libra::default_registry();
+//! let backends = scenario.build_backends(&registry)?;
+//! assert_eq!(backends.len(), 2);
+//! let cm = CostModel::default();
+//! let session: Session<'_> = scenario.session(&cm);
+//! let _engine: &SweepEngine<'_> = session.engine();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/design_space_sweep.rs` for a full scenario-file-driven sweep.
 
 pub use libra_core as core;
 pub use libra_net as net;
@@ -26,14 +58,27 @@ pub use libra_workloads as workloads;
 // backend-neutral plan IR, the network-layer side channel, and the
 // analytical backend (from `libra-core`); the event-driven backend (from
 // `libra-sim`); the α-β network-layer backend (from `libra-net`); and the
-// two- and three-way cross-validation sweep types. See
+// legacy two-/three-way cross-validation report types. See
 // `examples/design_space_sweep.rs` for the full loop.
 pub use libra_core::eval::{
     Analytical, CommPhase, CommPlan, DimTopology, EvalBackend, LinkParams, NetSpec, ScaledBackend,
 };
-pub use libra_core::sweep::{
-    CrossValidated3Report, CrossValidatedReport, CrossValidation, CrossValidation3,
-    Divergence3Report, DivergenceReport,
+// The scenario-first front door: declarative scenarios, the backend
+// registry, the N-way session, and streaming report sinks.
+pub use libra_core::scenario::{
+    records_from_jsonl, BackendConfig, BackendRegistry, CollectorSink, ConsoleTableSink,
+    DivergenceMatrix, JsonLinesSink, RecordRow, ReportSink, RunMeta, Scenario, ScenarioBuilder,
+    Session, SessionReport,
 };
-pub use libra_net::NetSimBackend;
+// The sweep substrate: grid, engine, reports, and the deprecated
+// fixed-arity cross-validation entry points' config/report types.
+pub use libra_core::sweep::{
+    CacheStats, CrossValidated3Report, CrossValidatedReport, CrossValidation, CrossValidation3,
+    Divergence3Report, DivergenceReport, ExecMode, FnWorkload, GridPoint, RankBy, SweepEngine,
+    SweepError, SweepGrid, SweepReport, SweepResult, SweepWorkload,
+};
+// The one `default_registry` definition lives in `libra_net` (the
+// most-derived backend crate); register your own evaluators on top with
+// [`BackendRegistry::register`].
+pub use libra_net::{default_registry, NetSimBackend};
 pub use libra_sim::EventSimBackend;

@@ -5,7 +5,8 @@
 use libra::core::cost::CostModel;
 use libra::core::opt::Objective;
 use libra::core::presets;
-use libra::core::sweep::{CrossValidation, SweepEngine, SweepGrid};
+use libra::core::scenario::Session;
+use libra::core::sweep::{ExecMode, SweepEngine, SweepGrid};
 use libra::{Analytical, EventSimBackend, ScaledBackend};
 use libra_bench::sweep_workloads;
 use libra_workloads::zoo::PaperModel;
@@ -33,14 +34,13 @@ fn analytical_and_event_sim_agree_over_a_40_point_sweep() {
     // Tolerance from first principles: the documented pipeline-bubble bound
     // for the widest fabric in the grid (3 dims at 64 chunks → 9.375 %).
     let max_ndims = grid.shapes().iter().map(|s| s.ndims()).max().unwrap();
-    let cv = CrossValidation::new(&analytical, &event_sim)
-        .with_tolerance(event_sim.agreement_bound(max_ndims));
+    let session = Session::new(&cm).with_tolerance(event_sim.agreement_bound(max_ndims));
 
-    let report = SweepEngine::new(&cm).run_cross_validated(&grid, &workloads, &cv);
+    let report = session.run(&grid, &workloads, &[&analytical, &event_sim]);
     assert!(report.sweep.errors.is_empty(), "sweep errors: {:?}", report.sweep.errors);
     assert_eq!(report.sweep.results.len(), n_points);
 
-    let d = &report.divergence;
+    let d = &report.divergence.pairs[0];
     assert_eq!(d.points.len(), n_points, "every point must be compared");
     assert_eq!(d.skipped, 0);
     assert!(d.backend_errors.is_empty());
@@ -72,10 +72,10 @@ fn skewed_backend_is_caught_by_the_divergence_report() {
     // A backend wrong by 30% everywhere — e.g. a unit slip or a dropped
     // All-Gather half would look like this.
     let skewed = ScaledBackend::new(EventSimBackend::default(), 1.30, "skewed-event-sim");
-    let cv = CrossValidation::new(&analytical, &skewed).with_tolerance(0.10);
 
-    let report = SweepEngine::new(&cm).run_cross_validated(&grid, &workloads, &cv);
-    let d = &report.divergence;
+    let report =
+        Session::new(&cm).with_tolerance(0.10).run(&grid, &workloads, &[&analytical, &skewed]);
+    let d = &report.divergence.pairs[0];
     assert!(!d.within_tolerance(), "a 30% skew must not pass a 10% tolerance");
     assert!(!d.violations().is_empty());
     // rel_error(t, 1.3·t·(1+bubble)) ≥ 0.3/1.3 ≈ 23% at every point.
@@ -102,13 +102,17 @@ fn cross_validation_is_deterministic_and_cache_stable() {
     let cm = CostModel::default();
     let analytical = Analytical::new();
     let event_sim = EventSimBackend::default();
-    let cv = CrossValidation::new(&analytical, &event_sim);
 
     let engine = SweepEngine::new(&cm);
-    let cold = engine.run_cross_validated(&grid, &workloads, &cv);
-    let warm = engine.run_cross_validated(&grid, &workloads, &cv);
+    let session = Session::over(&engine);
+    let cold = session.run(&grid, &workloads, &[&analytical, &event_sim]);
+    let warm = session.run(&grid, &workloads, &[&analytical, &event_sim]);
     assert_eq!(cold.sweep.results, warm.sweep.results);
     assert_eq!(cold.divergence, warm.divergence);
-    let serial = engine.run_cross_validated_serial(&grid, &workloads, &cv);
+    let serial = Session::over(&engine).with_mode(ExecMode::Serial).run(
+        &grid,
+        &workloads,
+        &[&analytical, &event_sim],
+    );
     assert_eq!(cold.divergence, serial.divergence);
 }

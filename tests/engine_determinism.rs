@@ -12,7 +12,8 @@ use libra::core::cost::CostModel;
 use libra::core::eval::{validate_plan, Analytical, CommPlan, EvalBackend};
 use libra::core::network::NetworkShape;
 use libra::core::opt::Objective;
-use libra::core::sweep::{CrossValidation, FnWorkload, SweepEngine, SweepGrid, SweepWorkload};
+use libra::core::scenario::Session;
+use libra::core::sweep::{FnWorkload, SweepGrid, SweepWorkload};
 use libra::core::workload::CommOp;
 use libra::core::LibraError;
 use libra::sim::collective::{
@@ -158,12 +159,12 @@ fn sixty_point_sweep_fast_path_is_bit_identical_to_trace_path() {
     let fast = EventSimBackend::new(16);
     let trace = TracePathEventSim { chunks: 16 };
     let cm = CostModel::default();
-    let cv = CrossValidation::new(&trace, &fast).with_tolerance(0.0);
-    let report = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
+    let report = Session::new(&cm).with_tolerance(0.0).run(&grid, &wls, &[&trace, &fast]);
     assert!(report.sweep.errors.is_empty());
-    assert!(report.divergence.backend_errors.is_empty());
-    assert_eq!(report.divergence.points.len(), 60);
-    for p in &report.divergence.points {
+    let divergence = &report.divergence.pairs[0];
+    assert!(divergence.backend_errors.is_empty());
+    assert_eq!(divergence.points.len(), 60);
+    for p in &divergence.points {
         assert_eq!(
             p.baseline_secs.to_bits(),
             p.reference_secs.to_bits(),
@@ -173,7 +174,7 @@ fn sixty_point_sweep_fast_path_is_bit_identical_to_trace_path() {
             p.reference_secs
         );
     }
-    assert_eq!(report.divergence.max_rel_error(), 0.0);
+    assert_eq!(divergence.max_rel_error(), 0.0);
     assert!(report.divergence.within_tolerance());
 
     // Sanity: the trace-path oracle itself brackets the analytical model —

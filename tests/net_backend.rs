@@ -7,7 +7,8 @@
 use libra::core::cost::CostModel;
 use libra::core::opt::Objective;
 use libra::core::presets;
-use libra::core::sweep::{CrossValidation, CrossValidation3, SweepEngine, SweepGrid};
+use libra::core::scenario::Session;
+use libra::core::sweep::{SweepEngine, SweepGrid};
 use libra::{Analytical, EventSimBackend, LinkParams, NetSimBackend};
 use libra_bench::{sweep_workload_with_link, sweep_workloads_with_link};
 use libra_workloads::zoo::PaperModel;
@@ -44,19 +45,19 @@ fn netsim_converges_to_analytical_as_alpha_vanishes_over_40_points() {
     let mut errs = Vec::new();
     for &alpha in &alphas_ps {
         let workloads = sweep_workloads_with_link(&MODELS, LinkParams::latency(alpha));
-        let engine = SweepEngine::new(&cm);
-        let cv = CrossValidation::new(&analytical, &net_sim).with_tolerance(bound);
-        let report = engine.run_cross_validated(&grid, &workloads, &cv);
+        let session = Session::new(&cm).with_tolerance(bound);
+        let report = session.run(&grid, &workloads, &[&analytical, &net_sim]);
         assert!(report.sweep.errors.is_empty(), "sweep errors: {:?}", report.sweep.errors);
-        assert_eq!(report.divergence.points.len(), n_points, "every point must be compared");
-        assert!(report.divergence.backend_errors.is_empty());
-        let max_err = report.divergence.max_rel_error();
+        let divergence = &report.divergence.pairs[0];
+        assert_eq!(divergence.points.len(), n_points, "every point must be compared");
+        assert!(divergence.backend_errors.is_empty());
+        let max_err = divergence.max_rel_error();
         assert!(
             max_err <= last_max_err + 1e-9,
             "rel err grew as α shrank: {max_err} after {last_max_err} (α = {alpha} ps)"
         );
         // The analytical model stays a lower bound at every α.
-        for p in &report.divergence.points {
+        for p in &divergence.points {
             assert!(
                 p.reference_secs >= p.baseline_secs * (1.0 - 1e-9),
                 "net-sim beat the analytical lower bound at {p:?}"
@@ -95,19 +96,18 @@ fn offloaded_plans_are_cross_validated_over_40_points() {
     let net_offload = NetSimBackend::offloaded(64);
     let max_ndims = grid.shapes().iter().map(|s| s.ndims()).max().unwrap();
     let workloads = libra_bench::sweep_workloads(&MODELS);
-    let engine = SweepEngine::new(&cm);
-    let cv = CrossValidation::new(&analytical_offload, &net_offload)
-        .with_tolerance(net_offload.agreement_bound(max_ndims));
-    let report = engine.run_cross_validated(&grid, &workloads, &cv);
+    let session = Session::new(&cm).with_tolerance(net_offload.agreement_bound(max_ndims));
+    let report = session.run(&grid, &workloads, &[&analytical_offload, &net_offload]);
     assert!(report.sweep.errors.is_empty());
-    assert_eq!(report.divergence.points.len(), n_points);
-    assert!(report.divergence.backend_errors.is_empty());
+    let divergence = &report.divergence.pairs[0];
+    assert_eq!(divergence.points.len(), n_points);
+    assert!(divergence.backend_errors.is_empty());
     assert!(
-        report.divergence.within_tolerance(),
+        divergence.within_tolerance(),
         "offloaded net-sim diverged from the offloaded closed form: {}",
-        report.divergence.summary()
+        divergence.summary()
     );
-    for p in &report.divergence.points {
+    for p in &divergence.points {
         assert!(p.baseline_secs > 0.0, "offloaded plans must cost real time");
         assert!(
             p.reference_secs >= p.baseline_secs * (1.0 - 1e-9),
@@ -116,9 +116,10 @@ fn offloaded_plans_are_cross_validated_over_40_points() {
     }
 }
 
-/// The three-way fan-out prices all three backends consistently: the
-/// (analytical, event-sim) pair of a `run_cross_validated3` matches a
-/// plain two-way run, and at α = 0 the (event-sim, net-sim) pair is exact.
+/// The N-way fan-out prices all backends consistently: the
+/// (analytical, event-sim) pair of a three-backend session matches a
+/// plain two-backend run, and at α = 0 the (event-sim, net-sim) pair is
+/// exact.
 #[test]
 fn three_way_sweep_agrees_with_two_way_runs() {
     let grid = SweepGrid::new()
@@ -133,14 +134,13 @@ fn three_way_sweep_agrees_with_two_way_runs() {
     let bound = event_sim.agreement_bound(3);
 
     let engine = SweepEngine::new(&cm);
-    let cv3 = CrossValidation3::new(&analytical, &event_sim, &net_sim).with_tolerance(bound);
-    let report3 = engine.run_cross_validated3(&grid, &workloads, &cv3);
+    let session = Session::over(&engine).with_tolerance(bound);
+    let report3 = session.run(&grid, &workloads, &[&analytical, &event_sim, &net_sim]);
     assert!(report3.divergence.within_tolerance(), "{}", report3.divergence.summary());
 
-    let cv2 = CrossValidation::new(&analytical, &event_sim).with_tolerance(bound);
-    let report2 = engine.run_cross_validated(&grid, &workloads, &cv2);
+    let report2 = session.run(&grid, &workloads, &[&analytical, &event_sim]);
     let pair = report3.divergence.pair("analytical", "event-sim").unwrap();
-    assert_eq!(pair.points, report2.divergence.points, "3-way (a, b) pair ≠ 2-way run");
+    assert_eq!(pair.points, report2.divergence.pairs[0].points, "3-way (a, b) pair ≠ 2-way run");
 
     // At α = 0 the event engine and the network layer coincide exactly.
     let ev_net = report3.divergence.pair("event-sim", "net-sim").unwrap();

@@ -1,0 +1,202 @@
+//! Integration tests of the scenario front door: the N-way `Session`
+//! matches the legacy fixed-arity entry points bit-for-bit, the backend
+//! registry fails loudly and rejects shadowing, streaming sinks
+//! round-trip a real 40-point cross-validated run, and the committed
+//! scenario files parse and reproduce the design-space numbers.
+
+use libra::core::cost::CostModel;
+use libra::core::opt::Objective;
+use libra::core::presets;
+use libra::{
+    default_registry, records_from_jsonl, Analytical, BackendConfig, CollectorSink,
+    CrossValidation, CrossValidation3, DivergenceMatrix, EvalBackend, ExecMode, JsonLinesSink,
+    ScaledBackend, Scenario, Session, SweepEngine, SweepGrid,
+};
+use libra_bench::{scenario_workloads, sweep_workloads};
+use libra_workloads::zoo::PaperModel;
+
+/// 2 shapes × 2 workloads × 5 budgets × 2 objectives = 40 grid points.
+fn grid_40() -> SweepGrid {
+    SweepGrid::new()
+        .with_shapes([presets::topo_3d_512(), presets::topo_3d_4k()])
+        .with_budgets([100.0, 300.0, 500.0, 700.0, 900.0])
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+}
+
+/// Satellite acceptance: the six deprecated `run*` entry points are thin
+/// shims — each must produce output identical (exact `PartialEq`, i.e.
+/// bit-for-bit on every float) to the equivalent `Session::run`.
+#[test]
+#[allow(deprecated)]
+fn legacy_entry_points_delegate_to_the_session() {
+    let grid = SweepGrid::new()
+        .with_shapes([presets::topo_3d_512()])
+        .with_budgets([100.0, 500.0])
+        .with_objectives([Objective::Perf, Objective::PerfPerCost]);
+    let wls = sweep_workloads(&[PaperModel::TuringNlg]);
+    let cm = CostModel::default();
+    let analytical = Analytical::new();
+    let skew = ScaledBackend::new(Analytical::new(), 1.01, "skew");
+    let skew2 = ScaledBackend::new(Analytical::new(), 1.02, "skew2");
+
+    // run / run_serial ≡ Session with no backends.
+    let legacy = SweepEngine::new(&cm).run(&grid, &wls);
+    let session = Session::new(&cm).run(&grid, &wls, &[]).sweep;
+    assert_eq!(legacy.results, session.results);
+    assert_eq!(legacy.errors, session.errors);
+    let legacy = SweepEngine::new(&cm).run_serial(&grid, &wls);
+    let session = Session::new(&cm).with_mode(ExecMode::Serial).run(&grid, &wls, &[]).sweep;
+    assert_eq!(legacy.results, session.results);
+
+    // run_cross_validated[_serial] ≡ two-backend Session.
+    let cv = CrossValidation::new(&analytical, &skew).with_tolerance(0.05);
+    let legacy = SweepEngine::new(&cm).run_cross_validated(&grid, &wls, &cv);
+    let session = Session::new(&cm).with_tolerance(0.05).run(&grid, &wls, &[&analytical, &skew]);
+    assert_eq!(legacy.sweep.results, session.sweep.results);
+    assert_eq!(legacy.divergence, session.divergence.pairs[0]);
+    let serial = SweepEngine::new(&cm).run_cross_validated_serial(&grid, &wls, &cv);
+    assert_eq!(serial.divergence, legacy.divergence);
+
+    // run_cross_validated3[_serial] ≡ three-backend Session, same pair order.
+    let cv3 = CrossValidation3::new(&analytical, &skew, &skew2).with_tolerance(0.05);
+    let legacy = SweepEngine::new(&cm).run_cross_validated3(&grid, &wls, &cv3);
+    let session =
+        Session::new(&cm).with_tolerance(0.05).run(&grid, &wls, &[&analytical, &skew, &skew2]);
+    assert_eq!(legacy.sweep.results, session.sweep.results);
+    assert_eq!(legacy.divergence.pairs, session.divergence.pairs);
+    assert_eq!(session.divergence.backends, vec!["analytical", "skew", "skew2"]);
+    let serial = SweepEngine::new(&cm).run_cross_validated3_serial(&grid, &wls, &cv3);
+    assert_eq!(serial.divergence.pairs, legacy.divergence.pairs);
+}
+
+/// Satellite acceptance: N = 2 and N = 3 `DivergenceMatrix` output
+/// matches the legacy report semantics on the seed 40-point grids (real
+/// Table II workloads, real event-sim backend).
+#[test]
+fn divergence_matrix_matches_legacy_reports_on_the_seed_grids() {
+    let grid = grid_40();
+    let wls = sweep_workloads(&[PaperModel::TuringNlg, PaperModel::Gpt3]);
+    let cm = CostModel::default();
+    let analytical = Analytical::new();
+    let event_sim = libra::EventSimBackend::default();
+    let max_ndims = grid.shapes().iter().map(|s| s.ndims()).max().unwrap();
+    let tol = event_sim.agreement_bound(max_ndims);
+
+    let engine = SweepEngine::new(&cm);
+    let session = Session::over(&engine).with_tolerance(tol);
+    let n2 = session.run(&grid, &wls, &[&analytical, &event_sim]);
+    #[allow(deprecated)]
+    let legacy2 = engine.run_cross_validated(
+        &grid,
+        &wls,
+        &CrossValidation::new(&analytical, &event_sim).with_tolerance(tol),
+    );
+    assert_eq!(n2.divergence.pairs.len(), 1);
+    assert_eq!(n2.divergence.pairs[0], legacy2.divergence);
+    assert!(n2.divergence.within_tolerance(), "{}", n2.divergence.summary());
+
+    let net_sim = libra::NetSimBackend::default();
+    let n3 = session.run(&grid, &wls, &[&analytical, &event_sim, &net_sim]);
+    #[allow(deprecated)]
+    let legacy3 = engine.run_cross_validated3(
+        &grid,
+        &wls,
+        &CrossValidation3::new(&analytical, &event_sim, &net_sim).with_tolerance(tol),
+    );
+    assert_eq!(n3.divergence.pairs, legacy3.divergence.pairs);
+    assert_eq!(DivergenceMatrix::pair_indices(3), vec![(0, 1), (0, 2), (1, 2)]);
+    // The matrix accessors agree with the legacy pair lookup.
+    for (a, b) in [("analytical", "event-sim"), ("analytical", "net-sim")] {
+        assert_eq!(n3.divergence.pair(a, b), legacy3.divergence.pair(a, b));
+    }
+}
+
+/// Satellite acceptance: the JSON-lines sink round-trips a 40-point
+/// cross-validated run **bit-identically** against the in-memory
+/// collector (floats travel through shortest-round-trip decimal).
+#[test]
+fn jsonl_sink_round_trips_a_40_point_crossval_run_bit_identically() {
+    let grid = grid_40();
+    let wls = sweep_workloads(&[PaperModel::TuringNlg, PaperModel::Gpt3]);
+    let cm = CostModel::default();
+    let analytical = Analytical::new();
+    let skew = ScaledBackend::new(Analytical::new(), 1.03, "skew");
+
+    let mut collector = CollectorSink::new();
+    let mut jsonl = JsonLinesSink::new(Vec::<u8>::new());
+    let session = Session::new(&cm).with_tolerance(0.05);
+    let report = session.run_with_sinks(
+        &grid,
+        &wls,
+        &[&analytical, &skew],
+        &mut [&mut collector, &mut jsonl],
+    );
+    assert_eq!(collector.rows.len(), 40);
+    assert!(report.sweep.errors.is_empty());
+
+    let stream = String::from_utf8(jsonl.into_inner()).unwrap();
+    let parsed = records_from_jsonl(&stream).unwrap();
+    assert_eq!(parsed.len(), collector.rows.len());
+    for (p, c) in parsed.iter().zip(&collector.rows) {
+        assert_eq!(p, c, "JSON-lines record diverged from the collector");
+        // PartialEq on f64 is exact, but make the bit-identity explicit
+        // for the headline metric and the per-backend times.
+        assert_eq!(p.weighted_time.unwrap().to_bits(), c.weighted_time.unwrap().to_bits());
+        for (ps, cs) in p.secs.iter().zip(&c.secs) {
+            assert_eq!(ps.to_bits(), cs.to_bits());
+        }
+    }
+}
+
+/// The registry fails with an actionable message on unknown names and
+/// refuses to shadow an existing registration.
+#[test]
+fn registry_errors_are_actionable() {
+    let mut registry = default_registry();
+    let err = registry.build("astra-sim", &BackendConfig::default()).err().unwrap();
+    let msg = err.to_string();
+    assert!(msg.contains("unknown backend \"astra-sim\""), "{msg}");
+    for known in ["analytical", "analytical-offload", "event-sim", "net-sim", "net-sim-offload"] {
+        assert!(msg.contains(known), "error must list {known}: {msg}");
+    }
+    let dup = registry.register("event-sim", |_| Box::new(Analytical::new()));
+    assert!(dup.unwrap_err().to_string().contains("already registered"));
+    // Chunks reach chunk-pipelined constructors.
+    let b = registry.build("event-sim", &BackendConfig { chunks: 8 }).unwrap();
+    assert_eq!(b.name(), "event-sim");
+}
+
+/// The committed scenario files parse, name known workloads/backends, and
+/// the CI-small scenario reproduces the session numbers bit-identically
+/// through the file → parse → run pipeline (the same pipeline the `libra`
+/// CLI drives; the CI golden pins its exact byte output).
+#[test]
+fn committed_scenario_files_parse_and_reproduce_session_numbers() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let registry = default_registry();
+    for name in ["ci_small.json", "design_space_sweep.json"] {
+        let scenario = Scenario::load(format!("{root}/scenarios/{name}")).unwrap();
+        assert!(scenario.backends.iter().all(|b| registry.contains(b)), "{name}");
+        scenario_workloads(&scenario).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Round-trip: what we serialize parses back to the same scenario.
+        assert_eq!(Scenario::from_json(&scenario.to_json()).unwrap(), scenario);
+    }
+
+    // Drive the small scenario end-to-end twice — file-driven and
+    // hand-built — and require bit-identical output.
+    let scenario = Scenario::load(format!("{root}/scenarios/ci_small.json")).unwrap();
+    let wls = scenario_workloads(&scenario).unwrap();
+    let cm = CostModel::default();
+    let from_file = scenario.session(&cm).run_scenario(&scenario, &wls, &registry).unwrap();
+    assert!(from_file.sweep.errors.is_empty());
+    assert!(from_file.divergence.within_tolerance(), "{}", from_file.divergence.summary());
+
+    let analytical = Analytical::new();
+    let event_sim = libra::EventSimBackend::new(scenario.chunks);
+    let net_sim = libra::NetSimBackend::new(scenario.chunks);
+    let backends: [&dyn EvalBackend; 3] = [&analytical, &event_sim, &net_sim];
+    let by_hand =
+        Session::new(&cm).with_tolerance(scenario.tolerance).run(&scenario.grid(), &wls, &backends);
+    assert_eq!(from_file.sweep.results, by_hand.sweep.results);
+    assert_eq!(from_file.divergence, by_hand.divergence);
+}

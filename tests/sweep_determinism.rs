@@ -6,7 +6,8 @@ use libra::core::comm::{Collective, CommModel, GroupSpan};
 use libra::core::cost::CostModel;
 use libra::core::network::NetworkShape;
 use libra::core::opt::Objective;
-use libra::core::sweep::{FnWorkload, SweepEngine, SweepGrid};
+use libra::core::scenario::Session;
+use libra::core::sweep::{ExecMode, FnWorkload, SweepEngine, SweepGrid};
 
 /// Force ≥ 4 workers even on single-core CI runners: the shimmed (and real)
 /// rayon reads this env var at pool construction.
@@ -46,8 +47,8 @@ fn parallel_sweep_is_bit_identical_to_serial() {
     assert!(grid.len(wls.len()) >= 50, "grid too small: {}", grid.len(wls.len()));
     let cm = CostModel::default();
 
-    let parallel = SweepEngine::new(&cm).run(&grid, &wls);
-    let serial = SweepEngine::new(&cm).run_serial(&grid, &wls);
+    let parallel = Session::new(&cm).run(&grid, &wls, &[]).sweep;
+    let serial = Session::new(&cm).with_mode(ExecMode::Serial).run(&grid, &wls, &[]).sweep;
 
     assert_eq!(parallel.results.len(), grid.len(wls.len()));
     assert!(parallel.errors.is_empty() && serial.errors.is_empty());
@@ -67,9 +68,10 @@ fn parallel_sweep_is_reproducible_across_runs_and_cache_states() {
     // Cold engine vs warm engine (second run served from the memo cache)
     // vs an entirely fresh engine: all bit-identical.
     let engine = SweepEngine::new(&cm);
-    let cold = engine.run(&grid, &wls);
-    let warm = engine.run(&grid, &wls);
-    let fresh = SweepEngine::new(&cm).run(&grid, &wls);
+    let session = Session::over(&engine);
+    let cold = session.run(&grid, &wls, &[]).sweep;
+    let warm = session.run(&grid, &wls, &[]).sweep;
+    let fresh = Session::new(&cm).run(&grid, &wls, &[]).sweep;
     assert_eq!(cold.results, warm.results);
     assert_eq!(cold.results, fresh.results);
     // The warm run really did hit the cache rather than re-solving.
