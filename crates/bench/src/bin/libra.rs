@@ -7,14 +7,23 @@
 //!
 //! ```text
 //! libra list-backends
-//! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
-//! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
+//! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
+//! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
+//! libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet]
 //! ```
 //!
 //! * `sweep` runs the design-space grid without backend pricing (the
 //!   scenario's `backends` list is ignored).
 //! * `crossval` prices every grid point under each of the scenario's
 //!   backends (two or more required) and reports pairwise divergence.
+//! * `dispatch` splits the grid into `K` contiguous shards, runs each
+//!   shard as an independent worker — fresh in-process sessions by
+//!   default, forked `libra crossval --range` child processes with
+//!   `--spawn` — and merges the shards' JSON-lines streams back into
+//!   one coverage-checked, re-judged report. The merged stream and exit
+//!   code are bit-identical to the single-process `crossval` run's.
+//! * `--range A..B` restricts a run to the grid indices `A..B` (what a
+//!   spawned shard worker executes); emitted record indices stay global.
 //! * `--jsonl PATH` streams per-point records as JSON-lines to `PATH`
 //!   (`-` for stdout, which implies `--quiet`); the stream is
 //!   bit-identical across runs and machines-with-identical-libm, which
@@ -22,14 +31,18 @@
 //! * `--serial` uses the serial reference fold (bit-identical to the
 //!   default rayon fan-out by the engine's determinism contract).
 //!
-//! Exit codes: `0` success (and, for `crossval`, all pairs within
-//! tolerance); `1` usage, I/O, or scenario errors; `2` a `crossval` run
-//! whose backends diverged beyond the scenario's tolerance.
+//! Exit codes: `0` success (and, for `crossval`/`dispatch`, all pairs
+//! within tolerance); `1` usage, I/O, or scenario errors; `2` a
+//! `crossval`/`dispatch` run whose backends diverged beyond the
+//! scenario's tolerance.
 
 use std::io::Write;
+use std::ops::Range;
+use std::process::{Command, Stdio};
 
 use libra_bench::{default_registry, scenario_workloads, ExecMode, Scenario};
 use libra_core::cost::CostModel;
+use libra_core::dispatch::Dispatcher;
 use libra_core::scenario::{ConsoleTableSink, JsonLinesSink, ReportSink};
 use libra_core::LibraError;
 
@@ -38,13 +51,14 @@ libra — scenario-first front door for the LIBRA design-space engine
 
 USAGE:
     libra list-backends
-    libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
-    libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet]
+    libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
+    libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
+    libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet]
 
 EXIT CODES:
-    0  success (crossval: every backend pair within tolerance)
+    0  success (crossval/dispatch: every backend pair within tolerance)
     1  usage, I/O, or scenario error
-    2  crossval divergence beyond the scenario's tolerance
+    2  crossval/dispatch divergence beyond the scenario's tolerance
 ";
 
 struct Options {
@@ -52,21 +66,74 @@ struct Options {
     serial: bool,
     quiet: bool,
     jsonl: Option<String>,
+    range: Option<Range<usize>>,
+    shards: Option<usize>,
+    spawn: bool,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn parse_range(s: &str) -> Result<Range<usize>, String> {
+    let bad = || format!("--range wants A..B (got {s:?})");
+    let (a, b) = s.split_once("..").ok_or_else(bad)?;
+    let start = a.parse().map_err(|_| bad())?;
+    let end = b.parse().map_err(|_| bad())?;
+    if start > end {
+        return Err(format!("--range {s} is inverted"));
+    }
+    Ok(start..end)
+}
+
+fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
     let mut scenario_path = None;
     let mut serial = false;
     let mut quiet = false;
     let mut jsonl = None;
+    let mut range = None;
+    let mut shards = None;
+    let mut spawn = false;
+    let mut seen: Vec<&str> = Vec::new();
+    // Every flag is set-at-most-once: a duplicate is a usage error, not
+    // a silent last-one-wins (or worse, first-one-wins for booleans).
+    let mut once = |flag: &'static str| -> Result<(), String> {
+        if seen.contains(&flag) {
+            return Err(format!("duplicate flag {flag}"));
+        }
+        seen.push(flag);
+        Ok(())
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--serial" => serial = true,
-            "--quiet" => quiet = true,
+            "--serial" => {
+                once("--serial")?;
+                serial = true;
+            }
+            "--quiet" => {
+                once("--quiet")?;
+                quiet = true;
+            }
+            "--spawn" => {
+                once("--spawn")?;
+                spawn = true;
+            }
             "--jsonl" => {
+                once("--jsonl")?;
                 let path = it.next().filter(|p| *p == "-" || !p.starts_with("--"));
                 jsonl = Some(path.ok_or_else(|| "--jsonl requires a path".to_string())?.clone());
+            }
+            "--range" => {
+                once("--range")?;
+                let spec = it.next().ok_or_else(|| "--range requires A..B".to_string())?;
+                range = Some(parse_range(spec)?);
+            }
+            "--shards" => {
+                once("--shards")?;
+                let n = it.next().ok_or_else(|| "--shards requires a count".to_string())?;
+                let n: usize =
+                    n.parse().map_err(|_| format!("--shards wants a number (got {n:?})"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                shards = Some(n);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             path => {
@@ -77,14 +144,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
     }
     let scenario_path = scenario_path.ok_or_else(|| "missing scenario file".to_string())?;
+    match cmd {
+        "dispatch" => {
+            if shards.is_none() {
+                return Err("dispatch requires --shards K".to_string());
+            }
+            if range.is_some() {
+                return Err("--range applies to sweep/crossval workers, not dispatch".to_string());
+            }
+        }
+        _ => {
+            if shards.is_some() || spawn {
+                return Err(format!("--shards/--spawn apply to dispatch, not {cmd}"));
+            }
+        }
+    }
     // Interleaving records with the table on one stream would corrupt both.
     if jsonl.as_deref() == Some("-") {
         quiet = true;
     }
-    Ok(Options { scenario_path, serial, quiet, jsonl })
+    Ok(Options { scenario_path, serial, quiet, jsonl, range, shards, spawn })
 }
 
-fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
+/// Loads the scenario and enforces the crossval two-backend floor
+/// (`validate` is false for plain sweeps, which ignore backends).
+fn load_scenario(validate: bool, opts: &Options) -> Result<Scenario, LibraError> {
     let mut scenario = Scenario::load(&opts.scenario_path)?;
     if !validate {
         scenario.backends.clear();
@@ -95,6 +179,23 @@ fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
             scenario.backends.len()
         )));
     }
+    Ok(scenario)
+}
+
+/// Opens the `--jsonl` destination (stdout for `-`).
+fn jsonl_writer(path: &str) -> Result<Box<dyn Write>, LibraError> {
+    Ok(if path == "-" {
+        Box::new(std::io::stdout().lock())
+    } else {
+        Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| LibraError::BadRequest(format!("cannot create {path}: {e}")))?,
+        ))
+    })
+}
+
+fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
+    let scenario = load_scenario(validate, opts)?;
     let workloads = scenario_workloads(&scenario)?;
     let registry = default_registry();
     let cost_model = CostModel::default();
@@ -106,17 +207,7 @@ fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
     let mut console = (!opts.quiet).then(|| ConsoleTableSink::new(std::io::stdout().lock()));
     let mut jsonl = match &opts.jsonl {
         None => None,
-        Some(path) => {
-            let out: Box<dyn Write> =
-                if path == "-" {
-                    Box::new(std::io::stdout().lock())
-                } else {
-                    Box::new(std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| {
-                        LibraError::BadRequest(format!("cannot create {path}: {e}"))
-                    })?))
-                };
-            Some(JsonLinesSink::new(out))
-        }
+        Some(path) => Some(JsonLinesSink::new(jsonl_writer(path)?)),
     };
     let mut sinks: Vec<&mut dyn ReportSink> = Vec::new();
     if let Some(c) = console.as_mut() {
@@ -126,8 +217,10 @@ fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
         sinks.push(j);
     }
 
-    let report = session.run_scenario_with_sinks(&scenario, &workloads, &registry, &mut sinks)?;
-    // Every grid point streams one record — failed points included.
+    let range = opts.range.clone().unwrap_or(0..scenario.grid().len(workloads.len()));
+    let report = session
+        .run_scenario_range_with_sinks(&scenario, &workloads, &registry, range, &mut sinks)?;
+    // Every grid point in range streams one record — failed points included.
     let records = report.sweep.results.len() + report.sweep.errors.len();
     if let Some(j) = jsonl {
         let mut out = j.into_inner();
@@ -157,6 +250,89 @@ fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
     Ok(0)
 }
 
+fn run_dispatch(opts: &Options) -> Result<i32, LibraError> {
+    let scenario = load_scenario(true, opts)?;
+    let workloads = scenario_workloads(&scenario)?;
+    let registry = default_registry();
+    let cost_model = CostModel::default();
+    let shards = opts.shards.expect("parse_options requires --shards for dispatch");
+    let mut dispatcher = Dispatcher::new(&scenario, shards)?;
+    if opts.serial {
+        dispatcher = dispatcher.with_mode(ExecMode::Serial);
+    }
+
+    let merged = if opts.spawn {
+        let exe = std::env::current_exe()
+            .map_err(|e| LibraError::BadRequest(format!("cannot locate own binary: {e}")))?;
+        let ranges = dispatcher.ranges(workloads.len());
+        // Fork one `crossval --range` worker per shard, all running
+        // concurrently; each streams its records to stdout.
+        let mut children = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let child = Command::new(&exe)
+                .args([
+                    "crossval",
+                    &opts.scenario_path,
+                    "--jsonl",
+                    "-",
+                    "--range",
+                    &format!("{}..{}", r.start, r.end),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .map_err(|e| LibraError::BadRequest(format!("spawning shard worker: {e}")))?;
+            children.push(child);
+        }
+        let mut streams = Vec::with_capacity(children.len());
+        for (k, child) in children.into_iter().enumerate() {
+            let out = child
+                .wait_with_output()
+                .map_err(|e| LibraError::BadRequest(format!("waiting on shard {k}: {e}")))?;
+            // Exit 2 is a shard-local divergence verdict; the merged
+            // matrix re-judges the whole grid, so only hard failures
+            // (usage, I/O, scenario errors) abort the dispatch.
+            if !matches!(out.status.code(), Some(0 | 2)) {
+                return Err(LibraError::BadRequest(format!(
+                    "shard {k} worker failed with status {:?}",
+                    out.status.code()
+                )));
+            }
+            streams.push(String::from_utf8(out.stdout).map_err(|e| {
+                LibraError::BadRequest(format!("shard {k} wrote non-UTF-8 output: {e}"))
+            })?);
+        }
+        dispatcher.merge_streams(&streams, &registry)?
+    } else {
+        dispatcher.run_in_process(&cost_model, &workloads, &registry)?
+    };
+
+    if let Some(path) = &opts.jsonl {
+        let mut out = jsonl_writer(path)?;
+        out.write_all(merged.to_jsonl().as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| LibraError::BadRequest(format!("writing merged JSON-lines: {e}")))?;
+        if path != "-" {
+            eprintln!("libra: wrote {} merged records to {path}", merged.rows.len());
+        }
+    }
+    let mode = if opts.spawn { "spawned workers" } else { "in-process sessions" };
+    eprintln!(
+        "libra: dispatch merged {} shards ({mode}) over {} grid points ({} solved, {} errors)",
+        shards,
+        merged.rows.len(),
+        merged.results(),
+        merged.errors(),
+    );
+    for line in merged.divergence.summary().lines() {
+        eprintln!("libra: {line}");
+    }
+    if !merged.within_tolerance() {
+        eprintln!("libra: FAIL — divergence beyond tolerance {}", merged.tolerance);
+    }
+    Ok(merged.exit_code())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -166,22 +342,34 @@ fn main() {
             }
             0
         }
-        Some(cmd @ ("sweep" | "crossval")) => match parse_options(&args[1..]) {
+        Some(cmd @ ("sweep" | "crossval" | "dispatch")) => match parse_options(cmd, &args[1..]) {
             Err(msg) => {
                 eprintln!("libra {cmd}: {msg}\n\n{USAGE}");
                 1
             }
-            Ok(opts) => match run(cmd == "crossval", &opts) {
-                Ok(code) => code,
-                Err(e) => {
-                    eprintln!("libra {cmd}: {e}");
-                    1
+            Ok(opts) => {
+                let outcome = match cmd {
+                    "dispatch" => run_dispatch(&opts),
+                    _ => run(cmd == "crossval", &opts),
+                };
+                match outcome {
+                    Ok(code) => code,
+                    Err(e) => {
+                        eprintln!("libra {cmd}: {e}");
+                        1
+                    }
                 }
-            },
+            }
         },
-        Some("--help" | "-h" | "help") | None => {
+        Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
-            i32::from(args.is_empty())
+            0
+        }
+        None => {
+            // No command is a usage error: usage to stderr, exit 1 —
+            // only an explicit `--help` earns the success exit.
+            eprint!("{USAGE}");
+            1
         }
         Some(other) => {
             eprintln!("libra: unknown command {other:?}\n\n{USAGE}");

@@ -26,15 +26,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use libra_bench::{
-    sweep_workloads_with_link, CrossValidation3, EventSimBackend, LinkParams, NetSimBackend,
-    Session,
+    default_registry, sweep_workloads_with_link, CrossValidation3, EventSimBackend, LinkParams,
+    NetSimBackend, Session,
 };
 use libra_core::cost::CostModel;
+use libra_core::dispatch::Dispatcher;
 use libra_core::eval::{validate_plan, Analytical, CommPlan, EvalBackend};
 use libra_core::expr::{compile, compile_seeded};
 use libra_core::network::NetworkShape;
 use libra_core::opt::MIN_DIM_BW;
 use libra_core::presets;
+use libra_core::scenario::{JsonLinesSink, Scenario};
 use libra_core::sweep::{SweepEngine, SweepGrid, SweepWorkload};
 use libra_core::LibraError;
 use libra_net::stage_overhead_ps;
@@ -594,6 +596,99 @@ fn solver_warm_start_scenario(small: bool) -> SolverStats {
     }
 }
 
+struct DispatchStats {
+    points: usize,
+    shards: usize,
+    single_secs: f64,
+    sharded_secs: f64,
+    sharded_over_single_ratio: f64,
+    merged_bytes: usize,
+}
+
+/// The shard dispatcher against a single-process run of the same
+/// scenario: first a bit-identity check (the merged K-shard JSON-lines
+/// stream must equal the single run's byte for byte), then interleaved
+/// best-of-rounds wall clock for both. Each in-process shard pays for a
+/// fresh session — cold design/plan caches plus the merge itself — so
+/// the ratio is the dispatcher's sequential overhead, not a speedup; it
+/// is recorded, never gated.
+fn dispatch_scenario(small: bool) -> DispatchStats {
+    use libra_core::opt::Objective;
+    let shards = 4usize;
+    let wls = workloads(small);
+    let mut b = Scenario::builder("perf-dispatch")
+        .with_budgets(if small {
+            vec![100.0, 500.0]
+        } else {
+            vec![100.0, 300.0, 500.0, 700.0, 900.0]
+        })
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+        .with_workloads(wls.iter().map(|w| w.name().to_string()))
+        .with_backends(["analytical", "event-sim", "net-sim"])
+        .with_chunks(64);
+    b = if small {
+        b.with_shapes([presets::topo_3d_512()])
+    } else {
+        b.with_shapes([presets::topo_3d_512(), presets::topo_3d_1k()])
+    };
+    let scenario = b.build().expect("perf-dispatch scenario builds");
+    let cm = CostModel::default();
+    let registry = default_registry();
+    let points = scenario.grid().len(wls.len());
+
+    // Bit-identity: the headline dispatch contract, checked on every
+    // harness run before any timing.
+    let mut sink = JsonLinesSink::new(Vec::new());
+    let report = scenario
+        .session(&cm)
+        .run_scenario_with_sinks(&scenario, &wls, &registry, &mut [&mut sink])
+        .expect("single-process scenario run");
+    let single_stream = String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8");
+    let merged = Dispatcher::new(&scenario, shards)
+        .expect("shard count is nonzero")
+        .run_in_process(&cm, &wls, &registry)
+        .expect("sharded scenario run");
+    assert_eq!(
+        merged.to_jsonl(),
+        single_stream,
+        "DETERMINISM VIOLATION: {shards}-shard merge differs from the single-process stream"
+    );
+    assert_eq!(
+        merged.within_tolerance(),
+        report.divergence.within_tolerance(),
+        "DETERMINISM VIOLATION: merged verdict differs from the single run's"
+    );
+
+    // Interleaved best-of-rounds; one run per side per round (each side
+    // is a full crossval sweep, the costliest unit in this harness).
+    let rounds = if small { 3 } else { 5 };
+    let mut single_best = f64::INFINITY;
+    let mut sharded_best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        std::hint::black_box(
+            scenario.session(&cm).run_scenario(&scenario, &wls, &registry).unwrap(),
+        );
+        single_best = single_best.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        std::hint::black_box(
+            Dispatcher::new(&scenario, shards)
+                .unwrap()
+                .run_in_process(&cm, &wls, &registry)
+                .unwrap(),
+        );
+        sharded_best = sharded_best.min(t0.elapsed().as_secs_f64());
+    }
+    DispatchStats {
+        points,
+        shards,
+        single_secs: single_best,
+        sharded_secs: sharded_best,
+        sharded_over_single_ratio: sharded_best / single_best,
+        merged_bytes: merged.to_jsonl().len(),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // JSON emission (hand-rolled; the container has no serde).
 // ---------------------------------------------------------------------------
@@ -668,6 +763,17 @@ fn main() {
         solver.speedup
     );
 
+    eprintln!("perf_harness: dispatch scenario...");
+    let dispatch = dispatch_scenario(small);
+    eprintln!(
+        "  {} points, {} shards: single {:.3} s vs sharded {:.3} s — ratio {:.3} (merge bit-identical)",
+        dispatch.points,
+        dispatch.shards,
+        dispatch.single_secs,
+        dispatch.sharded_secs,
+        dispatch.sharded_over_single_ratio
+    );
+
     let mut o = String::from("{\n");
     json(&mut o, 2, "schema", "\"libra-bench-sweep-v1\"", false);
     json(&mut o, 2, "grid", &format!("\"{}\"", if small { "small" } else { "full" }), false);
@@ -707,6 +813,15 @@ fn main() {
     json(&mut o, 6, "cold_secs", &f(solver.cold_secs), false);
     json(&mut o, 6, "warm_secs", &f(solver.warm_secs), false);
     json(&mut o, 6, "speedup", &f(solver.speedup), true);
+    o.push_str("    },\n");
+    o.push_str("    \"dispatch\": {\n");
+    json(&mut o, 6, "points", &dispatch.points.to_string(), false);
+    json(&mut o, 6, "shards", &dispatch.shards.to_string(), false);
+    json(&mut o, 6, "single_secs", &f(dispatch.single_secs), false);
+    json(&mut o, 6, "sharded_secs", &f(dispatch.sharded_secs), false);
+    json(&mut o, 6, "sharded_over_single_ratio", &f(dispatch.sharded_over_single_ratio), false);
+    json(&mut o, 6, "merged_bytes", &dispatch.merged_bytes.to_string(), false);
+    json(&mut o, 6, "merge_bit_identical", "true", true);
     o.push_str("    }\n");
     o.push_str("  },\n");
     o.push_str("  \"determinism\": {\n");

@@ -1,0 +1,135 @@
+//! Integration tests of the `libra` binary's CLI contract: exit codes,
+//! usage routing, flag hardening, and the dispatch subcommand's
+//! byte-identity with single-process runs.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use libra_bench::Scenario;
+
+const LIBRA: &str = env!("CARGO_BIN_EXE_libra");
+
+fn libra(args: &[&str]) -> Output {
+    Command::new(LIBRA).args(args).output().expect("libra binary runs")
+}
+
+fn ci_small() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/ci_small.json")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("libra-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_to_stderr_and_exits_1() {
+    let out = libra(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn no_arguments_is_a_usage_error_not_a_success() {
+    let out = libra(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "usage goes to stderr on error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn explicit_help_goes_to_stdout_and_exits_0() {
+    for flag in ["--help", "-h", "help"] {
+        let out = libra(&[flag]);
+        assert_eq!(out.status.code(), Some(0), "{flag}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"), "{flag}");
+    }
+}
+
+#[test]
+fn unknown_and_duplicate_flags_exit_1() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    for args in [
+        ["crossval", scenario, "--bogus", "--quiet"],
+        ["crossval", scenario, "--serial", "--serial"],
+        ["crossval", scenario, "--quiet", "--quiet"],
+    ] {
+        let out = libra(&args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("USAGE"), "{args:?}: {stderr}");
+    }
+    // Flag/command mismatches are usage errors too.
+    let out = libra(&["dispatch", scenario]);
+    assert_eq!(out.status.code(), Some(1), "dispatch without --shards");
+    let out = libra(&["sweep", scenario, "--shards", "2"]);
+    assert_eq!(out.status.code(), Some(1), "--shards outside dispatch");
+    let out = libra(&["dispatch", scenario, "--shards", "2", "--range", "0..2"]);
+    assert_eq!(out.status.code(), Some(1), "--range on dispatch");
+    let out = libra(&["crossval", scenario, "--range", "0..99"]);
+    assert_eq!(out.status.code(), Some(1), "out-of-bounds --range");
+}
+
+/// `dispatch --shards K` merges back byte-identically to the
+/// single-process `crossval --jsonl` stream, with the same exit code,
+/// in both in-process and `--spawn` modes.
+#[test]
+fn dispatch_is_byte_identical_to_single_process_crossval() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    let single = tmp("single.jsonl");
+    let out = libra(&["crossval", scenario, "--jsonl", single.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0));
+    let want = std::fs::read(&single).unwrap();
+    for shards in ["1", "3"] {
+        for spawn in [false, true] {
+            let merged = tmp(&format!("merged-{shards}-{spawn}.jsonl"));
+            let mut args = vec![
+                "dispatch",
+                scenario,
+                "--shards",
+                shards,
+                "--jsonl",
+                merged.to_str().unwrap(),
+                "--quiet",
+            ];
+            if spawn {
+                args.push("--spawn");
+            }
+            let out = libra(&args);
+            assert_eq!(out.status.code(), Some(0), "shards={shards} spawn={spawn}");
+            let got = std::fs::read(&merged).unwrap();
+            assert_eq!(got, want, "shards={shards} spawn={spawn} must merge byte-identically");
+        }
+    }
+}
+
+/// At tolerance zero the backends' genuine disagreement trips the
+/// divergence verdict: `crossval` and `dispatch` (both modes) all exit 2,
+/// keeping the merged exit code identical to the single-process one.
+#[test]
+fn dispatch_and_crossval_agree_on_the_exit_2_verdict() {
+    let mut scenario = Scenario::load(ci_small()).unwrap();
+    scenario.tolerance = 0.0;
+    let strict = tmp("strict.json");
+    scenario.save(&strict).unwrap();
+    let strict = strict.to_str().unwrap();
+
+    let single = libra(&["crossval", strict, "--quiet"]);
+    assert_eq!(single.status.code(), Some(2), "ci_small diverges at tolerance 0");
+    for spawn in [false, true] {
+        let mut args = vec!["dispatch", strict, "--shards", "2", "--quiet"];
+        if spawn {
+            args.push("--spawn");
+        }
+        let out = libra(&args);
+        assert_eq!(out.status.code(), Some(2), "spawn={spawn}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("FAIL"), "spawn={spawn}: {stderr}");
+    }
+}

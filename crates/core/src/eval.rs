@@ -427,7 +427,15 @@ impl<B: EvalBackend> EvalBackend for ScaledBackend<B> {
 /// Symmetric relative error between two times: `|a − b| / max(|a|, |b|)`,
 /// and `0` when both are (near) zero. Symmetry means neither backend is
 /// privileged as "truth" — divergence is mutual disagreement.
+///
+/// A non-finite input yields NaN, never a passing number: `f64::max`
+/// drops NaN operands, so without the explicit check `rel_error(NaN, 0.0)`
+/// would hit the near-zero denominator branch and report a perfect `0.0`
+/// for a poisoned backend time.
 pub fn rel_error(a: f64, b: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() {
+        return f64::NAN;
+    }
     let denom = a.abs().max(b.abs());
     if denom <= f64::EPSILON {
         0.0

@@ -715,6 +715,21 @@ pub struct PointDivergence {
     pub rel_error: f64,
 }
 
+impl PointDivergence {
+    /// Whether this point fails judging at `tolerance`: the relative
+    /// error exceeds it, **or** anything about the comparison is
+    /// non-finite. A poisoned backend time that round-tripped through
+    /// JSON-lines as `"NaN"` must never re-judge as passing, so NaN and
+    /// infinities in either the error or the raw times are violations —
+    /// `rel_err > tol`-style comparisons alone are `false` for NaN.
+    pub fn is_violation(&self, tolerance: f64) -> bool {
+        !self.rel_error.is_finite()
+            || self.rel_error > tolerance
+            || !self.baseline_secs.is_finite()
+            || !self.reference_secs.is_finite()
+    }
+}
+
 /// The divergence side of a cross-validated sweep: per-point relative
 /// errors between the two backends, in grid-enumeration order.
 #[derive(Debug, Clone, PartialEq)]
@@ -758,16 +773,14 @@ impl DivergenceReport {
         self.points.iter().map(|p| p.rel_error).sum::<f64>() / self.points.len() as f64
     }
 
-    /// Points whose relative error exceeds the tolerance, worst first.
-    /// NaN errors (a backend returned a non-finite time) count as
-    /// violations — keeping this list consistent with
-    /// [`DivergenceReport::within_tolerance`], which also fails them.
+    /// Points failing [`PointDivergence::is_violation`] at the report's
+    /// tolerance, worst first. Non-finite errors or times (a backend
+    /// returned a poisoned value) count as violations — keeping this
+    /// list consistent with [`DivergenceReport::within_tolerance`],
+    /// which also fails them.
     pub fn violations(&self) -> Vec<&PointDivergence> {
-        let mut out: Vec<&PointDivergence> = self
-            .points
-            .iter()
-            .filter(|p| p.rel_error.is_nan() || p.rel_error > self.tolerance)
-            .collect();
+        let mut out: Vec<&PointDivergence> =
+            self.points.iter().filter(|p| p.is_violation(self.tolerance)).collect();
         out.sort_by(|a, b| b.rel_error.total_cmp(&a.rel_error));
         out
     }
@@ -783,9 +796,11 @@ impl DivergenceReport {
 
     /// True when every compared point is within tolerance **and** no
     /// backend errored. A report that compared nothing (all skipped) is
-    /// vacuously within tolerance.
+    /// vacuously within tolerance. Non-finite errors or times fail
+    /// (see [`PointDivergence::is_violation`]).
     pub fn within_tolerance(&self) -> bool {
-        self.backend_errors.is_empty() && self.points.iter().all(|p| p.rel_error <= self.tolerance)
+        self.backend_errors.is_empty()
+            && self.points.iter().all(|p| !p.is_violation(self.tolerance))
     }
 
     /// One-paragraph human-readable summary.
@@ -971,7 +986,8 @@ impl<'a> SweepEngine<'a> {
         self.cache.stats()
     }
 
-    /// Drives `f` over every grid point, parallel or serial, returning
+    /// Drives `f` over the contiguous index `range` of grid points (the
+    /// full range for ordinary runs), parallel or serial, returning
     /// results in grid-enumeration order. **Every** public run path —
     /// session or legacy shim, plain or cross-validated — funnels through
     /// this one function, so the serial-vs-parallel bit-identity contract
@@ -983,12 +999,25 @@ impl<'a> SweepEngine<'a> {
     /// solve is a pure function of the engine's history, never of worker
     /// scheduling. Serial runs use the same phase order, keeping the
     /// bit-identical parallel ≡ serial contract.
-    fn drive<T: Send>(
+    ///
+    /// The restriction is the shard dispatcher's half of the determinism
+    /// contract: **a ranged drive's results are bit-identical to the
+    /// corresponding slice of the full drive's.**
+    ///
+    /// With warm-start enabled, an in-range seeded point's group anchor
+    /// (its shape × workload × objective at the grid's first budget) may
+    /// fall outside the range. Those out-of-range anchors are handed to
+    /// `prepare` in phase 1 — the caller solves them for their published
+    /// seed and discards the result — so every seed an in-range solve
+    /// consumes is exactly the seed the full run would have published.
+    fn drive_range<T: Send>(
         &self,
         grid: &SweepGrid,
         points: &[GridPoint],
+        range: std::ops::Range<usize>,
         exec: ExecMode,
         f: impl Fn(GridPoint, SeedMode) -> T + Sync,
+        prepare: impl Fn(GridPoint) + Sync,
     ) -> Vec<T> {
         let apply = |idx: &[usize], mode: SeedMode| -> Vec<(usize, T)> {
             match exec {
@@ -997,20 +1026,39 @@ impl<'a> SweepEngine<'a> {
             }
         };
         if !self.warm_start {
-            let all: Vec<usize> = (0..points.len()).collect();
+            let all: Vec<usize> = range.collect();
             return apply(&all, SeedMode::Cold).into_iter().map(|(_, t)| t).collect();
         }
         let anchor_budget = grid.budgets().first().copied();
         let (anchors, rest): (Vec<usize>, Vec<usize>) =
-            (0..points.len()).partition(|&i| Some(points[i].budget) == anchor_budget);
-        let mut out: Vec<Option<T>> = Vec::with_capacity(points.len());
-        out.resize_with(points.len(), || None);
+            range.clone().partition(|&i| Some(points[i].budget) == anchor_budget);
+        // Group anchors of in-range seeded points that lie outside the
+        // range. Enumeration is shape-major (shape → workload → budget →
+        // objective), so a point at global index i with budget index b
+        // has its group's anchor (budget index 0) at i − b·n_objectives.
+        let n_obj = grid.objectives().len().max(1);
+        let n_bud = grid.budgets().len().max(1);
+        let mut extra: Vec<usize> = rest
+            .iter()
+            .map(|&i| i - ((i / n_obj) % n_bud) * n_obj)
+            .filter(|a| !range.contains(a))
+            .collect();
+        extra.sort_unstable();
+        extra.dedup();
+        let mut out: Vec<Option<T>> = Vec::with_capacity(range.len());
+        out.resize_with(range.len(), || None);
+        // Phase 1: anchors (in-range kept, out-of-range seed-only)...
+        match exec {
+            ExecMode::Parallel => extra.par_iter().for_each(|&i| prepare(points[i])),
+            ExecMode::Serial => extra.iter().for_each(|&i| prepare(points[i])),
+        }
         for (idx, mode) in [(&anchors, SeedMode::Anchor), (&rest, SeedMode::Seeded)] {
+            // ...then the barrier, then phase 2: everything else, seeded.
             for (i, t) in apply(idx, mode) {
-                out[i] = Some(t);
+                out[i - range.start] = Some(t);
             }
         }
-        out.into_iter().map(|t| t.expect("every grid point driven exactly once")).collect()
+        out.into_iter().map(|t| t.expect("every in-range point driven exactly once")).collect()
     }
 
     /// Evaluates one grid point (memoized; `mode` controls warm-start
@@ -1150,12 +1198,16 @@ impl<'a> SweepEngine<'a> {
     /// Folds per-point `N`-backend outcomes into the sweep report plus one
     /// [`DivergenceReport`] per requested backend pair, emitting each
     /// point's outcome to `emit` (the streaming-sink hook) in grid order.
+    /// `index_base` is the global grid index of `points[0]` — non-zero for
+    /// range-restricted (shard) runs, whose emitted indices must stay
+    /// global so shard streams merge back into one grid.
     #[allow(clippy::too_many_arguments)] // internal fold plumbing shared by every priced driver
     fn fold_pairwise<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
         workloads: &[W],
         points: &[GridPoint],
+        index_base: usize,
         outcomes: Vec<PricedOutcome>,
         backends: &[&dyn EvalBackend],
         pair_indices: &[(usize, usize)],
@@ -1175,7 +1227,7 @@ impl<'a> SweepEngine<'a> {
             .collect();
         let mut sweep_outcomes = Vec::with_capacity(outcomes.len());
         for (idx, (&point, (o, priced))) in points.iter().zip(outcomes).enumerate() {
-            emit(idx, &o, priced.as_ref());
+            emit(index_base + idx, &o, priced.as_ref());
             match priced {
                 Some(Ok(secs)) => {
                     let shape = &grid.shapes()[point.shape];
@@ -1212,6 +1264,10 @@ impl<'a> SweepEngine<'a> {
 
     /// Runs an `N`-backend priced sweep: the single driver behind
     /// [`crate::scenario::Session::run`] and every legacy entry point.
+    /// `range` restricts the run to a contiguous slice of the grid's
+    /// enumeration (callers validate bounds); the emitted indices and the
+    /// warm-start seeds stay exactly what the full run would produce, so
+    /// shard outputs concatenate back into the unsharded run bit for bit.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_priced<W: SweepWorkload>(
         &self,
@@ -1220,16 +1276,26 @@ impl<'a> SweepEngine<'a> {
         backends: &[&dyn EvalBackend],
         pair_indices: &[(usize, usize)],
         tolerance: f64,
+        range: std::ops::Range<usize>,
         exec: ExecMode,
         emit: PointEmit<'_>,
     ) -> (SweepReport, Vec<DivergenceReport>) {
         let points = grid.points(workloads.len());
-        let outcomes = self
-            .drive(grid, &points, exec, |p, m| self.eval_priced(grid, workloads, p, backends, m));
+        let outcomes = self.drive_range(
+            grid,
+            &points,
+            range.clone(),
+            exec,
+            |p, m| self.eval_priced(grid, workloads, p, backends, m),
+            |p| {
+                let _ = self.eval(grid, workloads, p, SeedMode::Anchor);
+            },
+        );
         self.fold_pairwise(
             grid,
             workloads,
-            &points,
+            &points[range.clone()],
+            range.start,
             outcomes,
             backends,
             pair_indices,
