@@ -7,9 +7,10 @@
 //!
 //! ```text
 //! libra list-backends
-//! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
-//! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
-//! libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet]
+//! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
+//! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
+//! libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
+//! libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
 //! ```
 //!
 //! * `sweep` runs the design-space grid without backend pricing (the
@@ -22,8 +23,18 @@
 //!   `--spawn` — and merges the shards' JSON-lines streams back into
 //!   one coverage-checked, re-judged report. The merged stream and exit
 //!   code are bit-identical to the single-process `crossval` run's.
+//! * `resume` reads the valid prefix of an interrupted JSON-lines
+//!   stream, prices only the grid indices it is missing, and emits a
+//!   merged stream byte-identical to an uninterrupted run (in place
+//!   over `PARTIAL.jsonl` unless `--jsonl` redirects it).
 //! * `--range A..B` restricts a run to the grid indices `A..B` (what a
 //!   spawned shard worker executes); emitted record indices stay global.
+//!   Reversed, empty, and out-of-grid ranges are usage errors.
+//! * `--cache PATH` attaches the persistent solve store (`libra-cache-v1`
+//!   JSON-lines): designs already priced under the same scenario
+//!   fingerprint are loaded instead of re-solved, and fresh solves are
+//!   appended for the next run. Sharded and resumed runs stay
+//!   byte-identical to cold single-process runs.
 //! * `--jsonl PATH` streams per-point records as JSON-lines to `PATH`
 //!   (`-` for stdout, which implies `--quiet`); the stream is
 //!   bit-identical across runs and machines-with-identical-libm, which
@@ -42,7 +53,7 @@ use std::process::{Command, Stdio};
 
 use libra_bench::{default_registry, scenario_workloads, ExecMode, Scenario};
 use libra_core::cost::CostModel;
-use libra_core::dispatch::Dispatcher;
+use libra_core::dispatch::{partial_records, resume_rows, Dispatcher};
 use libra_core::scenario::{ConsoleTableSink, JsonLinesSink, ReportSink};
 use libra_core::LibraError;
 
@@ -51,45 +62,67 @@ libra — scenario-first front door for the LIBRA design-space engine
 
 USAGE:
     libra list-backends
-    libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
-    libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B]
-    libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet]
+    libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
+    libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
+    libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
+    libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
 
 EXIT CODES:
-    0  success (crossval/dispatch: every backend pair within tolerance)
+    0  success (crossval/dispatch/resume: every backend pair within tolerance)
     1  usage, I/O, or scenario error
-    2  crossval/dispatch divergence beyond the scenario's tolerance
+    2  crossval/dispatch/resume divergence beyond the scenario's tolerance
 ";
 
 struct Options {
     scenario_path: String,
+    /// `resume`'s second positional: the interrupted JSON-lines stream.
+    partial_path: Option<String>,
     serial: bool,
     quiet: bool,
     jsonl: Option<String>,
     range: Option<Range<usize>>,
     shards: Option<usize>,
     spawn: bool,
+    cache: Option<String>,
+}
+
+/// A run can fail two ways with exit 1: a usage error (earns the USAGE
+/// block on stderr) or a runtime error (does not — repeating the flag
+/// grammar at an I/O failure would bury the actual message).
+enum CliError {
+    Usage(String),
+    Run(LibraError),
+}
+
+impl From<LibraError> for CliError {
+    fn from(e: LibraError) -> Self {
+        CliError::Run(e)
+    }
 }
 
 fn parse_range(s: &str) -> Result<Range<usize>, String> {
     let bad = || format!("--range wants A..B (got {s:?})");
     let (a, b) = s.split_once("..").ok_or_else(bad)?;
-    let start = a.parse().map_err(|_| bad())?;
-    let end = b.parse().map_err(|_| bad())?;
+    let start: usize = a.parse().map_err(|_| bad())?;
+    let end: usize = b.parse().map_err(|_| bad())?;
     if start > end {
-        return Err(format!("--range {s} is inverted"));
+        return Err(format!("--range {s} is reversed (start exceeds end)"));
+    }
+    if start == end {
+        return Err(format!("--range {s} is empty (start equals end)"));
     }
     Ok(start..end)
 }
 
 fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
-    let mut scenario_path = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut serial = false;
     let mut quiet = false;
     let mut jsonl = None;
     let mut range = None;
     let mut shards = None;
     let mut spawn = false;
+    let mut cache = None;
     let mut seen: Vec<&str> = Vec::new();
     // Every flag is set-at-most-once: a duplicate is a usage error, not
     // a silent last-one-wins (or worse, first-one-wins for booleans).
@@ -120,6 +153,11 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
                 let path = it.next().filter(|p| *p == "-" || !p.starts_with("--"));
                 jsonl = Some(path.ok_or_else(|| "--jsonl requires a path".to_string())?.clone());
             }
+            "--cache" => {
+                once("--cache")?;
+                let path = it.next().filter(|p| !p.starts_with("--"));
+                cache = Some(path.ok_or_else(|| "--cache requires a path".to_string())?.clone());
+            }
             "--range" => {
                 once("--range")?;
                 let spec = it.next().ok_or_else(|| "--range requires A..B".to_string())?;
@@ -136,14 +174,24 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
                 shards = Some(n);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
-            path => {
-                if scenario_path.replace(path.to_string()).is_some() {
-                    return Err("more than one scenario file given".to_string());
-                }
-            }
+            path => positionals.push(path.to_string()),
         }
     }
-    let scenario_path = scenario_path.ok_or_else(|| "missing scenario file".to_string())?;
+    let wants = if cmd == "resume" { 2 } else { 1 };
+    if positionals.len() > wants {
+        return Err(format!("unexpected extra argument {:?}", positionals[wants]));
+    }
+    let mut positionals = positionals.into_iter();
+    let scenario_path = positionals.next().ok_or_else(|| "missing scenario file".to_string())?;
+    let partial_path = if cmd == "resume" {
+        Some(
+            positionals
+                .next()
+                .ok_or_else(|| "resume needs the partial JSON-lines file".to_string())?,
+        )
+    } else {
+        None
+    };
     match cmd {
         "dispatch" => {
             if shards.is_none() {
@@ -151,6 +199,16 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
             }
             if range.is_some() {
                 return Err("--range applies to sweep/crossval workers, not dispatch".to_string());
+            }
+        }
+        "resume" => {
+            if shards.is_some() || spawn {
+                return Err("--shards/--spawn apply to dispatch, not resume".to_string());
+            }
+            if range.is_some() {
+                return Err("--range applies to sweep/crossval workers, not resume \
+                     (resume derives its own ranges from the partial stream)"
+                    .to_string());
             }
         }
         _ => {
@@ -163,7 +221,7 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
     if jsonl.as_deref() == Some("-") {
         quiet = true;
     }
-    Ok(Options { scenario_path, serial, quiet, jsonl, range, shards, spawn })
+    Ok(Options { scenario_path, partial_path, serial, quiet, jsonl, range, shards, spawn, cache })
 }
 
 /// Loads the scenario and enforces the crossval two-backend floor
@@ -194,14 +252,28 @@ fn jsonl_writer(path: &str) -> Result<Box<dyn Write>, LibraError> {
     })
 }
 
-fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
+fn run(validate: bool, opts: &Options) -> Result<i32, CliError> {
     let scenario = load_scenario(validate, opts)?;
     let workloads = scenario_workloads(&scenario)?;
     let registry = default_registry();
     let cost_model = CostModel::default();
+    let grid_len = scenario.grid().len(workloads.len());
+    if let Some(r) = &opts.range {
+        // Grid-dependent, so checked here rather than in parse_options:
+        // a silently clamped range would emit fewer records than asked.
+        if r.end > grid_len {
+            return Err(CliError::Usage(format!(
+                "--range {}..{} does not fit the grid's {grid_len} points",
+                r.start, r.end
+            )));
+        }
+    }
     let mut session = scenario.session(&cost_model);
     if opts.serial {
         session = session.with_mode(ExecMode::Serial);
+    }
+    if let Some(path) = &opts.cache {
+        session = session.with_store(path)?;
     }
 
     let mut console = (!opts.quiet).then(|| ConsoleTableSink::new(std::io::stdout().lock()));
@@ -217,7 +289,7 @@ fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
         sinks.push(j);
     }
 
-    let range = opts.range.clone().unwrap_or(0..scenario.grid().len(workloads.len()));
+    let range = opts.range.clone().unwrap_or(0..grid_len);
     let report = session
         .run_scenario_range_with_sinks(&scenario, &workloads, &registry, range, &mut sinks)?;
     // Every grid point in range streams one record — failed points included.
@@ -238,6 +310,10 @@ fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
         stats.design_hits,
         stats.warm_seeded,
     );
+    if let Some(store) = session.engine().store_stats() {
+        let path = opts.cache.as_deref().unwrap_or("?");
+        eprintln!("libra: store: {} hits, {} staged (cache file {path})", store.hits, store.staged,);
+    }
     if validate {
         for line in report.divergence.summary().lines() {
             eprintln!("libra: {line}");
@@ -250,7 +326,7 @@ fn run(validate: bool, opts: &Options) -> Result<i32, LibraError> {
     Ok(0)
 }
 
-fn run_dispatch(opts: &Options) -> Result<i32, LibraError> {
+fn run_dispatch(opts: &Options) -> Result<i32, CliError> {
     let scenario = load_scenario(true, opts)?;
     let workloads = scenario_workloads(&scenario)?;
     let registry = default_registry();
@@ -260,24 +336,34 @@ fn run_dispatch(opts: &Options) -> Result<i32, LibraError> {
     if opts.serial {
         dispatcher = dispatcher.with_mode(ExecMode::Serial);
     }
+    if let Some(path) = &opts.cache {
+        dispatcher = dispatcher.with_store(path);
+    }
 
     let merged = if opts.spawn {
         let exe = std::env::current_exe()
             .map_err(|e| LibraError::BadRequest(format!("cannot locate own binary: {e}")))?;
         let ranges = dispatcher.ranges(workloads.len());
         // Fork one `crossval --range` worker per shard, all running
-        // concurrently; each streams its records to stdout.
+        // concurrently; each streams its records to stdout. Empty tail
+        // shards (more shards than points) get no worker: the CLI
+        // rejects empty ranges, and there is nothing to run anyway.
         let mut children = Vec::with_capacity(ranges.len());
-        for r in &ranges {
+        for r in ranges.iter().filter(|r| !r.is_empty()) {
+            let mut args = vec![
+                "crossval".to_string(),
+                opts.scenario_path.clone(),
+                "--jsonl".to_string(),
+                "-".to_string(),
+                "--range".to_string(),
+                format!("{}..{}", r.start, r.end),
+            ];
+            if let Some(path) = &opts.cache {
+                args.push("--cache".to_string());
+                args.push(path.clone());
+            }
             let child = Command::new(&exe)
-                .args([
-                    "crossval",
-                    &opts.scenario_path,
-                    "--jsonl",
-                    "-",
-                    "--range",
-                    &format!("{}..{}", r.start, r.end),
-                ])
+                .args(&args)
                 .stdout(Stdio::piped())
                 .stderr(Stdio::null())
                 .spawn()
@@ -293,10 +379,10 @@ fn run_dispatch(opts: &Options) -> Result<i32, LibraError> {
             // matrix re-judges the whole grid, so only hard failures
             // (usage, I/O, scenario errors) abort the dispatch.
             if !matches!(out.status.code(), Some(0 | 2)) {
-                return Err(LibraError::BadRequest(format!(
+                return Err(CliError::Run(LibraError::BadRequest(format!(
                     "shard {k} worker failed with status {:?}",
                     out.status.code()
-                )));
+                ))));
             }
             streams.push(String::from_utf8(out.stdout).map_err(|e| {
                 LibraError::BadRequest(format!("shard {k} wrote non-UTF-8 output: {e}"))
@@ -333,6 +419,52 @@ fn run_dispatch(opts: &Options) -> Result<i32, LibraError> {
     Ok(merged.exit_code())
 }
 
+fn run_resume(opts: &Options) -> Result<i32, CliError> {
+    // No two-backend floor: resume re-prices with whatever backend list
+    // the scenario names, so a plain sweep stream resumes too.
+    let scenario = Scenario::load(&opts.scenario_path)?;
+    let workloads = scenario_workloads(&scenario)?;
+    let registry = default_registry();
+    let cost_model = CostModel::default();
+    let partial_path = opts.partial_path.as_deref().expect("parse_options requires the partial");
+    let partial = std::fs::read_to_string(partial_path)
+        .map_err(|e| LibraError::BadRequest(format!("cannot read {partial_path}: {e}")))?;
+    let rows = partial_records(&partial)?;
+    let present = rows.len();
+    let mode = if opts.serial { ExecMode::Serial } else { ExecMode::Parallel };
+    let merged = resume_rows(
+        &scenario,
+        &workloads,
+        &registry,
+        &cost_model,
+        rows,
+        mode,
+        opts.cache.as_deref().map(std::path::Path::new),
+    )?;
+    // The merged stream replaces the partial file unless --jsonl
+    // redirects it (`-` for stdout).
+    let dest = opts.jsonl.as_deref().unwrap_or(partial_path);
+    let mut out = jsonl_writer(dest)?;
+    out.write_all(merged.to_jsonl().as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| LibraError::BadRequest(format!("writing merged JSON-lines: {e}")))?;
+    if dest != "-" {
+        eprintln!("libra: wrote {} merged records to {dest}", merged.rows.len());
+    }
+    eprintln!(
+        "libra: resume: {present} surviving records, {} re-priced, {} total",
+        merged.rows.len() - present,
+        merged.rows.len(),
+    );
+    for line in merged.divergence.summary().lines() {
+        eprintln!("libra: {line}");
+    }
+    if !merged.within_tolerance() {
+        eprintln!("libra: FAIL — divergence beyond tolerance {}", merged.tolerance);
+    }
+    Ok(merged.exit_code())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -342,25 +474,32 @@ fn main() {
             }
             0
         }
-        Some(cmd @ ("sweep" | "crossval" | "dispatch")) => match parse_options(cmd, &args[1..]) {
-            Err(msg) => {
-                eprintln!("libra {cmd}: {msg}\n\n{USAGE}");
-                1
-            }
-            Ok(opts) => {
-                let outcome = match cmd {
-                    "dispatch" => run_dispatch(&opts),
-                    _ => run(cmd == "crossval", &opts),
-                };
-                match outcome {
-                    Ok(code) => code,
-                    Err(e) => {
-                        eprintln!("libra {cmd}: {e}");
-                        1
+        Some(cmd @ ("sweep" | "crossval" | "dispatch" | "resume")) => {
+            match parse_options(cmd, &args[1..]) {
+                Err(msg) => {
+                    eprintln!("libra {cmd}: {msg}\n\n{USAGE}");
+                    1
+                }
+                Ok(opts) => {
+                    let outcome = match cmd {
+                        "dispatch" => run_dispatch(&opts),
+                        "resume" => run_resume(&opts),
+                        _ => run(cmd == "crossval", &opts),
+                    };
+                    match outcome {
+                        Ok(code) => code,
+                        Err(CliError::Usage(msg)) => {
+                            eprintln!("libra {cmd}: {msg}\n\n{USAGE}");
+                            1
+                        }
+                        Err(CliError::Run(e)) => {
+                            eprintln!("libra {cmd}: {e}");
+                            1
+                        }
                     }
                 }
             }
-        },
+        }
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             0

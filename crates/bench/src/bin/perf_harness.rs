@@ -689,6 +689,82 @@ fn dispatch_scenario(small: bool) -> DispatchStats {
     }
 }
 
+struct StoreStats3 {
+    points: usize,
+    cold_secs: f64,
+    warm_disk_secs: f64,
+    speedup: f64,
+}
+
+/// Persistent-store study: a cold crossval3 run staging every design
+/// into a fresh on-disk cache, then a second **process-fresh** session
+/// re-running the same scenario warm-from-disk. Bit-identity of the two
+/// JSON-lines streams is the gate on every run; the wall-clock floor
+/// (warm ≥ 10× faster) is asserted only on the full grid — CI's
+/// `--small` runs record it without failing on a noisy runner.
+fn store_crossval3(small: bool) -> StoreStats3 {
+    use libra_core::opt::Objective;
+    let wls = workloads(small);
+    let mut b = Scenario::builder("perf-store")
+        .with_budgets(if small {
+            vec![100.0, 500.0]
+        } else {
+            vec![100.0, 300.0, 500.0, 700.0, 900.0]
+        })
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+        .with_workloads(wls.iter().map(|w| w.name().to_string()))
+        .with_backends(["analytical", "event-sim", "net-sim"])
+        .with_chunks(64);
+    b = if small {
+        b.with_shapes([presets::topo_3d_512()])
+    } else {
+        b.with_shapes([presets::topo_3d_512(), presets::topo_3d_1k()])
+    };
+    let scenario = b.build().expect("perf-store scenario builds");
+    let cm = CostModel::default();
+    let registry = default_registry();
+    let points = scenario.grid().len(wls.len());
+    let path = std::env::temp_dir().join(format!("libra-perf-store-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let run_with_store = |label: &str| -> (f64, String) {
+        let t0 = Instant::now();
+        let mut sink = JsonLinesSink::new(Vec::new());
+        scenario
+            .session(&cm)
+            .with_store(&path)
+            .expect("store opens")
+            .run_scenario_with_sinks(&scenario, &wls, &registry, &mut [&mut sink])
+            .unwrap_or_else(|e| panic!("{label} run: {e}"));
+        // The session (and its store handle) drops here, flushing — the
+        // warm run below opens the file the way a new process would.
+        let secs = t0.elapsed().as_secs_f64();
+        (secs, String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8"))
+    };
+    let (cold_secs, cold_stream) = run_with_store("cold");
+    let (warm_disk_secs, warm_stream) = run_with_store("warm-from-disk");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        warm_stream, cold_stream,
+        "DETERMINISM VIOLATION: warm-from-disk crossval3 differs from the cold stream"
+    );
+    let speedup = cold_secs / warm_disk_secs;
+    if small {
+        if speedup < 10.0 {
+            eprintln!(
+                "  note: small-grid store speedup {speedup:.2}x < 10x (not gated under --small)"
+            );
+        }
+    } else {
+        assert!(
+            speedup >= 10.0,
+            "PERF REGRESSION: warm-from-disk crossval3 is only {speedup:.2}x the cold run (floor 10x)"
+        );
+    }
+    StoreStats3 { points, cold_secs, warm_disk_secs, speedup }
+}
+
 // ---------------------------------------------------------------------------
 // JSON emission (hand-rolled; the container has no serde).
 // ---------------------------------------------------------------------------
@@ -774,6 +850,13 @@ fn main() {
         dispatch.sharded_over_single_ratio
     );
 
+    eprintln!("perf_harness: store_crossval3 scenario...");
+    let store = store_crossval3(small);
+    eprintln!(
+        "  {} points: cold {:.3} s vs warm-from-disk {:.3} s — {:.2}x (streams bit-identical)",
+        store.points, store.cold_secs, store.warm_disk_secs, store.speedup
+    );
+
     let mut o = String::from("{\n");
     json(&mut o, 2, "schema", "\"libra-bench-sweep-v1\"", false);
     json(&mut o, 2, "grid", &format!("\"{}\"", if small { "small" } else { "full" }), false);
@@ -822,6 +905,13 @@ fn main() {
     json(&mut o, 6, "sharded_over_single_ratio", &f(dispatch.sharded_over_single_ratio), false);
     json(&mut o, 6, "merged_bytes", &dispatch.merged_bytes.to_string(), false);
     json(&mut o, 6, "merge_bit_identical", "true", true);
+    o.push_str("    },\n");
+    o.push_str("    \"store_crossval3\": {\n");
+    json(&mut o, 6, "points", &store.points.to_string(), false);
+    json(&mut o, 6, "cold_secs", &f(store.cold_secs), false);
+    json(&mut o, 6, "warm_disk_secs", &f(store.warm_disk_secs), false);
+    json(&mut o, 6, "speedup", &f(store.speedup), false);
+    json(&mut o, 6, "bit_identical", "true", true);
     o.push_str("    }\n");
     o.push_str("  },\n");
     o.push_str("  \"determinism\": {\n");

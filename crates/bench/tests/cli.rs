@@ -75,6 +75,164 @@ fn unknown_and_duplicate_flags_exit_1() {
     assert_eq!(out.status.code(), Some(1), "out-of-bounds --range");
 }
 
+/// Reversed, empty, and out-of-grid `--range` specs are usage errors:
+/// usage to stderr, exit 1, nothing on stdout — never a silent
+/// zero-record "success".
+#[test]
+fn degenerate_ranges_are_usage_errors() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    for (spec, why) in [
+        ("5..2", "reversed"),
+        ("3..3", "empty"),
+        ("0..99", "does not fit"),
+        ("..4", "malformed start"),
+        ("0..x", "malformed end"),
+    ] {
+        let out = libra(&["crossval", scenario, "--range", spec, "--quiet"]);
+        assert_eq!(out.status.code(), Some(1), "--range {spec} ({why})");
+        assert!(out.stdout.is_empty(), "--range {spec}: no records on stdout");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--range"), "--range {spec}: {stderr}");
+        assert!(stderr.contains("USAGE"), "--range {spec} earns the usage block: {stderr}");
+    }
+    // The same specs die identically under sweep.
+    let out = libra(&["sweep", scenario, "--range", "3..3", "--quiet"]);
+    assert_eq!(out.status.code(), Some(1), "empty range under sweep");
+}
+
+/// Two `crossval` runs against the same `--cache` produce byte-identical
+/// streams; the second run serves every design from the store (nonzero
+/// hits, zero staged) instead of re-solving.
+#[test]
+fn cache_round_trip_is_byte_identical_with_nonzero_hits() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    let cache = tmp("roundtrip-cache.jsonl");
+    let cold = tmp("roundtrip-cold.jsonl");
+    let warm = tmp("roundtrip-warm.jsonl");
+    let _ = std::fs::remove_file(&cache);
+
+    let out = libra(&[
+        "crossval",
+        scenario,
+        "--jsonl",
+        cold.to_str().unwrap(),
+        "--quiet",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("store: 0 hits"), "cold run misses: {stderr}");
+
+    let out = libra(&[
+        "crossval",
+        scenario,
+        "--jsonl",
+        warm.to_str().unwrap(),
+        "--quiet",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("store: 4 hits, 0 staged"), "warm run hits: {stderr}");
+    assert_eq!(
+        std::fs::read(&cold).unwrap(),
+        std::fs::read(&warm).unwrap(),
+        "warm-from-disk stream must be byte-identical"
+    );
+}
+
+/// A cache truncated mid-record still serves its valid prefix: the run
+/// succeeds, re-solves only what the truncation destroyed, and the
+/// output stays byte-identical.
+#[test]
+fn truncated_cache_serves_its_valid_prefix() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    let cache = tmp("corrupt-cache.jsonl");
+    let cold = tmp("corrupt-cold.jsonl");
+    let warm = tmp("corrupt-warm.jsonl");
+    let _ = std::fs::remove_file(&cache);
+
+    let out = libra(&[
+        "crossval",
+        scenario,
+        "--jsonl",
+        cold.to_str().unwrap(),
+        "--quiet",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Tear the last record mid-line, the way a killed writer would.
+    let bytes = std::fs::read(&cache).unwrap();
+    std::fs::write(&cache, &bytes[..bytes.len() - 25]).unwrap();
+
+    let out = libra(&[
+        "crossval",
+        scenario,
+        "--jsonl",
+        warm.to_str().unwrap(),
+        "--quiet",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "torn cache must not abort the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("store: 3 hits, 1 staged"), "valid prefix serves: {stderr}");
+    assert_eq!(
+        std::fs::read(&cold).unwrap(),
+        std::fs::read(&warm).unwrap(),
+        "recovery must not change the stream"
+    );
+}
+
+/// `libra resume` completes an interrupted stream in place,
+/// byte-identical to the uninterrupted run, pricing only the missing
+/// tail.
+#[test]
+fn resume_completes_a_truncated_stream_in_place() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    let full = tmp("resume-full.jsonl");
+    let out = libra(&["crossval", scenario, "--jsonl", full.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0));
+    let want = std::fs::read_to_string(&full).unwrap();
+
+    // Keep the header + first record, plus a torn second record.
+    let partial = tmp("resume-partial.jsonl");
+    let keep: Vec<&str> = want.lines().take(2).collect();
+    std::fs::write(&partial, format!("{}\n{{\"index\": 1, \"sha", keep.join("\n"))).unwrap();
+
+    let out = libra(&["resume", scenario, partial.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resume: 1 surviving records, 3 re-priced"), "{stderr}");
+    assert_eq!(
+        std::fs::read_to_string(&partial).unwrap(),
+        want,
+        "resumed stream must be byte-identical to the uninterrupted run"
+    );
+
+    // Resume is idempotent: a complete stream re-emits unchanged.
+    let out = libra(&["resume", scenario, partial.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(std::fs::read_to_string(&partial).unwrap(), want);
+
+    // Usage hardening: resume wants exactly two positionals and no
+    // sharding/range flags.
+    let out = libra(&["resume", scenario, "--quiet"]);
+    assert_eq!(out.status.code(), Some(1), "resume without the partial file");
+    let out = libra(&["resume", scenario, partial.to_str().unwrap(), "--range", "0..2"]);
+    assert_eq!(out.status.code(), Some(1), "--range on resume");
+    let out = libra(&["resume", scenario, partial.to_str().unwrap(), "--shards", "2"]);
+    assert_eq!(out.status.code(), Some(1), "--shards on resume");
+}
+
 /// `dispatch --shards K` merges back byte-identically to the
 /// single-process `crossval --jsonl` stream, with the same exit code,
 /// in both in-process and `--spawn` modes.

@@ -29,13 +29,14 @@
 //!    the times the workers measured.
 
 use std::ops::Range;
+use std::path::{Path, PathBuf};
 
 use crate::cost::CostModel;
 use crate::error::LibraError;
 use crate::eval::rel_error;
 use crate::scenario::{
-    jsonl_header_line, jsonl_summary_line, records_from_jsonl, BackendRegistry, DivergenceMatrix,
-    JsonLinesSink, RecordRow, RunMeta, Scenario,
+    jsonl_header_line, jsonl_summary_line, records_from_jsonl, BackendRegistry, CollectorSink,
+    DivergenceMatrix, JsonLinesSink, JsonParser, RecordRow, RunMeta, Scenario,
 };
 use crate::sweep::{
     DivergenceReport, ExecMode, GridPoint, PointDivergence, SweepError, SweepWorkload,
@@ -180,6 +181,7 @@ pub struct Dispatcher<'s> {
     scenario: &'s Scenario,
     shards: usize,
     mode: ExecMode,
+    store: Option<PathBuf>,
 }
 
 impl<'s> Dispatcher<'s> {
@@ -192,7 +194,7 @@ impl<'s> Dispatcher<'s> {
         if shards == 0 {
             return Err(LibraError::BadRequest("a dispatch needs at least one shard".to_string()));
         }
-        Ok(Dispatcher { scenario, shards, mode: ExecMode::Parallel })
+        Ok(Dispatcher { scenario, shards, mode: ExecMode::Parallel, store: None })
     }
 
     /// Selects each in-process shard session's execution mode
@@ -200,6 +202,19 @@ impl<'s> Dispatcher<'s> {
     #[must_use]
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Shares one persistent solve cache
+    /// ([`crate::store::SolveStore`]) across every in-process shard
+    /// session: each shard opens the file at `path` on start and
+    /// appends its fresh solves on completion, so later shards (and
+    /// later runs) skip already-solved points. The merged run stays
+    /// byte-identical to the single-process stream — stored solves
+    /// round-trip bit-exactly.
+    #[must_use]
+    pub fn with_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
         self
     }
 
@@ -226,7 +241,10 @@ impl<'s> Dispatcher<'s> {
         let names: Vec<String> = built.iter().map(|b| b.name().to_string()).collect();
         let mut streams = Vec::with_capacity(self.shards);
         for range in self.ranges(workloads.len()) {
-            let session = self.scenario.session(cost_model).with_mode(self.mode);
+            let mut session = self.scenario.session(cost_model).with_mode(self.mode);
+            if let Some(path) = &self.store {
+                session = session.with_store(path)?;
+            }
             let mut sink = JsonLinesSink::new(Vec::<u8>::new());
             session.run_scenario_range_with_sinks(
                 self.scenario,
@@ -273,45 +291,59 @@ impl<'s> Dispatcher<'s> {
                     .map_err(|e| LibraError::BadRequest(format!("shard {k}: {e}")))?,
             );
         }
-        rows.sort_by_key(|r| r.index);
-        let grid = self.scenario.grid();
-        let grid_len = grid.len(n_workloads);
-        verify_coverage(&rows, grid_len)?;
-        let divergence = self.rejudge(&rows, n_workloads, names)?;
-        Ok(MergedRun {
-            scenario: self.scenario.name.clone(),
-            backends: divergence.backends.clone(),
-            tolerance: self.scenario.tolerance,
-            rows,
-            divergence,
-        })
+        merge_rows(self.scenario, n_workloads, rows, names)
     }
+}
 
-    /// Rebuilds the pairwise divergence matrix from merged records,
-    /// judging at the scenario's tolerance. Relative errors are
-    /// recomputed from the round-tripped (bit-identical) backend times,
-    /// so the rebuilt matrix reaches exactly the single run's verdict.
-    fn rejudge(
-        &self,
-        rows: &[RecordRow],
-        n_workloads: usize,
-        names: Vec<String>,
-    ) -> Result<DivergenceMatrix, LibraError> {
-        let grid = self.scenario.grid();
-        let pair_indices = DivergenceMatrix::pair_indices(names.len());
-        let mut pairs: Vec<DivergenceReport> = pair_indices
-            .iter()
-            .map(|&(i, j)| DivergenceReport {
-                baseline: names[i].clone(),
-                reference: names[j].clone(),
-                tolerance: self.scenario.tolerance,
-                points: Vec::new(),
-                skipped: 0,
-                backend_errors: Vec::new(),
-            })
-            .collect();
-        let n_obj = grid.objectives().len().max(1);
-        let n_bud = grid.budgets().len().max(1);
+/// Merges already-parsed records — the shared back half of
+/// [`Dispatcher::merge_streams`] and [`resume_rows`]: sort by grid
+/// index, verify exact coverage, re-judge divergence at the scenario's
+/// tolerance.
+fn merge_rows(
+    scenario: &Scenario,
+    n_workloads: usize,
+    mut rows: Vec<RecordRow>,
+    names: Vec<String>,
+) -> Result<MergedRun, LibraError> {
+    rows.sort_by_key(|r| r.index);
+    let grid_len = scenario.grid().len(n_workloads);
+    verify_coverage(&rows, grid_len)?;
+    let divergence = rejudge(scenario, &rows, n_workloads, names)?;
+    Ok(MergedRun {
+        scenario: scenario.name.clone(),
+        backends: divergence.backends.clone(),
+        tolerance: scenario.tolerance,
+        rows,
+        divergence,
+    })
+}
+
+/// Rebuilds the pairwise divergence matrix from merged records,
+/// judging at the scenario's tolerance. Relative errors are
+/// recomputed from the round-tripped (bit-identical) backend times,
+/// so the rebuilt matrix reaches exactly the single run's verdict.
+fn rejudge(
+    scenario: &Scenario,
+    rows: &[RecordRow],
+    n_workloads: usize,
+    names: Vec<String>,
+) -> Result<DivergenceMatrix, LibraError> {
+    let grid = scenario.grid();
+    let pair_indices = DivergenceMatrix::pair_indices(names.len());
+    let mut pairs: Vec<DivergenceReport> = pair_indices
+        .iter()
+        .map(|&(i, j)| DivergenceReport {
+            baseline: names[i].clone(),
+            reference: names[j].clone(),
+            tolerance: scenario.tolerance,
+            points: Vec::new(),
+            skipped: 0,
+            backend_errors: Vec::new(),
+        })
+        .collect();
+    let n_obj = grid.objectives().len().max(1);
+    let n_bud = grid.budgets().len().max(1);
+    {
         for row in rows {
             // Decompose the grid index along the shape-major enumeration
             // and cross-check the record against the scenario's grid, so
@@ -383,6 +415,167 @@ impl<'s> Dispatcher<'s> {
         }
         Ok(DivergenceMatrix { backends: names, pairs })
     }
+}
+
+/// Leniently reads the valid prefix of a partial (interrupted)
+/// JSON-lines stream: the run header is skipped, records are collected,
+/// and the stream may stop anywhere — including halfway through its
+/// final line, which a torn write produces. Only the **last** line may
+/// be malformed; corruption earlier in the stream (a duplicate run
+/// header, garbage between records, or anything after the summary line)
+/// is an error naming the 1-based line, because it means the file is
+/// not a clean prefix of one run.
+///
+/// # Errors
+/// [`LibraError::BadRequest`] on a duplicate run header, a malformed
+/// non-final line, or content after the summary line.
+pub fn partial_records(stream: &str) -> Result<Vec<RecordRow>, LibraError> {
+    let at = |lineno: usize, what: &str| {
+        LibraError::BadRequest(format!("partial JSON-lines input line {lineno}: {what}"))
+    };
+    let lines: Vec<&str> = stream.lines().collect();
+    let mut rows = Vec::new();
+    let mut seen_header = false;
+    let mut seen_summary = false;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let is_last = i + 1 == lines.len();
+        if seen_summary {
+            return Err(at(
+                lineno,
+                "content after the summary line — not a clean prefix of one run",
+            ));
+        }
+        let v = match JsonParser::parse(line) {
+            Ok(v) => v,
+            // A torn final line is exactly what an interrupted writer
+            // leaves behind; everything before it is still good.
+            Err(_) if is_last => break,
+            Err(e) => return Err(at(lineno, &e.to_string())),
+        };
+        if v.get("schema").is_some() {
+            if seen_header {
+                return Err(at(lineno, "duplicate run header — two streams concatenated?"));
+            }
+            seen_header = true;
+        } else if v.get("summary").is_some() {
+            seen_summary = true;
+        } else if v.get("index").is_some() {
+            match RecordRow::from_json_line(line) {
+                Ok(row) => rows.push(row),
+                Err(_) if is_last => break,
+                Err(e) => return Err(at(lineno, &e.to_string())),
+            }
+        } else if is_last {
+            // A torn line can still parse as a smaller valid object
+            // (e.g. cut inside a string); treat it like any torn tail.
+            break;
+        } else {
+            return Err(at(
+                lineno,
+                "JSON object is neither a record (no \"index\") nor a known \
+                 header/summary line — corrupted stream?",
+            ));
+        }
+    }
+    Ok(rows)
+}
+
+/// Prices only the grid indices missing from `rows` — each contiguous
+/// missing range on a **fresh** session (optionally backed by the
+/// persistent solve store at `store`) — and merges surviving + fresh
+/// records into one [`MergedRun`] whose [`MergedRun::to_jsonl`] stream
+/// is byte-identical to an uninterrupted single-process run.
+///
+/// Surviving rows round-trip bit-exactly through the JSON-lines record
+/// format, and the ranged drive is deterministic point-for-point, so
+/// the merged stream does not depend on where the original run stopped.
+///
+/// # Errors
+/// [`LibraError::BadRequest`] when a surviving record's grid index is
+/// out of range or duplicated, on unknown backend names, and on every
+/// merge-side check ([`verify_coverage`], record/grid mismatches).
+pub fn resume_rows<W: SweepWorkload>(
+    scenario: &Scenario,
+    workloads: &[W],
+    registry: &BackendRegistry,
+    cost_model: &CostModel,
+    rows: Vec<RecordRow>,
+    mode: ExecMode,
+    store: Option<&Path>,
+) -> Result<MergedRun, LibraError> {
+    let built = scenario.build_backends(registry)?;
+    let names: Vec<String> = built.iter().map(|b| b.name().to_string()).collect();
+    let grid_len = scenario.grid().len(workloads.len());
+    let mut have = vec![false; grid_len];
+    for row in &rows {
+        if row.index >= grid_len {
+            return Err(LibraError::BadRequest(format!(
+                "surviving record carries grid index {} but the grid has only \
+                 {grid_len} points — partial stream from a different scenario?",
+                row.index
+            )));
+        }
+        if have[row.index] {
+            return Err(LibraError::BadRequest(format!(
+                "surviving records carry grid index {} more than once",
+                row.index
+            )));
+        }
+        have[row.index] = true;
+    }
+    let mut rows = rows;
+    let mut missing: Vec<Range<usize>> = Vec::new();
+    let mut i = 0;
+    while i < grid_len {
+        if have[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < grid_len && !have[i] {
+            i += 1;
+        }
+        missing.push(start..i);
+    }
+    for range in missing {
+        let mut session = scenario.session(cost_model).with_mode(mode);
+        if let Some(path) = store {
+            session = session.with_store(path)?;
+        }
+        let mut sink = CollectorSink::new();
+        session.run_scenario_range_with_sinks(
+            scenario,
+            workloads,
+            registry,
+            range,
+            &mut [&mut sink],
+        )?;
+        rows.append(&mut sink.rows);
+    }
+    merge_rows(scenario, workloads.len(), rows, names)
+}
+
+/// [`partial_records`] + [`resume_rows`] in one call: reads the valid
+/// prefix of an interrupted JSON-lines stream and prices only what is
+/// missing.
+///
+/// # Errors
+/// Everything [`partial_records`] and [`resume_rows`] reject.
+pub fn resume_scenario<W: SweepWorkload>(
+    scenario: &Scenario,
+    workloads: &[W],
+    registry: &BackendRegistry,
+    cost_model: &CostModel,
+    partial_stream: &str,
+    mode: ExecMode,
+    store: Option<&Path>,
+) -> Result<MergedRun, LibraError> {
+    let rows = partial_records(partial_stream)?;
+    resume_rows(scenario, workloads, registry, cost_model, rows, mode, store)
 }
 
 #[cfg(test)]

@@ -66,6 +66,7 @@ use crate::error::LibraError;
 use crate::eval::{EvalBackend, LinkParams};
 use crate::network::NetworkShape;
 use crate::opt::Objective;
+use crate::store::Fingerprint;
 use crate::sweep::{
     CrossValidation, DivergenceReport, ExecMode, SweepEngine, SweepError, SweepGrid, SweepReport,
     SweepResult, SweepWorkload,
@@ -167,7 +168,7 @@ fn json_escape(s: &str) -> String {
 /// which a misbehaving backend can produce, and which cross-validation
 /// must surface rather than drop — are encoded as the quoted strings
 /// `"NaN"` / `"Infinity"` / `"-Infinity"`.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else if v.is_nan() {
@@ -346,6 +347,12 @@ impl<'s> JsonParser<'s> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if fields.iter().any(|(k, _): &(String, Json)| *k == key) {
+                return Err(self.err(&format!(
+                    "duplicate object key {key:?} — the later value would \
+                     silently shadow the earlier one"
+                )));
+            }
             self.skip_ws();
             self.eat(b':')?;
             let value = self.value()?;
@@ -640,6 +647,9 @@ impl Scenario {
         }
         if let Some(v) = root.get("tolerance") {
             let t = v.as_f64().ok_or_else(|| bad("field \"tolerance\" must be a number".into()))?;
+            if !t.is_finite() {
+                return Err(bad(format!("field \"tolerance\" must be a finite number, got {t}")));
+            }
             b = b.with_tolerance(t);
         }
         if let Some(v) = root.get("warm_start") {
@@ -1169,7 +1179,10 @@ impl RecordRow {
 /// the lines carrying an `"index"` field; headers carry `"schema"`,
 /// summaries `"summary"`).
 ///
-/// Only those two known non-record shapes are skipped. Anything else —
+/// Only those two known non-record shapes are skipped, and each at most
+/// once, in order: a second run header, a second summary, or any
+/// content after the summary line is an error — two concatenated
+/// streams must never merge as if they were one run. Anything else —
 /// unparseable JSON, or a parsed object that is neither a record nor a
 /// header/summary (e.g. a record whose line was truncated before its
 /// `"index"` field survived) — is an error naming the offending line
@@ -1177,13 +1190,16 @@ impl RecordRow {
 /// "cleanly" with points silently missing.
 ///
 /// # Errors
-/// [`LibraError::BadRequest`] on malformed JSON, a malformed record, or
-/// an unrecognized line, each prefixed with its 1-based line number.
+/// [`LibraError::BadRequest`] on malformed JSON, a malformed record, an
+/// unrecognized line, a duplicate header or summary, or content after
+/// the summary, each prefixed with its 1-based line number.
 pub fn records_from_jsonl(stream: &str) -> Result<Vec<RecordRow>, LibraError> {
     let at = |lineno: usize, what: &str| {
         LibraError::BadRequest(format!("JSON-lines input line {lineno}: {what}"))
     };
     let mut rows = Vec::new();
+    let mut seen_header = false;
+    let mut seen_summary = false;
     for (i, line) in stream.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -1191,8 +1207,32 @@ pub fn records_from_jsonl(stream: &str) -> Result<Vec<RecordRow>, LibraError> {
         let lineno = i + 1;
         let v = JsonParser::parse(line).map_err(|e| at(lineno, &e.to_string()))?;
         if v.get("index").is_some() {
+            if seen_summary {
+                return Err(at(
+                    lineno,
+                    "record after the summary line — two runs concatenated \
+                     into one stream?",
+                ));
+            }
             rows.push(RecordRow::from_json_value(&v).map_err(|e| at(lineno, &e.to_string()))?);
-        } else if v.get("schema").is_none() && v.get("summary").is_none() {
+        } else if v.get("schema").is_some() {
+            if seen_header {
+                return Err(at(lineno, "duplicate run header — two streams concatenated?"));
+            }
+            if seen_summary {
+                return Err(at(
+                    lineno,
+                    "run header after the summary line — two runs \
+                     concatenated into one stream?",
+                ));
+            }
+            seen_header = true;
+        } else if v.get("summary").is_some() {
+            if seen_summary {
+                return Err(at(lineno, "duplicate summary line"));
+            }
+            seen_summary = true;
+        } else {
             return Err(at(
                 lineno,
                 "JSON object is neither a record (no \"index\") nor a known \
@@ -1201,6 +1241,31 @@ pub fn records_from_jsonl(stream: &str) -> Result<Vec<RecordRow>, LibraError> {
         }
     }
     Ok(rows)
+}
+
+/// The persistent-store fingerprint of one run configuration: the grid's
+/// shapes/budgets/objectives, the workload names, link parameters and
+/// chunk count (zero/none for plain non-scenario runs), and the engine's
+/// warm-start policy. See [`Fingerprint::compute`] for the hash.
+pub(crate) fn run_fingerprint<W: SweepWorkload>(
+    grid: &SweepGrid,
+    workloads: &[W],
+    link: Option<LinkParams>,
+    chunks: usize,
+    warm_start: bool,
+) -> Fingerprint {
+    let shapes: Vec<String> = grid.shapes().iter().map(|s| s.to_string()).collect();
+    let objectives: Vec<&str> = grid.objectives().iter().map(|&o| objective_name(o)).collect();
+    let names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+    Fingerprint::compute(
+        &shapes,
+        grid.budgets(),
+        &objectives,
+        &names,
+        link.map(|l| (l.alpha_ps, l.switch_ps)),
+        chunks,
+        warm_start,
+    )
 }
 
 /// Validates a contiguous grid-index range against a grid of `len` points.
@@ -1497,6 +1562,29 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Attaches the persistent solve cache at `path` to this session's
+    /// **owned** engine (see [`SweepEngine::with_store`]): stored solves
+    /// preload before each run, fresh solves append after it, and the
+    /// streamed output stays byte-identical with or without the store.
+    ///
+    /// # Errors
+    /// Propagates store-open failures; rejects sessions over a borrowed
+    /// engine ([`Session::over`]) — attach the store to that engine
+    /// instead.
+    pub fn with_store(mut self, path: impl AsRef<std::path::Path>) -> Result<Self, LibraError> {
+        match self.engine {
+            EngineHandle::Owned(engine) => {
+                self.engine = EngineHandle::Owned(engine.with_store(path)?);
+                Ok(self)
+            }
+            EngineHandle::Borrowed(_) => Err(LibraError::BadRequest(
+                "cannot attach a persistent store to a session over a borrowed engine; \
+                 attach it with SweepEngine::with_store before Session::over"
+                    .to_string(),
+            )),
+        }
+    }
+
     /// The configured tolerance.
     pub fn tolerance(&self) -> f64 {
         self.tolerance
@@ -1539,7 +1627,7 @@ impl<'a> Session<'a> {
         sinks: &mut [&mut dyn ReportSink],
     ) -> SessionReport {
         let full = 0..grid.len(workloads.len());
-        self.run_inner(None, self.tolerance, grid, workloads, backends, full, sinks)
+        self.run_inner(None, self.tolerance, grid, workloads, backends, full, None, 0, sinks)
     }
 
     /// [`Session::run_with_sinks`] restricted to the contiguous grid-index
@@ -1561,7 +1649,7 @@ impl<'a> Session<'a> {
         sinks: &mut [&mut dyn ReportSink],
     ) -> Result<SessionReport, LibraError> {
         check_range(&range, grid.len(workloads.len()))?;
-        Ok(self.run_inner(None, self.tolerance, grid, workloads, backends, range, sinks))
+        Ok(self.run_inner(None, self.tolerance, grid, workloads, backends, range, None, 0, sinks))
     }
 
     /// Runs a [`Scenario`]'s grid with backends built from `registry`.
@@ -1628,6 +1716,8 @@ impl<'a> Session<'a> {
             workloads,
             &refs,
             range,
+            scenario.link,
+            scenario.chunks,
             sinks,
         ))
     }
@@ -1641,10 +1731,13 @@ impl<'a> Session<'a> {
         workloads: &[W],
         backends: &[&dyn EvalBackend],
         range: std::ops::Range<usize>,
+        link: Option<LinkParams>,
+        chunks: usize,
         sinks: &mut [&mut dyn ReportSink],
     ) -> SessionReport {
         let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
         let pair_indices = DivergenceMatrix::pair_indices(backends.len());
+        let fp = run_fingerprint(grid, workloads, link, chunks, self.engine().warm_start());
         if !sinks.is_empty() {
             let meta = RunMeta { scenario, backends: &names, n_points: range.len(), tolerance };
             for sink in sinks.iter_mut() {
@@ -1659,6 +1752,7 @@ impl<'a> Session<'a> {
             tolerance,
             range,
             self.mode,
+            fp,
             &mut |index, outcome, priced| {
                 if sinks.is_empty() {
                     return;
@@ -1846,6 +1940,53 @@ mod tests {
             .with_objectives([Objective::Perf])
             .with_workload("w");
         assert!(builder.build().is_err());
+    }
+
+    /// A scenario file with the same key twice must be rejected at the
+    /// parser, not resolved by silent last-write-wins — a hand-edited
+    /// file with two `"tolerance"` lines would otherwise judge at
+    /// whichever one happened to come last.
+    #[test]
+    fn scenario_json_rejects_duplicate_object_keys() {
+        let base = Scenario::builder("dup")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("w")
+            .with_tolerance(0.25)
+            .build()
+            .unwrap();
+        let text = base.to_json();
+        let dup =
+            text.replacen("\"tolerance\": 0.25", "\"tolerance\": 0.1, \"tolerance\": 0.25", 1);
+        assert_ne!(dup, text, "test must actually inject a duplicate key");
+        let err = Scenario::from_json(&dup).unwrap_err().to_string();
+        assert!(err.contains("duplicate object key \"tolerance\""), "{err}");
+        assert!(err.contains("invalid JSON at byte"), "dup keys carry a position: {err}");
+        // Nested objects are covered by the same check.
+        let err = JsonParser::parse("{\"a\": {\"b\": 1, \"b\": 2}}").unwrap_err().to_string();
+        assert!(err.contains("duplicate object key \"b\""), "{err}");
+    }
+
+    /// `"tolerance": "NaN"` decodes to a float (the bit-exact record
+    /// format quotes non-finite values), so the scenario parser needs
+    /// its own finiteness check with a precise error — not a generic
+    /// builder complaint after the parse already "succeeded".
+    #[test]
+    fn scenario_json_rejects_non_finite_tolerance() {
+        let base = Scenario::builder("nf")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("w")
+            .with_tolerance(0.25)
+            .build()
+            .unwrap();
+        for bad in ["\"NaN\"", "\"Infinity\"", "\"-Infinity\""] {
+            let text = base.to_json().replacen("0.25", bad, 1);
+            let err = Scenario::from_json(&text).unwrap_err().to_string();
+            assert!(err.contains("field \"tolerance\" must be a finite number"), "{bad}: {err}");
+        }
     }
 
     #[test]
@@ -2061,6 +2202,43 @@ mod tests {
         let partial = format!("{header}\n{{\"index\": 0, \"shape\": \"RI(4)\"}}\n");
         let err = records_from_jsonl(&partial).unwrap_err().to_string();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    /// Two streams pasted together must never merge as one run: a second
+    /// header, a second summary, or any record/header after the summary
+    /// is a hard error naming the 1-based line (see the dispatcher's
+    /// shard-merge path, which feeds one stream per shard).
+    #[test]
+    fn records_from_jsonl_rejects_concatenated_streams() {
+        let header = "{\"schema\": \"libra-run-v1\", \"scenario\": null, \"backends\": [], \
+                      \"points\": 1, \"tolerance\": 0.1}";
+        let summary = "{\"summary\": {\"results\": 1}}";
+        let record = "{\"index\": 0, \"shape\": \"RI(4)\", \"workload\": \"w\", \
+                      \"budget\": 100, \"objective\": \"perf\", \"weighted_time\": 1.0, \
+                      \"cost\": 1.0, \"speedup\": 1.0, \"secs\": [], \"error\": null}";
+
+        // Duplicate header mid-stream.
+        let two_headers = format!("{header}\n{record}\n{header}\n");
+        let err = records_from_jsonl(&two_headers).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("duplicate run header"), "{err}");
+
+        // A record after the summary.
+        let tail_record = format!("{header}\n{record}\n{summary}\n{record}\n");
+        let err = records_from_jsonl(&tail_record).unwrap_err().to_string();
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("after the summary"), "{err}");
+
+        // A full second run appended (header right after the summary).
+        let two_runs = format!("{header}\n{record}\n{summary}\n{header}\n{record}\n{summary}\n");
+        let err = records_from_jsonl(&two_runs).unwrap_err().to_string();
+        assert!(err.contains("line 4"), "{err}");
+
+        // Duplicate summary.
+        let two_summaries = format!("{header}\n{record}\n{summary}\n{summary}\n");
+        let err = records_from_jsonl(&two_summaries).unwrap_err().to_string();
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("duplicate summary"), "{err}");
     }
 
     /// `pair(a, b)` and `pair(b, a)` resolve to the same report, so a

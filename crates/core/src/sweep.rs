@@ -62,7 +62,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use rayon::prelude::*;
 
@@ -73,6 +73,7 @@ use crate::expr::BwExpr;
 use crate::network::NetworkShape;
 use crate::opt::{self, Constraint, Design, DesignRequest, Objective};
 use crate::scenario::Session;
+use crate::store::{Fingerprint, SolveStore, StoreStats, StoredPoint};
 
 /// One grid point's priced outcome: the design solve plus (when the
 /// workload exposes a plan and backends were supplied) the per-backend
@@ -444,6 +445,20 @@ impl SweepCache {
         }
         let computed = evaluate();
         shard.write().unwrap().entry(key).or_insert(computed).clone()
+    }
+
+    /// Seeds the design map with a solve loaded from a persistent
+    /// [`SolveStore`] (no counter is touched: a preloaded entry shows up
+    /// as an ordinary `design_hits` when the drive reaches it).
+    fn preload_design(&self, key: DesignKey, design: Design) {
+        let shard = &self.designs[shard_of(&key)];
+        shard.write().unwrap().entry(key).or_insert(Ok(design));
+    }
+
+    /// [`SweepCache::preload_design`] for the EqualBW baseline map.
+    fn preload_baseline(&self, key: BaselineKey, baseline: Design) {
+        let shard = &self.baselines[shard_of(&key)];
+        shard.write().unwrap().entry(key).or_insert(baseline);
     }
 
     /// The memoized design for a fully specified grid point.
@@ -936,6 +951,11 @@ pub struct SweepEngine<'a> {
     extra_constraints: Vec<Constraint>,
     cache: SweepCache,
     warm_start: bool,
+    /// Optional persistent solve cache (see [`SweepEngine::with_store`]).
+    /// A mutex, not a shard: the store is touched only at run
+    /// boundaries (preload before the drive, stage + flush after), never
+    /// on the per-point hot path.
+    store: Option<Box<Mutex<SolveStore>>>,
 }
 
 impl<'a> SweepEngine<'a> {
@@ -947,6 +967,7 @@ impl<'a> SweepEngine<'a> {
             extra_constraints: Vec::new(),
             cache: SweepCache::new(),
             warm_start: true,
+            store: None,
         }
     }
 
@@ -967,6 +988,49 @@ impl<'a> SweepEngine<'a> {
         self
     }
 
+    /// Whether warm-start seeding is enabled (part of the persistent
+    /// store's fingerprint: warm and cold solves differ in their low
+    /// bits, so the two policies must never share stored records).
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// Attaches the persistent solve cache at `path`
+    /// ([`crate::store::SolveStore`]): existing records load now, every
+    /// run preloads matching points into the in-memory cache before
+    /// solving, and freshly solved points are appended after each run
+    /// (and on drop). Results stay **byte-identical** with or without a
+    /// store — stored designs round-trip bit-exactly, and warm-start
+    /// seeds are republished from preloaded anchor designs exactly as an
+    /// uninterrupted run would publish them.
+    ///
+    /// # Errors
+    /// Propagates [`SolveStore::open`] failures (unreadable file,
+    /// incompatible schema or key-hash version).
+    pub fn with_store(mut self, path: impl AsRef<std::path::Path>) -> Result<Self, LibraError> {
+        self.store = Some(Box::new(Mutex::new(SolveStore::open(path)?)));
+        Ok(self)
+    }
+
+    /// Persistent-store counters since the store was opened (`None`
+    /// without an attached store).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.lock().unwrap().stats())
+    }
+
+    /// Flushes the attached store's staged records to disk (a no-op
+    /// without a store; also runs automatically after each run and on
+    /// drop, where errors are swallowed — call this to observe them).
+    ///
+    /// # Errors
+    /// Propagates [`SolveStore::flush`] I/O failures.
+    pub fn flush_store(&self) -> Result<(), LibraError> {
+        match &self.store {
+            Some(s) => s.lock().unwrap().flush(),
+            None => Ok(()),
+        }
+    }
+
     /// Adds designer constraints applied to **every** grid point on top of
     /// the per-point [`Constraint::TotalBw`] budget (e.g.
     /// [`Constraint::Ordered`]).
@@ -978,6 +1042,11 @@ impl<'a> SweepEngine<'a> {
     pub fn with_constraints(mut self, constraints: impl IntoIterator<Item = Constraint>) -> Self {
         self.extra_constraints.extend(constraints);
         self.cache.clear_designs();
+        // Constraints are not part of the store fingerprint, so a
+        // constrained engine must not read or write the persistent
+        // cache: detach it (staged records from earlier runs flush on
+        // the dropped store's way out).
+        self.store = None;
         self
     }
 
@@ -1278,9 +1347,29 @@ impl<'a> SweepEngine<'a> {
         tolerance: f64,
         range: std::ops::Range<usize>,
         exec: ExecMode,
+        fp: Fingerprint,
         emit: PointEmit<'_>,
     ) -> (SweepReport, Vec<DivergenceReport>) {
         let points = grid.points(workloads.len());
+        // Preload stored solves for the *whole* grid, not just the
+        // range: a ranged drive may need out-of-range group anchors for
+        // warm-start seeding, and `eval` republishes seeds on cache
+        // hits, so preloaded anchors reproduce the uninterrupted run's
+        // seed state exactly.
+        if let Some(store) = &self.store {
+            let mut store = store.lock().unwrap();
+            for (i, p) in points.iter().enumerate() {
+                if let Some(rec) = store.lookup(fp, i) {
+                    let rec = rec.clone();
+                    let shape = &grid.shapes()[p.shape];
+                    let wl = workloads[p.workload].name().to_string();
+                    let bits = p.budget.to_bits();
+                    self.cache
+                        .preload_design((shape.clone(), wl.clone(), bits, p.objective), rec.design);
+                    self.cache.preload_baseline((shape.clone(), wl, bits), rec.baseline);
+                }
+            }
+        }
         let outcomes = self.drive_range(
             grid,
             &points,
@@ -1291,6 +1380,23 @@ impl<'a> SweepEngine<'a> {
                 let _ = self.eval(grid, workloads, p, SeedMode::Anchor);
             },
         );
+        if let Some(store) = &self.store {
+            let mut store = store.lock().unwrap();
+            for (offset, (outcome, _)) in outcomes.iter().enumerate() {
+                if let Ok(r) = outcome {
+                    store.stage(
+                        fp,
+                        range.start + offset,
+                        StoredPoint { design: r.design.clone(), baseline: r.baseline.clone() },
+                    );
+                }
+            }
+            // Best-effort persistence at the run boundary (so an
+            // interrupted *next* run still finds this one's solves);
+            // flush errors stay observable via `flush_store`, and drop
+            // retries.
+            let _ = store.flush();
+        }
         self.fold_pairwise(
             grid,
             workloads,

@@ -70,6 +70,13 @@ pub use libra_core::scenario::{
     DivergenceMatrix, JsonLinesSink, RecordRow, ReportSink, RunMeta, Scenario, ScenarioBuilder,
     Session, SessionReport,
 };
+// Shard dispatch and the persistent cross-run solve store: split grids
+// into worker ranges, merge streams, resume interrupted runs, and cache
+// solves on disk between processes.
+pub use libra_core::dispatch::{
+    partial_records, resume_rows, resume_scenario, Dispatcher, MergedRun,
+};
+pub use libra_core::store::{Fingerprint, SolveStore, StoreStats, StoredPoint};
 // The sweep substrate: grid, engine, reports, and the deprecated
 // fixed-arity cross-validation entry points' config/report types.
 pub use libra_core::sweep::{
