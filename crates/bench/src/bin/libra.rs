@@ -6,11 +6,13 @@
 //! names, link parameters, and policies. This binary executes them:
 //!
 //! ```text
-//! libra list-backends
+//! libra list-backends [--json]
 //! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
 //! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
 //! libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
 //! libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
+//! libra serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache PATH] [--port-file PATH]
+//! libra submit   <SCENARIO.json> --url http://HOST:PORT [--jsonl PATH] [--quiet]
 //! ```
 //!
 //! * `sweep` runs the design-space grid without backend pricing (the
@@ -41,6 +43,14 @@
 //!   is what the CI golden diff pins.
 //! * `--serial` uses the serial reference fold (bit-identical to the
 //!   default rayon fan-out by the engine's determinism contract).
+//! * `serve` runs the sweep service: an HTTP/JSON front end that queues
+//!   submitted scenarios onto a worker pool sharing one `--cache` solve
+//!   store. `SIGTERM`/ctrl-c drain gracefully: running jobs finish,
+//!   queued jobs fail fast, the store flushes.
+//! * `submit` sends a scenario file to a running server, waits for the
+//!   job, and streams back the records — byte-identical to running
+//!   `libra crossval <SCENARIO.json> --jsonl -` locally, with the same
+//!   0/2 exit-code split.
 //!
 //! Exit codes: `0` success (and, for `crossval`/`dispatch`, all pairs
 //! within tolerance); `1` usage, I/O, or scenario errors; `2` a
@@ -49,28 +59,33 @@
 
 use std::io::Write;
 use std::ops::Range;
+use std::path::PathBuf;
 use std::process::{Command, Stdio};
+use std::time::Duration;
 
 use libra_bench::{default_registry, scenario_workloads, ExecMode, Scenario};
 use libra_core::cost::CostModel;
 use libra_core::dispatch::{partial_records, resume_rows, Dispatcher};
 use libra_core::scenario::{ConsoleTableSink, JsonLinesSink, ReportSink};
 use libra_core::LibraError;
+use libra_server::{install_signal_handlers, Server, ServerConfig, ServiceClient};
 
 const USAGE: &str = "\
 libra — scenario-first front door for the LIBRA design-space engine
 
 USAGE:
-    libra list-backends
+    libra list-backends [--json]
     libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
     libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
     libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
     libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
+    libra serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache PATH] [--port-file PATH]
+    libra submit   <SCENARIO.json> --url http://HOST:PORT [--jsonl PATH] [--quiet]
 
 EXIT CODES:
-    0  success (crossval/dispatch/resume: every backend pair within tolerance)
+    0  success (crossval/dispatch/resume/submit: every backend pair within tolerance)
     1  usage, I/O, or scenario error
-    2  crossval/dispatch/resume divergence beyond the scenario's tolerance
+    2  crossval/dispatch/resume/submit divergence beyond the scenario's tolerance
 ";
 
 struct Options {
@@ -465,14 +480,223 @@ fn run_resume(opts: &Options) -> Result<i32, CliError> {
     Ok(merged.exit_code())
 }
 
+struct ServeOptions {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    cache: Option<String>,
+    /// Write the bound port here once listening — how scripts (and the
+    /// CI smoke job) discover an ephemeral `--addr HOST:0` port.
+    port_file: Option<String>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
+    let defaults = ServerConfig::default();
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut workers = defaults.workers;
+    let mut queue = defaults.queue_capacity;
+    let mut cache = None;
+    let mut port_file = None;
+    let mut seen: Vec<&str> = Vec::new();
+    let mut once = |flag: &'static str| -> Result<(), String> {
+        if seen.contains(&flag) {
+            return Err(format!("duplicate flag {flag}"));
+        }
+        seen.push(flag);
+        Ok(())
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--addr" => {
+                once("--addr")?;
+                addr = value("--addr")?;
+            }
+            "--workers" => {
+                once("--workers")?;
+                let v = value("--workers")?;
+                workers = v.parse().map_err(|_| format!("--workers wants a number (got {v:?})"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--queue" => {
+                once("--queue")?;
+                let v = value("--queue")?;
+                queue = v.parse().map_err(|_| format!("--queue wants a number (got {v:?})"))?;
+                if queue == 0 {
+                    return Err("--queue must be at least 1".to_string());
+                }
+            }
+            "--cache" => {
+                once("--cache")?;
+                cache = Some(value("--cache")?);
+            }
+            "--port-file" => {
+                once("--port-file")?;
+                port_file = Some(value("--port-file")?);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(ServeOptions { addr, workers, queue, cache, port_file })
+}
+
+fn run_serve(opts: &ServeOptions) -> Result<i32, CliError> {
+    // SIGTERM/ctrl-c flip the shutdown flag; `join` then drains.
+    install_signal_handlers();
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        cache: opts.cache.as_ref().map(PathBuf::from),
+    };
+    // The same registry + workload resolver `crossval` runs with, so a
+    // served job's records are byte-identical to the local command's.
+    let server = Server::start(config, default_registry(), Box::new(scenario_workloads))?;
+    let addr = server.addr();
+    let cache_note = match &opts.cache {
+        Some(path) => format!(", cache {path}"),
+        None => String::new(),
+    };
+    eprintln!(
+        "libra: serving on http://{addr} ({} workers, queue capacity {}{cache_note})",
+        opts.workers, opts.queue
+    );
+    if let Some(path) = &opts.port_file {
+        std::fs::write(path, format!("{}\n", addr.port()))
+            .map_err(|e| LibraError::BadRequest(format!("cannot write {path}: {e}")))?;
+    }
+    server.join()?;
+    eprintln!("libra: serve: drained and shut down");
+    Ok(0)
+}
+
+struct SubmitOptions {
+    scenario_path: String,
+    url: String,
+    /// Records destination; `-` (the default) streams to stdout.
+    jsonl: String,
+    quiet: bool,
+}
+
+fn parse_submit(args: &[String]) -> Result<SubmitOptions, String> {
+    let mut positionals: Vec<String> = Vec::new();
+    let mut url = None;
+    let mut jsonl = None;
+    let mut quiet = false;
+    let mut seen: Vec<&str> = Vec::new();
+    let mut once = |flag: &'static str| -> Result<(), String> {
+        if seen.contains(&flag) {
+            return Err(format!("duplicate flag {flag}"));
+        }
+        seen.push(flag);
+        Ok(())
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quiet" => {
+                once("--quiet")?;
+                quiet = true;
+            }
+            "--url" => {
+                once("--url")?;
+                let v = it.next().filter(|v| !v.starts_with("--"));
+                url = Some(v.ok_or_else(|| "--url requires a value".to_string())?.clone());
+            }
+            "--jsonl" => {
+                once("--jsonl")?;
+                let path = it.next().filter(|p| *p == "-" || !p.starts_with("--"));
+                jsonl = Some(path.ok_or_else(|| "--jsonl requires a path".to_string())?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            path => positionals.push(path.to_string()),
+        }
+    }
+    if positionals.len() > 1 {
+        return Err(format!("unexpected extra argument {:?}", positionals[1]));
+    }
+    let scenario_path =
+        positionals.into_iter().next().ok_or_else(|| "missing scenario file".to_string())?;
+    let url = url.ok_or_else(|| "submit requires --url http://HOST:PORT".to_string())?;
+    Ok(SubmitOptions { scenario_path, url, jsonl: jsonl.unwrap_or_else(|| "-".to_string()), quiet })
+}
+
+fn run_submit(opts: &SubmitOptions) -> Result<i32, CliError> {
+    let body = std::fs::read(&opts.scenario_path).map_err(|e| {
+        CliError::Run(LibraError::BadRequest(format!("cannot read {}: {e}", opts.scenario_path)))
+    })?;
+    let client = ServiceClient::new(&opts.url)?;
+    let (job, position) = client.submit(&body)?;
+    if !opts.quiet {
+        eprintln!(
+            "libra: submitted {job} (queue position {position}) to http://{}",
+            client.authority()
+        );
+    }
+    let summary = client.wait(&job, Duration::from_millis(25))?;
+    let records = client.records(&job)?;
+    let mut out = jsonl_writer(&opts.jsonl)?;
+    out.write_all(&records)
+        .and_then(|()| out.flush())
+        .map_err(|e| LibraError::BadRequest(format!("writing served JSON-lines: {e}")))?;
+    if !opts.quiet {
+        if opts.jsonl != "-" {
+            eprintln!("libra: wrote {} served bytes to {}", records.len(), opts.jsonl);
+        }
+        eprintln!(
+            "libra: {job}: {} solved, {} errors; max rel error {:.6}; within tolerance: {}",
+            summary.results, summary.errors, summary.max_rel_error, summary.within_tolerance
+        );
+    }
+    Ok(summary.exit_code())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("list-backends") => {
-            for name in default_registry().names() {
-                println!("{name}");
+        Some("list-backends") => match args.get(1).map(String::as_str) {
+            None => {
+                for name in default_registry().names() {
+                    println!("{name}");
+                }
+                0
             }
-            0
+            // The same bytes GET /v1/backends serves, by construction:
+            // both print `BackendRegistry::to_json` of the one registry.
+            Some("--json") if args.len() == 2 => {
+                print!("{}", default_registry().to_json());
+                0
+            }
+            Some(other) => {
+                eprintln!("libra list-backends: unexpected argument {other:?}\n\n{USAGE}");
+                1
+            }
+        },
+        Some(cmd @ ("serve" | "submit")) => {
+            let outcome = if cmd == "serve" {
+                parse_serve(&args[1..]).map_err(CliError::Usage).and_then(|o| run_serve(&o))
+            } else {
+                parse_submit(&args[1..]).map_err(CliError::Usage).and_then(|o| run_submit(&o))
+            };
+            match outcome {
+                Ok(code) => code,
+                Err(CliError::Usage(msg)) => {
+                    eprintln!("libra {cmd}: {msg}\n\n{USAGE}");
+                    1
+                }
+                Err(CliError::Run(e)) => {
+                    eprintln!("libra {cmd}: {e}");
+                    1
+                }
+            }
         }
         Some(cmd @ ("sweep" | "crossval" | "dispatch" | "resume")) => {
             match parse_options(cmd, &args[1..]) {

@@ -291,3 +291,144 @@ fn dispatch_and_crossval_agree_on_the_exit_2_verdict() {
         assert!(stderr.contains("FAIL"), "spawn={spawn}: {stderr}");
     }
 }
+
+/// `serve` + `submit` end to end, against the real binary over a real
+/// socket: submissions stream back byte-identical to the checked-in
+/// goldens (ci_small and the full design-space sweep), repeat
+/// submissions hit the shared store, `list-backends --json` and
+/// `GET /v1/backends` serve the same bytes, and a graceful shutdown
+/// flushes the store so a warm local `crossval --cache` run stays
+/// byte-identical.
+#[test]
+fn serve_and_submit_round_trip_matches_goldens_and_shares_the_store() {
+    use libra_server::ServiceClient;
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let ci_small = root.join("ci_small.json");
+    let dss = root.join("design_space_sweep.json");
+    let ci_small_golden = std::fs::read(root.join("ci_small.golden.jsonl")).unwrap();
+    let dss_golden = std::fs::read(root.join("design_space_sweep.golden.jsonl")).unwrap();
+
+    let cache = tmp("serve-cache.jsonl");
+    let port_file = tmp("serve-port.txt");
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(&port_file);
+
+    let mut server = Command::new(LIBRA)
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(["--cache", cache.to_str().unwrap()])
+        .args(["--port-file", port_file.to_str().unwrap()])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve child spawns");
+
+    // The port file appears once the listener is bound.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let port = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if s.ends_with('\n') {
+                break s.trim().to_string();
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "serve never wrote its port file");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    let url = format!("http://127.0.0.1:{port}");
+
+    let submit = |scenario: &Path, dest: &Path| -> Output {
+        libra(&[
+            "submit",
+            scenario.to_str().unwrap(),
+            "--url",
+            &url,
+            "--jsonl",
+            dest.to_str().unwrap(),
+        ])
+    };
+
+    // Twice, so the second run prices entirely from the shared store.
+    let out1 = tmp("serve-out1.jsonl");
+    let out2 = tmp("serve-out2.jsonl");
+    for (k, dest) in [(1, &out1), (2, &out2)] {
+        let out = submit(&ci_small, dest);
+        assert_eq!(out.status.code(), Some(0), "submit #{k}: {:?}", out);
+        assert_eq!(
+            std::fs::read(dest).unwrap(),
+            ci_small_golden,
+            "served records #{k} must match the crossval golden byte for byte"
+        );
+    }
+
+    let client = ServiceClient::new(&url).unwrap();
+    let stats = String::from_utf8(client.get("/v1/stats").unwrap().body).unwrap();
+    assert!(!stats.contains("\"store_hits\": 0,"), "second run must hit the store: {stats}");
+    assert!(!stats.contains("\"store_hits\": null"), "cache is attached: {stats}");
+
+    // The CLI listing and the endpoint are the same bytes by
+    // construction — pin it.
+    let backends = client.get("/v1/backends").unwrap().body;
+    assert_eq!(libra(&["list-backends", "--json"]).stdout, backends);
+
+    // The full design-space sweep (80 points, three backends) served
+    // byte-identically to its golden.
+    let out3 = tmp("serve-out3.jsonl");
+    let out = submit(&dss, &out3);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(std::fs::read(&out3).unwrap(), dss_golden);
+
+    // Graceful shutdown drains and flushes the store...
+    assert_eq!(client.post("/v1/shutdown", b"").unwrap().status, 200);
+    let status = server.wait().expect("serve child exits");
+    assert_eq!(status.code(), Some(0), "graceful shutdown exits 0");
+
+    // ...so a warm local run prices everything from it, byte-identically.
+    let warm = tmp("serve-warm.jsonl");
+    let out = libra(&[
+        "crossval",
+        ci_small.to_str().unwrap(),
+        "--jsonl",
+        warm.to_str().unwrap(),
+        "--quiet",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("store: 4 hits, 0 staged"), "warm from served cache: {stderr}");
+    assert_eq!(std::fs::read(&warm).unwrap(), ci_small_golden);
+}
+
+/// `submit`'s failure modes are exit 1 with pointed messages: missing
+/// `--url`, a server that is not there, and flag typos.
+#[test]
+fn submit_usage_and_transport_errors_exit_1() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+
+    let out = libra(&["submit", scenario]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--url"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "missing --url is a usage error: {stderr}");
+
+    // Nothing listens on a freshly-bound-then-dropped port.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let out = libra(&["submit", scenario, "--url", &format!("http://127.0.0.1:{port}")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("USAGE"), "transport errors skip the usage block: {stderr}");
+
+    let rejected: [&[&str]; 4] = [
+        &["submit", scenario, "--url", "https://127.0.0.1:1"],
+        &["submit", scenario, "--bogus", "x"],
+        &["serve", "--workers", "0"],
+        &["serve", scenario, "--queue", "1"],
+    ];
+    for args in rejected {
+        let out = libra(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+    }
+}

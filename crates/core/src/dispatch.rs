@@ -735,6 +735,25 @@ mod tests {
         assert!(err.to_string().contains("does not match"), "{err}");
     }
 
+    /// Degenerate-but-honest partial streams: a writer interrupted
+    /// before any output (empty file) or right after the run header
+    /// (header-only file) left zero surviving records, not an error —
+    /// resume re-prices the whole grid from there.
+    #[test]
+    fn partial_records_accepts_empty_and_header_only_streams() {
+        assert_eq!(partial_records("").unwrap(), vec![]);
+        assert_eq!(partial_records("\n\n").unwrap(), vec![]);
+        let header = crate::scenario::jsonl_header_line(&crate::scenario::RunMeta {
+            scenario: Some("t"),
+            backends: &["analytical".to_string()],
+            n_points: 4,
+            tolerance: 0.1,
+        });
+        assert_eq!(partial_records(&header).unwrap(), vec![]);
+        // Header torn mid-line: still the empty prefix, not an error.
+        assert_eq!(partial_records(&header[..header.len() / 2]).unwrap(), vec![]);
+    }
+
     #[test]
     fn coverage_check_catches_gaps_duplicates_and_short_tails() {
         assert!(verify_coverage(&[row(0), row(1), row(2)], 3).is_ok());

@@ -78,8 +78,13 @@ use crate::sweep::{
 
 /// A parsed JSON value. Object key order is preserved (scenario files are
 /// written and diffed by humans and CI goldens).
+///
+/// Public because this is the workspace's one JSON layer: the store,
+/// the dispatcher, and the `libra-server` HTTP front end all parse and
+/// emit through it, so every byte-identity guarantee rests on a single
+/// formatter.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -89,14 +94,16 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Looks up `key` in an object (`None` for non-objects).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string value (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -115,7 +122,7 @@ impl Json {
     /// decoder every numeric field uses, so a backend that produced a
     /// non-finite time still round-trips through the JSON-lines stream
     /// instead of poisoning re-aggregation.
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             Json::Str(s) => match s.as_str() {
@@ -135,7 +142,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    /// The array items (`None` for non-arrays).
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -144,7 +152,7 @@ impl Json {
 }
 
 /// Escapes `s` as a JSON string literal (quotes included).
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -168,7 +176,7 @@ fn json_escape(s: &str) -> String {
 /// which a misbehaving backend can produce, and which cross-validation
 /// must surface rather than drop — are encoded as the quoted strings
 /// `"NaN"` / `"Infinity"` / `"-Infinity"`.
-pub(crate) fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else if v.is_nan() {
@@ -180,13 +188,21 @@ pub(crate) fn json_f64(v: f64) -> String {
     }
 }
 
-pub(crate) struct JsonParser<'s> {
+/// Recursive-descent parser for [`Json`]. Rejects duplicate object keys
+/// (a scenario field silently shadowed by a later duplicate would be a
+/// debugging trap).
+pub struct JsonParser<'s> {
     bytes: &'s [u8],
     pos: usize,
 }
 
 impl<'s> JsonParser<'s> {
-    pub(crate) fn parse(input: &'s str) -> Result<Json, LibraError> {
+    /// Parses `input` as one complete JSON value.
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] with a byte offset on malformed input
+    /// or trailing characters.
+    pub fn parse(input: &'s str) -> Result<Json, LibraError> {
         let mut p = JsonParser { bytes: input.as_bytes(), pos: 0 };
         let v = p.value()?;
         p.skip_ws();
@@ -440,6 +456,16 @@ pub struct Scenario {
 impl Scenario {
     /// Schema tag written into scenario files.
     pub const SCHEMA: &'static str = "libra-scenario-v1";
+
+    /// Largest shapes × workloads × budgets × objectives cross product a
+    /// scenario may declare (2²² ≈ 4.2M points). Every grid point costs
+    /// a solver run plus a report record, so anything past this bound is
+    /// a mis-written scenario (or a hostile request to a sweep server),
+    /// not a workload this exhaustive engine could finish — the adaptive
+    /// search driver on the roadmap is the answer to genuinely huge
+    /// spaces. Enforced by [`ScenarioBuilder::build`], hence everywhere
+    /// scenarios enter (files, the CLI, `POST /v1/sweeps`).
+    pub const MAX_GRID_POINTS: usize = 1 << 22;
 
     /// Starts building a scenario named `name`.
     pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
@@ -807,6 +833,26 @@ impl ScenarioBuilder {
         if !s.tolerance.is_finite() || s.tolerance < 0.0 {
             return bad("tolerance must be finite and >= 0");
         }
+        // Guard the cross product *before* anything allocates per grid
+        // point: a pathological scenario (easy to construct, and now
+        // arriving over the network at `POST /v1/sweeps`) must be
+        // rejected here with a pointed message, not OOM a sweep worker.
+        // u128 arithmetic so the product itself cannot overflow.
+        let cells = (s.shapes.len() as u128)
+            * (s.workloads.len() as u128)
+            * (s.budgets.len() as u128)
+            * (s.objectives.len() as u128);
+        if cells > Scenario::MAX_GRID_POINTS as u128 {
+            return bad(&format!(
+                "grid has {cells} points ({} shapes × {} workloads × {} budgets × {} objectives), \
+                 over the {} point cap — shard the scenario or prune its axes",
+                s.shapes.len(),
+                s.workloads.len(),
+                s.budgets.len(),
+                s.objectives.len(),
+                Scenario::MAX_GRID_POINTS
+            ));
+        }
         Ok(s)
     }
 }
@@ -832,6 +878,14 @@ impl Default for BackendConfig {
 /// The boxed constructor type stored per registry entry.
 type BackendCtor = Box<dyn Fn(&BackendConfig) -> Box<dyn EvalBackend> + Send + Sync>;
 
+/// One registry row: a name, a human-readable description, and the
+/// constructor.
+struct RegistryEntry {
+    name: String,
+    description: String,
+    ctor: BackendCtor,
+}
+
 /// A string-name → constructor table for [`EvalBackend`]s, so scenarios
 /// can name their evaluators as data.
 ///
@@ -843,7 +897,7 @@ type BackendCtor = Box<dyn Fn(&BackendConfig) -> Box<dyn EvalBackend> + Send + S
 /// backends register under fresh names with [`BackendRegistry::register`].
 #[derive(Default)]
 pub struct BackendRegistry {
-    entries: Vec<(String, BackendCtor)>,
+    entries: Vec<RegistryEntry>,
 }
 
 impl BackendRegistry {
@@ -852,9 +906,18 @@ impl BackendRegistry {
     pub fn new() -> Self {
         use crate::eval::Analytical;
         let mut r = BackendRegistry::empty();
-        r.register("analytical", |_| Box::new(Analytical::new())).expect("fresh registry");
-        r.register("analytical-offload", |_| Box::new(Analytical { in_network_offload: true }))
-            .expect("fresh registry");
+        r.register_described(
+            "analytical",
+            "closed-form alpha-beta cost model over the backend-neutral CommPlan IR",
+            |_| Box::new(Analytical::new()),
+        )
+        .expect("fresh registry");
+        r.register_described(
+            "analytical-offload",
+            "closed-form model with switch-resident in-network collective offload",
+            |_| Box::new(Analytical { in_network_offload: true }),
+        )
+        .expect("fresh registry");
         r
     }
 
@@ -863,7 +926,7 @@ impl BackendRegistry {
         BackendRegistry::default()
     }
 
-    /// Registers `ctor` under `name`.
+    /// Registers `ctor` under `name` with an empty description.
     ///
     /// # Errors
     /// [`LibraError::BadRequest`] when `name` is already registered —
@@ -873,22 +936,70 @@ impl BackendRegistry {
         name: impl Into<String>,
         ctor: impl Fn(&BackendConfig) -> Box<dyn EvalBackend> + Send + Sync + 'static,
     ) -> Result<(), LibraError> {
+        self.register_described(name, "", ctor)
+    }
+
+    /// Registers `ctor` under `name` with a one-line human-readable
+    /// `description`, surfaced by `libra list-backends` and the sweep
+    /// server's `GET /v1/backends`.
+    ///
+    /// # Errors
+    /// See [`BackendRegistry::register`].
+    pub fn register_described(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        ctor: impl Fn(&BackendConfig) -> Box<dyn EvalBackend> + Send + Sync + 'static,
+    ) -> Result<(), LibraError> {
         let name = name.into();
         if self.contains(&name) {
             return Err(LibraError::BadRequest(format!("backend {name:?} is already registered")));
         }
-        self.entries.push((name, Box::new(ctor)));
+        self.entries.push(RegistryEntry {
+            name,
+            description: description.into(),
+            ctor: Box::new(ctor),
+        });
         Ok(())
     }
 
     /// Whether `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.iter().any(|(n, _)| n == name)
+        self.entries.iter().any(|e| e.name == name)
     }
 
     /// The registered names, in registration order.
     pub fn names(&self) -> Vec<&str> {
-        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// `(name, description)` pairs, in registration order.
+    pub fn entries(&self) -> Vec<(&str, &str)> {
+        self.entries.iter().map(|e| (e.name.as_str(), e.description.as_str())).collect()
+    }
+
+    /// The description registered for `name` (`None` when unregistered).
+    pub fn describe(&self, name: &str) -> Option<&str> {
+        self.entries.iter().find(|e| e.name == name).map(|e| e.description.as_str())
+    }
+
+    /// The registry as a JSON array of `{"name", "description"}`
+    /// objects, one entry per line, trailing newline included. This
+    /// exact string is both `libra list-backends --json`'s stdout and
+    /// the sweep server's `GET /v1/backends` body, so the two surfaces
+    /// cannot drift.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"name\": {}, \"description\": {}}}{}\n",
+                json_escape(&e.name),
+                json_escape(&e.description),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        out
     }
 
     /// Constructs the backend registered under `name`.
@@ -901,8 +1012,8 @@ impl BackendRegistry {
         name: &str,
         config: &BackendConfig,
     ) -> Result<Box<dyn EvalBackend>, LibraError> {
-        match self.entries.iter().find(|(n, _)| n == name) {
-            Some((_, ctor)) => Ok(ctor(config)),
+        match self.entries.iter().find(|e| e.name == name) {
+            Some(e) => Ok((e.ctor)(config)),
             None => Err(LibraError::BadRequest(format!(
                 "unknown backend {name:?}; known backends: {}",
                 self.names().join(", ")
@@ -1489,6 +1600,37 @@ impl ReportSink for CollectorSink {
     }
 }
 
+/// A sink adapter turning the record stream into a progress callback:
+/// `f(done, total)` fires once with `(0, total)` at run start and once
+/// per record thereafter. This is how a host that cannot block on the
+/// whole run — the sweep server's job table foremost — observes
+/// per-point progress without touching the records themselves; stack it
+/// next to a [`JsonLinesSink`] in the same sink slice.
+pub struct ProgressSink<F: FnMut(usize, usize)> {
+    f: F,
+    done: usize,
+    total: usize,
+}
+
+impl<F: FnMut(usize, usize)> ProgressSink<F> {
+    /// A progress sink invoking `f(done, total)`.
+    pub fn new(f: F) -> Self {
+        ProgressSink { f, done: 0, total: 0 }
+    }
+}
+
+impl<F: FnMut(usize, usize)> ReportSink for ProgressSink<F> {
+    fn on_run_start(&mut self, meta: &RunMeta<'_>) {
+        self.total = meta.n_points;
+        (self.f)(0, self.total);
+    }
+
+    fn on_record(&mut self, _row: &RecordRow) {
+        self.done += 1;
+        (self.f)(self.done, self.total);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Session: the executor.
 // ---------------------------------------------------------------------------
@@ -1580,6 +1722,33 @@ impl<'a> Session<'a> {
             EngineHandle::Borrowed(_) => Err(LibraError::BadRequest(
                 "cannot attach a persistent store to a session over a borrowed engine; \
                  attach it with SweepEngine::with_store before Session::over"
+                    .to_string(),
+            )),
+        }
+    }
+
+    /// Attaches an already-open shared store
+    /// ([`crate::store::SolveStore::open_shared`]) to this session's
+    /// **owned** engine — the multi-client path: a server opens the
+    /// cache once and every job's fresh session attaches here, so
+    /// concurrent clients hit each other's solves in memory (see
+    /// [`SweepEngine::with_shared_store`]).
+    ///
+    /// # Errors
+    /// Rejects sessions over a borrowed engine ([`Session::over`]) —
+    /// attach the store to that engine instead.
+    pub fn with_shared_store(
+        mut self,
+        store: crate::store::SharedSolveStore,
+    ) -> Result<Self, LibraError> {
+        match self.engine {
+            EngineHandle::Owned(engine) => {
+                self.engine = EngineHandle::Owned(engine.with_shared_store(store));
+                Ok(self)
+            }
+            EngineHandle::Borrowed(_) => Err(LibraError::BadRequest(
+                "cannot attach a persistent store to a session over a borrowed engine; \
+                 attach it with SweepEngine::with_shared_store before Session::over"
                     .to_string(),
             )),
         }
@@ -1854,6 +2023,33 @@ mod tests {
             assert_eq!(back.is_infinite(), special.is_infinite());
             assert_eq!(back.is_sign_positive(), special.is_sign_positive());
         }
+    }
+
+    /// The grid-size cap trips at build time — the one chokepoint every
+    /// scenario passes through (files, CLI, `POST /v1/sweeps`) — with a
+    /// message naming the axes, so a fat-fingered budget list cannot
+    /// commit the engine to a multi-billion-point sweep. The product is
+    /// computed in u128, so axes whose product overflows usize still
+    /// reject cleanly instead of wrapping into a "small" grid.
+    #[test]
+    fn oversized_grids_are_rejected_at_build_time() {
+        let huge = |budgets: usize| {
+            let mut b = Scenario::builder("huge")
+                .with_shape("RI(4)_SW(8)".parse().unwrap())
+                .with_budgets((0..budgets).map(|k| 100.0 + k as f64))
+                .with_objectives([Objective::Perf, Objective::PerfPerCost]);
+            for k in 0..2048 {
+                b = b.with_workload(format!("w{k}"));
+            }
+            b.build()
+        };
+        // 1 × 2048 × 2048 × 2 = 8M > the 4.2M cap.
+        let err = huge(2048).unwrap_err().to_string();
+        assert!(err.contains("point cap"), "{err}");
+        assert!(err.contains("2048 workloads"), "names the axes: {err}");
+        // Just under the cap builds fine.
+        let ok = huge(1024).unwrap();
+        assert_eq!(ok.grid().len(ok.workloads.len()), 1 << 22);
     }
 
     #[test]

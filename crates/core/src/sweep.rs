@@ -62,7 +62,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
 use rayon::prelude::*;
 
@@ -73,7 +73,7 @@ use crate::expr::BwExpr;
 use crate::network::NetworkShape;
 use crate::opt::{self, Constraint, Design, DesignRequest, Objective};
 use crate::scenario::Session;
-use crate::store::{Fingerprint, SolveStore, StoreStats, StoredPoint};
+use crate::store::{Fingerprint, SharedSolveStore, SolveStore, StoreStats, StoredPoint};
 
 /// One grid point's priced outcome: the design solve plus (when the
 /// workload exposes a plan and backends were supplied) the per-backend
@@ -951,11 +951,13 @@ pub struct SweepEngine<'a> {
     extra_constraints: Vec<Constraint>,
     cache: SweepCache,
     warm_start: bool,
-    /// Optional persistent solve cache (see [`SweepEngine::with_store`]).
-    /// A mutex, not a shard: the store is touched only at run
-    /// boundaries (preload before the drive, stage + flush after), never
-    /// on the per-point hot path.
-    store: Option<Box<Mutex<SolveStore>>>,
+    /// Optional persistent solve cache (see [`SweepEngine::with_store`]
+    /// and [`SweepEngine::with_shared_store`]). A mutex, not a shard:
+    /// the store is touched only at run boundaries (preload before the
+    /// drive, stage + flush after), never on the per-point hot path.
+    /// An `Arc` so a long-lived host (the sweep server) can attach many
+    /// short-lived engines to one store.
+    store: Option<SharedSolveStore>,
 }
 
 impl<'a> SweepEngine<'a> {
@@ -1008,8 +1010,21 @@ impl<'a> SweepEngine<'a> {
     /// Propagates [`SolveStore::open`] failures (unreadable file,
     /// incompatible schema or key-hash version).
     pub fn with_store(mut self, path: impl AsRef<std::path::Path>) -> Result<Self, LibraError> {
-        self.store = Some(Box::new(Mutex::new(SolveStore::open(path)?)));
+        self.store = Some(SolveStore::open_shared(path)?);
         Ok(self)
+    }
+
+    /// Attaches an already-open shared store
+    /// ([`SolveStore::open_shared`]) instead of opening a file. This is
+    /// the multi-client seam: every engine attached to the same
+    /// [`SharedSolveStore`] preloads the records its siblings staged —
+    /// no file round-trip between them — while flushes still append to
+    /// the backing file for the next process. Byte-identity guarantees
+    /// are exactly [`SweepEngine::with_store`]'s.
+    #[must_use]
+    pub fn with_shared_store(mut self, store: SharedSolveStore) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Persistent-store counters since the store was opened (`None`

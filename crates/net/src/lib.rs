@@ -247,8 +247,16 @@ impl EvalBackend for NetSimBackend {
 pub fn register_backends(
     registry: &mut libra_core::scenario::BackendRegistry,
 ) -> Result<(), LibraError> {
-    registry.register("net-sim", |cfg| Box::new(NetSimBackend::new(cfg.chunks)))?;
-    registry.register("net-sim-offload", |cfg| Box::new(NetSimBackend::offloaded(cfg.chunks)))
+    registry.register_described(
+        "net-sim",
+        "network-layer simulation with per-hop alpha latency and switch-traversal cost",
+        |cfg| Box::new(NetSimBackend::new(cfg.chunks)),
+    )?;
+    registry.register_described(
+        "net-sim-offload",
+        "net-sim with switch-resident in-network reduction of switch-dimension collectives",
+        |cfg| Box::new(NetSimBackend::offloaded(cfg.chunks)),
+    )
 }
 
 /// The registry holding every backend the workspace ships:

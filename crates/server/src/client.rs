@@ -1,0 +1,200 @@
+//! A hand-rolled client for the sweep service — what `libra submit`
+//! and the integration tests speak. Submit a scenario, poll its status,
+//! fetch the byte-exact records stream.
+
+use std::time::Duration;
+
+use libra_core::error::LibraError;
+use libra_core::scenario::{Json, JsonParser};
+
+use crate::http::{roundtrip, Response};
+use crate::jobs::JobSummary;
+
+fn bad(what: impl Into<String>) -> LibraError {
+    LibraError::BadRequest(what.into())
+}
+
+/// Extracts the server's `{"error": …}` message, falling back to the
+/// raw body.
+fn error_message(response: &Response) -> String {
+    let body = String::from_utf8_lossy(&response.body);
+    if let Ok(v) = JsonParser::parse(body.trim()) {
+        if let Some(message) = v.get("error").and_then(Json::as_str) {
+            return message.to_string();
+        }
+    }
+    body.trim().to_string()
+}
+
+/// A client bound to one sweep server.
+pub struct ServiceClient {
+    authority: String,
+}
+
+impl ServiceClient {
+    /// A client for `url`: `http://host:port` (trailing slash allowed)
+    /// or a bare `host:port` authority.
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] on `https://` (not supported) or an
+    /// empty authority.
+    pub fn new(url: &str) -> Result<Self, LibraError> {
+        if url.starts_with("https://") {
+            return Err(bad("https is not supported; use http://host:port"));
+        }
+        let authority = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/');
+        if authority.is_empty() || authority.contains('/') {
+            return Err(bad(format!("bad server URL {url:?}; want http://host:port")));
+        }
+        Ok(ServiceClient { authority: authority.to_string() })
+    }
+
+    /// The `host:port` this client talks to.
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    /// One GET, any status.
+    ///
+    /// # Errors
+    /// Connect/IO/protocol failures.
+    pub fn get(&self, path: &str) -> Result<Response, LibraError> {
+        roundtrip(&self.authority, "GET", path, None)
+    }
+
+    /// One POST, any status.
+    ///
+    /// # Errors
+    /// Connect/IO/protocol failures.
+    pub fn post(&self, path: &str, body: &[u8]) -> Result<Response, LibraError> {
+        roundtrip(&self.authority, "POST", path, Some(body))
+    }
+
+    /// Submits a scenario body to `POST /v1/sweeps`, returning the job
+    /// id and queue position.
+    ///
+    /// # Errors
+    /// Transport failures, and any non-202 answer (carrying the
+    /// server's error message).
+    pub fn submit(&self, scenario_json: &[u8]) -> Result<(String, usize), LibraError> {
+        let response = self.post("/v1/sweeps", scenario_json)?;
+        if response.status != 202 {
+            return Err(bad(format!(
+                "server rejected the scenario ({}): {}",
+                response.status,
+                error_message(&response)
+            )));
+        }
+        let body = String::from_utf8_lossy(&response.body);
+        let v = JsonParser::parse(body.trim())?;
+        let id = v
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(format!("submit response missing job id: {body}")))?;
+        let position = v.get("position").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        Ok((id.to_string(), position))
+    }
+
+    /// One `GET /v1/sweeps/{id}` poll, parsed.
+    ///
+    /// # Errors
+    /// Transport failures, unknown jobs, malformed status documents.
+    pub fn status(&self, job: &str) -> Result<PolledStatus, LibraError> {
+        let response = self.get(&format!("/v1/sweeps/{job}"))?;
+        if response.status != 200 {
+            return Err(bad(format!(
+                "status poll failed ({}): {}",
+                response.status,
+                error_message(&response)
+            )));
+        }
+        let body = String::from_utf8_lossy(&response.body);
+        let v = JsonParser::parse(body.trim())?;
+        let state = v
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(format!("status document missing state: {body}")))?;
+        Ok(match state {
+            "queued" => PolledStatus::Queued {
+                position: v.get("position").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+            },
+            "running" => PolledStatus::Running {
+                done: v.get("done").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+                total: v.get("total").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+            },
+            "done" => PolledStatus::Done(JobSummary {
+                results: v.get("results").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+                errors: v.get("errors").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+                within_tolerance: matches!(v.get("within_tolerance"), Some(Json::Bool(true))),
+                max_rel_error: v.get("max_rel_error").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            }),
+            "failed" => PolledStatus::Failed {
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown failure")
+                    .to_string(),
+            },
+            other => return Err(bad(format!("unknown job state {other:?}"))),
+        })
+    }
+
+    /// Polls until the job reaches a terminal state.
+    ///
+    /// # Errors
+    /// Transport failures; a [`PolledStatus::Failed`] job surfaces as an
+    /// error carrying the server-side message.
+    pub fn wait(&self, job: &str, poll: Duration) -> Result<JobSummary, LibraError> {
+        loop {
+            match self.status(job)? {
+                PolledStatus::Done(summary) => return Ok(summary),
+                PolledStatus::Failed { error } => {
+                    return Err(bad(format!("job {job} failed: {error}")))
+                }
+                PolledStatus::Queued { .. } | PolledStatus::Running { .. } => {
+                    std::thread::sleep(poll)
+                }
+            }
+        }
+    }
+
+    /// Fetches the finished job's byte-exact JSON-lines stream.
+    ///
+    /// # Errors
+    /// Transport failures and non-200 answers (job unknown or not done).
+    pub fn records(&self, job: &str) -> Result<Vec<u8>, LibraError> {
+        let response = self.get(&format!("/v1/sweeps/{job}/records"))?;
+        if response.status != 200 {
+            return Err(bad(format!(
+                "records fetch failed ({}): {}",
+                response.status,
+                error_message(&response)
+            )));
+        }
+        Ok(response.body)
+    }
+}
+
+/// A parsed `GET /v1/sweeps/{id}` answer.
+#[derive(Debug, Clone)]
+pub enum PolledStatus {
+    /// Waiting; 1-based queue position.
+    Queued {
+        /// 1-based queue position.
+        position: usize,
+    },
+    /// Running; `done` of `total` points priced.
+    Running {
+        /// Points priced so far.
+        done: usize,
+        /// Total points in the run.
+        total: usize,
+    },
+    /// Finished, with the run summary.
+    Done(JobSummary),
+    /// Failed server-side.
+    Failed {
+        /// The server-side error message.
+        error: String,
+    },
+}

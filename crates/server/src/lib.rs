@@ -1,0 +1,42 @@
+//! # libra-server
+//!
+//! Sweep-as-a-service: a dependency-free HTTP/1.1 front end that queues
+//! `libra-scenario-v1` documents onto a pool of sweep workers sharing
+//! one persistent [`SolveStore`](libra_core::store::SolveStore) — the
+//! "queue of scenarios and an HTTP/JSON front end" the roadmap names,
+//! built on `std::net` alone because the workspace is offline (the
+//! protocol is hand-rolled the same way `scenario.rs` hand-rolls JSON).
+//!
+//! Endpoints:
+//!
+//! | Route | What it does |
+//! |---|---|
+//! | `POST /v1/sweeps` | Validate a scenario body, enqueue it; `202 {"job", "position"}` |
+//! | `GET /v1/sweeps/{id}` | Job status: queued/running (per-point progress)/done/failed |
+//! | `GET /v1/sweeps/{id}/records` | The finished run's JSON-lines, chunked, **byte-identical** to `libra crossval --jsonl -` |
+//! | `GET /v1/backends` | The backend registry, same bytes as `libra list-backends --json` |
+//! | `GET /v1/healthz` | Liveness |
+//! | `GET /v1/stats` | Queue depth, lifecycle counters, store hit/stage counters |
+//! | `POST /v1/shutdown` | Request the same graceful shutdown SIGTERM does |
+//!
+//! Every worker runs a fresh [`Session`](libra_core::scenario::Session)
+//! attached to the one shared store, so concurrent clients pricing
+//! overlapping scenarios hit each other's solves in memory — PR 7's
+//! warm-from-disk speedup, made cross-client.
+//!
+//! The crate depends only on `libra-core`: workload-name resolution is
+//! injected as a [`WorkloadResolver`] (the `libra` CLI passes
+//! `libra-bench`'s Table II resolver; tests pass stubs), which keeps the
+//! server usable from any embedding without dragging the workload zoo
+//! in.
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use client::{PolledStatus, ServiceClient};
+pub use jobs::{JobCounts, JobStatus, JobSummary, JobTable, SubmitError};
+pub use server::{
+    install_signal_handlers, signal_shutdown_requested, Server, ServerConfig, WorkloadResolver,
+};

@@ -175,7 +175,11 @@ impl EvalBackend for EventSimBackend {
 pub fn register_backends(
     registry: &mut libra_core::scenario::BackendRegistry,
 ) -> Result<(), LibraError> {
-    registry.register("event-sim", |cfg| Box::new(EventSimBackend::new(cfg.chunks)))
+    registry.register_described(
+        "event-sim",
+        "chunk-pipelined discrete-event simulation of per-dimension link servers",
+        |cfg| Box::new(EventSimBackend::new(cfg.chunks)),
+    )
 }
 
 #[cfg(test)]

@@ -11,6 +11,9 @@
 //!   switch traversal, switch-offload-aware collectives).
 //! * [`themis`] — bandwidth-aware runtime chunk scheduler.
 //! * [`tacos`] — topology-aware collective algorithm synthesizer.
+//! * [`server`] — the sweep service: a queued, multi-client HTTP/JSON
+//!   front end (`libra serve`/`libra submit`) over one shared
+//!   persistent solve store.
 //!
 //! The quickstart import block — everything the scenario-first front door
 //! needs is re-exported at the root (no `libra::core::sweep::…` paths):
@@ -48,6 +51,7 @@
 
 pub use libra_core as core;
 pub use libra_net as net;
+pub use libra_server as server;
 pub use libra_sim as sim;
 pub use libra_solver as solver;
 pub use libra_tacos as tacos;
@@ -84,6 +88,10 @@ pub use libra_core::sweep::{
     Divergence3Report, DivergenceReport, ExecMode, FnWorkload, GridPoint, RankBy, SweepEngine,
     SweepError, SweepGrid, SweepReport, SweepResult, SweepWorkload,
 };
+// The sweep service, flattened: embed a server (`Server::start`) or
+// talk to one (`ServiceClient`) — the `libra serve`/`libra submit`
+// subcommands are thin wrappers over exactly these types.
+pub use libra_server::{Server, ServerConfig, ServiceClient};
 // The one `default_registry` definition lives in `libra_net` (the
 // most-derived backend crate); register your own evaluators on top with
 // [`BackendRegistry::register`].
