@@ -9,10 +9,11 @@
 //! libra list-backends [--json]
 //! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
 //! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
-//! libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
+//! libra dispatch <SCENARIO.json> --shards K [--spawn [--retries N]] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
 //! libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
 //! libra serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache PATH] [--port-file PATH]
-//! libra submit   <SCENARIO.json> --url http://HOST:PORT [--jsonl PATH] [--quiet]
+//!                [--job-timeout SECS] [--max-failed-points N]
+//! libra submit   <SCENARIO.json> --url http://HOST:PORT [--jsonl PATH] [--quiet] [--timeout SECS]
 //! ```
 //!
 //! * `sweep` runs the design-space grid without backend pricing (the
@@ -43,14 +44,23 @@
 //!   is what the CI golden diff pins.
 //! * `--serial` uses the serial reference fold (bit-identical to the
 //!   default rayon fan-out by the engine's determinism contract).
+//! * `dispatch --spawn --retries N` respawns a crashed shard worker up
+//!   to `N` times (deterministic seeded exponential backoff); the
+//!   merged stream stays byte-identical to a clean run because failed
+//!   attempts' partial output is discarded whole.
 //! * `serve` runs the sweep service: an HTTP/JSON front end that queues
 //!   submitted scenarios onto a worker pool sharing one `--cache` solve
 //!   store. `SIGTERM`/ctrl-c drain gracefully: running jobs finish,
-//!   queued jobs fail fast, the store flushes.
+//!   queued jobs fail fast, the store flushes. `--job-timeout SECS`
+//!   arms a watchdog that fails hung jobs; `--max-failed-points N`
+//!   fails any job with more than `N` errored grid points.
 //! * `submit` sends a scenario file to a running server, waits for the
 //!   job, and streams back the records — byte-identical to running
 //!   `libra crossval <SCENARIO.json> --jsonl -` locally, with the same
-//!   0/2 exit-code split.
+//!   0/2 exit-code split. Connection-refused submits are retried
+//!   briefly; `--timeout SECS` bounds the wait for the job itself.
+//! * `LIBRA_FAULT_PLAN` (see `libra_core::fault`) arms deterministic
+//!   fault injection across every command — chaos testing's front door.
 //!
 //! Exit codes: `0` success (and, for `crossval`/`dispatch`, all pairs
 //! within tolerance); `1` usage, I/O, or scenario errors; `2` a
@@ -66,6 +76,7 @@ use std::time::Duration;
 use libra_bench::{default_registry, scenario_workloads, ExecMode, Scenario};
 use libra_core::cost::CostModel;
 use libra_core::dispatch::{partial_records, resume_rows, Dispatcher};
+use libra_core::fault::{self, FaultInjector};
 use libra_core::scenario::{ConsoleTableSink, JsonLinesSink, ReportSink};
 use libra_core::LibraError;
 use libra_server::{install_signal_handlers, Server, ServerConfig, ServiceClient};
@@ -77,10 +88,11 @@ USAGE:
     libra list-backends [--json]
     libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
     libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
-    libra dispatch <SCENARIO.json> --shards K [--spawn] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
+    libra dispatch <SCENARIO.json> --shards K [--spawn [--retries N]] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
     libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
     libra serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache PATH] [--port-file PATH]
-    libra submit   <SCENARIO.json> --url http://HOST:PORT [--jsonl PATH] [--quiet]
+                   [--job-timeout SECS] [--max-failed-points N]
+    libra submit   <SCENARIO.json> --url http://HOST:PORT [--jsonl PATH] [--quiet] [--timeout SECS]
 
 EXIT CODES:
     0  success (crossval/dispatch/resume/submit: every backend pair within tolerance)
@@ -98,6 +110,9 @@ struct Options {
     range: Option<Range<usize>>,
     shards: Option<usize>,
     spawn: bool,
+    /// `dispatch --spawn` only: respawn a crashed shard worker up to
+    /// this many times.
+    retries: Option<u32>,
     cache: Option<String>,
 }
 
@@ -137,6 +152,7 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
     let mut range = None;
     let mut shards = None;
     let mut spawn = false;
+    let mut retries = None;
     let mut cache = None;
     let mut seen: Vec<&str> = Vec::new();
     // Every flag is set-at-most-once: a duplicate is a usage error, not
@@ -188,6 +204,13 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
                 }
                 shards = Some(n);
             }
+            "--retries" => {
+                once("--retries")?;
+                let n = it.next().ok_or_else(|| "--retries requires a count".to_string())?;
+                let n: u32 =
+                    n.parse().map_err(|_| format!("--retries wants a number (got {n:?})"))?;
+                retries = Some(n);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             path => positionals.push(path.to_string()),
         }
@@ -215,10 +238,15 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
             if range.is_some() {
                 return Err("--range applies to sweep/crossval workers, not dispatch".to_string());
             }
+            if retries.is_some() && !spawn {
+                return Err("--retries applies to dispatch --spawn \
+                     (in-process shards have no worker process to respawn)"
+                    .to_string());
+            }
         }
         "resume" => {
-            if shards.is_some() || spawn {
-                return Err("--shards/--spawn apply to dispatch, not resume".to_string());
+            if shards.is_some() || spawn || retries.is_some() {
+                return Err("--shards/--spawn/--retries apply to dispatch, not resume".to_string());
             }
             if range.is_some() {
                 return Err("--range applies to sweep/crossval workers, not resume \
@@ -227,8 +255,8 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
             }
         }
         _ => {
-            if shards.is_some() || spawn {
-                return Err(format!("--shards/--spawn apply to dispatch, not {cmd}"));
+            if shards.is_some() || spawn || retries.is_some() {
+                return Err(format!("--shards/--spawn/--retries apply to dispatch, not {cmd}"));
             }
         }
     }
@@ -236,7 +264,18 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
     if jsonl.as_deref() == Some("-") {
         quiet = true;
     }
-    Ok(Options { scenario_path, partial_path, serial, quiet, jsonl, range, shards, spawn, cache })
+    Ok(Options {
+        scenario_path,
+        partial_path,
+        serial,
+        quiet,
+        jsonl,
+        range,
+        shards,
+        spawn,
+        retries,
+        cache,
+    })
 }
 
 /// Loads the scenario and enforces the crossval two-backend floor
@@ -268,6 +307,23 @@ fn jsonl_writer(path: &str) -> Result<Box<dyn Write>, LibraError> {
 }
 
 fn run(validate: bool, opts: &Options) -> Result<i32, CliError> {
+    // The shard-crash injection site: a `--range` run is what a spawned
+    // shard worker executes, so an armed `dispatch.shard.crash` kills
+    // this process abnormally before any output — the wire image of a
+    // worker dying — keyed by the spawn-attempt ordinal the dispatcher
+    // passed down, so retried attempts deterministically survive.
+    if opts.range.is_some() {
+        if let Some(injector) = FaultInjector::from_env() {
+            let attempt = fault::attempt_from_env();
+            if injector.fires(fault::DISPATCH_SHARD_CRASH, attempt) {
+                eprintln!(
+                    "libra: injected fault: {} (attempt {attempt})",
+                    fault::DISPATCH_SHARD_CRASH
+                );
+                std::process::exit(70);
+            }
+        }
+    }
     let scenario = load_scenario(validate, opts)?;
     let workloads = scenario_workloads(&scenario)?;
     let registry = default_registry();
@@ -359,12 +415,11 @@ fn run_dispatch(opts: &Options) -> Result<i32, CliError> {
         let exe = std::env::current_exe()
             .map_err(|e| LibraError::BadRequest(format!("cannot locate own binary: {e}")))?;
         let ranges = dispatcher.ranges(workloads.len());
-        // Fork one `crossval --range` worker per shard, all running
-        // concurrently; each streams its records to stdout. Empty tail
-        // shards (more shards than points) get no worker: the CLI
-        // rejects empty ranges, and there is nothing to run anyway.
-        let mut children = Vec::with_capacity(ranges.len());
-        for r in ranges.iter().filter(|r| !r.is_empty()) {
+        let retries = opts.retries.unwrap_or(0);
+        // Backoff jitter rides the fault plan's seed when one is armed,
+        // so a chaos run's full retry timing is reproducible.
+        let backoff_seed = FaultInjector::from_env().map_or(0, |f| f.seed());
+        let spawn_shard = |r: &Range<usize>, attempt: u32| -> Result<_, LibraError> {
             let mut args = vec![
                 "crossval".to_string(),
                 opts.scenario_path.clone(),
@@ -377,29 +432,58 @@ fn run_dispatch(opts: &Options) -> Result<i32, CliError> {
                 args.push("--cache".to_string());
                 args.push(path.clone());
             }
-            let child = Command::new(&exe)
+            Command::new(&exe)
                 .args(&args)
+                .env(fault::ATTEMPT_ENV_VAR, attempt.to_string())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::null())
                 .spawn()
-                .map_err(|e| LibraError::BadRequest(format!("spawning shard worker: {e}")))?;
-            children.push(child);
+                .map_err(|e| LibraError::BadRequest(format!("spawning shard worker: {e}")))
+        };
+        // Fork one `crossval --range` worker per shard, all running
+        // concurrently; each streams its records to stdout. Empty tail
+        // shards (more shards than points) get no worker: the CLI
+        // rejects empty ranges, and there is nothing to run anyway.
+        let mut children = Vec::new();
+        for r in ranges.iter().filter(|r| !r.is_empty()) {
+            children.push((r.clone(), spawn_shard(r, 0)?));
         }
         let mut streams = Vec::with_capacity(children.len());
-        for (k, child) in children.into_iter().enumerate() {
-            let out = child
-                .wait_with_output()
-                .map_err(|e| LibraError::BadRequest(format!("waiting on shard {k}: {e}")))?;
-            // Exit 2 is a shard-local divergence verdict; the merged
-            // matrix re-judges the whole grid, so only hard failures
-            // (usage, I/O, scenario errors) abort the dispatch.
-            if !matches!(out.status.code(), Some(0 | 2)) {
-                return Err(CliError::Run(LibraError::BadRequest(format!(
-                    "shard {k} worker failed with status {:?}",
-                    out.status.code()
-                ))));
-            }
-            streams.push(String::from_utf8(out.stdout).map_err(|e| {
+        for (k, (r, mut child)) in children.into_iter().enumerate() {
+            let mut attempt: u32 = 0;
+            let stdout = loop {
+                let out = child
+                    .wait_with_output()
+                    .map_err(|e| LibraError::BadRequest(format!("waiting on shard {k}: {e}")))?;
+                // Exit 2 is a shard-local divergence verdict; the merged
+                // matrix re-judges the whole grid, so only hard failures
+                // (usage, I/O, scenario errors, crashes) count against
+                // the retry budget.
+                if matches!(out.status.code(), Some(0 | 2)) {
+                    break out.stdout;
+                }
+                if attempt >= retries {
+                    return Err(CliError::Run(LibraError::BadRequest(format!(
+                        "shard {k} worker failed with status {:?} (attempt {} of {})",
+                        out.status.code(),
+                        attempt + 1,
+                        retries + 1,
+                    ))));
+                }
+                // A failed attempt's partial stdout is discarded whole;
+                // only a clean attempt's stream enters the merge, which
+                // is what keeps chaotic runs byte-identical to clean ones.
+                attempt += 1;
+                let delay = fault::backoff_delay_ms(backoff_seed, attempt, 10, 2_000);
+                eprintln!(
+                    "libra: shard {k} worker failed with status {:?}; \
+                     retrying ({attempt}/{retries}) in {delay} ms",
+                    out.status.code(),
+                );
+                std::thread::sleep(Duration::from_millis(delay));
+                child = spawn_shard(&r, attempt)?;
+            };
+            streams.push(String::from_utf8(stdout).map_err(|e| {
                 LibraError::BadRequest(format!("shard {k} wrote non-UTF-8 output: {e}"))
             })?);
         }
@@ -488,6 +572,11 @@ struct ServeOptions {
     /// Write the bound port here once listening — how scripts (and the
     /// CI smoke job) discover an ephemeral `--addr HOST:0` port.
     port_file: Option<String>,
+    /// Per-job wall-clock deadline in seconds (the watchdog).
+    job_timeout: Option<f64>,
+    /// Failed-point quota: more errored grid points than this fails the
+    /// whole job.
+    max_failed_points: Option<usize>,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
@@ -497,6 +586,8 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
     let mut queue = defaults.queue_capacity;
     let mut cache = None;
     let mut port_file = None;
+    let mut job_timeout = None;
+    let mut max_failed_points = None;
     let mut seen: Vec<&str> = Vec::new();
     let mut once = |flag: &'static str| -> Result<(), String> {
         if seen.contains(&flag) {
@@ -542,10 +633,28 @@ fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
                 once("--port-file")?;
                 port_file = Some(value("--port-file")?);
             }
+            "--job-timeout" => {
+                once("--job-timeout")?;
+                let v = value("--job-timeout")?;
+                let secs: f64 =
+                    v.parse().map_err(|_| format!("--job-timeout wants seconds (got {v:?})"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--job-timeout wants a positive duration (got {v:?})"));
+                }
+                job_timeout = Some(secs);
+            }
+            "--max-failed-points" => {
+                once("--max-failed-points")?;
+                let v = value("--max-failed-points")?;
+                max_failed_points = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-failed-points wants a number (got {v:?})"))?,
+                );
+            }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(ServeOptions { addr, workers, queue, cache, port_file })
+    Ok(ServeOptions { addr, workers, queue, cache, port_file, job_timeout, max_failed_points })
 }
 
 fn run_serve(opts: &ServeOptions) -> Result<i32, CliError> {
@@ -556,6 +665,10 @@ fn run_serve(opts: &ServeOptions) -> Result<i32, CliError> {
         workers: opts.workers,
         queue_capacity: opts.queue,
         cache: opts.cache.as_ref().map(PathBuf::from),
+        job_timeout: opts.job_timeout.map(Duration::from_secs_f64),
+        failed_point_quota: opts.max_failed_points,
+        // None = fall back to the LIBRA_FAULT_PLAN environment variable.
+        fault_spec: None,
     };
     // The same registry + workload resolver `crossval` runs with, so a
     // served job's records are byte-identical to the local command's.
@@ -584,6 +697,8 @@ struct SubmitOptions {
     /// Records destination; `-` (the default) streams to stdout.
     jsonl: String,
     quiet: bool,
+    /// Bound on the wait for the job, in seconds (`None` waits forever).
+    timeout: Option<f64>,
 }
 
 fn parse_submit(args: &[String]) -> Result<SubmitOptions, String> {
@@ -591,6 +706,7 @@ fn parse_submit(args: &[String]) -> Result<SubmitOptions, String> {
     let mut url = None;
     let mut jsonl = None;
     let mut quiet = false;
+    let mut timeout = None;
     let mut seen: Vec<&str> = Vec::new();
     let mut once = |flag: &'static str| -> Result<(), String> {
         if seen.contains(&flag) {
@@ -616,6 +732,16 @@ fn parse_submit(args: &[String]) -> Result<SubmitOptions, String> {
                 let path = it.next().filter(|p| *p == "-" || !p.starts_with("--"));
                 jsonl = Some(path.ok_or_else(|| "--jsonl requires a path".to_string())?.clone());
             }
+            "--timeout" => {
+                once("--timeout")?;
+                let v = it.next().ok_or_else(|| "--timeout requires seconds".to_string())?;
+                let secs: f64 =
+                    v.parse().map_err(|_| format!("--timeout wants seconds (got {v:?})"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--timeout wants a positive duration (got {v:?})"));
+                }
+                timeout = Some(secs);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
             path => positionals.push(path.to_string()),
         }
@@ -626,14 +752,23 @@ fn parse_submit(args: &[String]) -> Result<SubmitOptions, String> {
     let scenario_path =
         positionals.into_iter().next().ok_or_else(|| "missing scenario file".to_string())?;
     let url = url.ok_or_else(|| "submit requires --url http://HOST:PORT".to_string())?;
-    Ok(SubmitOptions { scenario_path, url, jsonl: jsonl.unwrap_or_else(|| "-".to_string()), quiet })
+    Ok(SubmitOptions {
+        scenario_path,
+        url,
+        jsonl: jsonl.unwrap_or_else(|| "-".to_string()),
+        quiet,
+        timeout,
+    })
 }
 
 fn run_submit(opts: &SubmitOptions) -> Result<i32, CliError> {
     let body = std::fs::read(&opts.scenario_path).map_err(|e| {
         CliError::Run(LibraError::BadRequest(format!("cannot read {}: {e}", opts.scenario_path)))
     })?;
-    let client = ServiceClient::new(&opts.url)?;
+    // Ride out a server that is still binding (e.g. a script that
+    // starts `serve` and `submit` back to back) — connection-refused
+    // submits retry for a short budget; application errors never do.
+    let client = ServiceClient::new(&opts.url)?.with_connect_retry(Duration::from_secs(2));
     let (job, position) = client.submit(&body)?;
     if !opts.quiet {
         eprintln!(
@@ -641,7 +776,8 @@ fn run_submit(opts: &SubmitOptions) -> Result<i32, CliError> {
             client.authority()
         );
     }
-    let summary = client.wait(&job, Duration::from_millis(25))?;
+    let summary =
+        client.wait(&job, Duration::from_millis(25), opts.timeout.map(Duration::from_secs_f64))?;
     let records = client.records(&job)?;
     let mut out = jsonl_writer(&opts.jsonl)?;
     out.write_all(&records)

@@ -765,6 +765,120 @@ fn store_crossval3(small: bool) -> StoreStats3 {
     StoreStats3 { points, cold_secs, warm_disk_secs, speedup }
 }
 
+struct ChaosStats {
+    points: usize,
+    poisoned: usize,
+    clean_secs: f64,
+    chaos_secs: f64,
+    chaos_over_clean_ratio: f64,
+}
+
+/// Chaos scenario: the fault seams threaded through the sweep engine must
+/// be invisible when disarmed and deterministic when armed. Three
+/// bit-level gates, checked on every harness run:
+/// (a) a plan whose sites never fire (`sweep.point.error=0`) streams
+///     byte-identically to a run with no injector at all — the armed-but-
+///     silent seam perturbs nothing;
+/// (b) two runs under the same armed plan stream byte-identically to each
+///     other — injections are a pure function of (seed, site, index);
+/// (c) every record the armed plan did *not* poison equals the clean
+///     run's record for that grid point, line for line — failures are
+///     isolated to their own points.
+/// The armed-vs-clean wall-clock ratio (the price of chaos bookkeeping
+/// plus poisoned points skipping their solves) is recorded, never gated.
+///
+/// The scenario solves cold (warm start off): a poisoned point publishes
+/// no warm-start seed, so under warm start its downstream neighbors would
+/// *legitimately* re-seed and drift by ulps — gate (c) isolates the
+/// failure-containment property from that seed propagation.
+fn chaos_scenario(small: bool) -> ChaosStats {
+    use libra_core::fault::FaultInjector;
+    use libra_core::opt::Objective;
+    let wls = workloads(small);
+    let mut b = Scenario::builder("perf-chaos")
+        .with_warm_start(false)
+        .with_budgets(if small {
+            vec![100.0, 500.0]
+        } else {
+            vec![100.0, 300.0, 500.0, 700.0, 900.0]
+        })
+        .with_objectives([Objective::Perf, Objective::PerfPerCost])
+        .with_workloads(wls.iter().map(|w| w.name().to_string()))
+        .with_backends(["analytical", "event-sim", "net-sim"])
+        .with_chunks(64);
+    b = if small {
+        b.with_shapes([presets::topo_3d_512()])
+    } else {
+        b.with_shapes([presets::topo_3d_512(), presets::topo_3d_1k()])
+    };
+    let scenario = b.build().expect("perf-chaos scenario builds");
+    let cm = CostModel::default();
+    let registry = default_registry();
+    let points = scenario.grid().len(wls.len());
+
+    let run = |spec: Option<&str>| -> (f64, String) {
+        let mut session = scenario.session(&cm);
+        if let Some(spec) = spec {
+            let injector = FaultInjector::from_spec(spec).expect("spec parses");
+            session = session.with_fault(injector).expect("owned session arms");
+        }
+        let t0 = Instant::now();
+        let mut sink = JsonLinesSink::new(Vec::new());
+        session
+            .run_scenario_with_sinks(&scenario, &wls, &registry, &mut [&mut sink])
+            .expect("chaos scenario run");
+        let secs = t0.elapsed().as_secs_f64();
+        (secs, String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8"))
+    };
+
+    let (clean_secs, clean_stream) = run(None);
+    let (_, silent_stream) = run(Some("seed=11;sweep.point.error=0"));
+    assert_eq!(
+        silent_stream, clean_stream,
+        "DETERMINISM VIOLATION: an armed-but-silent fault plan perturbed the stream"
+    );
+
+    const ARMED: &str = "seed=11;sweep.point.error=0.5";
+    let (chaos_secs, chaos_stream) = run(Some(ARMED));
+    let (_, chaos_again) = run(Some(ARMED));
+    assert_eq!(
+        chaos_again, chaos_stream,
+        "DETERMINISM VIOLATION: the same fault plan injected different failures"
+    );
+
+    let clean_lines: Vec<&str> = clean_stream.lines().collect();
+    let chaos_lines: Vec<&str> = chaos_stream.lines().collect();
+    assert_eq!(
+        clean_lines.len(),
+        chaos_lines.len(),
+        "poisoned points must still produce records, not vanish"
+    );
+    let mut poisoned = 0usize;
+    for (i, (c, h)) in clean_lines.iter().zip(&chaos_lines).enumerate() {
+        if h.contains("injected fault: sweep.point.error") {
+            poisoned += 1;
+            continue;
+        }
+        if i + 1 == chaos_lines.len() {
+            continue; // the summary line aggregates the error count
+        }
+        assert_eq!(
+            c, h,
+            "DETERMINISM VIOLATION: healthy line {i} drifted under an armed fault plan"
+        );
+    }
+    assert!(poisoned > 0, "the armed plan must poison at least one of {points} points");
+    assert!(poisoned < points, "the armed plan must leave healthy points to compare");
+
+    ChaosStats {
+        points,
+        poisoned,
+        clean_secs,
+        chaos_secs,
+        chaos_over_clean_ratio: chaos_secs / clean_secs,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // JSON emission (hand-rolled; the container has no serde).
 // ---------------------------------------------------------------------------
@@ -857,6 +971,13 @@ fn main() {
         store.points, store.cold_secs, store.warm_disk_secs, store.speedup
     );
 
+    eprintln!("perf_harness: chaos scenario...");
+    let chaos = chaos_scenario(small);
+    eprintln!(
+        "  {} points, {} poisoned: clean {:.3} s vs chaos {:.3} s — ratio {:.3} (healthy lines bit-identical)",
+        chaos.points, chaos.poisoned, chaos.clean_secs, chaos.chaos_secs, chaos.chaos_over_clean_ratio
+    );
+
     let mut o = String::from("{\n");
     json(&mut o, 2, "schema", "\"libra-bench-sweep-v1\"", false);
     json(&mut o, 2, "grid", &format!("\"{}\"", if small { "small" } else { "full" }), false);
@@ -912,10 +1033,19 @@ fn main() {
     json(&mut o, 6, "warm_disk_secs", &f(store.warm_disk_secs), false);
     json(&mut o, 6, "speedup", &f(store.speedup), false);
     json(&mut o, 6, "bit_identical", "true", true);
+    o.push_str("    },\n");
+    o.push_str("    \"chaos\": {\n");
+    json(&mut o, 6, "points", &chaos.points.to_string(), false);
+    json(&mut o, 6, "poisoned_points", &chaos.poisoned.to_string(), false);
+    json(&mut o, 6, "clean_secs", &f(chaos.clean_secs), false);
+    json(&mut o, 6, "chaos_secs", &f(chaos.chaos_secs), false);
+    json(&mut o, 6, "chaos_over_clean_ratio", &f(chaos.chaos_over_clean_ratio), false);
+    json(&mut o, 6, "healthy_lines_bit_identical", "true", true);
     o.push_str("    }\n");
     o.push_str("  },\n");
     o.push_str("  \"determinism\": {\n");
     json(&mut o, 4, "engine_bit_identical_point_pairs", &bit_checked.to_string(), false);
+    json(&mut o, 4, "chaos_poisoned_points", &chaos.poisoned.to_string(), false);
     json(
         &mut o,
         4,

@@ -292,6 +292,151 @@ fn dispatch_and_crossval_agree_on_the_exit_2_verdict() {
     }
 }
 
+/// The headline chaos contract: `dispatch --spawn --retries` with
+/// deterministically injected shard crashes (every spawn attempt 0
+/// exits abnormally; attempt 1 survives) merges **byte-identical** to a
+/// clean unsharded run — failed attempts' partial output never leaks
+/// into the merge. Exhausted retries are a hard, diagnosable failure,
+/// and `--retries` without `--spawn` is a usage error.
+#[test]
+fn dispatch_with_injected_shard_crashes_retries_to_byte_identity() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    let single = tmp("chaos-single.jsonl");
+    let out = libra(&["crossval", scenario, "--jsonl", single.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0));
+    let want = std::fs::read(&single).unwrap();
+
+    // `dispatch.shard.crash=#1` keys on the spawn-attempt ordinal the
+    // dispatcher hands each child: attempt 0 always crashes (exit 70),
+    // the respawned attempt 1 runs clean.
+    let merged = tmp("chaos-merged.jsonl");
+    let out = Command::new(LIBRA)
+        .args(["dispatch", scenario, "--shards", "2", "--spawn", "--retries", "2"])
+        .args(["--jsonl", merged.to_str().unwrap(), "--quiet"])
+        .env("LIBRA_FAULT_PLAN", "seed=7;dispatch.shard.crash=#1")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("retrying (1/2)"), "the crash is visible, not silent: {stderr}");
+    assert_eq!(
+        std::fs::read(&merged).unwrap(),
+        want,
+        "a chaotic run with retries must merge byte-identically to a clean unsharded run"
+    );
+
+    // `#3` outlives a budget of 1 retry: attempts 0 and 1 both crash
+    // and the dispatch fails with the shard named.
+    let out = Command::new(LIBRA)
+        .args(["dispatch", scenario, "--shards", "2", "--spawn", "--retries", "1", "--quiet"])
+        .env("LIBRA_FAULT_PLAN", "seed=7;dispatch.shard.crash=#3")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("worker failed with status"), "{stderr}");
+    assert!(stderr.contains("attempt 2 of 2"), "{stderr}");
+
+    // Without a fault plan, `--retries` changes nothing: same bytes.
+    let calm = tmp("chaos-calm.jsonl");
+    let out = libra(&[
+        "dispatch",
+        scenario,
+        "--shards",
+        "2",
+        "--spawn",
+        "--retries",
+        "3",
+        "--jsonl",
+        calm.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(std::fs::read(&calm).unwrap(), want);
+
+    // `--retries` is meaningless without a worker process to respawn.
+    let out = libra(&["dispatch", scenario, "--shards", "2", "--retries", "1"]);
+    assert_eq!(out.status.code(), Some(1), "--retries without --spawn");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+/// Kill-9 crash consistency: a `crossval --cache` child SIGKILLed
+/// mid-run (no destructors, no flushes) leaves whatever it leaves — the
+/// store must heal on reload, and `libra resume` must complete the
+/// interrupted stream in place, byte-identical to an uninterrupted run.
+#[test]
+fn sigkill_mid_run_heals_the_store_and_resumes_byte_identically() {
+    use libra_core::store::SolveStore;
+
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+    let full = tmp("kill9-full.jsonl");
+    let out = libra(&["crossval", scenario, "--jsonl", full.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0));
+    let want = std::fs::read(&full).unwrap();
+
+    // Seed the cache with a prefix of the grid so the killed run's
+    // store has real content the reload must preserve.
+    let cache = tmp("kill9-cache.jsonl");
+    let _ = std::fs::remove_file(&cache);
+    let prefix = tmp("kill9-prefix.jsonl");
+    let out = libra(&[
+        "crossval",
+        scenario,
+        "--range",
+        "0..2",
+        "--jsonl",
+        prefix.to_str().unwrap(),
+        "--quiet",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Every point sleeps 600 ms, so a kill at 300 ms is always mid-run.
+    let partial = tmp("kill9-partial.jsonl");
+    let _ = std::fs::remove_file(&partial);
+    let mut child = Command::new(LIBRA)
+        .args(["crossval", scenario, "--jsonl", partial.to_str().unwrap(), "--quiet"])
+        .args(["--cache", cache.to_str().unwrap()])
+        .env("LIBRA_FAULT_PLAN", "sweep.point.slow=1,ms=600")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    child.kill().unwrap(); // SIGKILL: the hardest possible interrupt
+    child.wait().unwrap();
+
+    // The store heals on reload: the seeded prefix survives whatever
+    // tear the kill left behind.
+    let store = SolveStore::open(&cache).unwrap();
+    assert!(store.len() >= 2, "seeded solves must survive the kill, got {}", store.len());
+    drop(store);
+
+    // `resume` completes the interrupted stream in place (the killed
+    // child may have written nothing, a header, or a torn tail — all
+    // are valid prefixes), byte-identical to the uninterrupted run.
+    if !partial.exists() {
+        std::fs::write(&partial, "").unwrap();
+    }
+    let out = libra(&[
+        "resume",
+        scenario,
+        partial.to_str().unwrap(),
+        "--quiet",
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read(&partial).unwrap(),
+        want,
+        "post-kill resume must reproduce the uninterrupted stream byte for byte"
+    );
+}
+
 /// `serve` + `submit` end to end, against the real binary over a real
 /// socket: submissions stream back byte-identical to the checked-in
 /// goldens (ci_small and the full design-space sweep), repeat

@@ -35,6 +35,16 @@ pub enum LibraError {
     /// The optimizer was configured inconsistently (e.g. a constraint
     /// references a dimension the network does not have).
     BadRequest(String),
+    /// A bounded wait ran out of time (e.g. a service client's deadline
+    /// expired while a job was still queued or running). Typed so
+    /// callers can tell "the server is slow" from "the request was
+    /// rejected" without string matching.
+    Timeout {
+        /// What was being waited on.
+        what: String,
+        /// The deadline that expired, in milliseconds.
+        after_ms: u64,
+    },
     /// The underlying convex solver failed.
     Solver(SolverError),
 }
@@ -52,6 +62,9 @@ impl fmt::Display for LibraError {
                 write!(f, "cannot map a {group}-NPU group onto dims {dims:?}: {reason}")
             }
             LibraError::BadRequest(what) => write!(f, "invalid design request: {what}"),
+            LibraError::Timeout { what, after_ms } => {
+                write!(f, "timed out after {after_ms} ms waiting for {what}")
+            }
             LibraError::Solver(e) => write!(f, "solver: {e}"),
         }
     }

@@ -1,0 +1,369 @@
+//! Deterministic fault injection for chaos-testing the sweep stack.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string (usually the
+//! `LIBRA_FAULT_PLAN` environment variable) and names **injection
+//! sites** — fixed choke points threaded through the engine, the
+//! persistent store, the sweep server, and the shard dispatcher — each
+//! with a *trigger* deciding when the site fires. Every decision is a
+//! pure function of the plan's seed, the site name, and a caller-chosen
+//! instance index (a grid index, a flush ordinal, a job number, a spawn
+//! attempt): no wall clock, no OS randomness, so a chaotic run is
+//! exactly reproducible and its assertions can be byte-precise.
+//!
+//! The spec grammar, by example:
+//!
+//! ```text
+//! seed=42;sweep.point.error=0.25;sweep.point.slow=#1,ms=500;dispatch.shard.crash=#2
+//! ```
+//!
+//! Clauses are `;`-separated. `seed=N` (optional, default 0) seeds the
+//! decision hash. Every other clause is `SITE=TRIGGER[,ms=N]` where
+//! `TRIGGER` is either a probability in `[0, 1]` (the site fires for
+//! instance `i` when `hash(seed, site, i)` lands under the threshold)
+//! or `#K` (the site fires for instances `0..K` — "the first K
+//! attempts"), and `ms=N` parameterizes duration-carrying sites such as
+//! `sweep.point.slow`.
+//!
+//! Sites are **disabled by default and zero-cost when absent**: every
+//! seam holds an `Option<FaultInjector>` that is `None` unless the env
+//! var (or an explicit spec) turned chaos on, so release hot paths pay
+//! one branch at most.
+
+use crate::error::LibraError;
+
+/// Environment variable holding the fault-plan spec.
+pub const ENV_VAR: &str = "LIBRA_FAULT_PLAN";
+
+/// Environment variable carrying the spawn-attempt ordinal into shard
+/// worker children (set by `libra dispatch --spawn --retries`), so the
+/// `dispatch.shard.crash` site can fail early attempts and let retries
+/// through deterministically.
+pub const ATTEMPT_ENV_VAR: &str = "LIBRA_FAULT_ATTEMPT";
+
+/// The sweep engine returns an injected per-point solver error
+/// (instance = global grid index).
+pub const SWEEP_POINT_ERROR: &str = "sweep.point.error";
+/// The sweep engine panics mid-eval (instance = global grid index) —
+/// exercises the per-point `catch_unwind` isolation.
+pub const SWEEP_POINT_PANIC: &str = "sweep.point.panic";
+/// The sweep engine sleeps `ms` before solving (instance = global grid
+/// index) — a hung solve for the server's job-deadline watchdog.
+pub const SWEEP_POINT_SLOW: &str = "sweep.point.slow";
+/// The store writes half of one record then dies (instance = flush
+/// ordinal) — a torn append the loader must heal on reopen.
+pub const STORE_FLUSH_TORN: &str = "store.flush.torn";
+/// The store's flush fails outright before writing (instance = flush
+/// ordinal).
+pub const STORE_FLUSH_FAIL: &str = "store.flush.fail";
+/// The server severs the records response mid-stream (instance = job
+/// ordinal, 0-based).
+pub const SERVER_RESPONSE_DROP: &str = "server.response.drop";
+/// A sweep worker panics instead of running the job (instance = job
+/// ordinal, 0-based) — must fail only that job.
+pub const SERVER_WORKER_PANIC: &str = "server.worker.panic";
+/// A spawned shard worker exits abnormally (instance = spawn attempt) —
+/// exercises `dispatch --spawn --retries`.
+pub const DISPATCH_SHARD_CRASH: &str = "dispatch.shard.crash";
+
+/// Every known injection site, for spec validation (a typo in a chaos
+/// spec must fail loudly, not silently disable the fault).
+pub const ALL_SITES: &[&str] = &[
+    SWEEP_POINT_ERROR,
+    SWEEP_POINT_PANIC,
+    SWEEP_POINT_SLOW,
+    STORE_FLUSH_TORN,
+    STORE_FLUSH_FAIL,
+    SERVER_RESPONSE_DROP,
+    SERVER_WORKER_PANIC,
+    DISPATCH_SHARD_CRASH,
+];
+
+// The store's pinned FNV-1a constants (see `store::Fnv1a`): the same
+// stable, Rust-release-independent hash powers fault decisions, so a
+// plan's firing set never shifts under a toolchain upgrade.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Stable decision hash over (seed, site, instance index):
+/// length-prefixed FNV-1a with pinned constants.
+fn decision_hash(seed: u64, site: &str, index: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&seed.to_le_bytes());
+    eat(&(site.len() as u64).to_le_bytes());
+    eat(site.as_bytes());
+    eat(&index.to_le_bytes());
+    h
+}
+
+/// When a site fires for a given instance index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Fires when the decision hash lands under `p · 2⁶⁴`.
+    Probability(f64),
+    /// Fires for instance indices `0..k` — "the first K attempts".
+    FirstN(u64),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Site {
+    name: String,
+    trigger: Trigger,
+    /// Duration parameter (`ms=N`) for sites that sleep; 0 when unset.
+    millis: u64,
+}
+
+/// A parsed chaos plan: the decision seed plus the armed sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision hash.
+    pub seed: u64,
+    sites: Vec<Site>,
+}
+
+impl FaultPlan {
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    /// [`LibraError::BadRequest`] on malformed clauses, unknown site
+    /// names, out-of-range probabilities, or duplicate clauses.
+    pub fn parse(spec: &str) -> Result<FaultPlan, LibraError> {
+        let bad = |what: String| LibraError::BadRequest(format!("bad fault plan: {what}"));
+        let mut seed = 0u64;
+        let mut seen_seed = false;
+        let mut sites: Vec<Site> = Vec::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| bad(format!("clause {clause:?} is not KEY=VALUE")))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                if seen_seed {
+                    return Err(bad("duplicate seed clause".to_string()));
+                }
+                seen_seed = true;
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| bad(format!("seed wants a u64 (got {value:?})")))?;
+                continue;
+            }
+            if !ALL_SITES.contains(&key) {
+                return Err(bad(format!(
+                    "unknown site {key:?}; known sites: {}",
+                    ALL_SITES.join(", ")
+                )));
+            }
+            if sites.iter().any(|s| s.name == key) {
+                return Err(bad(format!("duplicate site {key:?}")));
+            }
+            let mut parts = value.split(',');
+            let trigger_text = parts.next().unwrap_or_default().trim();
+            let trigger = if let Some(k) = trigger_text.strip_prefix('#') {
+                Trigger::FirstN(
+                    k.parse::<u64>()
+                        .map_err(|_| bad(format!("{key}: #K wants a count (got {k:?})")))?,
+                )
+            } else {
+                let p: f64 = trigger_text.parse().map_err(|_| {
+                    bad(format!("{key}: trigger wants a probability or #K (got {trigger_text:?})"))
+                })?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(bad(format!("{key}: probability {p} is outside [0, 1]")));
+                }
+                Trigger::Probability(p)
+            };
+            let mut millis = 0u64;
+            for extra in parts {
+                let extra = extra.trim();
+                let Some(ms) = extra.strip_prefix("ms=") else {
+                    return Err(bad(format!("{key}: unknown parameter {extra:?} (want ms=N)")));
+                };
+                millis = ms
+                    .parse::<u64>()
+                    .map_err(|_| bad(format!("{key}: ms wants a count (got {ms:?})")))?;
+            }
+            sites.push(Site { name: key.to_string(), trigger, millis });
+        }
+        Ok(FaultPlan { seed, sites })
+    }
+}
+
+/// A live injector over a parsed plan — the object the seams hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// An injector over an explicit spec (the test seam — no
+    /// environment involved).
+    ///
+    /// # Errors
+    /// Propagates [`FaultPlan::parse`] failures.
+    pub fn from_spec(spec: &str) -> Result<FaultInjector, LibraError> {
+        Ok(FaultInjector { plan: FaultPlan::parse(spec)? })
+    }
+
+    /// The injector named by `LIBRA_FAULT_PLAN`, or `None` when the
+    /// variable is unset or empty (the release default).
+    ///
+    /// # Panics
+    /// Panics on a malformed spec: a chaos run whose plan silently
+    /// failed to arm would pass its assertions vacuously.
+    pub fn from_env() -> Option<FaultInjector> {
+        let spec = std::env::var(ENV_VAR).ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match Self::from_spec(&spec) {
+            Ok(injector) => Some(injector),
+            Err(e) => panic!("{ENV_VAR}: {e}"),
+        }
+    }
+
+    /// The plan's decision seed.
+    pub fn seed(&self) -> u64 {
+        self.plan.seed
+    }
+
+    /// Whether `site` fires for instance `index` — fully deterministic
+    /// in (seed, site, index), `false` for sites the plan never armed.
+    pub fn fires(&self, site: &str, index: u64) -> bool {
+        let Some(s) = self.plan.sites.iter().find(|s| s.name == site) else {
+            return false;
+        };
+        match s.trigger {
+            Trigger::FirstN(k) => index < k,
+            Trigger::Probability(p) => {
+                if p <= 0.0 {
+                    false
+                } else if p >= 1.0 {
+                    true
+                } else {
+                    // Threshold compare in u64 space; the f64→u64 cast
+                    // saturates, which is exactly right at p→1.
+                    decision_hash(self.plan.seed, site, index) < (p * (u64::MAX as f64)) as u64
+                }
+            }
+        }
+    }
+
+    /// The `ms=N` parameter of `site` (0 when unset or the site is not
+    /// armed).
+    pub fn millis(&self, site: &str) -> u64 {
+        self.plan.sites.iter().find(|s| s.name == site).map_or(0, |s| s.millis)
+    }
+}
+
+/// The spawn-attempt ordinal a shard worker child was launched with
+/// (`LIBRA_FAULT_ATTEMPT`), 0 when unset or unparseable.
+pub fn attempt_from_env() -> u64 {
+    std::env::var(ATTEMPT_ENV_VAR).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0)
+}
+
+/// Deterministic exponential backoff with seeded jitter for retry
+/// loops: `base·2^(attempt−1)` plus a hash-derived jitter in
+/// `[0, base)`, capped at `cap` — no wall clock, no OS randomness, so a
+/// retrying dispatch's timing schedule is a pure function of its seed.
+pub fn backoff_delay_ms(seed: u64, attempt: u32, base_ms: u64, cap_ms: u64) -> u64 {
+    let base = base_ms.max(1);
+    let exp = base.saturating_mul(1u64.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX));
+    let jitter = decision_hash(seed, "retry.backoff", u64::from(attempt)) % base;
+    exp.saturating_add(jitter).min(cap_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=42; sweep.point.error=0.25 ;sweep.point.slow=#1,ms=500;dispatch.shard.crash=#2",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.sites.len(), 3);
+        assert_eq!(plan.sites[0].trigger, Trigger::Probability(0.25));
+        assert_eq!(
+            plan.sites[1],
+            Site { name: SWEEP_POINT_SLOW.to_string(), trigger: Trigger::FirstN(1), millis: 500 }
+        );
+        assert_eq!(plan.sites[2].trigger, Trigger::FirstN(2));
+        // Empty specs parse to an empty plan (no sites armed).
+        assert_eq!(FaultPlan::parse("").unwrap().sites.len(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for spec in [
+            "seed=nope",
+            "seed=1;seed=2",
+            "no.such.site=0.5",
+            "sweep.point.error",
+            "sweep.point.error=1.5",
+            "sweep.point.error=-0.1",
+            "sweep.point.error=#x",
+            "sweep.point.error=0.5;sweep.point.error=0.5",
+            "sweep.point.slow=#1,sec=5",
+        ] {
+            assert!(FaultPlan::parse(spec).is_err(), "spec {spec:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultInjector::from_spec("seed=1;sweep.point.error=0.5").unwrap();
+        let b = FaultInjector::from_spec("seed=1;sweep.point.error=0.5").unwrap();
+        let c = FaultInjector::from_spec("seed=2;sweep.point.error=0.5").unwrap();
+        let fires = |inj: &FaultInjector| -> Vec<bool> {
+            (0..256).map(|i| inj.fires(SWEEP_POINT_ERROR, i)).collect()
+        };
+        assert_eq!(fires(&a), fires(&b), "same seed, same firing set");
+        assert_ne!(fires(&a), fires(&c), "different seed, different firing set");
+        let hit = fires(&a).iter().filter(|&&f| f).count();
+        // ~50% at p=0.5; generous bounds keep this hash-stable, not flaky.
+        assert!((64..=192).contains(&hit), "p=0.5 fired {hit}/256 times");
+    }
+
+    #[test]
+    fn first_n_trigger_counts_instances() {
+        let inj = FaultInjector::from_spec("dispatch.shard.crash=#2").unwrap();
+        assert!(inj.fires(DISPATCH_SHARD_CRASH, 0));
+        assert!(inj.fires(DISPATCH_SHARD_CRASH, 1));
+        assert!(!inj.fires(DISPATCH_SHARD_CRASH, 2));
+        // Unarmed sites never fire; probability edges are exact.
+        assert!(!inj.fires(SWEEP_POINT_ERROR, 0));
+        let never = FaultInjector::from_spec("sweep.point.error=0").unwrap();
+        let always = FaultInjector::from_spec("sweep.point.error=1").unwrap();
+        assert!((0..64).all(|i| !never.fires(SWEEP_POINT_ERROR, i)));
+        assert!((0..64).all(|i| always.fires(SWEEP_POINT_ERROR, i)));
+    }
+
+    #[test]
+    fn millis_parameter_round_trips() {
+        let inj = FaultInjector::from_spec("sweep.point.slow=1,ms=250").unwrap();
+        assert_eq!(inj.millis(SWEEP_POINT_SLOW), 250);
+        assert_eq!(inj.millis(SWEEP_POINT_ERROR), 0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let d1 = backoff_delay_ms(7, 1, 10, 2_000);
+        assert_eq!(d1, backoff_delay_ms(7, 1, 10, 2_000));
+        assert!((10..20).contains(&d1), "attempt 1: base + jitter<base, got {d1}");
+        let d2 = backoff_delay_ms(7, 2, 10, 2_000);
+        assert!((20..30).contains(&d2), "attempt 2 doubles, got {d2}");
+        // The cap holds even at absurd attempt counts (no overflow).
+        assert_eq!(backoff_delay_ms(7, 200, 10, 2_000), 2_000);
+    }
+}

@@ -1637,6 +1637,7 @@ impl<F: FnMut(usize, usize)> ReportSink for ProgressSink<F> {
 
 /// Owned-or-borrowed engine handle, so `Session` can either stand alone
 /// or front an existing engine's memo cache.
+#[allow(clippy::large_enum_variant)] // one handle per session; boxing buys nothing
 enum EngineHandle<'a> {
     Owned(SweepEngine<'a>),
     Borrowed(&'a SweepEngine<'a>),
@@ -1749,6 +1750,28 @@ impl<'a> Session<'a> {
             EngineHandle::Borrowed(_) => Err(LibraError::BadRequest(
                 "cannot attach a persistent store to a session over a borrowed engine; \
                  attach it with SweepEngine::with_shared_store before Session::over"
+                    .to_string(),
+            )),
+        }
+    }
+
+    /// Arms deterministic fault injection ([`crate::fault`]) on this
+    /// session's **owned** engine — how a host holding a parsed plan
+    /// (the sweep server foremost) threads it into per-job sessions
+    /// without touching the process environment.
+    ///
+    /// # Errors
+    /// Rejects sessions over a borrowed engine ([`Session::over`]) —
+    /// arm the injector with [`SweepEngine::with_fault`] instead.
+    pub fn with_fault(mut self, injector: crate::fault::FaultInjector) -> Result<Self, LibraError> {
+        match self.engine {
+            EngineHandle::Owned(engine) => {
+                self.engine = EngineHandle::Owned(engine.with_fault(injector));
+                Ok(self)
+            }
+            EngineHandle::Borrowed(_) => Err(LibraError::BadRequest(
+                "cannot arm fault injection on a session over a borrowed engine; \
+                 arm it with SweepEngine::with_fault before Session::over"
                     .to_string(),
             )),
         }

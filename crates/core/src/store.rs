@@ -67,6 +67,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::error::LibraError;
+use crate::fault::{self, FaultInjector};
 use crate::opt::Design;
 use crate::scenario::{json_f64, Json, JsonParser};
 
@@ -228,6 +229,12 @@ pub struct SolveStore {
     has_header: bool,
     hits: usize,
     staged_total: usize,
+    /// Deterministic fault injection ([`crate::fault`]); `None` unless
+    /// `LIBRA_FAULT_PLAN` (or [`SolveStore::with_fault`]) armed a plan.
+    fault: Option<FaultInjector>,
+    /// Ordinal of the next non-trivial flush — the instance key for the
+    /// store's fault sites.
+    flushes: u64,
 }
 
 impl SolveStore {
@@ -255,6 +262,8 @@ impl SolveStore {
             has_header: false,
             hits: 0,
             staged_total: 0,
+            fault: FaultInjector::from_env(),
+            flushes: 0,
         };
         let text = match std::fs::read_to_string(&store.path) {
             Ok(text) => text,
@@ -282,6 +291,16 @@ impl SolveStore {
     /// Propagates [`SolveStore::open`] failures.
     pub fn open_shared(path: impl AsRef<Path>) -> Result<SharedSolveStore, LibraError> {
         Ok(Arc::new(Mutex::new(Self::open(path)?)))
+    }
+
+    /// Arms deterministic fault injection on this store (the in-process
+    /// seam; production runs arm it via `LIBRA_FAULT_PLAN`). See
+    /// [`crate::fault`] for the store sites: torn appends and failed
+    /// flushes.
+    #[must_use]
+    pub fn with_fault(mut self, injector: FaultInjector) -> Self {
+        self.fault = Some(injector);
+        self
     }
 
     /// The path this store appends to.
@@ -400,6 +419,17 @@ impl SolveStore {
         if self.pending.is_empty() && self.truncate_to.is_none() {
             return Ok(());
         }
+        let flush_index = self.flushes;
+        self.flushes += 1;
+        if let Some(injector) = &self.fault {
+            if injector.fires(fault::STORE_FLUSH_FAIL, flush_index) {
+                return Err(LibraError::BadRequest(format!(
+                    "injected fault: {} on flush {flush_index} of cache {}",
+                    fault::STORE_FLUSH_FAIL,
+                    self.path.display()
+                )));
+            }
+        }
         let io = |e: std::io::Error| {
             LibraError::BadRequest(format!("cannot write cache {}: {e}", self.path.display()))
         };
@@ -419,6 +449,24 @@ impl SolveStore {
             file.write_all(header.as_bytes()).map_err(io)?;
         }
         self.has_header = true;
+        if let Some(injector) = &self.fault {
+            if injector.fires(fault::STORE_FLUSH_TORN, flush_index) {
+                // Emulate dying mid-append: half of one record lands on
+                // disk, the rest of the staged batch never does. The
+                // loader heals this on the next open by truncating back
+                // to the valid prefix.
+                if let Some((key, point)) = self.pending.first() {
+                    let line = point_line(*key, point);
+                    file.write_all(&line.as_bytes()[..line.len() / 2]).map_err(io)?;
+                }
+                self.pending.clear();
+                return Err(LibraError::BadRequest(format!(
+                    "injected fault: {} on flush {flush_index} of cache {}",
+                    fault::STORE_FLUSH_TORN,
+                    self.path.display()
+                )));
+            }
+        }
         for (key, point) in &self.pending {
             file.write_all(point_line(*key, point).as_bytes()).map_err(io)?;
         }
@@ -724,6 +772,58 @@ mod tests {
         }
         let mut s = SolveStore::open(&path).unwrap();
         assert_eq!(s.lookup(fp(4), 2).unwrap(), &point(4.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// An injected `store.flush.torn` leaves half a record on disk —
+    /// the wire image of dying mid-append. The next open must truncate
+    /// back to the valid prefix and the following flush heals the file.
+    #[test]
+    fn torn_flush_heals_on_reopen() {
+        use crate::fault::FaultInjector;
+        let path = tmp("torn-flush.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = SolveStore::open(&path)
+                .unwrap()
+                .with_fault(FaultInjector::from_spec("store.flush.torn=#1").unwrap());
+            s.stage(fp(1), 0, point(1.0));
+            s.stage(fp(1), 1, point(2.0));
+            let err = s.flush().unwrap_err();
+            assert!(err.to_string().contains("store.flush.torn"), "got {err}");
+        }
+        // The torn record must not load; the healed store works again.
+        let mut s = SolveStore::open(&path).unwrap();
+        assert!(s.is_empty(), "half a record loaded as data");
+        s.stage(fp(3), 0, point(3.0));
+        s.flush().unwrap();
+        let mut s = SolveStore::open(&path).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.lookup(fp(3), 0).unwrap(), &point(3.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// An injected `store.flush.fail` fails before writing anything:
+    /// the staged batch survives in memory and the next flush lands it
+    /// whole — a transient write failure never loses solves.
+    #[test]
+    fn failed_flush_keeps_staged_points_for_the_next_flush() {
+        use crate::fault::FaultInjector;
+        let path = tmp("failed-flush.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = SolveStore::open(&path)
+                .unwrap()
+                .with_fault(FaultInjector::from_spec("store.flush.fail=#1").unwrap());
+            s.stage(fp(1), 0, point(1.0));
+            let err = s.flush().unwrap_err();
+            assert!(err.to_string().contains("store.flush.fail"), "got {err}");
+            // Flush ordinal 1 is past the plan's `#1`: the retry lands.
+            s.flush().unwrap();
+        }
+        let mut s = SolveStore::open(&path).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.lookup(fp(1), 0).unwrap(), &point(1.0));
         std::fs::remove_file(&path).unwrap();
     }
 }

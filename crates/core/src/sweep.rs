@@ -61,6 +61,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -70,6 +71,7 @@ use crate::cost::CostModel;
 use crate::error::LibraError;
 use crate::eval::{rel_error, CommPlan, EvalBackend};
 use crate::expr::BwExpr;
+use crate::fault::{self, FaultInjector};
 use crate::network::NetworkShape;
 use crate::opt::{self, Constraint, Design, DesignRequest, Objective};
 use crate::scenario::Session;
@@ -958,6 +960,10 @@ pub struct SweepEngine<'a> {
     /// An `Arc` so a long-lived host (the sweep server) can attach many
     /// short-lived engines to one store.
     store: Option<SharedSolveStore>,
+    /// Deterministic fault injection ([`crate::fault`]); `None` — one
+    /// branch per point — unless `LIBRA_FAULT_PLAN` (or
+    /// [`SweepEngine::with_fault`]) armed a plan.
+    fault: Option<FaultInjector>,
 }
 
 impl<'a> SweepEngine<'a> {
@@ -970,7 +976,18 @@ impl<'a> SweepEngine<'a> {
             cache: SweepCache::new(),
             warm_start: true,
             store: None,
+            fault: FaultInjector::from_env(),
         }
+    }
+
+    /// Arms deterministic fault injection on this engine (the in-process
+    /// seam; production runs arm it via the `LIBRA_FAULT_PLAN`
+    /// environment variable instead). See [`crate::fault`] for the
+    /// sweep sites: per-point injected errors, panics, and slow solves.
+    #[must_use]
+    pub fn with_fault(mut self, injector: FaultInjector) -> Self {
+        self.fault = Some(injector);
+        self
     }
 
     /// Enables or disables warm-start seeding of design solves.
@@ -1243,6 +1260,76 @@ impl<'a> SweepEngine<'a> {
     /// warm-start seeding and op-eligibility rules live in exactly one
     /// place. An empty backend slice skips pricing entirely (a plain
     /// sweep never touches the plan cache).
+    /// Global grid-enumeration index of `point` (shape-major:
+    /// shape → workload → budget → objective), the instance key for
+    /// per-point fault decisions. Off the hot path: called only with an
+    /// armed injector.
+    fn grid_index_of<W: SweepWorkload>(grid: &SweepGrid, workloads: &[W], point: GridPoint) -> u64 {
+        let n_obj = grid.objectives().len().max(1);
+        let n_bud = grid.budgets().len().max(1);
+        let b =
+            grid.budgets().iter().position(|x| x.to_bits() == point.budget.to_bits()).unwrap_or(0);
+        let o = grid.objectives().iter().position(|&x| x == point.objective).unwrap_or(0);
+        (((point.shape * workloads.len().max(1) + point.workload) * n_bud + b) * n_obj + o) as u64
+    }
+
+    /// Runs the armed per-point fault sites for `point`: a slow solve
+    /// sleeps here, a panic site panics (isolated by the per-point
+    /// `catch_unwind` in [`SweepEngine::run_priced`]'s drive), and an
+    /// error site returns the injected [`SweepError`] the caller turns
+    /// into a poisoned record. `None` on the release path.
+    fn injected_point_fault<W: SweepWorkload>(
+        &self,
+        grid: &SweepGrid,
+        workloads: &[W],
+        point: GridPoint,
+    ) -> Option<SweepError> {
+        let injector = self.fault.as_ref()?;
+        let index = Self::grid_index_of(grid, workloads, point);
+        if injector.fires(fault::SWEEP_POINT_SLOW, index) {
+            std::thread::sleep(std::time::Duration::from_millis(
+                injector.millis(fault::SWEEP_POINT_SLOW),
+            ));
+        }
+        if injector.fires(fault::SWEEP_POINT_PANIC, index) {
+            panic!("injected fault: {} at grid index {index}", fault::SWEEP_POINT_PANIC);
+        }
+        if injector.fires(fault::SWEEP_POINT_ERROR, index) {
+            return Some(SweepError {
+                point,
+                shape: grid.shapes()[point.shape].clone(),
+                workload: workloads[point.workload].name().to_string(),
+                error: LibraError::BadRequest(format!(
+                    "injected fault: {} at grid index {index}",
+                    fault::SWEEP_POINT_ERROR
+                )),
+            });
+        }
+        None
+    }
+
+    /// Converts a caught per-point panic payload into the poisoned
+    /// [`SweepError`] that streams out as a failed record — the point's
+    /// failure stays the point's, never the sweep's.
+    fn panic_to_error<W: SweepWorkload>(
+        grid: &SweepGrid,
+        workloads: &[W],
+        point: GridPoint,
+        payload: &(dyn std::any::Any + Send),
+    ) -> SweepError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        SweepError {
+            point,
+            shape: grid.shapes()[point.shape].clone(),
+            workload: workloads[point.workload].name().to_string(),
+            error: LibraError::BadRequest(format!("point evaluation panicked: {message}")),
+        }
+    }
+
     fn eval_priced<W: SweepWorkload>(
         &self,
         grid: &SweepGrid,
@@ -1251,6 +1338,9 @@ impl<'a> SweepEngine<'a> {
         backends: &[&dyn EvalBackend],
         mode: SeedMode,
     ) -> PricedOutcome {
+        if let Some(error) = self.injected_point_fault(grid, workloads, point) {
+            return (Err(error), None);
+        }
         let outcome = self.eval(grid, workloads, point, mode);
         if backends.is_empty() {
             return (outcome, None);
@@ -1385,14 +1475,30 @@ impl<'a> SweepEngine<'a> {
                 }
             }
         }
+        // Per-point failure isolation: a panicking eval (a buggy
+        // backend, a poisoned workload closure, an injected chaos
+        // panic) becomes that one point's poisoned record — error set,
+        // no times, JSONL-representable — instead of tearing down the
+        // whole rayon fan-out. `catch_unwind` costs nothing on the
+        // non-panicking path.
         let outcomes = self.drive_range(
             grid,
             &points,
             range.clone(),
             exec,
-            |p, m| self.eval_priced(grid, workloads, p, backends, m),
+            |p, m| {
+                catch_unwind(AssertUnwindSafe(|| self.eval_priced(grid, workloads, p, backends, m)))
+                    .unwrap_or_else(|payload| {
+                        (Err(Self::panic_to_error(grid, workloads, p, payload.as_ref())), None)
+                    })
+            },
             |p| {
-                let _ = self.eval(grid, workloads, p, SeedMode::Anchor);
+                // A panicking out-of-range anchor pre-solve only costs
+                // its group the warm-start seed; in-range points still
+                // solve (cold) and record their own outcomes.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = self.eval(grid, workloads, p, SeedMode::Anchor);
+                }));
             },
         );
         if let Some(store) = &self.store {
@@ -1938,5 +2044,68 @@ mod tests {
             bw[0] >= bw[1] - 1e-6 && bw[1] >= bw[2] - 1e-6,
             "stale unconstrained design served from cache: bw = {bw:?}"
         );
+    }
+
+    /// An armed `sweep.point.error` site poisons exactly its grid
+    /// indices — the rest of the sweep completes — and an identically
+    /// seeded rerun reproduces the chaos bit-for-bit.
+    #[test]
+    fn injected_point_errors_poison_only_their_points() {
+        // 2 shapes × 1 workload × 2 budgets × 1 objective, shape-major:
+        // `#2` fires at grid indices 0 and 1 — both budgets of shape 0.
+        let grid = small_grid();
+        let wls = [allreduce_workload("a", 1.0)];
+        let cm = CostModel::default();
+        let chaos = FaultInjector::from_spec("seed=3;sweep.point.error=#2").unwrap();
+        let engine = SweepEngine::new(&cm).with_fault(chaos.clone());
+        let report = Session::over(&engine).run(&grid, &wls, &[]).sweep;
+        assert_eq!(report.errors.len(), 2);
+        assert_eq!(report.results.len(), 2);
+        for e in &report.errors {
+            assert_eq!(e.point.shape, 0, "only shape 0's indices fire");
+            let message = e.error.to_string();
+            assert!(
+                message.contains("injected fault: sweep.point.error"),
+                "unexpected error {message:?}"
+            );
+        }
+        // Chaos is deterministic: a fresh engine with the same plan
+        // produces the same surviving results and the same failures.
+        let again =
+            Session::from_engine(SweepEngine::new(&cm).with_fault(chaos)).run(&grid, &wls, &[]);
+        assert_eq!(again.sweep.results, report.results);
+        assert_eq!(
+            again.sweep.errors.iter().map(|e| e.point).collect::<Vec<_>>(),
+            report.errors.iter().map(|e| e.point).collect::<Vec<_>>()
+        );
+        // Disarmed, the same grid is clean — injection is opt-in only.
+        let clean = Session::new(&cm).run(&grid, &wls, &[]).sweep;
+        assert!(clean.errors.is_empty());
+        assert_eq!(clean.results.len(), 4);
+    }
+
+    /// A panicking point eval (here an injected `sweep.point.panic`) is
+    /// caught at the point level: it becomes that point's poisoned
+    /// error while every other point still solves, identically under
+    /// the parallel and serial folds.
+    #[test]
+    fn injected_panics_are_isolated_per_point() {
+        let grid = small_grid();
+        let wls = [allreduce_workload("a", 1.0)];
+        let cm = CostModel::default();
+        let chaos = FaultInjector::from_spec("sweep.point.panic=#1").unwrap();
+        let engine = SweepEngine::new(&cm).with_fault(chaos.clone());
+        let report = Session::over(&engine).run(&grid, &wls, &[]).sweep;
+        assert_eq!(report.results.len(), 3, "the other three points survive");
+        assert_eq!(report.errors.len(), 1);
+        let message = report.errors[0].error.to_string();
+        assert!(message.contains("point evaluation panicked"), "got {message:?}");
+        assert!(message.contains("injected fault: sweep.point.panic"), "got {message:?}");
+        let serial = Session::from_engine(SweepEngine::new(&cm).with_fault(chaos))
+            .with_mode(ExecMode::Serial)
+            .run(&grid, &wls, &[])
+            .sweep;
+        assert_eq!(serial.results, report.results);
+        assert_eq!(serial.errors.len(), 1);
     }
 }

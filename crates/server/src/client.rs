@@ -2,12 +2,12 @@
 //! and the integration tests speak. Submit a scenario, poll its status,
 //! fetch the byte-exact records stream.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use libra_core::error::LibraError;
 use libra_core::scenario::{Json, JsonParser};
 
-use crate::http::{roundtrip, Response};
+use crate::http::{is_connect_error, roundtrip, Response};
 use crate::jobs::JobSummary;
 
 fn bad(what: impl Into<String>) -> LibraError {
@@ -29,6 +29,9 @@ fn error_message(response: &Response) -> String {
 /// A client bound to one sweep server.
 pub struct ServiceClient {
     authority: String,
+    /// Total budget for retrying connection-refused requests (zero =
+    /// fail on the first refusal, the default).
+    connect_retry: Duration,
 }
 
 impl ServiceClient {
@@ -46,7 +49,17 @@ impl ServiceClient {
         if authority.is_empty() || authority.contains('/') {
             return Err(bad(format!("bad server URL {url:?}; want http://host:port")));
         }
-        Ok(ServiceClient { authority: authority.to_string() })
+        Ok(ServiceClient { authority: authority.to_string(), connect_retry: Duration::ZERO })
+    }
+
+    /// Retries connection-refused requests for up to `budget` before
+    /// giving up — rides out a server that is still binding (or
+    /// restarting) without masking application errors, which are never
+    /// retried.
+    #[must_use]
+    pub fn with_connect_retry(mut self, budget: Duration) -> Self {
+        self.connect_retry = budget;
+        self
     }
 
     /// The `host:port` this client talks to.
@@ -54,12 +67,43 @@ impl ServiceClient {
         &self.authority
     }
 
+    /// One request with the connect-retry policy applied: connection
+    /// failures are retried on a short doubling backoff until the
+    /// budget runs out; every other failure (and every response, any
+    /// status) passes straight through.
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<Response, LibraError> {
+        let started = Instant::now();
+        let mut delay = Duration::from_millis(10);
+        loop {
+            match roundtrip(&self.authority, method, path, body) {
+                Err(e) if is_connect_error(&e) && started.elapsed() < self.connect_retry => {
+                    std::thread::sleep(
+                        delay.min(self.connect_retry.saturating_sub(started.elapsed())),
+                    );
+                    delay = (delay * 2).min(Duration::from_millis(200));
+                }
+                Err(e) if is_connect_error(&e) && !self.connect_retry.is_zero() => {
+                    return Err(LibraError::Timeout {
+                        what: format!("a reachable server at {} ({e})", self.authority),
+                        after_ms: self.connect_retry.as_millis() as u64,
+                    });
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// One GET, any status.
     ///
     /// # Errors
     /// Connect/IO/protocol failures.
     pub fn get(&self, path: &str) -> Result<Response, LibraError> {
-        roundtrip(&self.authority, "GET", path, None)
+        self.request("GET", path, None)
     }
 
     /// One POST, any status.
@@ -67,7 +111,7 @@ impl ServiceClient {
     /// # Errors
     /// Connect/IO/protocol failures.
     pub fn post(&self, path: &str, body: &[u8]) -> Result<Response, LibraError> {
-        roundtrip(&self.authority, "POST", path, Some(body))
+        self.request("POST", path, Some(body))
     }
 
     /// Submits a scenario body to `POST /v1/sweeps`, returning the job
@@ -139,12 +183,22 @@ impl ServiceClient {
         })
     }
 
-    /// Polls until the job reaches a terminal state.
+    /// Polls until the job reaches a terminal state, for at most
+    /// `deadline` when one is given (`None` waits forever).
     ///
     /// # Errors
-    /// Transport failures; a [`PolledStatus::Failed`] job surfaces as an
-    /// error carrying the server-side message.
-    pub fn wait(&self, job: &str, poll: Duration) -> Result<JobSummary, LibraError> {
+    /// Transport failures; a [`PolledStatus::Failed`] job surfaces as
+    /// an error carrying the server-side message; an expired deadline
+    /// surfaces as [`LibraError::Timeout`] (typed, so callers can tell
+    /// "still running" from "rejected") while the job keeps running
+    /// server-side.
+    pub fn wait(
+        &self,
+        job: &str,
+        poll: Duration,
+        deadline: Option<Duration>,
+    ) -> Result<JobSummary, LibraError> {
+        let started = Instant::now();
         loop {
             match self.status(job)? {
                 PolledStatus::Done(summary) => return Ok(summary),
@@ -152,10 +206,31 @@ impl ServiceClient {
                     return Err(bad(format!("job {job} failed: {error}")))
                 }
                 PolledStatus::Queued { .. } | PolledStatus::Running { .. } => {
+                    if let Some(deadline) = deadline {
+                        if started.elapsed() >= deadline {
+                            return Err(LibraError::Timeout {
+                                what: format!("job {job}"),
+                                after_ms: deadline.as_millis() as u64,
+                            });
+                        }
+                    }
                     std::thread::sleep(poll)
                 }
             }
         }
+    }
+
+    /// [`ServiceClient::wait`] with a required deadline.
+    ///
+    /// # Errors
+    /// As [`ServiceClient::wait`].
+    pub fn wait_timeout(
+        &self,
+        job: &str,
+        poll: Duration,
+        deadline: Duration,
+    ) -> Result<JobSummary, LibraError> {
+        self.wait(job, poll, Some(deadline))
     }
 
     /// Fetches the finished job's byte-exact JSON-lines stream.

@@ -203,6 +203,44 @@ pub fn respond_chunked<'b>(
     stream.flush()
 }
 
+/// Writes a *truncated* chunked-transfer response: a valid head and the
+/// first `keep` chunks, then stops without the `0\r\n\r\n` terminator —
+/// the wire image of a server dying mid-stream. Exists solely for the
+/// `server.response.drop` fault-injection site; a client must report
+/// the truncation (see [`decode_chunked`]'s "truncated chunk" errors),
+/// never silently accept the partial record set.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn respond_chunked_partial<'b>(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    chunks: impl IntoIterator<Item = &'b [u8]>,
+    keep: usize,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    for chunk in chunks.into_iter().filter(|c| !c.is_empty()).take(keep) {
+        stream.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+        stream.write_all(chunk)?;
+        stream.write_all(b"\r\n")?;
+    }
+    stream.flush()
+}
+
+/// Whether a client-side error is a connection failure (the server is
+/// not up yet or just went away) rather than a protocol or application
+/// error — the class of failure `--retries`/connect-retry loops may
+/// safely retry.
+pub fn is_connect_error(error: &LibraError) -> bool {
+    matches!(error, LibraError::BadRequest(message) if message.starts_with("cannot connect to "))
+}
+
 /// A parsed client-side response: status plus the decoded body
 /// (chunked transfer reassembled).
 #[derive(Debug)]

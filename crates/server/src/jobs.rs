@@ -11,7 +11,9 @@
 //! make when it arrives.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use libra_core::scenario::Scenario;
 
@@ -98,9 +100,46 @@ pub struct JobCounts {
     pub failed: usize,
 }
 
+/// The outcome of [`JobTable::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was queued or running and is now terminally failed.
+    Cancelled,
+    /// The job had already reached a terminal state (done or failed);
+    /// nothing changed.
+    AlreadyFinished,
+    /// No job with that id exists.
+    Unknown,
+}
+
+/// One unit of work handed to a sweep worker by [`JobTable::take`]: the
+/// job id, its validated scenario, and the cancellation flag the worker
+/// must poll (at least per progress tick) to abandon cancelled or
+/// deadline-expired work early.
+pub struct TakenJob {
+    /// The job id (`job-N`).
+    pub id: String,
+    /// The scenario to run.
+    pub scenario: Arc<Scenario>,
+    /// Set when the job is cancelled or fails its deadline; the table
+    /// has already recorded the terminal state, the worker only needs
+    /// to stop burning CPU.
+    pub cancel: Arc<AtomicBool>,
+}
+
 struct Job {
     scenario: Arc<Scenario>,
     state: JobStatus,
+    cancel: Arc<AtomicBool>,
+    /// When a worker took the job — the deadline clock for
+    /// [`JobTable::fail_overdue`].
+    started: Option<Instant>,
+}
+
+impl Job {
+    fn is_terminal(&self) -> bool {
+        matches!(self.state, JobStatus::Done { .. } | JobStatus::Failed { .. })
+    }
 }
 
 struct Inner {
@@ -131,7 +170,7 @@ impl JobTable {
         format!("job-{}", index + 1)
     }
 
-    fn id_index(id: &str) -> Option<usize> {
+    pub(crate) fn id_index(id: &str) -> Option<usize> {
         id.strip_prefix("job-")?.parse::<usize>().ok()?.checked_sub(1)
     }
 
@@ -151,25 +190,34 @@ impl JobTable {
         }
         let index = inner.jobs.len();
         let position = inner.queue.len() + 1;
-        inner
-            .jobs
-            .push(Job { scenario: Arc::new(scenario), state: JobStatus::Queued { position } });
+        inner.jobs.push(Job {
+            scenario: Arc::new(scenario),
+            state: JobStatus::Queued { position },
+            cancel: Arc::new(AtomicBool::new(false)),
+            started: None,
+        });
         inner.queue.push_back(index);
         drop(inner);
         self.work.notify_one();
         Ok((Self::id_string(index), position))
     }
 
-    /// Blocks until a job is available (returning its id and scenario,
-    /// with the job already marked running) or the table is closed
-    /// (returning `None`) — the worker loop's front door.
-    pub fn take(&self) -> Option<(String, Arc<Scenario>)> {
+    /// Blocks until a job is available (returning it with the job
+    /// already marked running and its deadline clock started) or the
+    /// table is closed (returning `None`) — the worker loop's front
+    /// door.
+    pub fn take(&self) -> Option<TakenJob> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(index) = inner.queue.pop_front() {
                 let job = &mut inner.jobs[index];
                 job.state = JobStatus::Running { done: 0, total: 0 };
-                return Some((Self::id_string(index), Arc::clone(&job.scenario)));
+                job.started = Some(Instant::now());
+                return Some(TakenJob {
+                    id: Self::id_string(index),
+                    scenario: Arc::clone(&job.scenario),
+                    cancel: Arc::clone(&job.cancel),
+                });
             }
             if inner.closed {
                 return None;
@@ -203,8 +251,64 @@ impl JobTable {
         let Some(index) = Self::id_index(id) else { return };
         let mut inner = self.inner.lock().unwrap();
         if let Some(job) = inner.jobs.get_mut(index) {
-            job.state = state;
+            // Terminal states are immutable: once the watchdog or a
+            // cancel has failed a job, a late-finishing worker cannot
+            // resurrect it (and vice versa — a completed job cannot be
+            // retroactively failed).
+            if !job.is_terminal() {
+                job.state = state;
+            }
         }
+    }
+
+    /// Cancels a job: queued jobs are removed from the queue and failed
+    /// immediately; running jobs are failed in the table and their
+    /// cancel flag raised so the worker abandons the sweep at its next
+    /// progress tick. Terminal jobs are left untouched.
+    pub fn cancel(&self, id: &str) -> CancelOutcome {
+        let Some(index) = Self::id_index(id) else { return CancelOutcome::Unknown };
+        let mut inner = self.inner.lock().unwrap();
+        let Some(job) = inner.jobs.get(index) else { return CancelOutcome::Unknown };
+        if job.is_terminal() {
+            return CancelOutcome::AlreadyFinished;
+        }
+        let was_queued = matches!(job.state, JobStatus::Queued { .. });
+        if was_queued {
+            inner.queue.retain(|&i| i != index);
+        }
+        let job = &mut inner.jobs[index];
+        job.cancel.store(true, Ordering::SeqCst);
+        job.state = JobStatus::Failed {
+            error: if was_queued {
+                "cancelled before start".to_string()
+            } else {
+                "cancelled".to_string()
+            },
+        };
+        CancelOutcome::Cancelled
+    }
+
+    /// Fails every running job whose wall-clock age exceeds `timeout`
+    /// and raises its cancel flag; returns the ids it failed. The
+    /// server's watchdog thread calls this periodically when
+    /// `--job-timeout` is set.
+    pub fn fail_overdue(&self, timeout: Duration) -> Vec<String> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut overdue = Vec::new();
+        for (index, job) in inner.jobs.iter_mut().enumerate() {
+            if !matches!(job.state, JobStatus::Running { .. }) {
+                continue;
+            }
+            let Some(started) = job.started else { continue };
+            if started.elapsed() > timeout {
+                job.cancel.store(true, Ordering::SeqCst);
+                job.state = JobStatus::Failed {
+                    error: format!("job exceeded the {} ms deadline", timeout.as_millis()),
+                };
+                overdue.push(Self::id_string(index));
+            }
+        }
+        overdue
     }
 
     /// A snapshot of one job's state (`None` for unknown ids). Queued
@@ -276,8 +380,8 @@ mod tests {
         let (b, pb) = table.submit(scenario()).unwrap();
         assert_eq!((pa, pb), (1, 2));
         assert!(matches!(table.status(&b), Some(JobStatus::Queued { position: 2 })));
-        let (first, _) = table.take().unwrap();
-        assert_eq!(first, a);
+        let first = table.take().unwrap();
+        assert_eq!(first.id, a);
         // b moved up after a was taken.
         assert!(matches!(table.status(&b), Some(JobStatus::Queued { position: 1 })));
         assert!(matches!(table.status(&a), Some(JobStatus::Running { .. })));
@@ -300,8 +404,8 @@ mod tests {
     fn lifecycle_to_done() {
         let table = JobTable::new(4);
         let (id, _) = table.submit(scenario()).unwrap();
-        let (taken, _) = table.take().unwrap();
-        assert_eq!(taken, id);
+        let taken = table.take().unwrap();
+        assert_eq!(taken.id, id);
         table.progress(&id, 3, 4);
         assert!(matches!(table.status(&id), Some(JobStatus::Running { done: 3, total: 4 })));
         let summary =
@@ -317,5 +421,132 @@ mod tests {
         }
         assert!(table.status("job-999").is_none());
         assert!(table.status("nonsense").is_none());
+    }
+
+    #[test]
+    fn cancel_queued_running_and_terminal() {
+        let table = JobTable::new(8);
+        let (queued, _) = table.submit(scenario()).unwrap();
+        let (running, _) = table.submit(scenario()).unwrap();
+        let (done, _) = table.submit(scenario()).unwrap();
+
+        // Drain the first in FIFO order to stage a running + done job.
+        let taken = table.take().unwrap();
+        assert_eq!(taken.id, queued);
+        table.cancel(&queued); // now terminal
+        let taken = table.take().unwrap();
+        assert_eq!(taken.id, running);
+        assert!(!taken.cancel.load(Ordering::SeqCst));
+
+        // Running job: cancelled terminally, flag raised for the worker.
+        assert_eq!(table.cancel(&running), CancelOutcome::Cancelled);
+        assert!(taken.cancel.load(Ordering::SeqCst));
+        assert!(matches!(table.status(&running), Some(JobStatus::Failed { .. })));
+
+        // Queued job: removed from the queue, failed without a worker.
+        assert_eq!(table.cancel(&done), CancelOutcome::Cancelled);
+        match table.status(&done) {
+            Some(JobStatus::Failed { error }) => assert_eq!(error, "cancelled before start"),
+            other => panic!("unexpected state {other:?}"),
+        }
+
+        // Terminal jobs and unknown ids are untouched.
+        assert_eq!(table.cancel(&running), CancelOutcome::AlreadyFinished);
+        assert_eq!(table.cancel("job-999"), CancelOutcome::Unknown);
+        assert_eq!(table.cancel("nonsense"), CancelOutcome::Unknown);
+    }
+
+    #[test]
+    fn terminal_states_are_immutable() {
+        let table = JobTable::new(4);
+        let (id, _) = table.submit(scenario()).unwrap();
+        let taken = table.take().unwrap();
+        assert_eq!(table.cancel(&id), CancelOutcome::Cancelled);
+
+        // A late worker completion must not resurrect the cancelled job.
+        let summary =
+            JobSummary { results: 1, errors: 0, within_tolerance: true, max_rel_error: 0.0 };
+        table.complete(&id, b"line\n".to_vec(), summary);
+        assert!(matches!(table.status(&id), Some(JobStatus::Failed { .. })));
+        table.fail(&id, "late failure");
+        match table.status(&id) {
+            Some(JobStatus::Failed { error }) => assert_eq!(error, "cancelled"),
+            other => panic!("unexpected state {other:?}"),
+        }
+        drop(taken);
+    }
+
+    #[test]
+    fn fail_overdue_targets_only_expired_running_jobs() {
+        let table = JobTable::new(4);
+        let (running, _) = table.submit(scenario()).unwrap();
+        let (queued, _) = table.submit(scenario()).unwrap();
+        let taken = table.take().unwrap();
+        assert_eq!(taken.id, running);
+
+        // Generous deadline: nothing is overdue.
+        assert!(table.fail_overdue(Duration::from_secs(3600)).is_empty());
+
+        // Zero deadline: the running job fails, the queued one is left.
+        std::thread::sleep(Duration::from_millis(2));
+        let failed = table.fail_overdue(Duration::from_millis(1));
+        assert_eq!(failed, vec![running.clone()]);
+        assert!(taken.cancel.load(Ordering::SeqCst));
+        match table.status(&running) {
+            Some(JobStatus::Failed { error }) => assert!(error.contains("deadline")),
+            other => panic!("unexpected state {other:?}"),
+        }
+        assert!(matches!(table.status(&queued), Some(JobStatus::Queued { .. })));
+    }
+
+    #[test]
+    fn close_vs_concurrent_submit_never_loses_a_job() {
+        use std::sync::atomic::AtomicUsize;
+        use std::thread;
+
+        // Hammer submit from several threads while close() runs midway:
+        // every accepted id must end terminally Failed (no workers run),
+        // every rejection after close must be ShuttingDown, and take()
+        // must drain to None. No job may be accepted and then lost.
+        let table = Arc::new(JobTable::new(1024));
+        let accepted = Arc::new(Mutex::new(Vec::new()));
+        let shutdown_rejections = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let table = Arc::clone(&table);
+            let accepted = Arc::clone(&accepted);
+            let shutdown_rejections = Arc::clone(&shutdown_rejections);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    match table.submit(scenario()) {
+                        Ok((id, _)) => accepted.lock().unwrap().push(id),
+                        Err(SubmitError::ShuttingDown) => {
+                            shutdown_rejections.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(SubmitError::QueueFull { .. }) => {}
+                    }
+                }
+            }));
+        }
+        // Let some submissions land, then close concurrently.
+        thread::sleep(Duration::from_millis(1));
+        table.close();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+
+        assert_eq!(table.submit(scenario()).unwrap_err(), SubmitError::ShuttingDown);
+        assert!(table.take().is_none());
+        let accepted = accepted.lock().unwrap();
+        for id in accepted.iter() {
+            match table.status(id) {
+                Some(JobStatus::Failed { .. }) => {}
+                other => panic!("accepted job {id} in non-terminal state {other:?}"),
+            }
+        }
+        let counts = table.counts();
+        assert_eq!(counts.submitted, accepted.len());
+        assert_eq!(counts.failed, accepted.len());
+        assert_eq!((counts.queued, counts.running, counts.done), (0, 0, 0));
     }
 }

@@ -14,6 +14,7 @@
 //! | `POST /v1/sweeps` | Validate a scenario body, enqueue it; `202 {"job", "position"}` |
 //! | `GET /v1/sweeps/{id}` | Job status: queued/running (per-point progress)/done/failed |
 //! | `GET /v1/sweeps/{id}/records` | The finished run's JSON-lines, chunked, **byte-identical** to `libra crossval --jsonl -` |
+//! | `POST /v1/sweeps/{id}/cancel` | Cancel a queued or running job (terminal `failed` state; 409 if already finished) |
 //! | `GET /v1/backends` | The backend registry, same bytes as `libra list-backends --json` |
 //! | `GET /v1/healthz` | Liveness |
 //! | `GET /v1/stats` | Queue depth, lifecycle counters, store hit/stage counters |
@@ -36,7 +37,7 @@ pub mod jobs;
 pub mod server;
 
 pub use client::{PolledStatus, ServiceClient};
-pub use jobs::{JobCounts, JobStatus, JobSummary, JobTable, SubmitError};
+pub use jobs::{CancelOutcome, JobCounts, JobStatus, JobSummary, JobTable, SubmitError, TakenJob};
 pub use server::{
     install_signal_handlers, signal_shutdown_requested, Server, ServerConfig, WorkloadResolver,
 };

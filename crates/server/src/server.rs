@@ -26,14 +26,17 @@ use std::time::Duration;
 
 use libra_core::cost::CostModel;
 use libra_core::error::LibraError;
+use libra_core::fault::{self, FaultInjector};
 use libra_core::scenario::{
     json_escape, json_f64, BackendRegistry, JsonLinesSink, ProgressSink, ReportSink, Scenario,
 };
 use libra_core::store::{SharedSolveStore, SolveStore};
 use libra_core::sweep::FnWorkload;
 
-use crate::http::{read_request, respond, respond_chunked, HttpError, Request};
-use crate::jobs::{JobCounts, JobStatus, JobSummary, JobTable, SubmitError};
+use crate::http::{
+    read_request, respond, respond_chunked, respond_chunked_partial, HttpError, Request,
+};
+use crate::jobs::{CancelOutcome, JobCounts, JobStatus, JobSummary, JobTable, SubmitError};
 
 /// Resolves a scenario's workload names into runnable workloads — the
 /// seam that keeps this crate core-only: `libra-bench` passes its
@@ -52,6 +55,19 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Optional persistent solve cache shared by every worker.
     pub cache: Option<PathBuf>,
+    /// Wall-clock deadline per running job. When set, a watchdog thread
+    /// fails any job that runs longer (the client sees a terminal
+    /// `failed` state; the worker abandons the sweep at its next
+    /// progress tick).
+    pub job_timeout: Option<Duration>,
+    /// Maximum errored (poisoned) grid points a job may produce and
+    /// still count as done; one more fails the whole job.
+    pub failed_point_quota: Option<usize>,
+    /// Explicit fault-plan spec (see [`libra_core::fault`]); `None`
+    /// falls back to the `LIBRA_FAULT_PLAN` environment variable. The
+    /// explicit knob exists so tests can arm chaos per-server without
+    /// racing on process-global env state.
+    pub fault_spec: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +77,9 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             cache: None,
+            job_timeout: None,
+            failed_point_quota: None,
+            fault_spec: None,
         }
     }
 }
@@ -74,6 +93,10 @@ struct Shared {
     workers: usize,
     queue_capacity: usize,
     shutdown: AtomicBool,
+    failed_point_quota: Option<usize>,
+    fault: Option<FaultInjector>,
+    /// Tells the watchdog thread to exit during the final drain.
+    watchdog_stop: AtomicBool,
 }
 
 impl Shared {
@@ -124,7 +147,14 @@ pub struct Server {
     addr: SocketAddr,
     accept_handle: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<()>>,
+    watchdog_handle: Option<JoinHandle<()>>,
 }
+
+/// Panic payload a worker throws (via `panic_any`) when it notices its
+/// job's cancel flag mid-sweep: the job table already holds the
+/// terminal state, so the worker's catch-all must *not* overwrite it
+/// with "sweep worker panicked".
+struct CancelledJob;
 
 impl Server {
     /// Binds, spawns the worker pool and accept loop, and returns. The
@@ -151,6 +181,10 @@ impl Server {
             Some(path) => Some(SolveStore::open_shared(path)?),
             None => None,
         };
+        let fault = match &config.fault_spec {
+            Some(spec) => Some(FaultInjector::from_spec(spec)?),
+            None => FaultInjector::from_env(),
+        };
         let shared = Arc::new(Shared {
             table: JobTable::new(config.queue_capacity),
             registry,
@@ -159,6 +193,9 @@ impl Server {
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             shutdown: AtomicBool::new(false),
+            failed_point_quota: config.failed_point_quota,
+            fault,
+            watchdog_stop: AtomicBool::new(false),
         });
         let worker_handles: Vec<JoinHandle<()>> = (0..config.workers)
             .map(|k| {
@@ -176,7 +213,19 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared))
                 .expect("spawning accept loop")
         };
-        Ok(Server { shared, addr, accept_handle, worker_handles })
+        let watchdog_handle = config.job_timeout.map(|timeout| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("job-watchdog".to_string())
+                .spawn(move || {
+                    while !shared.watchdog_stop.load(Ordering::SeqCst) {
+                        shared.table.fail_overdue(timeout);
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                })
+                .expect("spawning job watchdog")
+        });
+        Ok(Server { shared, addr, accept_handle, worker_handles, watchdog_handle })
     }
 
     /// The bound address (the actual port when the config asked for 0).
@@ -202,6 +251,10 @@ impl Server {
         let _ = self.accept_handle.join();
         self.shared.table.close();
         for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+        self.shared.watchdog_stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.watchdog_handle {
             let _ = handle.join();
         }
         if let Some(store) = &self.shared.store {
@@ -233,14 +286,24 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// The worker loop: drain the queue until the table closes.
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some((id, scenario)) = shared.table.take() {
+    while let Some(job) = shared.table.take() {
         // A panicking solve must not kill the worker (or wedge the
         // job in `running` forever): catch it and fail the job.
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &id, &scenario)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let (Some(fault), Some(ordinal)) = (&shared.fault, JobTable::id_index(&job.id)) {
+                if fault.fires(fault::SERVER_WORKER_PANIC, ordinal as u64) {
+                    panic!("injected fault: {} on {}", fault::SERVER_WORKER_PANIC, job.id);
+                }
+            }
+            run_job(shared, &job.id, &job.scenario, &job.cancel)
+        }));
         match outcome {
-            Ok(Ok((records, summary))) => shared.table.complete(&id, records, summary),
-            Ok(Err(e)) => shared.table.fail(&id, e.to_string()),
-            Err(_) => shared.table.fail(&id, "sweep worker panicked"),
+            Ok(Ok((records, summary))) => shared.table.complete(&job.id, records, summary),
+            Ok(Err(e)) => shared.table.fail(&job.id, e.to_string()),
+            // A cancel/deadline unwind is not a failure of the worker:
+            // the table already holds the job's terminal state.
+            Err(payload) if payload.is::<CancelledJob>() => {}
+            Err(_) => shared.table.fail(&job.id, "sweep worker panicked"),
         }
     }
 }
@@ -253,6 +316,7 @@ fn run_job(
     shared: &Arc<Shared>,
     id: &str,
     scenario: &Scenario,
+    cancel: &AtomicBool,
 ) -> Result<(Vec<u8>, JobSummary), LibraError> {
     let workloads = (shared.resolver)(scenario)?;
     let cost_model = CostModel::default();
@@ -260,10 +324,22 @@ fn run_job(
     if let Some(store) = &shared.store {
         session = session.with_shared_store(Arc::clone(store))?;
     }
+    if let Some(fault) = &shared.fault {
+        session = session.with_fault(fault.clone())?;
+    }
     let mut buf: Vec<u8> = Vec::new();
     let report = {
         let mut jsonl = JsonLinesSink::new(&mut buf);
-        let mut progress = ProgressSink::new(|done, total| shared.table.progress(id, done, total));
+        let mut progress = ProgressSink::new(|done, total| {
+            shared.table.progress(id, done, total);
+            // The cancel/deadline escape hatch: the emit hook runs
+            // serially on this thread between grid points, so an
+            // unwinding sentinel here abandons the sweep cleanly and is
+            // recognized (not re-reported) by the worker's catch-all.
+            if cancel.load(Ordering::SeqCst) {
+                std::panic::panic_any(CancelledJob);
+            }
+        });
         let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut jsonl, &mut progress];
         session.run_scenario_with_sinks(scenario, &workloads, &shared.registry, &mut sinks)?
     };
@@ -273,6 +349,15 @@ fn run_job(
         within_tolerance: report.divergence.within_tolerance(),
         max_rel_error: report.divergence.max_rel_error(),
     };
+    if let Some(quota) = shared.failed_point_quota {
+        if summary.errors > quota {
+            return Err(LibraError::BadRequest(format!(
+                "{} of {} grid points failed, exceeding the server's failed-point quota of {quota}",
+                summary.errors,
+                summary.results + summary.errors,
+            )));
+        }
+    }
     Ok((buf, summary))
 }
 
@@ -311,6 +396,20 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) -> std
             Some(status) => json(stream, 200, &status_json(id, &status)),
         },
         ("GET", ["v1", "sweeps", id, "records"]) => handle_records(stream, id, shared),
+        ("POST", ["v1", "sweeps", id, "cancel"]) => match shared.table.cancel(id) {
+            CancelOutcome::Unknown => {
+                json(stream, 404, &json_error(&format!("unknown job {id:?}")))
+            }
+            CancelOutcome::AlreadyFinished => json(
+                stream,
+                409,
+                &json_error(&format!("job {id} already finished; nothing to cancel")),
+            ),
+            CancelOutcome::Cancelled => {
+                let status = shared.table.status(id).expect("cancelled job has a status");
+                json(stream, 200, &status_json(id, &status))
+            }
+        },
         ("POST", ["v1", "shutdown"]) => {
             shared.shutdown.store(true, Ordering::SeqCst);
             json(stream, 200, "{\"status\": \"shutting-down\"}\n")
@@ -387,6 +486,21 @@ fn handle_records(stream: &mut TcpStream, id: &str, shared: &Arc<Shared>) -> std
             json_error(&format!("unknown job {id:?}")).as_bytes(),
         ),
         Some(JobStatus::Done { records, .. }) => {
+            if let (Some(fault), Some(ordinal)) = (&shared.fault, JobTable::id_index(id)) {
+                if fault.fires(fault::SERVER_RESPONSE_DROP, ordinal as u64) {
+                    // Sever the stream mid-response: a valid chunked
+                    // head and first chunk, then no terminator — the
+                    // client must detect the truncation, not silently
+                    // accept a partial record set.
+                    return respond_chunked_partial(
+                        stream,
+                        200,
+                        "application/jsonl",
+                        records.split_inclusive(|&b| b == b'\n'),
+                        1,
+                    );
+                }
+            }
             // One HTTP chunk per JSON line: a slow consumer sees the
             // stream arrive record by record, and the reassembled body
             // is the byte-exact `libra crossval --jsonl -` stream.

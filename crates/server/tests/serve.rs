@@ -24,7 +24,7 @@ use libra_core::scenario::{
 use libra_core::store::SolveStore;
 use libra_core::sweep::FnWorkload;
 use libra_core::workload::CommOp;
-use libra_server::{Server, ServerConfig, ServiceClient, WorkloadResolver};
+use libra_server::{PolledStatus, Server, ServerConfig, ServiceClient, WorkloadResolver};
 
 const POLL: Duration = Duration::from_millis(10);
 
@@ -139,7 +139,7 @@ fn records_are_byte_identical_to_a_direct_run() {
 
     let (job, position) = client.submit(body.as_bytes()).unwrap();
     assert_eq!(position, 1);
-    let summary = client.wait(&job, POLL).unwrap();
+    let summary = client.wait(&job, POLL, None).unwrap();
     assert_eq!(summary.errors, 0);
     assert_eq!(summary.results, 8, "2 shapes x 2 budgets x 2 objectives");
     assert!(summary.within_tolerance);
@@ -157,7 +157,7 @@ fn records_are_byte_identical_to_a_direct_run() {
     // A second submission of the same scenario is a distinct job with
     // identical bytes.
     let (job2, _) = client.submit(body.as_bytes()).unwrap();
-    client.wait(&job2, POLL).unwrap();
+    client.wait(&job2, POLL, None).unwrap();
     assert_eq!(client.records(&job2).unwrap(), served);
 
     server.shutdown();
@@ -265,7 +265,7 @@ fn concurrent_clients_share_one_store() {
             std::thread::spawn(move || {
                 let client = ServiceClient::new(&authority).unwrap();
                 let (job, _) = client.submit(body.as_bytes()).unwrap();
-                let summary = client.wait(&job, POLL).unwrap();
+                let summary = client.wait(&job, POLL, None).unwrap();
                 assert_eq!(summary.exit_code(), 0);
                 client.records(&job).unwrap()
             })
@@ -301,7 +301,7 @@ fn shutdown_flushes_the_store_for_warm_restarts() {
             ..ServerConfig::default()
         });
         let (job, _) = client.submit(scenario.to_json().as_bytes()).unwrap();
-        client.wait(&job, POLL).unwrap();
+        client.wait(&job, POLL, None).unwrap();
         // The shutdown endpoint requests the same drain a SIGTERM does.
         let response = client.post("/v1/shutdown", b"").unwrap();
         assert_eq!(response.status, 200);
@@ -329,4 +329,215 @@ fn shutdown_flushes_the_store_for_warm_restarts() {
         "the warm run must come from the store"
     );
     let _ = std::fs::remove_file(&cache);
+}
+
+/// A panicking worker (here an injected `server.worker.panic` on job
+/// ordinal 0) fails only its own job: the worker thread survives, the
+/// next job completes with byte-identical records, and `/v1/stats`
+/// reports the one failure.
+#[test]
+fn worker_panic_fails_only_its_own_job() {
+    let (server, client) = start(ServerConfig {
+        workers: 1,
+        fault_spec: Some("server.worker.panic=#1".to_string()),
+        ..ServerConfig::default()
+    });
+    let body = scenario().to_json();
+
+    let (doomed, _) = client.submit(body.as_bytes()).unwrap();
+    let err = client.wait(&doomed, POLL, None).unwrap_err();
+    assert!(err.to_string().contains("sweep worker panicked"), "got {err}");
+
+    // The same worker thread picks up job ordinal 1 and finishes it.
+    let (job, _) = client.submit(body.as_bytes()).unwrap();
+    let summary = client.wait(&job, POLL, None).unwrap();
+    assert_eq!(summary.exit_code(), 0);
+    assert_eq!(client.records(&job).unwrap(), direct_run_bytes(&scenario()));
+
+    let stats = String::from_utf8(client.get("/v1/stats").unwrap().body).unwrap();
+    assert!(stats.contains("\"failed\": 1"), "{stats}");
+    assert!(stats.contains("\"done\": 1"), "{stats}");
+
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// A hung solve (injected `sweep.point.slow` far past `job_timeout`) is
+/// failed by the watchdog within the configured deadline, with a
+/// diagnostic naming the deadline, while the server stays responsive.
+#[test]
+fn watchdog_fails_hung_jobs_within_the_deadline() {
+    let (server, client) = start(ServerConfig {
+        workers: 1,
+        job_timeout: Some(Duration::from_millis(150)),
+        fault_spec: Some("sweep.point.slow=#1,ms=800".to_string()),
+        ..ServerConfig::default()
+    });
+
+    let (job, _) = client.submit(scenario().to_json().as_bytes()).unwrap();
+    let started = std::time::Instant::now();
+    let err = client.wait(&job, POLL, None).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("deadline"), "watchdog diagnostic names the deadline, got {text}");
+    assert!(text.contains("150 ms"), "got {text}");
+    assert!(
+        started.elapsed() < Duration::from_millis(700),
+        "the watchdog must beat the hung solve, took {:?}",
+        started.elapsed()
+    );
+    // Terminal means terminal: the late-finishing worker cannot
+    // resurrect the job into `done`.
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(matches!(client.status(&job).unwrap(), PolledStatus::Failed { .. }));
+
+    let stats = String::from_utf8(client.get("/v1/stats").unwrap().body).unwrap();
+    assert!(stats.contains("\"failed\": 1"), "{stats}");
+
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// `POST /v1/sweeps/{id}/cancel`: queued jobs fail without ever
+/// running, running jobs transition to a terminal `failed`, finished
+/// jobs answer 409, unknown ids 404 — and a cancel never wedges the
+/// worker that was running the job.
+#[test]
+fn cancel_is_terminal_for_queued_and_running_jobs() {
+    // Queued cancel: no workers, so the job can never start.
+    let (server, client) = start(ServerConfig { workers: 0, ..ServerConfig::default() });
+    let body = scenario().to_json();
+    let (queued, _) = client.submit(body.as_bytes()).unwrap();
+    let response = client.post(&format!("/v1/sweeps/{queued}/cancel"), b"").unwrap();
+    assert_eq!(response.status, 200);
+    match client.status(&queued).unwrap() {
+        PolledStatus::Failed { error } => assert_eq!(error, "cancelled before start"),
+        other => panic!("unexpected state {other:?}"),
+    }
+    // Cancelling twice: already finished. Unknown ids: 404.
+    assert_eq!(client.post(&format!("/v1/sweeps/{queued}/cancel"), b"").unwrap().status, 409);
+    assert_eq!(client.post("/v1/sweeps/job-999/cancel", b"").unwrap().status, 404);
+    server.shutdown();
+    server.join().unwrap();
+
+    // Running cancel: every point sleeps, so the job is observably
+    // running for long enough to cancel it mid-sweep.
+    let (server, client) = start(ServerConfig {
+        workers: 1,
+        fault_spec: Some("sweep.point.slow=1,ms=300".to_string()),
+        ..ServerConfig::default()
+    });
+    let (running, _) = client.submit(body.as_bytes()).unwrap();
+    while !matches!(client.status(&running).unwrap(), PolledStatus::Running { .. }) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let response = client.post(&format!("/v1/sweeps/{running}/cancel"), b"").unwrap();
+    assert_eq!(response.status, 200);
+    match client.status(&running).unwrap() {
+        PolledStatus::Failed { error } => assert_eq!(error, "cancelled"),
+        other => panic!("unexpected state {other:?}"),
+    }
+    // The worker abandoned the cancelled sweep and is healthy: a fresh
+    // job on the same server still completes.
+    let (job, _) = client.submit(body.as_bytes()).unwrap();
+    assert_eq!(client.wait(&job, POLL, None).unwrap().exit_code(), 0);
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// `ServiceClient::wait` with a deadline returns the typed
+/// [`LibraError::Timeout`] instead of blocking forever on a job that
+/// will never finish (no workers), and the job keeps its server-side
+/// state.
+#[test]
+fn wait_deadline_is_a_typed_timeout() {
+    let (server, client) = start(ServerConfig { workers: 0, ..ServerConfig::default() });
+    let (job, _) = client.submit(scenario().to_json().as_bytes()).unwrap();
+    let err = client.wait_timeout(&job, POLL, Duration::from_millis(80)).unwrap_err();
+    match &err {
+        LibraError::Timeout { what, after_ms } => {
+            assert!(what.contains(&job), "{what}");
+            assert_eq!(*after_ms, 80);
+        }
+        other => panic!("want Timeout, got {other:?}"),
+    }
+    // Still queued server-side: a wait timeout is a client-side verdict.
+    assert!(matches!(client.status(&job).unwrap(), PolledStatus::Queued { .. }));
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// Connection-refused requests retry within the configured budget — a
+/// client started moments before its server still lands the submit —
+/// while a budget-less client fails fast and an exhausted budget is a
+/// typed timeout.
+#[test]
+fn connect_retry_rides_out_a_slow_server_start() {
+    // Reserve a loopback port, then release it for the delayed server.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let authority = format!("http://{addr}");
+
+    // No retry budget: the refused connection surfaces immediately.
+    let eager = ServiceClient::new(&authority).unwrap();
+    let err = eager.get("/v1/healthz").unwrap_err();
+    assert!(err.to_string().contains("cannot connect to"), "got {err}");
+
+    // An exhausted budget is a typed Timeout carrying the last refusal.
+    let bounded =
+        ServiceClient::new(&authority).unwrap().with_connect_retry(Duration::from_millis(60));
+    match bounded.get("/v1/healthz").unwrap_err() {
+        LibraError::Timeout { what, after_ms } => {
+            assert!(what.contains("cannot connect to"), "{what}");
+            assert_eq!(after_ms, 60);
+        }
+        other => panic!("want Timeout, got {other:?}"),
+    }
+
+    // The server comes up mid-budget: the retrying client's submit lands.
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        let server = Server::start(
+            ServerConfig { addr: addr.to_string(), workers: 1, ..ServerConfig::default() },
+            BackendRegistry::new(),
+            resolver(),
+        )
+        .expect("delayed server start");
+        server
+    });
+    let patient =
+        ServiceClient::new(&authority).unwrap().with_connect_retry(Duration::from_secs(10));
+    let (job, _) = patient.submit(scenario().to_json().as_bytes()).unwrap();
+    let summary = patient.wait(&job, POLL, None).unwrap();
+    assert_eq!(summary.exit_code(), 0);
+    let server = handle.join().unwrap();
+    server.shutdown();
+    server.join().unwrap();
+}
+
+/// An injected `server.response.drop` severs the records stream
+/// mid-response; the client must surface the truncation as an error,
+/// never silently accept a partial record set — and a later job's
+/// stream (past the armed ordinal) is whole and byte-identical.
+#[test]
+fn dropped_response_is_detected_not_truncated_silently() {
+    let (server, client) = start(ServerConfig {
+        workers: 1,
+        fault_spec: Some("server.response.drop=#1".to_string()),
+        ..ServerConfig::default()
+    });
+    let body = scenario().to_json();
+
+    let (dropped, _) = client.submit(body.as_bytes()).unwrap();
+    client.wait(&dropped, POLL, None).unwrap();
+    let err = client.records(&dropped).unwrap_err();
+    assert!(err.to_string().contains("truncated"), "got {err}");
+
+    let (whole, _) = client.submit(body.as_bytes()).unwrap();
+    client.wait(&whole, POLL, None).unwrap();
+    assert_eq!(client.records(&whole).unwrap(), direct_run_bytes(&scenario()));
+
+    server.shutdown();
+    server.join().unwrap();
 }
