@@ -8,6 +8,7 @@
 //! ```text
 //! libra list-backends [--json]
 //! libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
+//! libra search   <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
 //! libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
 //! libra dispatch <SCENARIO.json> --shards K [--spawn [--retries N]] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
 //! libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
@@ -18,6 +19,13 @@
 //!
 //! * `sweep` runs the design-space grid without backend pricing (the
 //!   scenario's `backends` list is ignored).
+//! * `search` runs the scenario's adaptive `"search"` block: a coarse
+//!   Pareto-guided subgrid is successively refined instead of sweeping
+//!   the whole grid, so scenarios *above* the exhaustive point cap are
+//!   legal. The streamed JSONL carries nominal grid indices, replays
+//!   bit-identically (parallel ≡ serial, warm-from-store ≡ cold), and
+//!   on exhaustively sweepable grids the final front equals `sweep`'s
+//!   `pareto_front()` exactly.
 //! * `crossval` prices every grid point under each of the scenario's
 //!   backends (two or more required) and reports pairwise divergence.
 //! * `dispatch` splits the grid into `K` contiguous shards, runs each
@@ -73,7 +81,7 @@ use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
-use libra_bench::{default_registry, scenario_workloads, ExecMode, Scenario};
+use libra_bench::{default_registry, scenario_workloads, search, ExecMode, Scenario};
 use libra_core::cost::CostModel;
 use libra_core::dispatch::{partial_records, resume_rows, Dispatcher};
 use libra_core::fault::{self, FaultInjector};
@@ -87,6 +95,7 @@ libra — scenario-first front door for the LIBRA design-space engine
 USAGE:
     libra list-backends [--json]
     libra sweep    <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
+    libra search   <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
     libra crossval <SCENARIO.json> [--serial] [--jsonl PATH] [--quiet] [--range A..B] [--cache PATH]
     libra dispatch <SCENARIO.json> --shards K [--spawn [--retries N]] [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
     libra resume   <SCENARIO.json> <PARTIAL.jsonl> [--serial] [--jsonl PATH] [--quiet] [--cache PATH]
@@ -254,6 +263,16 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
                     .to_string());
             }
         }
+        "search" => {
+            if shards.is_some() || spawn || retries.is_some() {
+                return Err("--shards/--spawn/--retries apply to dispatch, not search".to_string());
+            }
+            if range.is_some() {
+                return Err("--range applies to sweep/crossval workers, not search \
+                     (the adaptive driver picks its own subgrids)"
+                    .to_string());
+            }
+        }
         _ => {
             if shards.is_some() || spawn || retries.is_some() {
                 return Err(format!("--shards/--spawn/--retries apply to dispatch, not {cmd}"));
@@ -294,6 +313,27 @@ fn load_scenario(validate: bool, opts: &Options) -> Result<Scenario, LibraError>
     Ok(scenario)
 }
 
+/// Exhaustive commands materialize the whole grid, so they keep the
+/// point cap even for scenarios whose `"search"` block exempted them
+/// from the build-time check — with an error that points at the
+/// command built for grids that size.
+fn check_exhaustive_cap(
+    scenario: &Scenario,
+    n_workloads: usize,
+    cmd: &str,
+) -> Result<(), LibraError> {
+    let len = scenario.grid().len(n_workloads);
+    if len > Scenario::MAX_GRID_POINTS {
+        return Err(LibraError::BadRequest(format!(
+            "scenario {:?}: grid has {len} points, over the {} point cap `libra {cmd}` \
+             sweeps exhaustively — run `libra search` on it instead",
+            scenario.name,
+            Scenario::MAX_GRID_POINTS
+        )));
+    }
+    Ok(())
+}
+
 /// Opens the `--jsonl` destination (stdout for `-`).
 fn jsonl_writer(path: &str) -> Result<Box<dyn Write>, LibraError> {
     Ok(if path == "-" {
@@ -326,6 +366,7 @@ fn run(validate: bool, opts: &Options) -> Result<i32, CliError> {
     }
     let scenario = load_scenario(validate, opts)?;
     let workloads = scenario_workloads(&scenario)?;
+    check_exhaustive_cap(&scenario, workloads.len(), if validate { "crossval" } else { "sweep" })?;
     let registry = default_registry();
     let cost_model = CostModel::default();
     let grid_len = scenario.grid().len(workloads.len());
@@ -397,9 +438,76 @@ fn run(validate: bool, opts: &Options) -> Result<i32, CliError> {
     Ok(0)
 }
 
+fn run_search(opts: &Options) -> Result<i32, CliError> {
+    // Backends are ignored like `sweep`'s: search prices the design
+    // space only, so a search scenario may name zero backends.
+    let mut scenario = Scenario::load(&opts.scenario_path)?;
+    scenario.backends.clear();
+    let workloads = scenario_workloads(&scenario)?;
+    let cost_model = CostModel::default();
+    let mut session = scenario.session(&cost_model);
+    if opts.serial {
+        session = session.with_mode(ExecMode::Serial);
+    }
+    if let Some(path) = &opts.cache {
+        session = session.with_store(path)?;
+    }
+
+    let mut console = (!opts.quiet).then(|| ConsoleTableSink::new(std::io::stdout().lock()));
+    let mut jsonl = match &opts.jsonl {
+        None => None,
+        Some(path) => Some(JsonLinesSink::new(jsonl_writer(path)?)),
+    };
+    let mut sinks: Vec<&mut dyn ReportSink> = Vec::new();
+    if let Some(c) = console.as_mut() {
+        sinks.push(c);
+    }
+    if let Some(j) = jsonl.as_mut() {
+        sinks.push(j);
+    }
+
+    let report = search::run_scenario(&session, &scenario, &workloads, &mut sinks)?;
+    let records = report.evals;
+    if let Some(j) = jsonl {
+        let mut out = j.into_inner();
+        out.flush().map_err(|e| LibraError::BadRequest(format!("flushing JSON-lines: {e}")))?;
+        if let Some(path) = opts.jsonl.as_deref().filter(|p| *p != "-") {
+            eprintln!("libra: wrote {records} records to {path}");
+        }
+    }
+    for r in &report.rounds {
+        eprintln!(
+            "libra: search round {}: {} budgets refined, {} new evals, front size {}",
+            r.round, r.budgets_added, r.new_evals, r.front_size
+        );
+    }
+    eprintln!(
+        "libra: search evaluated {} of {} nominal grid points ({:.2}%) in {} rounds; \
+         front size {} ({} solved, {} errors)",
+        report.evals,
+        report.nominal_points,
+        100.0 * report.coverage(),
+        report.rounds.len(),
+        report.front().len(),
+        report.sweep.results.len(),
+        report.sweep.errors.len(),
+    );
+    let stats = session.engine().cache_stats();
+    eprintln!(
+        "libra: cache: {} solves ({} hits, {} warm-seeded)",
+        stats.design_misses, stats.design_hits, stats.warm_seeded,
+    );
+    if let Some(store) = session.engine().store_stats() {
+        let path = opts.cache.as_deref().unwrap_or("?");
+        eprintln!("libra: store: {} hits, {} staged (cache file {path})", store.hits, store.staged);
+    }
+    Ok(0)
+}
+
 fn run_dispatch(opts: &Options) -> Result<i32, CliError> {
     let scenario = load_scenario(true, opts)?;
     let workloads = scenario_workloads(&scenario)?;
+    check_exhaustive_cap(&scenario, workloads.len(), "dispatch")?;
     let registry = default_registry();
     let cost_model = CostModel::default();
     let shards = opts.shards.expect("parse_options requires --shards for dispatch");
@@ -523,6 +631,7 @@ fn run_resume(opts: &Options) -> Result<i32, CliError> {
     // the scenario names, so a plain sweep stream resumes too.
     let scenario = Scenario::load(&opts.scenario_path)?;
     let workloads = scenario_workloads(&scenario)?;
+    check_exhaustive_cap(&scenario, workloads.len(), "resume")?;
     let registry = default_registry();
     let cost_model = CostModel::default();
     let partial_path = opts.partial_path.as_deref().expect("parse_options requires the partial");
@@ -834,7 +943,7 @@ fn main() {
                 }
             }
         }
-        Some(cmd @ ("sweep" | "crossval" | "dispatch" | "resume")) => {
+        Some(cmd @ ("sweep" | "search" | "crossval" | "dispatch" | "resume")) => {
             match parse_options(cmd, &args[1..]) {
                 Err(msg) => {
                     eprintln!("libra {cmd}: {msg}\n\n{USAGE}");
@@ -844,6 +953,7 @@ fn main() {
                     let outcome = match cmd {
                         "dispatch" => run_dispatch(&opts),
                         "resume" => run_resume(&opts),
+                        "search" => run_search(&opts),
                         _ => run(cmd == "crossval", &opts),
                     };
                     match outcome {

@@ -879,6 +879,74 @@ fn chaos_scenario(small: bool) -> ChaosStats {
     }
 }
 
+struct SearchStats {
+    points: usize,
+    evals: usize,
+    coverage_pct: f64,
+    rounds: usize,
+    front_size: usize,
+    exhaustive_secs: f64,
+    search_secs: f64,
+    search_over_exhaustive_ratio: f64,
+}
+
+/// Adaptive-search study: the Pareto-guided driver against an exhaustive
+/// sweep of the same dense-budget design space. The gate, checked on
+/// every harness run, is the subsystem's headline contract — the
+/// adaptive front equals the exhaustive `pareto_front()` **exactly**
+/// (same designs, same order, bit for bit). The evals/grid ratio and the
+/// wall-clock ratio are recorded, never gated: how much of the space the
+/// driver can skip depends on how much of it is Pareto-dominated.
+fn adaptive_search_scenario(small: bool) -> SearchStats {
+    use libra_core::opt::Objective;
+    use libra_core::search::{self, SearchConfig};
+    let wls = workloads(small);
+    let n_budgets = if small { 40 } else { 100 };
+    let step = 900.0 / (n_budgets - 1) as f64;
+    let mut grid = SweepGrid::new()
+        .with_budgets((0..n_budgets).map(|i| 100.0 + step * i as f64))
+        .with_objectives([Objective::Perf, Objective::PerfPerCost]);
+    grid = if small {
+        grid.with_shapes([presets::topo_3d_512()])
+    } else {
+        grid.with_shapes([presets::topo_3d_512(), presets::topo_3d_1k()])
+    };
+    let cm = CostModel::default();
+    let points = grid.len(wls.len());
+
+    let t0 = Instant::now();
+    let exhaustive_engine = SweepEngine::new(&cm);
+    let exhaustive = Session::over(&exhaustive_engine).run(&grid, &wls, &[]).sweep;
+    let exhaustive_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let search_engine = SweepEngine::new(&cm);
+    let session = Session::over(&search_engine);
+    let config = SearchConfig::default();
+    let report =
+        search::run_grid(&session, &grid, &wls, &config, &mut []).expect("adaptive search runs");
+    let search_secs = t0.elapsed().as_secs_f64();
+
+    let expected: Vec<_> = exhaustive.pareto_front().into_iter().cloned().collect();
+    let got: Vec<_> = report.front().into_iter().cloned().collect();
+    assert_eq!(
+        got, expected,
+        "DETERMINISM VIOLATION: adaptive front differs from the exhaustive Pareto front"
+    );
+    assert!(report.evals <= points, "search must never out-evaluate the grid");
+
+    SearchStats {
+        points,
+        evals: report.evals,
+        coverage_pct: 100.0 * report.coverage(),
+        rounds: report.rounds.len(),
+        front_size: got.len(),
+        exhaustive_secs,
+        search_secs,
+        search_over_exhaustive_ratio: search_secs / exhaustive_secs,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // JSON emission (hand-rolled; the container has no serde).
 // ---------------------------------------------------------------------------
@@ -978,6 +1046,18 @@ fn main() {
         chaos.points, chaos.poisoned, chaos.clean_secs, chaos.chaos_secs, chaos.chaos_over_clean_ratio
     );
 
+    eprintln!("perf_harness: adaptive search scenario...");
+    let search = adaptive_search_scenario(small);
+    eprintln!(
+        "  {} points: exhaustive {:.3} s vs search {:.3} s ({} evals, {:.1}% of the grid, {} rounds; front bit-identical)",
+        search.points,
+        search.exhaustive_secs,
+        search.search_secs,
+        search.evals,
+        search.coverage_pct,
+        search.rounds
+    );
+
     let mut o = String::from("{\n");
     json(&mut o, 2, "schema", "\"libra-bench-sweep-v1\"", false);
     json(&mut o, 2, "grid", &format!("\"{}\"", if small { "small" } else { "full" }), false);
@@ -1041,6 +1121,17 @@ fn main() {
     json(&mut o, 6, "chaos_secs", &f(chaos.chaos_secs), false);
     json(&mut o, 6, "chaos_over_clean_ratio", &f(chaos.chaos_over_clean_ratio), false);
     json(&mut o, 6, "healthy_lines_bit_identical", "true", true);
+    o.push_str("    },\n");
+    o.push_str("    \"adaptive_search\": {\n");
+    json(&mut o, 6, "points", &search.points.to_string(), false);
+    json(&mut o, 6, "evals", &search.evals.to_string(), false);
+    json(&mut o, 6, "coverage_pct", &f(search.coverage_pct), false);
+    json(&mut o, 6, "rounds", &search.rounds.to_string(), false);
+    json(&mut o, 6, "front_size", &search.front_size.to_string(), false);
+    json(&mut o, 6, "exhaustive_secs", &f(search.exhaustive_secs), false);
+    json(&mut o, 6, "search_secs", &f(search.search_secs), false);
+    json(&mut o, 6, "search_over_exhaustive_ratio", &f(search.search_over_exhaustive_ratio), false);
+    json(&mut o, 6, "front_bit_identical", "true", true);
     o.push_str("    }\n");
     o.push_str("  },\n");
     o.push_str("  \"determinism\": {\n");

@@ -15,6 +15,8 @@ use libra_core::opt::{self, Constraint, Design, DesignRequest, Objective};
 use libra_core::time::estimate;
 use libra_core::workload::{TrainingLoop, Workload};
 use libra_core::LibraError;
+use libra_workloads::compute::ComputeModel;
+use libra_workloads::transformer::TransformerConfig;
 use libra_workloads::zoo::{workload_for, PaperModel};
 
 pub use libra_core::eval;
@@ -23,6 +25,8 @@ pub use libra_core::scenario;
 pub use libra_core::scenario::{
     BackendConfig, BackendRegistry, DivergenceMatrix, ReportSink, Scenario, Session, SessionReport,
 };
+pub use libra_core::search;
+pub use libra_core::search::{Cosearch, SearchConfig, SearchReport};
 pub use libra_core::sweep;
 pub use libra_core::sweep::{
     CrossValidated3Report, CrossValidatedReport, CrossValidation, CrossValidation3,
@@ -35,11 +39,17 @@ pub use libra_sim::EventSimBackend;
 /// workloads, attaching the scenario's α-β link parameters (when given)
 /// so `net-sim` backends have a [`NetSpec`] to price.
 ///
+/// When the scenario's `search` block carries a parallelization
+/// co-search axis, the searched splits are appended as additional
+/// workloads (see [`cosearch_workloads`]) — the strategy axis rides the
+/// grid's workload dimension.
+///
 /// # Errors
 /// [`LibraError::BadRequest`] naming the known paper models when a
-/// workload name does not resolve.
+/// workload name does not resolve, or when the co-search model is not a
+/// transformer LLM.
 pub fn scenario_workloads(scenario: &Scenario) -> Result<Vec<sweep::FnWorkload>, LibraError> {
-    scenario
+    let mut wls: Vec<sweep::FnWorkload> = scenario
         .workloads
         .iter()
         .map(|name| {
@@ -56,7 +66,63 @@ pub fn scenario_workloads(scenario: &Scenario) -> Result<Vec<sweep::FnWorkload>,
                 None => sweep_workload(model),
             })
         })
-        .collect()
+        .collect::<Result<_, LibraError>>()?;
+    if let Some(cs) = scenario.search.as_ref().and_then(|s| s.cosearch.as_ref()) {
+        wls.extend(cosearch_workloads(cs)?);
+    }
+    Ok(wls)
+}
+
+/// Expands a [`Cosearch`] axis into one sweep workload per candidate TP
+/// degree, named `"<model>@tp<t>"`. Each closure rebuilds the split on
+/// whatever shape the grid hands it: DP falls out as `NPUs / TP` and
+/// the per-replica batch as `global_batch / DP` (the §VI-E setup), so
+/// the same strategy prices consistently across candidate topologies. A
+/// split that cannot map onto a shape (TP not dividing its NPU count)
+/// errors at that grid point only — the search treats it as dominated.
+///
+/// # Errors
+/// [`LibraError::BadRequest`] when the model is not one of the
+/// transformer LLMs (only they expose a TP knob).
+pub fn cosearch_workloads(cs: &Cosearch) -> Result<Vec<sweep::FnWorkload>, LibraError> {
+    let model = PaperModel::by_name(&cs.model);
+    let config = match model {
+        Some(PaperModel::TuringNlg) => TransformerConfig::turing_nlg(),
+        Some(PaperModel::Gpt3) => TransformerConfig::gpt3(),
+        Some(PaperModel::Msft1T) => TransformerConfig::msft_1t(),
+        _ => {
+            let known: Vec<&str> = PaperModel::llms().into_iter().map(PaperModel::name).collect();
+            return Err(LibraError::BadRequest(format!(
+                "cosearch model {:?} is not a transformer LLM; searchable models: {}",
+                cs.model,
+                known.join(", ")
+            )));
+        }
+    };
+    let display = model.expect("matched above").name();
+    let global_batch = cs.global_batch;
+    Ok(cs
+        .tp
+        .iter()
+        .map(|&tp| {
+            let config = config.clone();
+            sweep::FnWorkload::new(format!("{display}@tp{tp}"), move |shape: &NetworkShape| {
+                let npus = shape.npus();
+                if tp == 0 || !npus.is_multiple_of(tp) || npus / tp == 0 {
+                    return Err(LibraError::BadRequest(format!(
+                        "TP-{tp} does not divide {npus} NPUs"
+                    )));
+                }
+                let dp = npus / tp;
+                let w = config
+                    .clone()
+                    .with_tp(tp)
+                    .with_batch((global_batch / dp).max(1))
+                    .build(shape, &ComputeModel::default())?;
+                Ok(vec![(1.0, estimate(&w, TrainingLoop::NoOverlap, &CommModel::default()))])
+            })
+        })
+        .collect())
 }
 
 /// Wraps a Table II paper model as a [`sweep::SweepWorkload`]

@@ -577,3 +577,76 @@ fn submit_usage_and_transport_errors_exit_1() {
         assert_eq!(out.status.code(), Some(1), "{args:?}");
     }
 }
+
+#[test]
+fn search_streams_a_reparseable_run_and_replays_serially() {
+    let scenario = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/search_small.json");
+    let scenario = scenario.to_str().unwrap();
+    let jsonl = tmp("search_small.jsonl");
+    let jsonl_serial = tmp("search_small_serial.jsonl");
+
+    let out = libra(&["search", scenario, "--jsonl", jsonl.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stream = std::fs::read_to_string(&jsonl).unwrap();
+    let rows = libra_core::scenario::records_from_jsonl(&stream).unwrap();
+    assert!(!rows.is_empty());
+    assert!(rows.iter().all(|r| r.error.is_none()), "healthy scenario, healthy rows");
+
+    // The search block caps nothing here, so the driver walks the whole
+    // 50-point grid; the serial fold streams the same bytes.
+    let out = libra(&[
+        "search",
+        scenario,
+        "--serial",
+        "--jsonl",
+        jsonl_serial.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(stream, std::fs::read_to_string(&jsonl_serial).unwrap(), "parallel ≡ serial bytes");
+}
+
+#[test]
+fn search_requires_a_search_block_and_rejects_range() {
+    let scenario = ci_small();
+    let scenario = scenario.to_str().unwrap();
+
+    let out = libra(&["search", scenario, "--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no \"search\" block"), "{stderr}");
+
+    let out = libra(&["search", scenario, "--range", "0..2"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--range"), "{stderr}");
+}
+
+#[test]
+fn over_cap_scenario_fails_exhaustive_commands_but_search_completes() {
+    let scenario = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/search_huge.json");
+    let scenario = scenario.to_str().unwrap();
+
+    // 13.2M nominal points: every exhaustive command refuses, naming
+    // the cap and the way out.
+    for cmd in ["crossval", "sweep"] {
+        let out = libra(&[cmd, scenario, "--quiet"]);
+        assert_eq!(out.status.code(), Some(1), "{cmd}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("point cap"), "{cmd}: {stderr}");
+        assert!(stderr.contains("libra search"), "{cmd}: {stderr}");
+    }
+    let out = libra(&["dispatch", scenario, "--shards", "2", "--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("point cap"));
+
+    // The adaptive driver prices a bounded subgrid of it.
+    let jsonl = tmp("search_huge.jsonl");
+    let out = libra(&["search", scenario, "--jsonl", jsonl.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stream = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(stream.contains("\"points\": 13200000"), "header carries the nominal grid size");
+    let rows = libra_core::scenario::records_from_jsonl(&stream).unwrap();
+    assert!(!rows.is_empty());
+    assert!(rows.len() <= 96, "max_evals bounds the run: {} evals", rows.len());
+}

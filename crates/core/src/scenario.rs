@@ -66,6 +66,7 @@ use crate::error::LibraError;
 use crate::eval::{EvalBackend, LinkParams};
 use crate::network::NetworkShape;
 use crate::opt::Objective;
+use crate::search::{Cosearch, SearchConfig};
 use crate::store::Fingerprint;
 use crate::sweep::{
     CrossValidation, DivergenceReport, ExecMode, SweepEngine, SweepError, SweepGrid, SweepReport,
@@ -451,6 +452,11 @@ pub struct Scenario {
     /// Warm-start design solves along the budget axis
     /// (see [`SweepEngine::with_warm_start`]).
     pub warm_start: bool,
+    /// Optional adaptive-search block (see [`crate::search`]). When
+    /// present the scenario runs through the Pareto-guided driver, and
+    /// grids above [`Scenario::MAX_GRID_POINTS`] become legal — search
+    /// never materializes the nominal grid.
+    pub search: Option<SearchConfig>,
 }
 
 impl Scenario {
@@ -481,6 +487,7 @@ impl Scenario {
                 chunks: 64,
                 tolerance: CrossValidation::DEFAULT_TOLERANCE,
                 warm_start: true,
+                search: None,
             },
         }
     }
@@ -555,7 +562,25 @@ impl Scenario {
         field(&mut o, "backends", str_arr(&self.backends), false);
         field(&mut o, "chunks", self.chunks.to_string(), false);
         field(&mut o, "tolerance", json_f64(self.tolerance), false);
-        field(&mut o, "warm_start", self.warm_start.to_string(), true);
+        field(&mut o, "warm_start", self.warm_start.to_string(), self.search.is_none());
+        if let Some(search) = &self.search {
+            let mut s = String::from("{");
+            s.push_str(&format!("\"seed_budgets\": {}", search.seed_budgets));
+            s.push_str(&format!(", \"refine_radius\": {}", search.refine_radius));
+            s.push_str(&format!(", \"max_rounds\": {}", search.max_rounds));
+            s.push_str(&format!(", \"max_evals\": {}", search.max_evals));
+            if let Some(cs) = &search.cosearch {
+                let tp: Vec<String> = cs.tp.iter().map(u64::to_string).collect();
+                s.push_str(&format!(
+                    ", \"cosearch\": {{\"model\": {}, \"tp\": [{}], \"global_batch\": {}}}",
+                    json_escape(&cs.model),
+                    tp.join(", "),
+                    cs.global_batch
+                ));
+            }
+            s.push('}');
+            field(&mut o, "search", s, true);
+        }
         o.push_str("}\n");
         o
     }
@@ -580,7 +605,7 @@ impl Scenario {
         // Unknown keys are rejected, not ignored: a typo'd optional field
         // ("tolerence", "warm-start") silently reverting to its default
         // would change run verdicts with nothing pointing at the typo.
-        const KNOWN_KEYS: [&str; 11] = [
+        const KNOWN_KEYS: [&str; 12] = [
             "schema",
             "name",
             "shapes",
@@ -592,6 +617,7 @@ impl Scenario {
             "chunks",
             "tolerance",
             "warm_start",
+            "search",
         ];
         if let Json::Obj(fields) = &root {
             for (key, _) in fields {
@@ -628,10 +654,70 @@ impl Scenario {
         for s in str_items("shapes")? {
             b = b.with_shape(s.parse::<NetworkShape>()?);
         }
-        let budgets: Vec<f64> = arr_field("budgets")?
-            .iter()
-            .map(|v| v.as_f64().ok_or_else(|| bad("field \"budgets\" must hold numbers".into())))
-            .collect::<Result<_, _>>()?;
+        // Budgets: either an explicit array, or a ladder object
+        // `{"from", "to", "count", "scale"}` expanded here — the compact
+        // form huge search scenarios need (an over-cap grid would be
+        // absurd to spell out point by point).
+        let budgets: Vec<f64> = match root.get("budgets") {
+            Some(ladder @ Json::Obj(fields)) => {
+                for (key, _) in fields {
+                    if !matches!(key.as_str(), "from" | "to" | "count" | "scale") {
+                        return Err(bad(format!(
+                            "unknown budgets field {key:?}; known fields: from, to, count, scale"
+                        )));
+                    }
+                }
+                let num = |key: &str| -> Result<f64, LibraError> {
+                    let v = ladder
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad(format!("budgets ladder needs number field {key:?}")))?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(bad(format!(
+                            "budgets ladder field {key:?} must be finite and > 0, got {v}"
+                        )));
+                    }
+                    Ok(v)
+                };
+                let (from, to) = (num("from")?, num("to")?);
+                let count = ladder
+                    .get("count")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| bad("budgets ladder needs number field \"count\"".into()))?;
+                if count < 2.0 || count.fract() != 0.0 {
+                    return Err(bad(format!(
+                        "budgets ladder field \"count\" must be an integer >= 2, got {count}"
+                    )));
+                }
+                let count = count as usize;
+                let scale = match ladder.get("scale").map(Json::as_str) {
+                    None => "linear",
+                    Some(Some(s @ ("linear" | "geometric"))) => s,
+                    Some(other) => {
+                        return Err(bad(format!(
+                            "budgets ladder field \"scale\" must be \"linear\" or \
+                             \"geometric\", got {other:?}"
+                        )))
+                    }
+                };
+                (0..count)
+                    .map(|i| {
+                        let t = i as f64 / (count - 1) as f64;
+                        if scale == "linear" {
+                            from + t * (to - from)
+                        } else {
+                            from * (to / from).powf(t)
+                        }
+                    })
+                    .collect()
+            }
+            _ => arr_field("budgets")?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| bad("field \"budgets\" must hold numbers".into()))
+                })
+                .collect::<Result<_, _>>()?,
+        };
         b = b.with_budgets(budgets);
         for name in str_items("objectives")? {
             b = b.with_objectives([objective_from_name(&name)?]);
@@ -682,6 +768,94 @@ impl Scenario {
             let w =
                 v.as_bool().ok_or_else(|| bad("field \"warm_start\" must be a boolean".into()))?;
             b = b.with_warm_start(w);
+        }
+        match root.get("search") {
+            None | Some(Json::Null) => {}
+            Some(search) => {
+                let Json::Obj(fields) = search else {
+                    return Err(bad("field \"search\" must be an object".into()));
+                };
+                for (key, _) in fields {
+                    if !matches!(
+                        key.as_str(),
+                        "seed_budgets" | "refine_radius" | "max_rounds" | "max_evals" | "cosearch"
+                    ) {
+                        return Err(bad(format!(
+                            "unknown search field {key:?}; known fields: seed_budgets, \
+                             refine_radius, max_rounds, max_evals, cosearch"
+                        )));
+                    }
+                }
+                let uint = |key: &str, default: usize| -> Result<usize, LibraError> {
+                    match search.get(key) {
+                        None => Ok(default),
+                        Some(v) => {
+                            let n = v.as_num().ok_or_else(|| {
+                                bad(format!("search field {key:?} must be a number"))
+                            })?;
+                            if n < 0.0 || n.fract() != 0.0 {
+                                return Err(bad(format!(
+                                    "search field {key:?} must be a non-negative integer, got {n}"
+                                )));
+                            }
+                            Ok(n as usize)
+                        }
+                    }
+                };
+                let defaults = SearchConfig::default();
+                let mut cfg = SearchConfig {
+                    seed_budgets: uint("seed_budgets", defaults.seed_budgets)?,
+                    refine_radius: uint("refine_radius", defaults.refine_radius)?,
+                    max_rounds: uint("max_rounds", defaults.max_rounds)?,
+                    max_evals: uint("max_evals", defaults.max_evals)?,
+                    cosearch: None,
+                };
+                match search.get("cosearch") {
+                    None | Some(Json::Null) => {}
+                    Some(cs) => {
+                        let Json::Obj(fields) = cs else {
+                            return Err(bad("search field \"cosearch\" must be an object".into()));
+                        };
+                        for (key, _) in fields {
+                            if !matches!(key.as_str(), "model" | "tp" | "global_batch") {
+                                return Err(bad(format!(
+                                    "unknown cosearch field {key:?}; known fields: model, tp, \
+                                     global_batch"
+                                )));
+                            }
+                        }
+                        let model = cs
+                            .get("model")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("cosearch needs string field \"model\"".into()))?
+                            .to_string();
+                        let tp: Vec<u64> = cs
+                            .get("tp")
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| bad("cosearch needs array field \"tp\"".into()))?
+                            .iter()
+                            .map(|v| match v.as_num() {
+                                Some(n) if n >= 1.0 && n.fract() == 0.0 => Ok(n as u64),
+                                _ => Err(bad(
+                                    "cosearch field \"tp\" must hold positive integers".into()
+                                )),
+                            })
+                            .collect::<Result<_, _>>()?;
+                        let gb =
+                            cs.get("global_batch").and_then(Json::as_num).ok_or_else(|| {
+                                bad("cosearch needs number field \"global_batch\"".into())
+                            })?;
+                        if gb < 1.0 || gb.fract() != 0.0 {
+                            return Err(bad(format!(
+                                "cosearch field \"global_batch\" must be a positive integer, \
+                                 got {gb}"
+                            )));
+                        }
+                        cfg.cosearch = Some(Cosearch { model, tp, global_batch: gb as u64 });
+                    }
+                }
+                b = b.with_search(cfg);
+            }
         }
         b.build()
     }
@@ -799,6 +973,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches an adaptive-search block: the scenario runs through
+    /// [`crate::search`] instead of the exhaustive engine, and the grid
+    /// may exceed [`Scenario::MAX_GRID_POINTS`].
+    #[must_use]
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.scenario.search = Some(search);
+        self
+    }
+
     /// Validates and returns the scenario.
     ///
     /// # Errors
@@ -837,21 +1020,33 @@ impl ScenarioBuilder {
         // point: a pathological scenario (easy to construct, and now
         // arriving over the network at `POST /v1/sweeps`) must be
         // rejected here with a pointed message, not OOM a sweep worker.
-        // u128 arithmetic so the product itself cannot overflow.
+        // u128 arithmetic so the product itself cannot overflow. Search
+        // scenarios are exempt from the cap — the adaptive driver never
+        // materializes the nominal grid — but the cell count must still
+        // index as a usize.
         let cells = (s.shapes.len() as u128)
             * (s.workloads.len() as u128)
             * (s.budgets.len() as u128)
             * (s.objectives.len() as u128);
-        if cells > Scenario::MAX_GRID_POINTS as u128 {
+        if s.search.is_none() && cells > Scenario::MAX_GRID_POINTS as u128 {
             return bad(&format!(
                 "grid has {cells} points ({} shapes × {} workloads × {} budgets × {} objectives), \
-                 over the {} point cap — shard the scenario or prune its axes",
+                 over the {} point cap — shard the scenario or prune its axes, or add a \
+                 \"search\" block to run it adaptively",
                 s.shapes.len(),
                 s.workloads.len(),
                 s.budgets.len(),
                 s.objectives.len(),
                 Scenario::MAX_GRID_POINTS
             ));
+        }
+        if cells > usize::MAX as u128 {
+            return bad(&format!("grid has {cells} points, which does not fit a usize"));
+        }
+        if let Some(search) = &s.search {
+            search
+                .validate()
+                .map_err(|e| LibraError::BadRequest(format!("scenario {:?}: {e}", s.name)))?;
         }
         Ok(s)
     }
@@ -2102,6 +2297,133 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(Scenario::from_json(&s2.to_json()).unwrap(), s2);
+    }
+
+    #[test]
+    fn search_block_round_trips_through_json() {
+        let base = |search: SearchConfig| {
+            Scenario::builder("adaptive")
+                .with_shape("RI(4)_SW(8)".parse().unwrap())
+                .with_budgets([100.0, 200.0, 300.0])
+                .with_objectives([Objective::Perf])
+                .with_workload("w")
+                .with_search(search)
+                .build()
+                .unwrap()
+        };
+        let plain = base(SearchConfig::default());
+        assert_eq!(Scenario::from_json(&plain.to_json()).unwrap(), plain);
+        let full = base(SearchConfig {
+            seed_budgets: 12,
+            refine_radius: 2,
+            max_rounds: 7,
+            max_evals: 4000,
+            cosearch: Some(Cosearch {
+                model: "MSFT-1T".into(),
+                tp: vec![8, 16, 32],
+                global_batch: 2048,
+            }),
+        });
+        assert_eq!(Scenario::from_json(&full.to_json()).unwrap(), full);
+        // Omitted knobs take the documented defaults.
+        let text = "{\"name\": \"d\", \"shapes\": [\"RI(4)_SW(8)\"], \"budgets\": [100], \
+                    \"objectives\": [\"perf\"], \"workloads\": [\"w\"], \"backends\": [], \"search\": {}}";
+        let parsed = Scenario::from_json(text).unwrap();
+        assert_eq!(parsed.search, Some(SearchConfig::default()));
+    }
+
+    /// The satellite regression: a typo'd `serach` block must be a
+    /// field-precise parse error, never a silent exhaustive sweep.
+    #[test]
+    fn scenario_rejects_typoed_search_block() {
+        let base = Scenario::builder("typo")
+            .with_shape("RI(4)_SW(8)".parse().unwrap())
+            .with_budgets([100.0])
+            .with_objectives([Objective::Perf])
+            .with_workload("w")
+            .with_search(SearchConfig::default())
+            .build()
+            .unwrap();
+        let typo = base.to_json().replace("\"search\"", "\"serach\"");
+        let err = Scenario::from_json(&typo).unwrap_err().to_string();
+        assert!(err.contains("unknown scenario field \"serach\""), "{err}");
+        // Typos inside the search and cosearch objects are field-precise too.
+        let text = |search: &str| {
+            format!(
+                "{{\"name\": \"t\", \"shapes\": [\"RI(4)_SW(8)\"], \"budgets\": [100], \
+                 \"objectives\": [\"perf\"], \"workloads\": [\"w\"], \"backends\": [], \"search\": {search}}}"
+            )
+        };
+        let err = Scenario::from_json(&text("{\"max_round\": 3}")).unwrap_err().to_string();
+        assert!(err.contains("unknown search field \"max_round\""), "{err}");
+        let err = Scenario::from_json(&text(
+            "{\"cosearch\": {\"model\": \"M\", \"tp\": [8], \"global_batch\": 64, \"dp\": 4}}",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown cosearch field \"dp\""), "{err}");
+        // And malformed knobs are rejected with their field named.
+        let err = Scenario::from_json(&text("{\"seed_budgets\": 2.5}")).unwrap_err().to_string();
+        assert!(err.contains("search field \"seed_budgets\""), "{err}");
+        let err = Scenario::from_json(&text("{\"seed_budgets\": 1}")).unwrap_err().to_string();
+        assert!(err.contains("seed_budgets"), "{err}");
+    }
+
+    #[test]
+    fn budgets_ladder_expands_linear_and_geometric() {
+        let text = |budgets: &str| {
+            format!(
+                "{{\"name\": \"l\", \"shapes\": [\"RI(4)_SW(8)\"], \"budgets\": {budgets}, \
+                 \"objectives\": [\"perf\"], \"workloads\": [\"w\"], \"backends\": []}}"
+            )
+        };
+        let s = Scenario::from_json(&text("{\"from\": 100, \"to\": 500, \"count\": 5}")).unwrap();
+        assert_eq!(s.budgets, vec![100.0, 200.0, 300.0, 400.0, 500.0]);
+        let s = Scenario::from_json(&text(
+            "{\"from\": 100, \"to\": 400, \"count\": 3, \"scale\": \"geometric\"}",
+        ))
+        .unwrap();
+        assert_eq!(s.budgets.len(), 3);
+        assert_eq!(s.budgets[0], 100.0);
+        assert!((s.budgets[1] - 200.0).abs() < 1e-9);
+        assert_eq!(s.budgets[2], 400.0);
+        let err = Scenario::from_json(&text("{\"from\": 100, \"to\": 500, \"count\": 1}"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("\"count\" must be an integer >= 2"), "{err}");
+        let err =
+            Scenario::from_json(&text("{\"from\": 100, \"to\": 500}")).unwrap_err().to_string();
+        assert!(err.contains("needs number field \"count\""), "{err}");
+        let err =
+            Scenario::from_json(&text("{\"from\": 100, \"to\": 500, \"count\": 4, \"step\": 2}"))
+                .unwrap_err()
+                .to_string();
+        assert!(err.contains("unknown budgets field \"step\""), "{err}");
+        let err = Scenario::from_json(&text(
+            "{\"from\": 100, \"to\": 500, \"count\": 4, \"scale\": \"log\"}",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("\"scale\""), "{err}");
+    }
+
+    /// Grids above the exhaustive point cap are rejected without a
+    /// search block and legal with one — the adaptive driver never
+    /// materializes the nominal grid.
+    #[test]
+    fn search_scenarios_may_exceed_the_point_cap() {
+        let over = || {
+            Scenario::builder("huge")
+                .with_shape("RI(4)_SW(8)".parse().unwrap())
+                .with_budgets((0..Scenario::MAX_GRID_POINTS + 1).map(|i| 100.0 + i as f64))
+                .with_objectives([Objective::Perf])
+                .with_workload("w")
+        };
+        let err = over().build().unwrap_err().to_string();
+        assert!(err.contains("point cap"), "{err}");
+        assert!(err.contains("\"search\" block"), "the error must point at search: {err}");
+        let ok = over().with_search(SearchConfig::default()).build().unwrap();
+        assert!(ok.grid().len(ok.workloads.len()) > Scenario::MAX_GRID_POINTS);
     }
 
     #[test]

@@ -256,11 +256,17 @@ impl SweepGrid {
     }
 
     /// Adds total-bandwidth budgets in GB/s (duplicates and non-finite or
-    /// non-positive values ignored).
+    /// non-positive values ignored). Dedup is by bit pattern behind a
+    /// set, not a linear scan — adaptive-search scenarios legally carry
+    /// budget axes with millions of entries, where `Vec::contains` per
+    /// insert would be quadratic. (Bit equality matches `==` here: the
+    /// kept values are finite, positive, and non-zero.)
     #[must_use]
     pub fn with_budgets(mut self, budgets: impl IntoIterator<Item = f64>) -> Self {
+        let mut seen: std::collections::HashSet<u64> =
+            self.budgets.iter().map(|b| b.to_bits()).collect();
         for b in budgets {
-            if b.is_finite() && b > 0.0 && !self.budgets.contains(&b) {
+            if b.is_finite() && b > 0.0 && seen.insert(b.to_bits()) {
                 self.budgets.push(b);
             }
         }
@@ -643,9 +649,19 @@ impl SweepReport {
 
     /// The perf-vs-cost Pareto front: designs not dominated by any other
     /// result (another design at most as slow **and** at most as expensive,
-    /// strictly better on one axis). Returned in grid order.
+    /// strictly better on one axis).
+    ///
+    /// The front is returned in a **deterministic order**: cost ascending,
+    /// then weighted time ascending (`f64::total_cmp`, so NaNs order
+    /// stably too). Results tied on *both* axes are mutually
+    /// non-dominating duplicates — they all stay on the front, ordered
+    /// among themselves by grid-enumeration position (the sort is
+    /// stable). The adaptive search driver's front-stability test relies
+    /// on this ordering being a pure function of the result *set*, never
+    /// of evaluation order.
     pub fn pareto_front(&self) -> Vec<&SweepResult> {
-        self.results
+        let mut front: Vec<&SweepResult> = self
+            .results
             .iter()
             .filter(|r| {
                 !self.results.iter().any(|s| {
@@ -655,7 +671,14 @@ impl SweepReport {
                             || s.design.cost < r.design.cost)
                 })
             })
-            .collect()
+            .collect();
+        front.sort_by(|a, b| {
+            a.design
+                .cost
+                .total_cmp(&b.design.cost)
+                .then(a.design.weighted_time.total_cmp(&b.design.weighted_time))
+        });
+        front
     }
 }
 
@@ -1769,6 +1792,17 @@ mod tests {
         let cheapest = report.ranked(RankBy::Cost)[0];
         assert!(front.iter().any(|f| f.point == fastest.point));
         assert!(front.iter().any(|f| f.point == cheapest.point));
+        // Deterministic ordering: cost ascending, equal costs broken by
+        // weighted time ascending.
+        for w in front.windows(2) {
+            let by_cost = w[0].design.cost.total_cmp(&w[1].design.cost);
+            assert!(
+                by_cost == std::cmp::Ordering::Less
+                    || (by_cost == std::cmp::Ordering::Equal
+                        && w[0].design.weighted_time <= w[1].design.weighted_time),
+                "front must be ordered by cost then weighted time"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@ use libra_core::cost::CostModel;
 use libra_core::error::LibraError;
 use libra_core::fault::{self, FaultInjector};
 use libra_core::scenario::{
-    json_escape, json_f64, BackendRegistry, JsonLinesSink, ProgressSink, ReportSink, Scenario,
+    json_escape, json_f64, BackendRegistry, DivergenceMatrix, JsonLinesSink, ProgressSink,
+    ReportSink, Scenario, SessionReport,
 };
 use libra_core::store::{SharedSolveStore, SolveStore};
 use libra_core::sweep::FnWorkload;
@@ -341,7 +342,20 @@ fn run_job(
             }
         });
         let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut jsonl, &mut progress];
-        session.run_scenario_with_sinks(scenario, &workloads, &shared.registry, &mut sinks)?
+        if scenario.search.is_some() {
+            // Adaptive search mode: the driver prices its own subgrids
+            // (no backends, no divergence) and streams one standard
+            // JSONL run through the same sinks, so records/progress/
+            // cancel/fault machinery apply unchanged.
+            let search =
+                libra_core::search::run_scenario(&session, scenario, &workloads, &mut sinks)?;
+            SessionReport {
+                sweep: search.sweep,
+                divergence: DivergenceMatrix { backends: Vec::new(), pairs: Vec::new() },
+            }
+        } else {
+            session.run_scenario_with_sinks(scenario, &workloads, &shared.registry, &mut sinks)?
+        }
     };
     let summary = JobSummary {
         results: report.sweep.results.len(),
@@ -438,28 +452,34 @@ fn handle_submit(
     };
     // Validate everything a worker would need *before* enqueueing, with
     // the same code paths the CLI uses: the scenario parser (which also
-    // enforces the grid-size cap), the crossval two-backend floor, the
-    // workload name resolver, and backend construction. The queue only
-    // ever holds runnable jobs.
+    // enforces the grid-size cap, lifted for search scenarios), the
+    // crossval two-backend floor, the workload name resolver, and
+    // backend construction. The queue only ever holds runnable jobs.
+    // A scenario with a "search" block runs the adaptive driver, which
+    // prices the design space without backends — so the two-backend
+    // floor and backend construction are skipped, exactly as
+    // `libra search` ignores the scenario's backend list.
     let scenario = match Scenario::from_json(body) {
         Ok(scenario) => scenario,
         Err(e) => return json(stream, 400, &json_error(&e.to_string())),
     };
-    if scenario.backends.len() < 2 {
-        return json(
-            stream,
-            400,
-            &json_error(&format!(
-                "crossval needs at least two backends; scenario {:?} names {}",
-                scenario.name,
-                scenario.backends.len()
-            )),
-        );
+    if scenario.search.is_none() {
+        if scenario.backends.len() < 2 {
+            return json(
+                stream,
+                400,
+                &json_error(&format!(
+                    "crossval needs at least two backends; scenario {:?} names {}",
+                    scenario.name,
+                    scenario.backends.len()
+                )),
+            );
+        }
+        if let Err(e) = scenario.build_backends(&shared.registry) {
+            return json(stream, 400, &json_error(&e.to_string()));
+        }
     }
     if let Err(e) = (shared.resolver)(&scenario) {
-        return json(stream, 400, &json_error(&e.to_string()));
-    }
-    if let Err(e) = scenario.build_backends(&shared.registry) {
         return json(stream, 400, &json_error(&e.to_string()));
     }
     match shared.table.submit(scenario) {

@@ -541,3 +541,61 @@ fn dropped_response_is_detected_not_truncated_silently() {
     server.shutdown();
     server.join().unwrap();
 }
+
+/// A `"search"` block flips a submission into adaptive-search mode: the
+/// grid may exceed the exhaustive point cap, the crossval two-backend
+/// floor does not apply, and the served records are byte-identical to
+/// the local search driver's stream.
+#[test]
+fn search_jobs_run_the_adaptive_driver_over_the_point_cap() {
+    let (server, client) = start(ServerConfig { workers: 1, ..ServerConfig::default() });
+
+    // 1 shape x 1 workload x 2.2M budgets x 2 objectives = 4.4M nominal
+    // points — over the 4,194,304 cap — with zero backends. The ladder
+    // form keeps the POST body tiny; the parser expands it server-side.
+    let body = r#"{
+        "schema": "libra-scenario-v1",
+        "name": "serve-search",
+        "shapes": ["RI(4)_RI(8)"],
+        "budgets": {"from": 100, "to": 800, "count": 2200000, "scale": "linear"},
+        "objectives": ["perf", "perf-per-cost"],
+        "workloads": ["stub-a"],
+        "backends": [],
+        "search": {"seed_budgets": 6, "max_evals": 24}
+    }"#;
+
+    let (job, _) = client.submit(body.as_bytes()).unwrap();
+    let summary = client.wait(&job, POLL, None).unwrap();
+    assert_eq!(summary.errors, 0);
+    assert!(summary.results > 0 && summary.results <= 24, "max_evals bounds: {}", summary.results);
+    assert!(summary.within_tolerance, "search jobs have no divergence verdict to fail");
+    assert_eq!(summary.exit_code(), 0);
+
+    // Byte-identity with the local driver, same stub resolver.
+    let scenario = Scenario::from_json(body).unwrap();
+    let workloads = resolver()(&scenario).unwrap();
+    let cost_model = CostModel::default();
+    let session = scenario.session(&cost_model);
+    let mut expected: Vec<u8> = Vec::new();
+    {
+        let mut jsonl = JsonLinesSink::new(&mut expected);
+        let mut sinks: Vec<&mut dyn ReportSink> = vec![&mut jsonl];
+        libra_core::search::run_scenario(&session, &scenario, &workloads, &mut sinks).unwrap();
+    }
+    let served = client.records(&job).unwrap();
+    assert_eq!(served, expected, "served bytes must match the local search driver");
+    let rows = records_from_jsonl(std::str::from_utf8(&served).unwrap()).unwrap();
+    assert_eq!(rows.len(), summary.results);
+
+    // Without the search block, the same over-cap grid is rejected at
+    // POST time by the scenario validator.
+    let exhaustive =
+        body.replace(r#""search": {"seed_budgets": 6, "max_evals": 24}"#, r#""tolerance": 0.5"#);
+    let response = client.post("/v1/sweeps", exhaustive.as_bytes()).unwrap();
+    assert_eq!(response.status, 400);
+    let text = String::from_utf8(response.body).unwrap();
+    assert!(text.contains("point cap"), "{text}");
+
+    server.shutdown();
+    server.join().unwrap();
+}

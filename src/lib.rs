@@ -81,6 +81,9 @@ pub use libra_core::dispatch::{
     partial_records, resume_rows, resume_scenario, Dispatcher, MergedRun,
 };
 pub use libra_core::store::{Fingerprint, SolveStore, StoreStats, StoredPoint};
+// Adaptive search: the Pareto-guided successive-refinement driver for
+// design spaces too large to sweep exhaustively.
+pub use libra_core::search::{Cosearch, RoundTrace, SearchConfig, SearchReport};
 // The sweep substrate: grid, engine, reports, and the deprecated
 // fixed-arity cross-validation entry points' config/report types.
 pub use libra_core::sweep::{
